@@ -1,0 +1,9 @@
+"""Ablation A1 — bit-vector filters [BABB79] in split tables: Section 2
+says the optimizer can insert them; this quantifies the saving on a
+joinABprime probe stream."""
+
+from repro.bench import ablation_bitfilter_experiment
+
+
+def test_ablation_bitfilter(report_runner):
+    report_runner(ablation_bitfilter_experiment)

@@ -1,0 +1,9 @@
+"""Ablation A2 — Simple vs Hybrid hash join under memory pressure: the
+Conclusions announce replacing the Simple algorithm with a parallel Hybrid
+hash join; this measures the improvement on the Figure 13 sweep."""
+
+from repro.bench import ablation_hybrid_join_experiment
+
+
+def test_ablation_hybrid_join(report_runner):
+    report_runner(ablation_hybrid_join_experiment)

@@ -1,0 +1,9 @@
+"""Ablation A3 — the Conclusions' 4 KB → 8 KB default-page-size
+recommendation, evaluated over a mixed selection/join workload (and the
+warning against track-sized pages)."""
+
+from repro.bench import ablation_default_page_size_experiment
+
+
+def test_ablation_pagesize_default(report_runner):
+    report_runner(ablation_default_page_size_experiment)

@@ -1,0 +1,10 @@
+"""Aggregate queries — run in the original study but cut from the paper
+for space ("The interested reader is referred to [DEWI88]"); reproduced
+here as the companion experiment: scalar aggregates with partial/combine
+processing and hash-partitioned group-by."""
+
+from repro.bench import aggregate_experiment
+
+
+def test_aggregate(report_runner):
+    report_runner(aggregate_experiment)

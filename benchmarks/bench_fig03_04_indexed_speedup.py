@@ -1,0 +1,9 @@
+"""Figures 3-4 — indexed selection response time and speedup vs processors,
+including the paper's 0%-selection slowdown anomaly (operator start-up
+costs exceed the 1-2 index I/Os saved per site)."""
+
+from repro.bench import fig03_04_experiment
+
+
+def test_fig03_04_indexed_speedup(report_runner):
+    report_runner(fig03_04_experiment)

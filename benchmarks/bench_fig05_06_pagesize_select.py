@@ -1,0 +1,9 @@
+"""Figures 5-6 — non-indexed selections vs disk page size (2-32 KB):
+disk bound at 2 KB, CPU bound by 16 KB, and the widening 10%-over-0% gap
+as the network interface becomes the bottleneck."""
+
+from repro.bench import fig05_06_experiment
+
+
+def test_fig05_06_pagesize_select(report_runner):
+    report_runner(fig05_06_experiment)

@@ -1,0 +1,9 @@
+"""Figures 7-8 — indexed selections vs disk page size: larger pages hurt
+the non-clustered path (random transfer time beats fan-out) and the 1%
+clustered selection stops improving past 16 KB."""
+
+from repro.bench import fig07_08_experiment
+
+
+def test_fig07_08_pagesize_indexed(report_runner):
+    report_runner(fig07_08_experiment)

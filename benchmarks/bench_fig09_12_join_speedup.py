@@ -1,0 +1,9 @@
+"""Figures 9-12 — joinABprime under Local/Remote/Allnodes placement vs the
+number of processors: the mirror-image orderings on key vs non-key join
+attributes and near-linear speedup from the 2-processor reference point."""
+
+from repro.bench import fig09_12_experiment
+
+
+def test_fig09_12_join_speedup(report_runner):
+    report_runner(fig09_12_experiment)

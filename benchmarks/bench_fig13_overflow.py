@@ -1,0 +1,9 @@
+"""Figure 13 — Simple hash-join behaviour under memory pressure: flat up
+to two overflows, rapid deterioration beyond, and the Local/Remote
+crossover caused by the overflow hash-function switch."""
+
+from repro.bench import fig13_experiment
+
+
+def test_fig13_overflow(report_runner):
+    report_runner(fig13_experiment)

@@ -1,0 +1,14 @@
+"""Table 1 — selection queries on Gamma and the Teradata DBC/1012.
+
+Regenerates all seven rows (1%/10% x heap/non-clustered/clustered plus the
+single-tuple select) for every size in ``GAMMA_BENCH_SIZES``, printing
+paper-vs-measured values and asserting the paper's conclusions: linear
+scaling with relation size, the clustered-index advantage, the optimizer's
+segment-scan choice at 10%, and Gamma beating the DBC/1012 on every row.
+"""
+
+from repro.bench import table1_selection_experiment
+
+
+def test_table1_selection(report_runner):
+    report_runner(table1_selection_experiment)

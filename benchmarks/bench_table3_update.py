@@ -1,0 +1,12 @@
+"""Table 3 — the single-tuple update mix.
+
+Asserts the deferred-update-file cost (append with vs without an index),
+key-modification being the most expensive update (relocation), and Gamma's
+partial-recovery advantage over the fully-logged DBC/1012.
+"""
+
+from repro.bench import table3_update_experiment
+
+
+def test_table3_update(report_runner):
+    report_runner(table3_update_experiment)

@@ -1,0 +1,31 @@
+"""Shared benchmark plumbing.
+
+Every benchmark runs its experiment exactly once (the experiments are
+deterministic discrete-event simulations — repeated rounds measure the
+same timeline), prints the regenerated paper table, saves it under
+``benchmarks/results/``, and asserts the paper's shape claims.
+
+Scale: ``GAMMA_BENCH_SIZES=10000,100000[,1000000]`` controls the table
+experiments' relation sizes (default 10000,100000).
+"""
+
+import pytest
+
+
+def run_report(benchmark, experiment, **kwargs):
+    """Benchmark one experiment, emit its report, assert its checks."""
+    report = benchmark.pedantic(
+        experiment, kwargs=kwargs, rounds=1, iterations=1
+    )
+    report.save()
+    print("\n" + report.to_markdown())
+    assert report.all_checks_pass, "\n".join(report.checks)
+    return report
+
+
+@pytest.fixture
+def report_runner(benchmark):
+    def runner(experiment, **kwargs):
+        return run_report(benchmark, experiment, **kwargs)
+
+    return runner

@@ -1,0 +1,67 @@
+"""Scenario: hash-table overflow and the Simple vs Hybrid join.
+
+Recreates the Figure 13 memory sweep at a configurable size on both join
+algorithms, showing the Simple hash join's rapid deterioration and the
+Local/Remote crossover after the overflow hash-function switch — then the
+graceful degradation of the Hybrid replacement the paper's Conclusions
+announce.
+
+Run:  python examples/join_overflow.py [n_tuples]
+"""
+
+import sys
+from dataclasses import replace
+
+from repro import GammaConfig, JoinMode
+from repro.bench import build_gamma, run_stored
+from repro.hardware import KB
+from repro.workloads.queries import join_abprime
+
+
+def run_sweep(n: int, algorithm: str) -> None:
+    base = GammaConfig.paper_default()
+    smaller_bytes = (n // 10) * 208 * base.hash_table_overhead
+    print(f"\n=== {algorithm} hash join ===")
+    print(f"{'mem/|B|':>8} {'local':>10} {'remote':>10} {'overflows':>10}")
+    for ratio in (1.2, 0.9, 0.6, 0.3, 0.2):
+        config = replace(
+            base.with_join_memory(max(64 * KB, int(ratio * smaller_bytes))),
+            join_algorithm=algorithm,
+        )
+        machine = build_gamma(
+            config, relations=[("A", n, "heap"), ("Bp", n // 10, "heap")],
+        )
+        row = {}
+        for mode in (JoinMode.LOCAL, JoinMode.REMOTE):
+            result = run_stored(
+                machine,
+                lambda into, md=mode: join_abprime(
+                    "A", "Bp", key=True, mode=md, into=into),
+            )
+            row[mode] = result
+        print(f"{ratio:>8.2f} {row[JoinMode.LOCAL].response_time:>9.1f}s"
+              f" {row[JoinMode.REMOTE].response_time:>9.1f}s"
+              f" {row[JoinMode.REMOTE].max_overflows:>10d}")
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 40_000
+    print(f"joinABprime: {n:,} x {n // 10:,} tuples, key attributes,"
+          f" shrinking join memory")
+    run_sweep(n, "simple")
+    print(
+        "\nWatch two things above: (1) Local beats Remote while memory"
+        "\nsuffices (every tuple short-circuits the network), but loses"
+        "\nafter the first overflow switches the distribution hash;"
+        "\n(2) response deteriorates rapidly as overflows multiply."
+    )
+    run_sweep(n, "hybrid")
+    print(
+        "\nThe Hybrid join plans its partitions up front, writes and reads"
+        "\nevery spooled tuple exactly once, and degrades linearly — the"
+        "\nreplacement the paper's Conclusions announce."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Scenario: the QUEL front-end — Gamma's actual query language.
+
+"Gamma, which provides an extended version of the query language QUEL,
+uses the construct 'retrieve into result relation ...' to specify that
+the result of a query is to be stored in a relation."
+
+Run:  python examples/quel_session.py
+"""
+
+from repro import GammaMachine, QuelSession
+
+
+STATEMENTS = [
+    "range of t is tenktup",
+    "range of s is onektup",
+    "retrieve (t.unique1, t.unique2)"
+    " where t.unique2 >= 100 and t.unique2 <= 119",
+    "retrieve into result (t.all) where t.unique1 < 100",
+    "retrieve unique (t.ten)",
+    "retrieve (min(t.unique2))",
+    "retrieve (count(t.all by t.four))",
+    "retrieve into joined (s.all, t.all) where s.unique2 = t.unique2",
+    "append to tenktup (unique1 = 99999, unique2 = 99999)",
+    "retrieve (t.all) where t.unique1 = 99999",
+    "replace t (odd100 = 13) where t.unique1 = 42",
+    "delete t where t.unique1 = 99999",
+]
+
+
+def main() -> None:
+    machine = GammaMachine()
+    machine.load_wisconsin("tenktup", 10_000, seed=1,
+                           clustered_on="unique1", secondary_on=["unique2"])
+    machine.load_wisconsin("onektup", 1_000, seed=2)
+    session = QuelSession(machine)
+    for statement in STATEMENTS:
+        print(f"\nquel> {statement}")
+        result = session.execute(statement)
+        if result is None:
+            print("      (range variable bound)")
+            continue
+        print(f"      {result.result_count} tuple(s),"
+              f" {result.response_time:.2f} modeled seconds"
+              + (f", plan: {result.plan}" if result.plan else ""))
+        if result.tuples and len(result.tuples) <= 10:
+            for record in sorted(result.tuples)[:10]:
+                print(f"        {record[:4]}{'...' if len(record) > 4 else ''}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""repro — a reproduction of the Gamma database machine performance study.
+
+This package implements, from scratch, the systems evaluated in "A
+Performance Analysis of the Gamma Database Machine" (DeWitt,
+Ghandeharizadeh & Schneider, SIGMOD 1988): the Gamma shared-nothing
+dataflow database machine, its WiSS storage substrate, the NOSE-style
+process/communication layer (as a discrete-event simulation), the Teradata
+DBC/1012 baseline, the Wisconsin benchmark workload, and a harness that
+regenerates every table and figure of the paper.
+
+Quick start::
+
+    from repro import GammaMachine, Query, RangePredicate
+
+    machine = GammaMachine()
+    machine.load_wisconsin("tenk", 10_000, clustered_on="unique1")
+    result = machine.run(
+        Query.select("tenk", RangePredicate("unique1", 0, 99), into="out")
+    )
+    print(f"{result.response_time:.2f} modeled seconds")
+"""
+
+from .engine import (
+    AccessPath,
+    AggregateNode,
+    AppendTuple,
+    DeleteTuple,
+    ExactMatch,
+    GammaMachine,
+    JoinMode,
+    JoinNode,
+    ModifyTuple,
+    Query,
+    QueryResult,
+    RangePredicate,
+    ScanNode,
+    TruePredicate,
+)
+from .catalog import Hashed, RangePartitioned, RoundRobin, UniformRange
+from .hardware import GammaConfig, TeradataConfig
+from .quel import QuelSession
+from .workloads import generate_tuples, selection_range, wisconsin_schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessPath",
+    "AggregateNode",
+    "AppendTuple",
+    "DeleteTuple",
+    "ExactMatch",
+    "GammaConfig",
+    "GammaMachine",
+    "Hashed",
+    "JoinMode",
+    "JoinNode",
+    "ModifyTuple",
+    "QuelSession",
+    "Query",
+    "QueryResult",
+    "RangePartitioned",
+    "RangePredicate",
+    "RoundRobin",
+    "ScanNode",
+    "TeradataConfig",
+    "TruePredicate",
+    "UniformRange",
+    "__version__",
+    "generate_tuples",
+    "selection_range",
+    "wisconsin_schema",
+]

@@ -1,0 +1,45 @@
+"""Command-line demo: ``python -m repro [n_tuples]``.
+
+Loads a Wisconsin relation on the paper's 8+8-node Gamma configuration
+and a 20-AMP Teradata DBC/1012, runs a miniature Table 1/2 workload on
+both, and prints the comparison.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .bench import build_gamma, build_teradata, run_stored
+from .workloads.queries import join_abprime, selection_query
+
+
+def main(argv: list[str]) -> int:
+    n = int(argv[1]) if len(argv) > 1 else 10_000
+    print(f"Gamma database machine reproduction — {n:,}-tuple demo")
+    print("(times are modeled seconds on the 1988 hardware)\n")
+    relations = [("heap", n, "heap"), ("idx", n, "indexed"),
+                 ("Bp", n // 10, "heap")]
+    gamma = build_gamma(relations=relations)
+    teradata = build_teradata(relations=relations)
+    workload = {
+        "1% selection (heap)": lambda into: selection_query(
+            "heap", n, 0.01, into=into),
+        "10% selection (heap)": lambda into: selection_query(
+            "heap", n, 0.10, into=into),
+        "1% selection (indexed)": lambda into: selection_query(
+            "idx", n, 0.01, into=into),
+        "joinABprime": lambda into: join_abprime("heap", "Bp", key=False,
+                                                 into=into),
+    }
+    print(f"{'query':<26}{'gamma':>10}{'teradata':>12}")
+    for label, builder in workload.items():
+        g = run_stored(gamma, builder)
+        t = run_stored(teradata, builder)
+        print(f"{label:<26}{g.response_time:>9.2f}s{t.response_time:>11.2f}s")
+    print("\nRun `pytest benchmarks/ --benchmark-only` to regenerate every"
+          " table and figure of the paper.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

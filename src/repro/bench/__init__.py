@@ -1,0 +1,68 @@
+"""Benchmark harness: experiments regenerating every table and figure."""
+
+from .ablations import (
+    ablation_bitfilter_experiment,
+    multiuser_offloading_experiment,
+    recovery_server_experiment,
+    ablation_default_page_size_experiment,
+    ablation_hybrid_join_experiment,
+)
+from .experiments import (
+    aggregate_experiment,
+    fig01_02_experiment,
+    fig03_04_experiment,
+    fig05_06_experiment,
+    fig07_08_experiment,
+    fig09_12_experiment,
+    fig13_experiment,
+    fig14_15_experiment,
+    table1_selection_experiment,
+    table2_join_experiment,
+    table3_update_experiment,
+)
+from .harness import (
+    bench_sizes,
+    build_gamma,
+    build_teradata,
+    run_stored,
+    run_to_host,
+    speedup_series,
+)
+from .recorded import (
+    FIGURE_CLAIMS,
+    TABLE1_SELECTIONS,
+    TABLE2_JOINS,
+    TABLE3_UPDATES,
+)
+from .reporting import Report, ratio_note
+
+__all__ = [
+    "FIGURE_CLAIMS",
+    "ablation_bitfilter_experiment",
+    "ablation_default_page_size_experiment",
+    "ablation_hybrid_join_experiment",
+    "multiuser_offloading_experiment",
+    "recovery_server_experiment",
+    "Report",
+    "TABLE1_SELECTIONS",
+    "TABLE2_JOINS",
+    "TABLE3_UPDATES",
+    "aggregate_experiment",
+    "bench_sizes",
+    "build_gamma",
+    "build_teradata",
+    "fig01_02_experiment",
+    "fig03_04_experiment",
+    "fig05_06_experiment",
+    "fig07_08_experiment",
+    "fig09_12_experiment",
+    "fig13_experiment",
+    "fig14_15_experiment",
+    "ratio_note",
+    "run_stored",
+    "run_to_host",
+    "speedup_series",
+    "table1_selection_experiment",
+    "table2_join_experiment",
+    "table3_update_experiment",
+]

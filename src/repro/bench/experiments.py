@@ -1,0 +1,766 @@
+"""Experiment definitions: one function per table/figure of the paper.
+
+Each function runs the workload on freshly built machines, returns a
+:class:`~repro.bench.reporting.Report` whose rows mirror the paper's table
+or figure series, and records the paper's qualitative claims as shape
+checks (``report.check(...)``) that the benchmark tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..engine import JoinMode, Query
+from ..hardware import GammaConfig
+from ..engine.plan import AccessPath, RangePredicate
+from ..hardware import KB, MB
+from ..workloads import selection_range
+from ..workloads.queries import (
+    join_abprime,
+    join_aselb,
+    join_cselaselb,
+    selection_query,
+    single_tuple_select,
+    update_suite,
+)
+from .harness import (
+    bench_sizes,
+    build_gamma,
+    build_teradata,
+    load_gamma_relation,
+    run_stored,
+    speedup_series,
+)
+from .recorded import TABLE1_SELECTIONS, TABLE2_JOINS, TABLE3_UPDATES
+from .reporting import Report, ratio_note
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — selections
+# ---------------------------------------------------------------------------
+
+def table1_selection_experiment(
+    sizes: Optional[Sequence[int]] = None,
+) -> Report:
+    """Regenerate Table 1: seven selection variants on both machines."""
+    sizes = list(sizes or bench_sizes())
+    report = Report(
+        name="table1_selection",
+        title="Table 1 — Selection Queries (seconds)",
+        columns=["query", "tuples", "teradata paper", "teradata",
+                 "gamma paper", "gamma", "gamma ratio"],
+    )
+    measured: dict[tuple[str, int, str], float] = {}
+    for n in sizes:
+        gamma = build_gamma(relations=[
+            (f"heap{n}", n, "heap"), (f"idx{n}", n, "indexed"),
+        ])
+        teradata = build_teradata(relations=[
+            (f"heap{n}", n, "heap"), (f"idx{n}", n, "indexed"),
+        ])
+        runs = {
+            "1% nonindexed selection": lambda into, m=n: selection_query(
+                f"heap{m}", m, 0.01, into=into),
+            "10% nonindexed selection": lambda into, m=n: selection_query(
+                f"heap{m}", m, 0.10, into=into),
+            "1% selection using non-clustered index":
+                lambda into, m=n: selection_query(f"idx{m}", m, 0.01, into=into),
+            "10% selection using non-clustered index":
+                lambda into, m=n: selection_query(f"idx{m}", m, 0.10, into=into),
+            "1% selection using clustered index":
+                lambda into, m=n: selection_query(
+                    f"idx{m}", m, 0.01, attr="unique1", into=into),
+            "10% selection using clustered index":
+                lambda into, m=n: selection_query(
+                    f"idx{m}", m, 0.10, attr="unique1", into=into),
+        }
+        for label, builder in runs.items():
+            measured[(label, n, "gamma")] = run_stored(
+                gamma, builder).response_time
+            if "clustered index" not in label or "non-clustered" in label:
+                measured[(label, n, "teradata")] = run_stored(
+                    teradata, builder).response_time
+        # Single-tuple select returns to the host.
+        single = single_tuple_select(f"idx{n}", n // 2)
+        measured[("single tuple select", n, "gamma")] = gamma.run(
+            single).response_time
+        measured[("single tuple select", n, "teradata")] = teradata.run(
+            single).response_time
+
+    for label, per_size in TABLE1_SELECTIONS.items():
+        for n in sizes:
+            paper = per_size[n]
+            gm = measured.get((label, n, "gamma"))
+            tm = measured.get((label, n, "teradata"))
+            report.add_row(
+                label, n, paper["teradata"], tm, paper["gamma"], gm,
+                ratio_note(gm, paper["gamma"]) if gm is not None else None,
+            )
+
+    def t(label, n, machine="gamma"):
+        return measured[(label, n, machine)]
+
+    big = max(sizes)
+    small = min(sizes)
+    if len(sizes) > 1:
+        report.check(
+            "execution time scales linearly with relation size (Gamma)",
+            0.5 * (big / small)
+            <= t("1% nonindexed selection", big)
+            / t("1% nonindexed selection", small)
+            <= 1.5 * (big / small),
+        )
+    report.check(
+        "clustered index is the fastest organisation (Gamma)",
+        t("1% selection using clustered index", big)
+        < t("1% selection using non-clustered index", big)
+        < t("1% nonindexed selection", big),
+    )
+    report.check(
+        "10% non-clustered-index selection equals a file scan"
+        " (optimizer picks the segment scan)",
+        abs(t("10% selection using non-clustered index", big)
+            - t("10% nonindexed selection", big))
+        < 0.25 * t("10% nonindexed selection", big),
+    )
+    report.check(
+        "Gamma beats Teradata on every common row",
+        all(
+            t(label, n) < t(label, n, "teradata")
+            for label in TABLE1_SELECTIONS
+            for n in sizes
+            if (label, n, "teradata") in measured
+            and (label, n, "gamma") in measured
+        ),
+    )
+    report.check(
+        "Teradata's non-clustered index barely helps at 10%"
+        " (hash-ordered dense index)",
+        abs(t("10% selection using non-clustered index", big, "teradata")
+            - t("10% nonindexed selection", big, "teradata"))
+        < 0.25 * t("10% nonindexed selection", big, "teradata"),
+    )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Table 2 — joins
+# ---------------------------------------------------------------------------
+
+def table2_join_experiment(
+    sizes: Optional[Sequence[int]] = None,
+) -> Report:
+    """Regenerate Table 2: three join queries × key/non-key attributes."""
+    sizes = list(sizes or bench_sizes())
+    report = Report(
+        name="table2_join",
+        title="Table 2 — Join Queries (seconds); Gamma Remote, 4 KB pages",
+        columns=["query", "tuples", "teradata paper", "teradata",
+                 "gamma paper", "gamma", "gamma ratio"],
+    )
+    measured: dict[tuple[str, int, str], float] = {}
+    for n in sizes:
+        tenth = n // 10
+        rels = [
+            (f"A{n}", n, "heap"), (f"B{n}", n, "heap"),
+            (f"Bp{n}", tenth, "heap"), (f"C{n}", tenth, "heap"),
+        ]
+        gamma = build_gamma(relations=rels)
+        teradata = build_teradata(relations=rels)
+        builders = {
+            "joinABprime (non-key attributes)": lambda into, m=n: join_abprime(
+                f"A{m}", f"Bp{m}", key=False, into=into),
+            "joinAselB (non-key attributes)": lambda into, m=n: join_aselb(
+                f"A{m}", f"B{m}", m, key=False, into=into),
+            "joinCselAselB (non-key attributes)": lambda into, m=n: join_cselaselb(
+                f"A{m}", f"B{m}", f"C{m}", m, key=False, into=into),
+            "joinABprime (key attributes)": lambda into, m=n: join_abprime(
+                f"A{m}", f"Bp{m}", key=True, into=into),
+            "joinAselB (key attributes)": lambda into, m=n: join_aselb(
+                f"A{m}", f"B{m}", m, key=True, into=into),
+            "joinCselAselB (key attributes)": lambda into, m=n: join_cselaselb(
+                f"A{m}", f"B{m}", f"C{m}", m, key=True, into=into),
+        }
+        for label, builder in builders.items():
+            measured[(label, n, "gamma")] = run_stored(
+                gamma, builder).response_time
+            measured[(label, n, "teradata")] = run_stored(
+                teradata, builder).response_time
+
+    for label, per_size in TABLE2_JOINS.items():
+        for n in sizes:
+            paper = per_size[n]
+            gm = measured.get((label, n, "gamma"))
+            tm = measured.get((label, n, "teradata"))
+            report.add_row(
+                label, n, paper["teradata"], tm, paper["gamma"], gm,
+                ratio_note(gm, paper["gamma"]) if gm is not None else None,
+            )
+
+    def t(label, n, machine="gamma"):
+        return measured[(label, n, machine)]
+
+    big = max(sizes)
+    report.check(
+        "Gamma: joinAselB FASTER than joinABprime (selection propagation)",
+        t("joinAselB (non-key attributes)", big)
+        < t("joinABprime (non-key attributes)", big),
+    )
+    report.check(
+        "Teradata: joinABprime FASTER than joinAselB (no propagation)",
+        t("joinABprime (non-key attributes)", big, "teradata")
+        < t("joinAselB (non-key attributes)", big, "teradata"),
+    )
+    report.check(
+        "Teradata gains 25-50% on key-attribute joins"
+        " (redistribution skipped)",
+        0.40
+        <= t("joinABprime (key attributes)", big, "teradata")
+        / t("joinABprime (non-key attributes)", big, "teradata")
+        <= 0.90,
+    )
+    report.check(
+        "Gamma key-attribute joins cost about the same as non-key"
+        " (Remote mode still redistributes both relations)",
+        0.80
+        <= t("joinABprime (key attributes)", big)
+        / t("joinABprime (non-key attributes)", big)
+        <= 1.10,
+    )
+    report.check(
+        "Gamma beats Teradata on every join",
+        all(
+            t(label, n) < t(label, n, "teradata")
+            for label in TABLE2_JOINS for n in sizes
+        ),
+    )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Table 3 — updates
+# ---------------------------------------------------------------------------
+
+def table3_update_experiment(
+    sizes: Optional[Sequence[int]] = None,
+) -> Report:
+    """Regenerate Table 3: the append/delete/modify mix."""
+    sizes = list(sizes or bench_sizes())
+    report = Report(
+        name="table3_update",
+        title="Table 3 — Update Queries (seconds)",
+        columns=["query", "tuples", "teradata paper", "teradata",
+                 "gamma paper", "gamma"],
+    )
+    measured: dict[tuple[str, int, str], float] = {}
+    for n in sizes:
+        gamma = build_gamma(relations=[
+            (f"heap{n}", n, "heap"), (f"idx{n}", n, "indexed"),
+        ])
+        teradata = build_teradata(relations=[
+            (f"heap{n}", n, "heap"), (f"idx{n}", n, "indexed"),
+        ])
+        heap_suite = update_suite(f"heap{n}", n)
+        idx_suite = update_suite(f"idx{n}", n)
+        for machine, tag in ((gamma, "gamma"), (teradata, "teradata")):
+            for label in TABLE3_UPDATES:
+                suite = heap_suite if label == "append 1 tuple (no indices)" else idx_suite
+                measured[(label, n, tag)] = machine.update(
+                    suite[label]).response_time
+
+    for label, per_size in TABLE3_UPDATES.items():
+        for n in sizes:
+            paper = per_size[n]
+            report.add_row(
+                label, n, paper["teradata"],
+                measured[(label, n, "teradata")],
+                paper["gamma"], measured[(label, n, "gamma")],
+            )
+
+    def t(label, n, machine="gamma"):
+        return measured[(label, n, machine)]
+
+    big = max(sizes)
+    report.check(
+        "append through an index costs more than a bare append"
+        " (deferred-update file)",
+        t("append 1 tuple (one index)", big)
+        > t("append 1 tuple (no indices)", big),
+    )
+    report.check(
+        "modifying the key attribute is the most expensive update"
+        " (tuple relocation + index maintenance)",
+        t("modify 1 tuple (key attribute)", big)
+        == max(t(label, big) for label in TABLE3_UPDATES),
+    )
+    report.check(
+        "Gamma is faster than Teradata on every update"
+        " (partial recovery vs full logging)",
+        all(
+            t(label, n) < t(label, n, "teradata")
+            for label in TABLE3_UPDATES for n in sizes
+        ),
+    )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Figures 1-2 — non-indexed selection speedup
+# ---------------------------------------------------------------------------
+
+def fig01_02_experiment(
+    n: int = 100_000,
+    processor_counts: Sequence[int] = (1, 2, 4, 8),
+) -> Report:
+    """Response time and speedup of 0/1/10% selections vs processors."""
+    report = Report(
+        name="fig01_02_select_speedup",
+        title=f"Figures 1-2 — Non-indexed selections on {n:,} tuples"
+              " vs processors with disks",
+        columns=["selectivity", "processors", "response (s)", "speedup"],
+    )
+    selectivities = (0.0, 0.01, 0.10)
+    times: dict[float, dict[int, float]] = {s: {} for s in selectivities}
+    for procs in processor_counts:
+        machine = build_gamma(
+            GammaConfig.paper_default().with_sites(procs),
+            relations=[("rel", n, "heap")],
+        )
+        for sel in selectivities:
+            times[sel][procs] = run_stored(
+                machine, lambda into, s=sel: selection_query(
+                    "rel", n, s, into=into)
+            ).response_time
+    for sel in selectivities:
+        speedups = speedup_series(times[sel], min(processor_counts))
+        for procs in processor_counts:
+            report.add_row(f"{sel:.0%}", procs, times[sel][procs],
+                           speedups[procs])
+
+    lo, hi = min(processor_counts), max(processor_counts)
+    ideal = hi / lo
+    for sel in selectivities:
+        report.check(
+            f"{sel:.0%} selection speeds up with processors",
+            times[sel][hi] < times[sel][lo],
+        )
+    report.check(
+        "0% and 1% speedups are near-linear (>= 70% of ideal)",
+        all(
+            speedup_series(times[s], lo)[hi] >= 0.7 * ideal
+            for s in (0.0, 0.01)
+        ),
+    )
+    report.check(
+        "the 10% query keeps a persistent penalty over 0% at full scale"
+        " (result shipping/storing does not vanish with parallelism)",
+        times[0.10][hi] > 1.08 * times[0.0][hi],
+    )
+    report.check(
+        "10% speedup does not beat 0% by a meaningful margin",
+        speedup_series(times[0.10], lo)[hi]
+        <= 1.05 * speedup_series(times[0.0], lo)[hi],
+    )
+    report.notes.append(
+        "Residual: the paper's Figure 2 shows the 10% speedup visibly"
+        " below 0% because disk and network DMA shared the VAX's bus;"
+        " this model keeps them independent, so the 10% penalty stays"
+        " proportional instead of growing with the processor count."
+    )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Figures 3-4 — indexed selection speedup
+# ---------------------------------------------------------------------------
+
+def fig03_04_experiment(
+    n: int = 100_000,
+    processor_counts: Sequence[int] = (1, 2, 4, 8),
+) -> Report:
+    """Indexed selections vs processors, incl. the 0% slowdown anomaly."""
+    report = Report(
+        name="fig03_04_indexed_speedup",
+        title=f"Figures 3-4 — Indexed selections on {n:,} tuples"
+              " vs processors with disks",
+        columns=["query", "processors", "response (s)", "speedup"],
+    )
+    variants = {
+        "1% clustered": ("unique1", 0.01, None),
+        "10% clustered": ("unique1", 0.10, None),
+        "1% non-clustered": ("unique2", 0.01, None),
+        "0% non-clustered": ("unique2", 0.0, AccessPath.NONCLUSTERED_INDEX),
+    }
+    times: dict[str, dict[int, float]] = {v: {} for v in variants}
+    for procs in processor_counts:
+        machine = build_gamma(
+            GammaConfig.paper_default().with_sites(procs),
+            relations=[("rel", n, "indexed")],
+        )
+        for label, (attr, sel, forced) in variants.items():
+            times[label][procs] = run_stored(
+                machine,
+                lambda into, a=attr, s=sel, f=forced: selection_query(
+                    "rel", n, s, attr=a, into=into, forced_path=f),
+            ).response_time
+    for label in variants:
+        speedups = speedup_series(times[label], min(processor_counts))
+        for procs in processor_counts:
+            report.add_row(label, procs, times[label][procs], speedups[procs])
+
+    lo, hi = min(processor_counts), max(processor_counts)
+    report.check(
+        "0% indexed selection SLOWS DOWN as processors are added"
+        " (operator start-up dominates 1-2 index I/Os)",
+        times["0% non-clustered"][hi] > times["0% non-clustered"][lo],
+    )
+    report.check(
+        "1% non-clustered achieves the best speedup of the indexed queries"
+        " (random seeks throttle each disk)",
+        speedup_series(times["1% non-clustered"], lo)[hi]
+        >= max(
+            speedup_series(times["1% clustered"], lo)[hi],
+            speedup_series(times["10% clustered"], lo)[hi],
+        ),
+    )
+    report.check(
+        "clustered selections speed up sub-linearly",
+        speedup_series(times["1% clustered"], lo)[hi] < 0.9 * hi / lo,
+    )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Figures 5-6 — page size vs non-indexed selections
+# ---------------------------------------------------------------------------
+
+def fig05_06_experiment(
+    n: int = 100_000,
+    page_sizes_kb: Sequence[int] = (2, 4, 8, 16, 32),
+) -> Report:
+    """Non-indexed selections across disk page sizes (8 disk sites)."""
+    report = Report(
+        name="fig05_06_pagesize_select",
+        title=f"Figures 5-6 — Non-indexed selections on {n:,} tuples"
+              " vs disk page size (8 processors)",
+        columns=["selectivity", "page KB", "response (s)", "speedup vs 2KB"],
+    )
+    selectivities = (0.0, 0.01, 0.10, 1.0)
+    times: dict[float, dict[int, float]] = {s: {} for s in selectivities}
+    for kb in page_sizes_kb:
+        machine = build_gamma(
+            GammaConfig.paper_default().with_page_size(kb * KB),
+            relations=[("rel", n, "heap")],
+        )
+        for sel in selectivities:
+            times[sel][kb] = run_stored(
+                machine, lambda into, s=sel: selection_query(
+                    "rel", n, s, into=into)
+            ).response_time
+    for sel in selectivities:
+        base = times[sel][min(page_sizes_kb)]
+        for kb in page_sizes_kb:
+            report.add_row(f"{sel:.0%}", kb, times[sel][kb],
+                           base / times[sel][kb])
+
+    small, big = min(page_sizes_kb), max(page_sizes_kb)
+    report.check(
+        "2 KB pages are disk bound: growing the page helps the 0% query",
+        times[0.0][small] > 1.3 * times[0.0][big],
+    )
+    report.check(
+        "by 16 KB the system is CPU bound: 16->32 KB changes 0% little",
+        abs(times[0.0][16] - times[0.0][32]) < 0.1 * times[0.0][16],
+    )
+    report.check(
+        "the 10%-over-0% gap widens with page size (network interface"
+        " becomes the bottleneck as tuples are produced faster)",
+        (times[0.10][big] - times[0.0][big]) / times[0.0][big]
+        > (times[0.10][small] - times[0.0][small]) / times[0.0][small],
+    )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Figures 7-8 — page size vs indexed selections
+# ---------------------------------------------------------------------------
+
+def fig07_08_experiment(
+    n: int = 100_000,
+    page_sizes_kb: Sequence[int] = (2, 4, 8, 16, 32),
+) -> Report:
+    """Indexed selections across page sizes: fan-out vs transfer time."""
+    report = Report(
+        name="fig07_08_pagesize_indexed",
+        title=f"Figures 7-8 — Indexed selections on {n:,} tuples"
+              " vs disk page size (8 processors)",
+        columns=["query", "page KB", "response (s)"],
+    )
+    variants = {
+        "1% non-clustered": ("unique2", 0.01),
+        "1% clustered": ("unique1", 0.01),
+        "10% clustered": ("unique1", 0.10),
+    }
+    times: dict[str, dict[int, float]] = {v: {} for v in variants}
+    for kb in page_sizes_kb:
+        machine = build_gamma(
+            GammaConfig.paper_default().with_page_size(kb * KB),
+            relations=[("rel", n, "indexed")],
+        )
+        for label, (attr, sel) in variants.items():
+            forced = (
+                AccessPath.NONCLUSTERED_INDEX
+                if label == "1% non-clustered" else None
+            )
+            times[label][kb] = run_stored(
+                machine,
+                lambda into, a=attr, s=sel, f=forced: selection_query(
+                    "rel", n, s, attr=a, into=into, forced_path=f),
+            ).response_time
+    for label in variants:
+        for kb in page_sizes_kb:
+            report.add_row(label, kb, times[label][kb])
+
+    small, big = min(page_sizes_kb), max(page_sizes_kb)
+    report.check(
+        "any page-size increase degrades the 1% non-clustered selection"
+        " (one random transfer per tuple; transfer time grows)",
+        times["1% non-clustered"][big] > times["1% non-clustered"][small],
+    )
+    report.check(
+        "the 10% clustered selection keeps improving with page size",
+        times["10% clustered"][big] < times["10% clustered"][small],
+    )
+    report.check(
+        "the 1% clustered selection stops improving past 16 KB",
+        times["1% clustered"][32] >= 0.95 * times["1% clustered"][16],
+    )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Figures 9-12 — join placement vs processors
+# ---------------------------------------------------------------------------
+
+def fig09_12_experiment(
+    n: int = 100_000,
+    processor_counts: Sequence[int] = (2, 4, 8),
+) -> Report:
+    """joinABprime under Local/Remote/Allnodes on key and non-key attrs."""
+    report = Report(
+        name="fig09_12_join_speedup",
+        title=f"Figures 9-12 — joinABprime ({n:,} x {n // 10:,}) vs"
+              " processors, by placement mode",
+        columns=["join attr", "mode", "processors", "response (s)",
+                 "speedup vs 2"],
+    )
+    modes = (JoinMode.LOCAL, JoinMode.REMOTE, JoinMode.ALLNODES)
+    times: dict[tuple[bool, JoinMode], dict[int, float]] = {
+        (key, mode): {} for key in (True, False) for mode in modes
+    }
+    for procs in processor_counts:
+        machine = build_gamma(
+            GammaConfig.paper_default().with_sites(procs),
+            relations=[("A", n, "heap"), ("Bp", n // 10, "heap")],
+        )
+        for key in (True, False):
+            for mode in modes:
+                times[(key, mode)][procs] = run_stored(
+                    machine,
+                    lambda into, k=key, md=mode: join_abprime(
+                        "A", "Bp", key=k, mode=md, into=into),
+                ).response_time
+    reference = min(processor_counts)
+    for key in (True, False):
+        for mode in modes:
+            series = times[(key, mode)]
+            speedups = speedup_series(series, reference)
+            for procs in processor_counts:
+                report.add_row(
+                    "key" if key else "non-key", mode.value, procs,
+                    series[procs], speedups[procs],
+                )
+
+    hi = max(processor_counts)
+    report.check(
+        "key attributes: Local fastest, then Allnodes, then Remote",
+        times[(True, JoinMode.LOCAL)][hi]
+        < times[(True, JoinMode.ALLNODES)][hi]
+        < times[(True, JoinMode.REMOTE)][hi],
+    )
+    report.check(
+        "non-key attributes: Remote fastest, then Allnodes, then Local",
+        times[(False, JoinMode.REMOTE)][hi]
+        < times[(False, JoinMode.ALLNODES)][hi]
+        < times[(False, JoinMode.LOCAL)][hi],
+    )
+    report.check(
+        "near-linear speedup from the 2-processor reference",
+        speedup_series(times[(True, JoinMode.LOCAL)], reference)[hi]
+        >= 0.6 * hi / reference,
+    )
+    report.check(
+        "single-processor behaviour aside, Remote response is insensitive"
+        " to the join attribute",
+        abs(times[(True, JoinMode.REMOTE)][hi]
+            - times[(False, JoinMode.REMOTE)][hi])
+        < 0.15 * times[(False, JoinMode.REMOTE)][hi],
+    )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Figure 13 — join overflow
+# ---------------------------------------------------------------------------
+
+def fig13_experiment(
+    n: int = 100_000,
+    memory_ratios: Sequence[float] = (1.2, 1.0, 0.9, 0.8, 0.6, 0.45, 0.3, 0.2),
+) -> Report:
+    """joinABprime response vs available-memory/smaller-relation ratio.
+
+    Ratio 1.0 means hash-table capacity for exactly the building relation
+    ("available memory was initially set to be sufficient to hold the
+    total number of tuples required in the building phase"), so the
+    bucket/pointer overhead factor is included in the budget.
+    """
+    report = Report(
+        name="fig13_overflow",
+        title=f"Figure 13 — joinABprime ({n:,} x {n // 10:,}) under memory"
+              " pressure (Simple hash-join overflow)",
+        columns=["mode", "memory/|Bprime|", "response (s)",
+                 "overflows per site"],
+    )
+    base_config = GammaConfig.paper_default()
+    smaller_bytes = (n // 10) * 208 * base_config.hash_table_overhead
+    times: dict[tuple[JoinMode, float], float] = {}
+    overflows: dict[tuple[JoinMode, float], int] = {}
+    for ratio in memory_ratios:
+        config = base_config.with_join_memory(
+            max(64 * KB, int(ratio * smaller_bytes))
+        )
+        machine = build_gamma(
+            config, relations=[("A", n, "heap"), ("Bp", n // 10, "heap")],
+        )
+        for mode in (JoinMode.LOCAL, JoinMode.REMOTE):
+            result = run_stored(
+                machine,
+                lambda into, md=mode: join_abprime(
+                    "A", "Bp", key=True, mode=md, into=into),
+            )
+            times[(mode, ratio)] = result.response_time
+            overflows[(mode, ratio)] = result.max_overflows
+    for mode in (JoinMode.LOCAL, JoinMode.REMOTE):
+        for ratio in memory_ratios:
+            report.add_row(mode.value, ratio, times[(mode, ratio)],
+                           overflows[(mode, ratio)])
+
+    high = max(memory_ratios)
+    low = min(memory_ratios)
+    report.check(
+        "no overflow at the highest memory ratio",
+        overflows[(JoinMode.REMOTE, high)] == 0,
+    )
+    report.check(
+        "response deteriorates rapidly once memory is scarce",
+        times[(JoinMode.REMOTE, low)] > 1.6 * times[(JoinMode.REMOTE, high)],
+    )
+    flat_ratios = [r for r in memory_ratios
+                   if overflows[(JoinMode.REMOTE, r)] <= 2]
+    baseline = times[(JoinMode.REMOTE, high)]
+    deepest = times[(JoinMode.REMOTE, low)]
+    if len(flat_ratios) >= 2:
+        report.check(
+            "relatively flat from zero to two overflows, then rapid"
+            " deterioration (optimizer may be off 2x without a blow-up)",
+            max(times[(JoinMode.REMOTE, r)] for r in flat_ratios)
+            < 2.2 * baseline < deepest,
+        )
+    report.check(
+        "Local beats Remote before overflow (key attributes short-circuit)",
+        times[(JoinMode.LOCAL, high)] < times[(JoinMode.REMOTE, high)],
+    )
+    crossed = any(
+        times[(JoinMode.LOCAL, r)] > times[(JoinMode.REMOTE, r)]
+        for r in memory_ratios
+        if overflows[(JoinMode.LOCAL, r)] >= 1
+    )
+    report.check(
+        "Local/Remote curves cross after overflow (hash-function switch)",
+        crossed,
+    )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Figures 14-15 — page size vs joinAselB
+# ---------------------------------------------------------------------------
+
+def fig14_15_experiment(
+    n: int = 100_000,
+    page_sizes_kb: Sequence[int] = (2, 4, 8, 16, 32),
+) -> Report:
+    """joinAselB across page sizes (16 query processors, ample memory)."""
+    report = Report(
+        name="fig14_15_pagesize_join",
+        title=f"Figures 14-15 — joinAselB on {n:,} tuples vs disk page size",
+        columns=["page KB", "response (s)", "speedup vs 2KB"],
+    )
+    times: dict[int, float] = {}
+    for kb in page_sizes_kb:
+        machine = build_gamma(
+            GammaConfig.paper_default().with_page_size(kb * KB),
+            relations=[("A", n, "heap"), ("B", n, "heap")],
+        )
+        times[kb] = run_stored(
+            machine,
+            lambda into: join_aselb("A", "B", n, key=False, into=into),
+        ).response_time
+    base = times[min(page_sizes_kb)]
+    for kb in page_sizes_kb:
+        report.add_row(kb, times[kb], base / times[kb])
+
+    report.check(
+        "larger pages reduce joinAselB response time",
+        times[16] < times[2],
+    )
+    report.check(
+        "improvement levels off at 16 KB pages",
+        abs(times[32] - times[16]) < 0.12 * times[16],
+    )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Aggregates ([DEWI88] companion experiment)
+# ---------------------------------------------------------------------------
+
+def aggregate_experiment(n: int = 10_000) -> Report:
+    """Scalar and grouped aggregates (run in the study, cut from the
+    paper for space — reproduced from the companion TR's description)."""
+    report = Report(
+        name="aggregate",
+        title=f"Aggregates on {n:,} tuples (companion experiment)",
+        columns=["query", "response (s)", "result"],
+    )
+    machine = build_gamma(relations=[("rel", n, "heap")])
+    scalar = machine.run(Query.aggregate("rel", op="min", attr="unique2"))
+    report.add_row("scalar min(unique2)", scalar.response_time,
+                   scalar.tuples[0][0])
+    count = machine.run(Query.aggregate("rel", op="count"))
+    report.add_row("scalar count(*)", count.response_time,
+                   count.tuples[0][0])
+    grouped = machine.run(
+        Query.aggregate("rel", op="sum", attr="unique1", group_by="ten")
+    )
+    report.add_row("sum(unique1) group by ten", grouped.response_time,
+                   f"{len(grouped.tuples)} groups")
+    report.check("count(*) returns the cardinality",
+                 count.tuples[0][0] == n)
+    report.check("min(unique2) is 0", scalar.tuples[0][0] == 0)
+    report.check("group-by produces 10 groups", len(grouped.tuples) == 10)
+    report.check(
+        "grouped aggregate costs more than scalar (repartitioning)",
+        grouped.response_time > scalar.response_time,
+    )
+    return report

@@ -1,0 +1,112 @@
+"""Benchmark harness: machine construction, relation loading, sweeps.
+
+Scale control: the environment variable ``GAMMA_BENCH_SIZES`` (comma
+separated tuple counts, default ``10000,100000``) picks the relation sizes
+for Tables 1-3.  Set ``GAMMA_BENCH_SIZES=10000,100000,1000000`` to
+regenerate the full paper tables (the million-tuple column takes several
+minutes of wall time).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from typing import Iterable, Optional
+
+from ..engine import GammaMachine, Query
+from ..engine.results import QueryResult
+from ..hardware import GammaConfig, TeradataConfig
+from ..teradata import TeradataMachine
+
+_result_names = itertools.count()
+
+
+def bench_sizes() -> list[int]:
+    """Relation sizes for the table experiments (env-tunable)."""
+    raw = os.environ.get("GAMMA_BENCH_SIZES", "10000,100000")
+    return [int(part) for part in raw.split(",") if part.strip()]
+
+
+def seed_for(name: str, n: int) -> int:
+    """Deterministic per-relation generator seed."""
+    return (abs(hash((name, n))) % 100_000) + 1
+
+
+def build_gamma(
+    config: Optional[GammaConfig] = None,
+    relations: Iterable[tuple[str, int, str]] = (),
+) -> GammaMachine:
+    """A Gamma machine with the requested Wisconsin relations.
+
+    ``relations`` entries are ``(name, n, organisation)`` with organisation
+    one of ``heap`` (no indices — the join/selection copies) or ``indexed``
+    (clustered on unique1 + non-clustered on unique2, Section 5's second
+    copy).
+    """
+    machine = GammaMachine(config or GammaConfig.paper_default())
+    for name, n, organisation in relations:
+        load_gamma_relation(machine, name, n, organisation)
+    return machine
+
+
+def load_gamma_relation(
+    machine: GammaMachine, name: str, n: int, organisation: str = "heap"
+) -> None:
+    if organisation == "heap":
+        machine.load_wisconsin(name, n, seed=seed_for(name, n))
+    elif organisation == "indexed":
+        machine.load_wisconsin(
+            name, n, seed=seed_for(name, n),
+            clustered_on="unique1", secondary_on=["unique2"],
+        )
+    else:
+        raise ValueError(f"unknown organisation {organisation!r}")
+
+
+def build_teradata(
+    config: Optional[TeradataConfig] = None,
+    relations: Iterable[tuple[str, int, str]] = (),
+) -> TeradataMachine:
+    """A Teradata machine with the requested Wisconsin relations.
+
+    The DBC/1012 only has hash-key-ordered files; ``indexed`` adds the
+    dense non-clustered secondary index on unique2.
+    """
+    machine = TeradataMachine(config or TeradataConfig.paper_default())
+    for name, n, organisation in relations:
+        if organisation == "indexed":
+            machine.load_wisconsin(
+                name, n, seed=seed_for(name, n), secondary_on=["unique2"]
+            )
+        else:
+            machine.load_wisconsin(name, n, seed=seed_for(name, n))
+    return machine
+
+
+def run_stored(machine, make_query) -> QueryResult:
+    """Run a stored-result query, then drop the result relation.
+
+    ``make_query(into_name)`` builds the query.  Dropping keeps repeated
+    sweeps memory-flat, and mirrors Gamma's cheap recovery story (dropping
+    a result relation is just deleting its files).
+    """
+    name = f"bench_result_{next(_result_names)}"
+    result = machine.run(make_query(name))
+    machine.drop_relation(name)
+    return result
+
+
+def run_to_host(machine, query: Query) -> QueryResult:
+    """Run a query whose result returns to the host."""
+    return machine.run(query)
+
+
+def speedup_series(times: dict[int, float], reference: int) -> dict[int, float]:
+    """Speedup curve relative to ``times[reference]`` (Figures 2/4/11/12).
+
+    The paper plots speedup against a reference configuration (1 processor
+    for selections; 2 processors for joins, to factor out short-circuit
+    skew): ``speedup(k) = time(reference) / time(k)``.
+    """
+    base = times[reference]
+    return {k: base / v for k, v in times.items()}

@@ -1,0 +1,98 @@
+"""Report objects: paper-style tables and figure series with markdown
+rendering, shared by the benchmark harness and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from ..errors import BenchmarkError
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:.1f}"
+        if value >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class Report:
+    """One regenerated table or figure.
+
+    Attributes:
+        name: Short id, e.g. ``table1`` or ``fig05_06``.
+        title: Human title shown above the table.
+        columns: Column headers.
+        rows: Row cell values (same arity as ``columns``).
+        checks: Shape claims verified against the measured data.
+        notes: Free-form caveats.
+    """
+
+    name: str
+    title: str
+    columns: Sequence[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+    checks: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.columns):
+            raise BenchmarkError(
+                f"row arity {len(cells)} != {len(self.columns)} columns"
+            )
+        self.rows.append(cells)
+
+    def check(self, claim: str, condition: bool) -> bool:
+        """Record a shape claim; returns the condition for assertions."""
+        marker = "PASS" if condition else "FAIL"
+        self.checks.append(f"[{marker}] {claim}")
+        return condition
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(c.startswith("[PASS]") for c in self.checks)
+
+    def to_markdown(self) -> str:
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(_fmt(c) for c in row) + " |")
+        if self.checks:
+            lines.append("")
+            lines.append("Shape checks:")
+            for check in self.checks:
+                lines.append(f"- {check}")
+        if self.notes:
+            lines.append("")
+            for note in self.notes:
+                lines.append(f"> {note}")
+        lines.append("")
+        return "\n".join(lines)
+
+    def save(self, directory: Optional[str] = None) -> str:
+        """Write the markdown report; returns the file path."""
+        directory = directory or os.environ.get(
+            "GAMMA_BENCH_RESULTS",
+            os.path.join(os.path.dirname(__file__), "..", "..", "..",
+                         "benchmarks", "results"),
+        )
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{self.name}.md")
+        with open(path, "w") as fh:
+            fh.write(self.to_markdown())
+        return path
+
+
+def ratio_note(measured: float, paper: Optional[float]) -> Optional[float]:
+    """measured/paper ratio, or None when the paper has no number."""
+    if paper is None or paper == 0:
+        return None
+    return measured / paper

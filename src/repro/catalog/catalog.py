@@ -1,0 +1,76 @@
+"""The database catalog: relation metadata keyed by name."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence
+
+from ..errors import CatalogError
+from ..storage import Schema, StoredFile
+from .partitioning import PartitioningStrategy
+from .relation import Relation, collect_statistics
+
+
+class Catalog:
+    """Relation name → :class:`Relation` with create/drop semantics."""
+
+    def __init__(self) -> None:
+        self._relations: dict[str, Relation] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def lookup(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise CatalogError(
+                f"unknown relation {name!r}; have {sorted(self._relations)}"
+            ) from None
+
+    def register(self, relation: Relation) -> Relation:
+        if relation.name in self._relations:
+            raise CatalogError(f"relation {relation.name!r} already exists")
+        self._relations[relation.name] = relation
+        return relation
+
+    def drop(self, name: str) -> Relation:
+        """Drop a relation — Gamma's cheap QUEL-style recovery for aborted
+        ``retrieve into`` is exactly "delete all files associated with the
+        result relation"."""
+        relation = self.lookup(name)
+        del self._relations[name]
+        return relation
+
+    def create(
+        self,
+        name: str,
+        schema: Schema,
+        partitioning: PartitioningStrategy,
+        records: Sequence[tuple],
+        n_sites: int,
+        page_size: int,
+        clustered_on: Optional[str] = None,
+        secondary_on: Iterable[str] = (),
+    ) -> Relation:
+        """Partition ``records`` and build one stored fragment per site."""
+        buckets = partitioning.partition(records, schema, n_sites)
+        fragments = [
+            StoredFile.create(
+                f"{name}.f{site}", schema, page_size, bucket,
+                clustered_on=clustered_on,
+            )
+            for site, bucket in enumerate(buckets)
+        ]
+        relation = Relation(
+            name, schema, partitioning, fragments,
+            statistics=collect_statistics(schema, records),
+        )
+        for attr in secondary_on:
+            relation.add_secondary_index(attr)
+        return self.register(relation)

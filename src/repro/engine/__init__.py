@@ -1,0 +1,55 @@
+"""The Gamma engine: machine, planner, scheduler, operators."""
+
+from .bitfilter import BitVectorFilter
+from .machine import GammaMachine
+from .node import ExecutionContext, Node
+from .plan import (
+    AccessPath,
+    AggregateNode,
+    AppendTuple,
+    DeleteTuple,
+    ExactMatch,
+    JoinMode,
+    JoinNode,
+    ModifyTuple,
+    Query,
+    RangePredicate,
+    ScanNode,
+    TruePredicate,
+)
+from .planner import (
+    PhysicalAggregate,
+    PhysicalJoin,
+    PhysicalPlan,
+    PhysicalScan,
+    Planner,
+)
+from .results import QueryResult
+from .split_table import Destination, SplitTable
+
+__all__ = [
+    "AccessPath",
+    "AggregateNode",
+    "AppendTuple",
+    "BitVectorFilter",
+    "DeleteTuple",
+    "Destination",
+    "ExactMatch",
+    "ExecutionContext",
+    "GammaMachine",
+    "JoinMode",
+    "JoinNode",
+    "ModifyTuple",
+    "Node",
+    "PhysicalAggregate",
+    "PhysicalJoin",
+    "PhysicalPlan",
+    "PhysicalScan",
+    "Planner",
+    "Query",
+    "QueryResult",
+    "RangePredicate",
+    "ScanNode",
+    "SplitTable",
+    "TruePredicate",
+]

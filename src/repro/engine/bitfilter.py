@@ -1,0 +1,66 @@
+"""Bit-vector filters [BABB79].
+
+The Gamma optimizer can insert an array of bit-vector filters into a split
+table: the join build phase sets a bit for every join-attribute value it
+stores, and the selection producing probe tuples tests the bit before
+shipping a tuple — discarding most non-matching tuples at the disk sites
+instead of paying network and probe costs for them.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import ConfigError
+
+
+def _mix(value: Any, seed: int) -> int:
+    """A second, independent hash family (distinct from gamma_hash)."""
+    h = hash((seed, value))
+    h ^= (h >> 16)
+    return h & 0x7FFFFFFF
+
+
+class BitVectorFilter:
+    """A fixed-size Bloom-style filter with ``n_hashes`` probes."""
+
+    def __init__(self, n_bits: int = 1 << 16, n_hashes: int = 2) -> None:
+        if n_bits < 8:
+            raise ConfigError("filter needs at least 8 bits")
+        if n_hashes < 1:
+            raise ConfigError("filter needs at least one hash")
+        self.n_bits = n_bits
+        self.n_hashes = n_hashes
+        self._bits = bytearray(n_bits // 8 + 1)
+        self.set_count = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"<BitVectorFilter {self.n_bits}b set={self.set_count}>"
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._bits)
+
+    def add(self, value: Any) -> None:
+        """Set the bits for ``value`` (build side)."""
+        self.set_count += 1
+        for seed in range(self.n_hashes):
+            bit = _mix(value, seed) % self.n_bits
+            self._bits[bit >> 3] |= 1 << (bit & 7)
+
+    def might_contain(self, value: Any) -> bool:
+        """Probe side: False means *definitely* absent."""
+        for seed in range(self.n_hashes):
+            bit = _mix(value, seed) % self.n_bits
+            if not self._bits[bit >> 3] & (1 << (bit & 7)):
+                return False
+        return True
+
+    def union(self, other: "BitVectorFilter") -> None:
+        """Merge another node's filter into this one (the scheduler ORs
+        per-node filters before installing them in split tables)."""
+        if other.n_bits != self.n_bits or other.n_hashes != self.n_hashes:
+            raise ConfigError("cannot union differently-shaped filters")
+        for i, byte in enumerate(other._bits):
+            self._bits[i] |= byte
+        self.set_count += other.set_count

@@ -1,0 +1,266 @@
+"""The Gamma database machine: the library's main entry point.
+
+Typical use::
+
+    from repro import GammaMachine, GammaConfig, Query, RangePredicate
+
+    machine = GammaMachine(GammaConfig.paper_default())
+    machine.load_wisconsin("tenk", 10_000, clustered_on="unique1",
+                           secondary_on=["unique2"])
+    result = machine.run(
+        Query.select("tenk", RangePredicate("unique2", 0, 99), into="result")
+    )
+    print(result.response_time, result.result_count)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence
+
+from ..catalog import Catalog, Hashed, PartitioningStrategy, Relation, RoundRobin
+from ..errors import CatalogError
+from ..hardware import GammaConfig
+from ..storage import Schema
+from ..workloads import generate_tuples, wisconsin_schema
+from .node import ExecutionContext
+from .plan import Query, UpdateRequest
+from .planner import Planner
+from .results import QueryResult
+from .scheduler import QueryRun, UpdateRun
+
+
+class GammaMachine:
+    """A configured Gamma instance holding a catalog of loaded relations."""
+
+    def __init__(self, config: Optional[GammaConfig] = None) -> None:
+        self.config = config or GammaConfig.paper_default()
+        self.catalog = Catalog()
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (
+            f"<GammaMachine {self.config.n_disk_sites}+"
+            f"{self.config.n_diskless} nodes,"
+            f" page={self.config.page_size}B, {len(self.catalog)} relations>"
+        )
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def load_relation(
+        self,
+        name: str,
+        schema: Schema,
+        records: Sequence[tuple],
+        partitioning: Optional[PartitioningStrategy] = None,
+        clustered_on: Optional[str] = None,
+        secondary_on: Iterable[str] = (),
+    ) -> Relation:
+        """Decluster ``records`` across the disk sites and register them."""
+        strategy = partitioning or RoundRobin()
+        return self.catalog.create(
+            name,
+            schema,
+            strategy,
+            records,
+            n_sites=self.config.n_disk_sites,
+            page_size=self.config.page_size,
+            clustered_on=clustered_on,
+            secondary_on=secondary_on,
+        )
+
+    def load_wisconsin(
+        self,
+        name: str,
+        n: int,
+        seed: Optional[int] = None,
+        partition_on: str = "unique1",
+        clustered_on: Optional[str] = None,
+        secondary_on: Iterable[str] = (),
+        strings: str = "cheap",
+    ) -> Relation:
+        """Load an ``n``-tuple Wisconsin relation hashed on ``unique1``.
+
+        Mirrors Section 4: "Two copies of each relation were created and
+        loaded using Uniquel as the key (partitioning) attribute in all
+        cases."
+        """
+        if seed is None:
+            seed = abs(hash(name)) % (2**31)
+        records = list(generate_tuples(n, seed=seed, strings=strings))  # type: ignore[arg-type]
+        return self.load_relation(
+            name,
+            wisconsin_schema(),
+            records,
+            partitioning=Hashed(partition_on),
+            clustered_on=clustered_on,
+            secondary_on=secondary_on,
+        )
+
+    def load_relation_timed(
+        self,
+        name: str,
+        schema: Schema,
+        records: Sequence[tuple],
+        partitioning: Optional[PartitioningStrategy] = None,
+        clustered_on: Optional[str] = None,
+        secondary_on: Iterable[str] = (),
+    ) -> tuple[Relation, QueryResult]:
+        """Like :meth:`load_relation`, but the load itself is measured.
+
+        The host streams tuples through the declustering split table to a
+        loader operator at each disk site (Section 2's load path); index
+        builds are charged as bulk sorts plus sequential index-page
+        writes.  Returns the relation and the load's timing profile.
+        """
+        from .loader import LoadRun
+
+        strategy = partitioning or RoundRobin()
+        records = list(records)
+        ctx = ExecutionContext(self.config)
+        run = LoadRun(
+            ctx, name, schema, records, strategy,
+            clustered_on, list(secondary_on),
+        )
+        ctx.sim.spawn(run.host_process(), name="load.host")
+        response_time = ctx.sim.run()
+        relation = self.catalog.create(
+            name, schema, strategy, records,
+            n_sites=self.config.n_disk_sites,
+            page_size=self.config.page_size,
+            clustered_on=clustered_on,
+            secondary_on=secondary_on,
+        )
+        result = QueryResult(
+            response_time=response_time,
+            result_count=run.loaded,
+            stats=dict(ctx.stats),
+            plan=f"load[{strategy.kind}]({name})",
+        )
+        return relation, result
+
+    def drop_relation(self, name: str) -> None:
+        self.catalog.drop(name)
+
+    def drop_if_exists(self, name: str) -> None:
+        if name in self.catalog:
+            self.catalog.drop(name)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, query: Query) -> QueryResult:
+        """Execute a retrieval query, returning the answer and timings."""
+        if query.into is not None and query.into in self.catalog:
+            raise CatalogError(
+                f"result relation {query.into!r} already exists"
+            )
+        ctx = ExecutionContext(self.config)
+        plan = Planner(self.config, self.catalog).plan(query)
+        run = QueryRun(ctx, self.catalog, plan)
+        ctx.sim.spawn(run.host_process(), name="host")
+        response_time = ctx.sim.run()
+        result_relation = None
+        if query.into is not None:
+            relation = Relation(
+                query.into, plan.schema, RoundRobin(), run.result_fragments
+            )
+            self.catalog.register(relation)
+            result_relation = query.into
+        return QueryResult(
+            response_time=response_time,
+            tuples=run.collected if query.into is None else None,
+            result_relation=result_relation,
+            result_count=run.result_count,
+            stats=dict(ctx.stats),
+            overflows_per_node=run.overflows_per_node,
+            utilisations=ctx.utilisations(),
+            plan=plan.description,
+        )
+
+    def run_concurrent(
+        self, requests: Sequence[Query | UpdateRequest]
+    ) -> list[QueryResult]:
+        """Execute several queries/updates in one simulation.
+
+        The paper defers this: "The validity of this expectation will be
+        determined in future multiuser benchmarks of the Gamma database
+        machine."  All requests are submitted at t=0 and contend for the
+        same CPUs, disks, network interfaces and locks; each result's
+        ``response_time`` is its own completion time.  This is how the
+        Remote-join off-loading claim (Section 6.2.1) can be tested: with
+        joins on the diskless processors, the disk sites keep capacity for
+        concurrent selections.
+        """
+        queries = [r for r in requests if isinstance(r, Query)]
+        for query in queries:
+            if query.into is not None and query.into in self.catalog:
+                raise CatalogError(
+                    f"result relation {query.into!r} already exists"
+                )
+        names = [q.into for q in queries if q.into is not None]
+        if len(names) != len(set(names)):
+            raise CatalogError("concurrent queries need distinct result names")
+        ctx = ExecutionContext(self.config)
+        planner = Planner(self.config, self.catalog)
+        runs: list[tuple[Any, Any, list[float]]] = []
+        for i, request in enumerate(requests):
+            if isinstance(request, Query):
+                run: Any = QueryRun(
+                    ctx, self.catalog, planner.plan(request)
+                )
+            else:
+                run = UpdateRun(ctx, self.catalog, request)
+            finished: list[float] = []
+
+            def host(run=run, finished=finished):
+                yield from run.host_process()
+                finished.append(ctx.sim.now)
+
+            ctx.sim.spawn(host(), name=f"host.q{i}")
+            runs.append((request, run, finished))
+        ctx.sim.run()
+        results = []
+        for request, run, finished in runs:
+            response = finished[0] if finished else ctx.sim.now
+            if isinstance(request, Query):
+                result_relation = None
+                if request.into is not None:
+                    self.catalog.register(
+                        Relation(request.into, run.plan.schema, RoundRobin(),
+                                 run.result_fragments)
+                    )
+                    result_relation = request.into
+                results.append(
+                    QueryResult(
+                        response_time=response,
+                        tuples=run.collected if request.into is None else None,
+                        result_relation=result_relation,
+                        result_count=run.result_count,
+                        stats=dict(ctx.stats),
+                        overflows_per_node=run.overflows_per_node,
+                        plan=run.plan.description,
+                    )
+                )
+            else:
+                results.append(
+                    QueryResult(
+                        response_time=response,
+                        result_count=run.affected,
+                        stats=dict(ctx.stats),
+                        plan=type(request).__name__,
+                    )
+                )
+        return results
+
+    def update(self, request: UpdateRequest) -> QueryResult:
+        """Execute a single-tuple update request (Table 3 operations)."""
+        ctx = ExecutionContext(self.config)
+        run = UpdateRun(ctx, self.catalog, request)
+        ctx.sim.spawn(run.host_process(), name="host")
+        response_time = ctx.sim.run()
+        return QueryResult(
+            response_time=response_time,
+            result_count=run.affected,
+            stats=dict(ctx.stats),
+            plan=type(request).__name__,
+        )

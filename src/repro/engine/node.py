@@ -1,0 +1,203 @@
+"""Processor nodes and the per-query execution context.
+
+An :class:`ExecutionContext` is built fresh for every query (Gamma is
+evaluated single-user with cold buffers): it owns the simulation, one
+:class:`Node` per processor, the interconnect, and the query-wide
+statistics the benchmarks report.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from typing import Any, Generator, Iterator, Optional
+
+from ..hardware import DiskDrive, GammaConfig, Interconnect
+from ..sim import Simulation, Server, Use
+from ..storage import BufferPool
+
+HOST = "host"
+SCHEDULER = "sched"
+
+
+class Node:
+    """One Gamma processor: a CPU server, an optional disk, a buffer pool."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        name: str,
+        config: GammaConfig,
+        has_disk: bool,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.config = config
+        self.cpu = Server(f"{name}.cpu")
+        self.drive: Optional[DiskDrive] = (
+            DiskDrive(f"{name}.disk", config.disk) if has_disk else None
+        )
+        buffer_pages = max(
+            8, (config.memory_per_node // 2) // config.page_size
+        )
+        self.buffer = BufferPool(f"{name}.buf", buffer_pages)
+        self.instructions_retired = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        disk = "disk" if self.drive else "diskless"
+        return f"<Node {self.name} ({disk})>"
+
+    @property
+    def has_disk(self) -> bool:
+        return self.drive is not None
+
+    def work(self, instructions: float) -> Generator[Any, Any, None]:
+        """Occupy this node's CPU for ``instructions`` of work."""
+        if instructions <= 0:
+            return
+        self.instructions_retired += instructions
+        yield Use(self.cpu, self.config.cpu.time_for(instructions))
+
+    def read_page(
+        self,
+        file_id: str,
+        page_no: int,
+        nbytes: Optional[int] = None,
+        sequential: Optional[bool] = None,
+    ) -> Generator[Any, Any, bool]:
+        """Read one page through the buffer pool; returns True on a hit."""
+        assert self.drive is not None, f"{self.name} has no disk"
+        if self.buffer.access(file_id, page_no):
+            return True
+        size = self.config.page_size if nbytes is None else nbytes
+        yield from self.drive.read(file_id, page_no, size, sequential)
+        return False
+
+    def read_page_uncached(
+        self,
+        file_id: str,
+        page_no: int,
+        nbytes: Optional[int] = None,
+    ) -> Generator[Any, Any, None]:
+        """A random page read that always goes to the disk.
+
+        Used by the non-clustered index data-fetch path: the paper assumes
+        (and measures) that "each tuple causes a page fault", so these
+        accesses never hit the pool — which is exactly why larger pages
+        *hurt* this access method (Figures 7-8: the longer transfer time
+        dominates any fan-out advantage).
+        """
+        assert self.drive is not None, f"{self.name} has no disk"
+        size = self.config.page_size if nbytes is None else nbytes
+        yield from self.drive.read(file_id, page_no, size, sequential=False)
+
+    def write_page(
+        self,
+        file_id: str,
+        page_no: int,
+        nbytes: Optional[int] = None,
+        sequential: Optional[bool] = None,
+    ) -> Generator[Any, Any, None]:
+        """Write one page (write-through; the page stays cached)."""
+        assert self.drive is not None, f"{self.name} has no disk"
+        size = self.config.page_size if nbytes is None else nbytes
+        yield from self.drive.write(file_id, page_no, size, sequential)
+        self.buffer.access(file_id, page_no)
+
+
+class ExecutionContext:
+    """Everything one query execution needs: sim, nodes, network, stats."""
+
+    def __init__(self, config: GammaConfig) -> None:
+        self.config = config
+        self.sim = Simulation()
+        self.disk_nodes = [
+            Node(self.sim, f"disk{i}", config, has_disk=True)
+            for i in range(config.n_disk_sites)
+        ]
+        self.diskless_nodes = [
+            Node(self.sim, f"proc{i}", config, has_disk=False)
+            for i in range(config.n_diskless)
+        ]
+        self.scheduler_node = Node(self.sim, SCHEDULER, config, has_disk=False)
+        self.host_node = Node(self.sim, HOST, config, has_disk=False)
+        self.recovery_node: Optional[Node] = (
+            Node(self.sim, "recovery", config, has_disk=True)
+            if config.use_recovery_server else None
+        )
+        self.nodes: dict[str, Node] = {
+            n.name: n
+            for n in [
+                *self.disk_nodes,
+                *self.diskless_nodes,
+                self.scheduler_node,
+                self.host_node,
+                *([self.recovery_node] if self.recovery_node else []),
+            ]
+        }
+        self.net = Interconnect(config.network, list(self.nodes))
+        from .recovery import RecoveryLog
+
+        self.recovery_log: Optional[RecoveryLog] = (
+            RecoveryLog(self, self.recovery_node)
+            if self.recovery_node else None
+        )
+        from .locks import LockManager
+
+        self.locks = LockManager(self.sim)
+        self._txn_ids = itertools.count(1)
+        self.stats: Counter[str] = Counter()
+        self._spool_rr = itertools.cycle(range(len(self.disk_nodes)))
+        self._temp_ids = itertools.count()
+
+    # ------------------------------------------------------------------
+    # placement helpers
+    # ------------------------------------------------------------------
+    def join_nodes(self, mode: "Any") -> list[Node]:
+        """Nodes hosting join operators for a
+        :class:`~repro.engine.plan.JoinMode`."""
+        from .plan import JoinMode
+
+        if mode is JoinMode.LOCAL or not self.diskless_nodes:
+            return list(self.disk_nodes)
+        if mode is JoinMode.REMOTE:
+            return list(self.diskless_nodes)
+        return [*self.disk_nodes, *self.diskless_nodes]
+
+    def spool_target(self, node: Node) -> Node:
+        """Disk node that stores a spool file for ``node``.
+
+        Disk sites spool locally; diskless processors are assigned disk
+        sites round-robin.
+        """
+        if node.has_disk:
+            return node
+        return self.disk_nodes[next(self._spool_rr)]
+
+    def temp_file_id(self, label: str) -> str:
+        """A unique file id for a temporary (spool) file."""
+        return f"tmp.{label}.{next(self._temp_ids)}"
+
+    def next_txn_id(self) -> int:
+        """A fresh transaction id for one query/update execution."""
+        return next(self._txn_ids)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def disk_stats(self) -> dict[str, int]:
+        read = sum(n.drive.pages_read for n in self.disk_nodes if n.drive)
+        written = sum(n.drive.pages_written for n in self.disk_nodes if n.drive)
+        return {"pages_read": read, "pages_written": written}
+
+    def utilisations(self) -> dict[str, float]:
+        now = self.sim.now
+        out = {}
+        for node in self.disk_nodes:
+            out[f"{node.name}.cpu"] = node.cpu.utilisation(now)
+            if node.drive:
+                out[f"{node.name}.disk"] = node.drive.server.utilisation(now)
+            out[f"{node.name}.nic"] = (
+                self.net.interfaces[node.name].server.utilisation(now)
+            )
+        return out

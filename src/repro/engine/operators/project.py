@@ -1,0 +1,52 @@
+"""The projection operator (duplicate-eliminating or streaming).
+
+Section 2 lists projection among the operations executed on the diskless
+processors.  A duplicate-eliminating projection receives its input
+hash-partitioned on the projected attributes, so every node can
+deduplicate its disjoint share with a local hash table; a plain projection
+just rewrites tuples in stream order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..node import ExecutionContext, Node
+from ..ports import InputPort, OutputPort
+from .base import operator_done
+
+
+def project_operator(
+    ctx: ExecutionContext,
+    node: Node,
+    port: InputPort,
+    positions: list[int],
+    unique: bool,
+    output: OutputPort,
+) -> Generator[Any, Any, int]:
+    """Project the input stream onto ``positions``; dedup if ``unique``."""
+    costs = ctx.config.costs
+    seen: set[tuple] = set()
+    emitted = 0
+    while True:
+        packet = yield from port.next_packet()
+        if packet is None:
+            break
+        cpu = 0.0
+        out: list[tuple] = []
+        for record in packet.records:
+            cpu += costs.project_tuple
+            projected = tuple(record[p] for p in positions)
+            if unique:
+                cpu += costs.duplicate_check
+                if projected in seen:
+                    continue
+                seen.add(projected)
+            out.append(projected)
+        emitted += len(out)
+        yield from node.work(cpu)
+        if out:
+            yield from output.emit_many(out)
+    yield from output.close()
+    yield from operator_done(ctx, node)
+    return emitted

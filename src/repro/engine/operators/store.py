@@ -1,0 +1,82 @@
+"""The store operator: writes result tuples at a disk site.
+
+"If the result of a query is a new relation, the operators at the root of
+the query tree distribute the result tuples on a round-robin basis to store
+operators at each disk site which assume the responsibility for writing the
+result tuples to disk" (Section 2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ...storage import Schema, StoredFile
+from ..node import ExecutionContext, Node
+from ..ports import InputPort
+from .base import operator_done
+
+
+def store_operator(
+    ctx: ExecutionContext,
+    node: Node,
+    port: InputPort,
+    fragment: StoredFile,
+) -> Generator[Any, Any, int]:
+    """Append incoming tuples to ``fragment``, writing pages as they fill.
+
+    Returns the number of tuples stored.  Gamma's QUEL ``retrieve into``
+    creates a brand-new file, so no logging beyond the (cheap) create is
+    needed — the big Table 1/2 asymmetry against Teradata's logged
+    ``insert into``.
+    """
+    costs = ctx.config.costs
+    heap = fragment.heap
+    pages_flushed = 0
+    stored = 0
+    while True:
+        packet = yield from port.next_packet()
+        if packet is None:
+            break
+        records = packet.records
+        stored += len(records)
+        yield from node.work(costs.store_tuple * len(records))
+        if ctx.recovery_log is not None:
+            # Write-ahead: the batch's log records must be durable at the
+            # recovery server before its data pages go out.
+            yield from ctx.recovery_log.ship(
+                node, len(records),
+                len(records) * fragment.schema.tuple_bytes,
+            )
+        heap.bulk_append(records)
+        # Every page except the still-filling tail is written out.
+        while pages_flushed < heap.num_pages - 1:
+            yield from node.write_page(fragment.name, pages_flushed)
+            pages_flushed += 1
+    while pages_flushed < heap.num_pages:
+        yield from node.write_page(fragment.name, pages_flushed)
+        pages_flushed += 1
+    yield from operator_done(ctx, node)
+    return stored
+
+
+def make_result_fragment(
+    ctx: ExecutionContext, name: str, schema: Schema, site: int
+) -> StoredFile:
+    """An empty fragment for a result relation at ``site``."""
+    return StoredFile(
+        f"{name}.f{site}", schema, ctx.config.page_size
+    )
+
+
+def host_sink_operator(
+    ctx: ExecutionContext,
+    port: InputPort,
+    collected: list[tuple],
+) -> Generator[Any, Any, int]:
+    """Host-side consumer for queries that return tuples to the host."""
+    while True:
+        packet = yield from port.next_packet()
+        if packet is None:
+            break
+        collected.extend(packet.records)
+    return len(collected)

@@ -1,0 +1,222 @@
+"""Tuple streams between operator processes.
+
+Producers push :class:`DataPacket`\\ s (network-packet-sized batches of
+tuples) into consumers' :class:`InputPort`\\ s, closing the stream with one
+:class:`EndOfStream` per producer — the three control messages of Section 2
+("With the exception of these three control messages, execution of an
+operator is completely self-scheduling").
+
+Packets are carried by *courier* processes so a producer is not blocked for
+the full network latency: the sender's interface server provides the
+back-pressure, exactly like the real DMA path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from ..errors import ExecutionError
+from ..sim import Get, Put, Store
+from .node import ExecutionContext, Node
+
+
+@dataclass
+class DataPacket:
+    """A batch of tuples occupying ``nbytes`` on the wire."""
+
+    records: list[tuple]
+    nbytes: int
+    producer: str
+    src_node: str = ""
+
+
+@dataclass(frozen=True)
+class EndOfStream:
+    """Stream-close control message from one producer."""
+
+    producer: str
+
+
+class InputPort:
+    """Consumer endpoint: a mailbox expecting ``n_producers`` EOS marks."""
+
+    def __init__(self, ctx: ExecutionContext, name: str, node: Node) -> None:
+        self.ctx = ctx
+        self.name = name
+        self.node = node
+        self.store = Store(name)
+        self.expected_producers = 0
+        self._eos_seen = 0
+
+    def add_producer(self, count: int = 1) -> None:
+        self.expected_producers += count
+
+    def next_packet(self) -> Generator[Any, Any, Optional[DataPacket]]:
+        """Generator returning the next packet, or None once every producer
+        has closed.  Charges the per-packet receive cost to this node.
+
+        A consumer may start before the scheduler has registered its
+        producers (operators are activated consumers-first); the port then
+        simply blocks on the mailbox — registration always happens before
+        any producer can deliver a message.
+        """
+        while self.expected_producers == 0 or (
+            self._eos_seen < self.expected_producers
+        ):
+            message = yield Get(self.store)
+            if isinstance(message, EndOfStream):
+                self._eos_seen += 1
+                continue
+            costs = self.node.config.costs
+            if message.src_node == self.node.name:
+                yield from self.node.work(costs.packet_short_circuit)
+            else:
+                yield from self.node.work(costs.packet_receive)
+            self.ctx.stats["packets_received"] += 1
+            return message
+        return None
+
+    def drain(self) -> Generator[Any, Any, list[tuple]]:
+        """Consume the whole stream, returning every record."""
+        records: list[tuple] = []
+        while True:
+            packet = yield from self.next_packet()
+            if packet is None:
+                return records
+            records.extend(packet.records)
+
+
+class OutputPort:
+    """Producer endpoint: per-destination packet buffers over a split table.
+
+    ``emit``/``emit_many`` route tuples through the
+    :class:`~repro.engine.split_table.SplitTable`; a destination's buffer is
+    flushed as one network packet whenever it reaches the configured packet
+    size, and ``close`` flushes everything and sends the EOS marks.
+    """
+
+    def __init__(
+        self,
+        ctx: ExecutionContext,
+        node: Node,
+        split: "Any",  # SplitTable; typed loosely to avoid an import cycle
+        tuple_bytes: int,
+        label: str,
+    ) -> None:
+        self.ctx = ctx
+        self.node = node
+        self.split = split
+        self.tuple_bytes = tuple_bytes
+        self.label = label
+        self.packet_capacity = max(
+            1, ctx.config.packet_size // max(1, tuple_bytes)
+        )
+        self._buffers: list[list[tuple]] = [
+            [] for _ in range(len(split.destinations))
+        ]
+        self.tuples_sent = 0
+        self.tuples_filtered = 0
+        self._closed = False
+
+    def emit_many(self, records: list[tuple]) -> Generator[Any, Any, None]:
+        """Route a batch of tuples, flushing any buffer that fills."""
+        if self._closed:
+            raise ExecutionError(f"emit on closed port {self.label}")
+        costs = self.node.config.costs
+        route = self.split.route
+        # Tuples bound for a same-node process skip the network-buffer
+        # copy (NOSE short-circuiting).
+        local_flags = [
+            dest.node_name == self.node.name
+            for dest in self.split.destinations
+        ]
+        cpu = 0.0
+        for record in records:
+            dest_idx = route(record)
+            if dest_idx is None:
+                # Dropped by a bit-vector filter in the split table.
+                self.tuples_filtered += 1
+                cpu += costs.bitfilter_test
+                continue
+            if local_flags[dest_idx]:
+                cpu += costs.result_tuple_local + self.split.route_cost
+            else:
+                cpu += costs.result_tuple + self.split.route_cost
+            buffer = self._buffers[dest_idx]
+            buffer.append(record)
+            if len(buffer) >= self.packet_capacity:
+                # Ship immediately so no packet exceeds the wire size.
+                yield from self.node.work(cpu)
+                cpu = 0.0
+                yield from self._flush(dest_idx)
+        if cpu:
+            yield from self.node.work(cpu)
+
+    def flush_all(self) -> Generator[Any, Any, None]:
+        """Push every partial buffer onto the wire without closing.
+
+        Used by operators that must sequence their output behind other
+        producers (the sort chain): everything buffered so far enters the
+        FIFO network path before the hand-off token does.
+        """
+        for dest_idx in range(len(self._buffers)):
+            if self._buffers[dest_idx]:
+                yield from self._flush(dest_idx)
+
+    def close(self) -> Generator[Any, Any, None]:
+        """Flush remaining buffers and send EndOfStream to every
+        destination (closing output streams sends eos to each destination
+        process — Section 2)."""
+        if self._closed:
+            return
+        self._closed = True
+        for dest_idx in range(len(self._buffers)):
+            if self._buffers[dest_idx]:
+                yield from self._flush(dest_idx)
+        for dest in self.split.destinations:
+            yield from self._send_control(dest, EndOfStream(self.label))
+
+    def _flush(self, dest_idx: int) -> Generator[Any, Any, None]:
+        records = self._buffers[dest_idx]
+        if not records:
+            return
+        self._buffers[dest_idx] = []
+        dest = self.split.destinations[dest_idx]
+        packet = DataPacket(
+            records, len(records) * self.tuple_bytes, self.label,
+            src_node=self.node.name,
+        )
+        self.tuples_sent += len(records)
+        self.ctx.stats["packets_sent"] += 1
+        self.ctx.stats["tuples_shipped"] += len(records)
+        costs = self.node.config.costs
+        if dest.node_name == self.node.name:
+            self.ctx.stats["packets_short_circuited"] += 1
+            yield from self.node.work(costs.packet_short_circuit)
+        else:
+            yield from self.node.work(costs.packet_send)
+        self._dispatch(dest, packet, packet.nbytes)
+
+    def _send_control(
+        self, dest: "Any", message: EndOfStream
+    ) -> Generator[Any, Any, None]:
+        self.ctx.stats["control_messages"] += 1
+        self._dispatch(dest, message, nbytes=64)
+        return
+        yield  # pragma: no cover - keeps this a generator
+
+    def _dispatch(self, dest: "Any", message: Any, nbytes: int) -> None:
+        """Hand the message to a courier process (fire and forget).
+
+        Couriers traverse FIFO servers with identical service demands, so
+        per-destination ordering — including EOS-last — is preserved.
+        """
+        ctx = self.ctx
+        src = self.node.name
+
+        def courier() -> Generator[Any, Any, None]:
+            yield from ctx.net.transfer(src, dest.node_name, nbytes)
+            yield Put(dest.port.store, message)
+
+        ctx.sim.spawn(courier(), name=f"courier:{self.label}")

@@ -1,0 +1,44 @@
+"""Query results: the answer plus the timing/statistics profile."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one query (or update) execution.
+
+    Attributes:
+        response_time: Simulated seconds from submission to completion —
+            the number every table and figure of the paper reports.
+        tuples: Result tuples, when returned to the host.
+        result_relation: Name of the stored result relation, if any.
+        result_count: Number of result tuples produced.
+        stats: Raw counters (packets, pages, overflows, messages, ...).
+        overflows_per_node: Hash-table overflows seen at each joining node
+            (Figure 13's x-axis is this value at one of eight sites).
+        utilisations: End-of-run busy fractions of CPUs/disks/interfaces.
+        plan: Text description of the physical plan executed.
+    """
+
+    response_time: float
+    tuples: Optional[list[tuple]] = None
+    result_relation: Optional[str] = None
+    result_count: int = 0
+    stats: dict[str, int] = field(default_factory=dict)
+    overflows_per_node: list[int] = field(default_factory=list)
+    utilisations: dict[str, float] = field(default_factory=dict)
+    plan: str = ""
+
+    @property
+    def max_overflows(self) -> int:
+        """Overflows at the most-loaded joining site (paper's label)."""
+        return max(self.overflows_per_node, default=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (
+            f"<QueryResult {self.response_time:.3f}s"
+            f" n={self.result_count} plan={self.plan!r}>"
+        )

@@ -1,0 +1,154 @@
+"""Split tables: the demultiplexing structure at every operator output.
+
+"The output is a stream of tuples that is demultiplexed through a structure
+we term a split table" (Section 2).  For a tuple bound for an N-process
+join, the split table hashes the join attribute to a value in 1..N and
+forwards the tuple to that process's port; result relations use a
+round-robin split instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from ..catalog import gamma_hash
+from ..errors import PlanError
+from ..storage import Schema
+from .bitfilter import BitVectorFilter
+from .ports import InputPort
+
+
+@dataclass(frozen=True)
+class Destination:
+    """One split-table entry: the address of a receiving process."""
+
+    node_name: str
+    port: InputPort
+
+
+class SplitTable:
+    """Routes tuples to destinations by hash, round-robin, or singleton."""
+
+    def __init__(
+        self,
+        destinations: Sequence[Destination],
+        route: Callable[[tuple], Optional[int]],
+        route_cost: float,
+        kind: str,
+    ) -> None:
+        if not destinations:
+            raise PlanError("split table needs at least one destination")
+        self.destinations = list(destinations)
+        self.route = route
+        self.route_cost = route_cost
+        self.kind = kind
+        self.filter: Optional[BitVectorFilter] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"<SplitTable {self.kind} x{len(self.destinations)}>"
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def by_hash(
+        cls,
+        destinations: Sequence[Destination],
+        schema: Schema,
+        attr: str,
+        costs: Any,
+        bit_filter: Optional[BitVectorFilter] = None,
+    ) -> "SplitTable":
+        """Hash split on ``attr`` — the join redistribution path.
+
+        With a bit-vector filter installed, tuples whose join attribute
+        cannot be in the build side are dropped before routing.
+        """
+        pos = schema.position(attr)
+        n = len(destinations)
+
+        if bit_filter is None:
+            def route(record: tuple) -> Optional[int]:
+                return gamma_hash(record[pos], n)
+        else:
+            def route(record: tuple) -> Optional[int]:
+                value = record[pos]
+                if not bit_filter.might_contain(value):
+                    return None
+                return gamma_hash(value, n)
+
+        table = cls(destinations, route, costs.split_hash, "hash")
+        table.filter = bit_filter
+        return table
+
+    @classmethod
+    def by_function(
+        cls,
+        destinations: Sequence[Destination],
+        schema: Schema,
+        attr: str,
+        fn: Callable[[Any], int],
+        costs: Any,
+        bit_filter: Optional[BitVectorFilter] = None,
+    ) -> "SplitTable":
+        """Split by an arbitrary value→index function.
+
+        Used after a join-overflow hash switch: the scheduler installs the
+        new subpartitioning function into the probing selections' split
+        tables (Section 6.2.2).
+        """
+        pos = schema.position(attr)
+
+        if bit_filter is None:
+            def route(record: tuple) -> Optional[int]:
+                return fn(record[pos])
+        else:
+            def route(record: tuple) -> Optional[int]:
+                value = record[pos]
+                if not bit_filter.might_contain(value):
+                    return None
+                return fn(value)
+
+        table = cls(destinations, route, costs.split_hash, "function")
+        table.filter = bit_filter
+        return table
+
+    @classmethod
+    def by_record_hash(
+        cls,
+        destinations: Sequence[Destination],
+        positions: Sequence[int],
+        costs: Any,
+    ) -> "SplitTable":
+        """Hash on a combination of attributes (the whole projected tuple).
+
+        Used for duplicate-eliminating projections: identical projected
+        tuples must meet at the same node."""
+        n = len(destinations)
+        pos = tuple(positions)
+
+        def route(record: tuple) -> Optional[int]:
+            return gamma_hash(tuple(record[p] for p in pos), n)
+
+        return cls(destinations, route, costs.split_hash, "record-hash")
+
+    @classmethod
+    def round_robin(
+        cls, destinations: Sequence[Destination]
+    ) -> "SplitTable":
+        """Round-robin split — the default for result relations."""
+        n = len(destinations)
+        state = {"next": 0}
+
+        def route(record: tuple) -> Optional[int]:
+            idx = state["next"]
+            state["next"] = (idx + 1) % n
+            return idx
+
+        return cls(destinations, route, 0.0, "round-robin")
+
+    @classmethod
+    def single(cls, destination: Destination) -> "SplitTable":
+        """Everything to one destination (host return, scalar collector)."""
+        return cls([destination], lambda record: 0, 0.0, "single")

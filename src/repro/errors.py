@@ -1,0 +1,47 @@
+"""Exception hierarchy for the Gamma reproduction library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event kernel is used incorrectly."""
+
+
+class StorageError(ReproError):
+    """Raised by the WiSS storage substrate (heap files, B+-trees, buffers)."""
+
+
+class PageFullError(StorageError):
+    """Raised when a tuple does not fit on a slotted page."""
+
+
+class RecordNotFoundError(StorageError):
+    """Raised when a RID or key does not identify an existing record."""
+
+
+class CatalogError(ReproError):
+    """Raised for unknown relations, duplicate names, or bad partitioning."""
+
+
+class PlanError(ReproError):
+    """Raised when a query cannot be planned (unknown attribute, bad mode)."""
+
+
+class ExecutionError(ReproError):
+    """Raised when an operator process fails during query execution."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid machine configurations."""
+
+
+class BenchmarkError(ReproError):
+    """Raised by the benchmark harness for malformed experiments."""

@@ -1,0 +1,140 @@
+"""Instruction-count budgets for Gamma's software path.
+
+Every piece of CPU work the engine performs is expressed as an instruction
+count here and converted to time through the node's
+:class:`~repro.hardware.cpu.CpuModel`.  The values were fitted once against
+the Gamma columns of Tables 1 and 2 of the paper (see EXPERIMENTS.md for the
+residuals) and are frozen; benchmarks and tests must not re-tune them.
+
+Fitting anchors from the paper:
+
+* 1 % non-indexed selection of the 100 k relation, 8 processors, 4 KB pages
+  ≈ 13.8 s ⇒ ≈500 instructions/tuple of scan path on a 0.6 MIPS CPU.
+* "with a 2 Kbyte disk page the system is disk bound and once the page size
+  is increased to 16 Kbytes the system becomes CPU bound" ⇒ per-page CPU
+  cost small relative to per-tuple cost.
+* 0 % indexed selection: 0.25 s on 1 processor vs 0.58 s on 8 ⇒ operator
+  start-up is message-dominated (4 scheduling messages per operator per
+  node, ≈7 ms each, serialised through the scheduler).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class GammaCosts:
+    """Instruction budgets (counts, not seconds) for engine actions."""
+
+    # Storage / scan path -------------------------------------------------
+    page_io_setup: float = 1000.0
+    """Buffer-manager + WiSS overhead per page read or written."""
+
+    read_tuple: float = 300.0
+    """Fetch a tuple from a slotted page into operator workspace."""
+
+    apply_predicate: float = 200.0
+    """Evaluate one compiled selection predicate."""
+
+    result_tuple: float = 1000.0
+    """Copy a qualifying tuple into a *network* output buffer.
+
+    Fitted from the paper's joinABprime vs joinAselB asymmetry: "the cost
+    to distribute and probe the 100,000 tuples outweigh the difference in
+    reading a 100,000 and a 10,000 tuple file" — shipping a tuple costs
+    roughly three times reading-and-testing it."""
+
+    result_tuple_local: float = 200.0
+    """Hand a qualifying tuple to a process on the *same* node.  NOSE
+    short-circuits intra-node messages through shared memory, so no
+    network-buffer copy happens; this asymmetry is what makes Local joins
+    on the partitioning attribute the fastest configuration (Figure 9)."""
+
+    store_tuple: float = 300.0
+    """Store-operator work to place one tuple on a result page."""
+
+    # Split table / communications ----------------------------------------
+    split_hash: float = 300.0
+    """Hash a tuple's attribute through the split table."""
+
+    packet_send: float = 1500.0
+    """Per-packet protocol work on the sending CPU (sliding-window
+    datagram software; ~2.5 ms per packet on the 0.6 MIPS VAX)."""
+
+    packet_receive: float = 1500.0
+    """Per-packet protocol work on the receiving CPU."""
+
+    packet_short_circuit: float = 200.0
+    """CPU cost of an intra-node packet: the communications software
+    short-circuits same-processor messages, making them "much less
+    expensive than their corresponding inter-node packets" — the whole
+    basis of the Local-join advantage in Figure 9."""
+
+    # Index path -----------------------------------------------------------
+    btree_level: float = 600.0
+    """Binary search within one B+-tree node."""
+
+    index_entry: float = 150.0
+    """Examine one leaf entry during an index range scan."""
+
+    # Join path ------------------------------------------------------------
+    hash_table_insert: float = 400.0
+    """Insert one building tuple into the in-memory hash table."""
+
+    hash_table_probe: float = 250.0
+    """Probe the hash table with one tuple."""
+
+    join_result_tuple: float = 400.0
+    """Compose one joined output tuple."""
+
+    bitfilter_set: float = 30.0
+    """Set one bit in a bit-vector filter (build side)."""
+
+    bitfilter_test: float = 30.0
+    """Test one bit in a bit-vector filter (probe side)."""
+
+    spool_tuple: float = 350.0
+    """Move one tuple to/from an overflow spool file buffer."""
+
+    # Sorting --------------------------------------------------------------
+    sort_tuple_pass: float = 350.0
+    """Compare/move one tuple during one pass of an external sort."""
+
+    # Projection -----------------------------------------------------------
+    project_tuple: float = 200.0
+    """Build one projected tuple from its source tuple."""
+
+    duplicate_check: float = 250.0
+    """Probe/insert the duplicate-elimination hash table for one tuple."""
+
+    # Aggregates -----------------------------------------------------------
+    aggregate_update: float = 150.0
+    """Fold one tuple into a running aggregate."""
+
+    aggregate_group_lookup: float = 250.0
+    """Locate/create the group cell for one tuple (hash group-by)."""
+
+    # Updates --------------------------------------------------------------
+    update_tuple: float = 800.0
+    """Modify one tuple in place (latch, log deferred-update entry)."""
+
+    index_maintenance: float = 1200.0
+    """Insert/delete one entry in a B+-tree, including deferred-update
+    file bookkeeping (the cost visible between rows 1 and 2 of Table 3)."""
+
+    # Control --------------------------------------------------------------
+    operator_startup: float = 3000.0
+    """Process activation at a node when an operator control packet
+    arrives."""
+
+    def __post_init__(self) -> None:
+        for name, value in self.__dict__.items():
+            if value < 0:
+                raise ConfigError(f"cost {name} must be non-negative")
+
+
+#: Frozen default budgets used by every benchmark.
+DEFAULT_GAMMA_COSTS = GammaCosts()

@@ -1,0 +1,48 @@
+"""CPU timing model.
+
+The paper's processors are VAX 11/750s rated at roughly 0.6 MIPS; the
+Teradata AMPs use Intel 80286s.  All CPU work in the simulator is expressed
+as instruction counts (see :mod:`repro.hardware.costs`) and converted to
+seconds here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CpuModel:
+    """Converts instruction budgets into simulated service times.
+
+    Attributes:
+        mips: Delivered millions of instructions per second.
+    """
+
+    mips: float
+
+    def __post_init__(self) -> None:
+        if self.mips <= 0:
+            raise ConfigError(f"mips must be positive, got {self.mips}")
+
+    @property
+    def instructions_per_second(self) -> float:
+        return self.mips * 1e6
+
+    def time_for(self, instructions: float) -> float:
+        """Seconds of CPU service needed to retire ``instructions``."""
+        if instructions < 0:
+            raise ConfigError(f"negative instruction count {instructions}")
+        return instructions / self.instructions_per_second
+
+
+#: The VAX 11/750 used by every Gamma processor (Section 5.2.2 of the paper
+#: calls it "the VAX 11/750 CPU (0.6 MIP)").
+VAX_11_750 = CpuModel(mips=0.6)
+
+#: The Intel 80286 used by Teradata IFPs and AMPs.  Nominally ~1 MIPS, but
+#: the DBC/1012 software path per tuple is much longer than Gamma's compiled
+#: predicates; the difference is captured in repro.teradata.costs, not here.
+INTEL_80286 = CpuModel(mips=1.0)

@@ -1,0 +1,88 @@
+"""Abstract syntax for the QUEL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+
+@dataclass(frozen=True)
+class RangeDecl:
+    """``range of a is tenktup``"""
+
+    variable: str
+    relation: str
+
+
+@dataclass(frozen=True)
+class AttrRef:
+    """``a.unique1`` (attr ``all`` means the whole tuple)."""
+
+    variable: str
+    attr: str
+
+
+@dataclass(frozen=True)
+class AggTarget:
+    """``min(a.unique2)`` or ``count(a.all by a.ten)``."""
+
+    op: str
+    ref: AttrRef
+    by: Optional[AttrRef] = None
+
+
+Target = Union[AttrRef, AggTarget]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``a.unique1 <= 99`` or the join term ``a.unique2 = b.unique2``."""
+
+    left: AttrRef
+    op: str
+    right: Any  # int | str | AttrRef
+
+    @property
+    def is_join_term(self) -> bool:
+        return isinstance(self.right, AttrRef)
+
+
+@dataclass(frozen=True)
+class Retrieve:
+    """``retrieve [unique] [into name] (targets) [where ...]
+    [sort by var.attr [descending]]``"""
+
+    targets: tuple[Target, ...]
+    unique: bool = False
+    into: Optional[str] = None
+    qualification: tuple[Comparison, ...] = field(default_factory=tuple)
+    sort_by: Optional[AttrRef] = None
+    sort_descending: bool = False
+
+
+@dataclass(frozen=True)
+class Append:
+    """``append to rel (attr = value, ...)``"""
+
+    relation: str
+    assignments: tuple[tuple[str, Any], ...]
+
+
+@dataclass(frozen=True)
+class Delete:
+    """``delete a where a.unique1 = 55``"""
+
+    variable: str
+    qualification: tuple[Comparison, ...]
+
+
+@dataclass(frozen=True)
+class Replace:
+    """``replace a (odd100 = 7) where a.unique1 = 56``"""
+
+    variable: str
+    assignments: tuple[tuple[str, Any], ...]
+    qualification: tuple[Comparison, ...]
+
+
+Statement = Union[RangeDecl, Retrieve, Append, Delete, Replace]

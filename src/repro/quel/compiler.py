@@ -1,0 +1,359 @@
+"""Compile QUEL statements into engine queries.
+
+Mirrors the paper's host software pipeline: "Gamma uses traditional
+relational techniques for query parsing, optimization and code
+generation" — the parser produces the AST, this module performs the
+semantic analysis against the catalog and emits
+:class:`~repro.engine.plan.Query` / update-request objects, and the engine's
+planner takes it from there.
+
+Supported shape (the full benchmark workload): one or two range variables,
+single-attribute restrictions per variable, one equi-join term, optional
+projection (with ``retrieve unique`` duplicate elimination), scalar and
+grouped aggregates, and the append/delete/replace single-tuple updates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+from ..catalog import Catalog
+from ..engine.plan import (
+    AggregateNode,
+    AppendTuple,
+    DeleteTuple,
+    ExactMatch,
+    JoinNode,
+    ModifyTuple,
+    PlanNode,
+    ProjectNode,
+    Query,
+    RangePredicate,
+    ScanNode,
+    SortNode,
+    TruePredicate,
+    UpdateRequest,
+)
+from ..errors import ReproError
+from ..storage import AttrType, Schema
+from .ast import (
+    AggTarget,
+    Append,
+    AttrRef,
+    Comparison,
+    Delete,
+    RangeDecl,
+    Replace,
+    Retrieve,
+)
+
+#: Sentinel upper/lower bounds for open-ended ranges on 4-byte integers.
+INT_MIN = -(2**31)
+INT_MAX = 2**31 - 1
+
+
+class QuelCompileError(ReproError):
+    """Raised when a parsed statement cannot be mapped onto the engine."""
+
+
+Compiled = Union[Query, UpdateRequest]
+
+
+class QuelCompiler:
+    """Stateful compiler holding the session's range-variable bindings."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self.ranges: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def declare(self, decl: RangeDecl) -> None:
+        self.catalog.lookup(decl.relation)  # validate it exists
+        self.ranges[decl.variable] = decl.relation
+
+    def relation_of(self, variable: str) -> str:
+        try:
+            return self.ranges[variable]
+        except KeyError:
+            raise QuelCompileError(
+                f"range variable {variable!r} is not declared"
+                f" (use: range of {variable} is <relation>)"
+            ) from None
+
+    def schema_of(self, variable: str) -> Schema:
+        return self.catalog.lookup(self.relation_of(variable)).schema
+
+    # ------------------------------------------------------------------
+    # retrieve
+    # ------------------------------------------------------------------
+    def compile_retrieve(self, stmt: Retrieve) -> Query:
+        variables = self._variables_of(stmt)
+        restrictions, join_terms = self._split_qualification(
+            stmt.qualification
+        )
+        if len(join_terms) > 1:
+            raise QuelCompileError("at most one join term is supported")
+        if len(variables) == 1:
+            (variable,) = variables
+            root: PlanNode = ScanNode(
+                self.relation_of(variable),
+                self._predicate_for(variable, restrictions),
+            )
+            name_of = {variable: dict(
+                (a, a) for a in self.schema_of(variable).names()
+            )}
+        elif len(variables) == 2:
+            if not join_terms:
+                raise QuelCompileError(
+                    "two range variables need an equi-join term"
+                )
+            root, name_of = self._compile_join(
+                join_terms[0], restrictions
+            )
+        else:
+            raise QuelCompileError("at most two range variables are supported")
+
+        root = self._apply_targets(root, stmt, name_of)
+        if stmt.sort_by is not None:
+            root = SortNode(
+                root,
+                self._resolve_sort_attr(stmt.sort_by, root, name_of),
+                descending=stmt.sort_descending,
+            )
+        return Query(root, into=stmt.into)
+
+    def _resolve_sort_attr(
+        self,
+        ref: AttrRef,
+        root: PlanNode,
+        name_of: dict[str, dict[str, str]],
+    ) -> str:
+        """Resolve a sort attribute against the root's output schema.
+
+        Aggregate outputs expose synthetic names (the group attribute and
+        the op name); everything else uses the variable mapping."""
+        if isinstance(root, AggregateNode):
+            if ref.attr in (root.group_by, root.op):
+                return ref.attr
+            raise QuelCompileError(
+                f"cannot sort aggregate output by {ref.attr!r}"
+            )
+        return self._resolve(ref, name_of)
+
+    def _variables_of(self, stmt: Retrieve) -> list[str]:
+        seen: list[str] = []
+
+        def note(variable: str) -> None:
+            if variable not in seen:
+                seen.append(variable)
+
+        for target in stmt.targets:
+            if isinstance(target, AggTarget):
+                note(target.ref.variable)
+                if target.by is not None:
+                    note(target.by.variable)
+            else:
+                note(target.variable)
+        for comparison in stmt.qualification:
+            note(comparison.left.variable)
+            if isinstance(comparison.right, AttrRef):
+                note(comparison.right.variable)
+        return seen
+
+    def _split_qualification(
+        self, qualification: tuple[Comparison, ...]
+    ) -> tuple[dict[str, list[Comparison]], list[Comparison]]:
+        restrictions: dict[str, list[Comparison]] = {}
+        join_terms: list[Comparison] = []
+        for comparison in qualification:
+            if comparison.is_join_term:
+                if comparison.op != "=":
+                    raise QuelCompileError("join terms must use '='")
+                join_terms.append(comparison)
+            else:
+                restrictions.setdefault(
+                    comparison.left.variable, []
+                ).append(comparison)
+        return restrictions, join_terms
+
+    def _predicate_for(
+        self, variable: str, restrictions: dict[str, list[Comparison]]
+    ):
+        comparisons = restrictions.get(variable, [])
+        if not comparisons:
+            return TruePredicate()
+        attrs = {c.left.attr for c in comparisons}
+        if len(attrs) > 1:
+            raise QuelCompileError(
+                f"restrictions on {variable!r} must use a single attribute,"
+                f" got {sorted(attrs)}"
+            )
+        (attr,) = attrs
+        schema = self.schema_of(variable)
+        schema.position(attr)  # validate
+        low, high = INT_MIN, INT_MAX
+        exact: Optional[Any] = None
+        for comparison in comparisons:
+            value = comparison.right
+            if comparison.op == "=":
+                exact = value
+            elif comparison.op == "<=":
+                high = min(high, value)
+            elif comparison.op == "<":
+                high = min(high, value - 1)
+            elif comparison.op == ">=":
+                low = max(low, value)
+            elif comparison.op == ">":
+                low = max(low, value + 1)
+        if exact is not None:
+            if not (low <= exact <= high):
+                return RangePredicate(attr, 1, 0)  # contradiction: empty
+            return ExactMatch(attr, exact)
+        return RangePredicate(attr, low, high)
+
+    def _compile_join(
+        self,
+        join: Comparison,
+        restrictions: dict[str, list[Comparison]],
+    ) -> tuple[JoinNode, dict[str, dict[str, str]]]:
+        left_var = join.left.variable
+        right_ref = join.right
+        assert isinstance(right_ref, AttrRef)
+        right_var = right_ref.variable
+        # The restricted (smaller) side builds the hash tables; with both
+        # or neither restricted, the left variable of the join term does.
+        if right_var in restrictions and left_var not in restrictions:
+            build_var, build_attr = right_var, right_ref.attr
+            probe_var, probe_attr = left_var, join.left.attr
+        else:
+            build_var, build_attr = left_var, join.left.attr
+            probe_var, probe_attr = right_var, right_ref.attr
+        build_schema = self.schema_of(build_var)
+        probe_schema = self.schema_of(probe_var)
+        node = JoinNode(
+            ScanNode(self.relation_of(build_var),
+                     self._predicate_for(build_var, restrictions)),
+            ScanNode(self.relation_of(probe_var),
+                     self._predicate_for(probe_var, restrictions)),
+            build_attr,
+            probe_attr,
+        )
+        # Map var.attr -> name in the concatenated result schema (probe
+        # attributes are suffixed on clashes).
+        joined = build_schema.concat(probe_schema)
+        name_of = {
+            build_var: {
+                a: a for a in build_schema.names()
+            },
+            probe_var: {
+                a: joined.names()[len(build_schema) + i]
+                for i, a in enumerate(probe_schema.names())
+            },
+        }
+        return node, name_of
+
+    def _apply_targets(
+        self,
+        root: PlanNode,
+        stmt: Retrieve,
+        name_of: dict[str, dict[str, str]],
+    ) -> PlanNode:
+        aggs = [t for t in stmt.targets if isinstance(t, AggTarget)]
+        refs = [t for t in stmt.targets if isinstance(t, AttrRef)]
+        if aggs:
+            if len(aggs) > 1 or refs:
+                raise QuelCompileError(
+                    "an aggregate must be the only target"
+                )
+            (agg,) = aggs
+            attr = None
+            if agg.ref.attr != "all":
+                attr = self._resolve(agg.ref, name_of)
+            elif agg.op != "count":
+                raise QuelCompileError(f"{agg.op}(x.all) is not meaningful")
+            group_by = (
+                self._resolve(agg.by, name_of) if agg.by is not None else None
+            )
+            return AggregateNode(root, agg.op, attr, group_by)
+        # Plain target list: var.all for every variable means no projection.
+        if all(r.attr == "all" for r in refs) and len(refs) == len(name_of):
+            if stmt.unique:
+                raise QuelCompileError(
+                    "retrieve unique needs an explicit attribute list"
+                )
+            return root
+        attrs: list[str] = []
+        for ref in refs:
+            if ref.attr == "all":
+                attrs.extend(name_of[ref.variable].values())
+            else:
+                attrs.append(self._resolve(ref, name_of))
+        return ProjectNode(root, attrs, unique=stmt.unique)
+
+    def _resolve(
+        self, ref: AttrRef, name_of: dict[str, dict[str, str]]
+    ) -> str:
+        try:
+            mapping = name_of[ref.variable]
+        except KeyError:
+            raise QuelCompileError(
+                f"range variable {ref.variable!r} is not declared"
+            ) from None
+        try:
+            return mapping[ref.attr]
+        except KeyError:
+            raise QuelCompileError(
+                f"unknown attribute {ref.variable}.{ref.attr}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def compile_append(self, stmt: Append) -> AppendTuple:
+        schema = self.catalog.lookup(stmt.relation).schema
+        values: dict[str, Any] = dict(stmt.assignments)
+        unknown = set(values) - set(schema.names())
+        if unknown:
+            raise QuelCompileError(f"unknown attributes {sorted(unknown)}")
+        record = tuple(
+            values.get(
+                attribute.name,
+                0 if attribute.type is AttrType.INT else "",
+            )
+            for attribute in schema.attributes
+        )
+        return AppendTuple(stmt.relation, record)
+
+    def _exact_qualification(
+        self, variable: str, qualification: tuple[Comparison, ...]
+    ) -> ExactMatch:
+        if len(qualification) != 1 or qualification[0].op != "=":
+            raise QuelCompileError(
+                "single-tuple updates need exactly one equality predicate"
+            )
+        comparison = qualification[0]
+        if comparison.is_join_term:
+            raise QuelCompileError("updates cannot use join terms")
+        if comparison.left.variable != variable:
+            raise QuelCompileError(
+                f"predicate must reference {variable!r}"
+            )
+        schema = self.schema_of(variable)
+        schema.position(comparison.left.attr)  # validate
+        return ExactMatch(comparison.left.attr, comparison.right)
+
+    def compile_delete(self, stmt: Delete) -> DeleteTuple:
+        where = self._exact_qualification(stmt.variable, stmt.qualification)
+        return DeleteTuple(self.relation_of(stmt.variable), where)
+
+    def compile_replace(self, stmt: Replace) -> ModifyTuple:
+        if len(stmt.assignments) != 1:
+            raise QuelCompileError(
+                "replace supports exactly one assignment"
+            )
+        where = self._exact_qualification(stmt.variable, stmt.qualification)
+        (attr, value), = stmt.assignments
+        self.schema_of(stmt.variable).position(attr)  # validate
+        return ModifyTuple(
+            self.relation_of(stmt.variable), where, attr, value
+        )

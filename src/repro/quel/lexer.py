@@ -1,0 +1,93 @@
+"""Tokenizer for the QUEL subset Gamma's host software accepts.
+
+Token kinds: keywords (case-insensitive), identifiers, integer and string
+literals, comparison operators, punctuation.  The lexer is a plain scanner
+— no regex table — so error positions are exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ReproError
+
+KEYWORDS = {
+    "range", "of", "is", "retrieve", "unique", "into", "where", "and",
+    "append", "to", "delete", "replace", "all", "by",
+    "count", "sum", "avg", "min", "max", "sort", "descending",
+}
+
+OPERATORS = ("<=", ">=", "!=", "=", "<", ">")
+PUNCTUATION = "().,"
+
+
+class QuelSyntaxError(ReproError):
+    """Raised for malformed QUEL statements (with position info)."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str  # keyword | name | int | string | op | punct | end
+    value: str
+    position: int
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"Token({self.kind}:{self.value!r}@{self.position})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Scan ``text`` into tokens, ending with a synthetic ``end`` token."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            kind = "keyword" if word.lower() in KEYWORDS else "name"
+            value = word.lower() if kind == "keyword" else word
+            tokens.append(Token(kind, value, start))
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and text[i + 1].isdigit()):
+            start = i
+            i += 1
+            while i < n and text[i].isdigit():
+                i += 1
+            tokens.append(Token("int", text[start:i], start))
+            continue
+        if ch == '"':
+            start = i
+            i += 1
+            while i < n and text[i] != '"':
+                i += 1
+            if i >= n:
+                raise QuelSyntaxError(
+                    f"unterminated string literal at {start}"
+                )
+            tokens.append(Token("string", text[start + 1:i], start))
+            i += 1
+            continue
+        matched = False
+        for op in OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token("op", op, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in PUNCTUATION:
+            tokens.append(Token("punct", ch, i))
+            i += 1
+            continue
+        raise QuelSyntaxError(f"unexpected character {ch!r} at {i}")
+    tokens.append(Token("end", "", n))
+    return tokens

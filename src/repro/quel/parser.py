@@ -1,0 +1,214 @@
+"""Recursive-descent parser for the QUEL subset.
+
+Grammar (one statement per parse)::
+
+    statement   := range_decl | retrieve | append | delete | replace
+    range_decl  := RANGE OF name IS name
+    retrieve    := RETRIEVE [UNIQUE] [INTO name]
+                   "(" target ("," target)* ")" [WHERE qual]
+                   [SORT BY attr_ref [DESCENDING]]
+    target      := attr_ref | agg "(" attr_ref [BY attr_ref] ")"
+    attr_ref    := name "." (name | ALL)
+    append      := APPEND TO name "(" assign ("," assign)* ")"
+    delete      := DELETE name [WHERE qual]
+    replace     := REPLACE name "(" assign ("," assign)* ")" [WHERE qual]
+    assign      := name "=" literal
+    qual        := comparison (AND comparison)*
+    comparison  := attr_ref op (literal | attr_ref)
+    op          := "=" | "<" | "<=" | ">" | ">="
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .ast import (
+    AggTarget,
+    Append,
+    AttrRef,
+    Comparison,
+    Delete,
+    RangeDecl,
+    Replace,
+    Retrieve,
+    Statement,
+    Target,
+)
+from .lexer import QuelSyntaxError, Token, tokenize
+
+AGG_OPS = {"count", "sum", "avg", "min", "max"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token helpers -----------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self.peek()
+        if token.kind != kind or (value is not None and token.value != value):
+            want = value or kind
+            raise QuelSyntaxError(
+                f"expected {want!r} at position {token.position},"
+                f" found {token.value!r}"
+            )
+        return self.advance()
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        token = self.peek()
+        if token.kind == kind and (value is None or token.value == value):
+            return self.advance()
+        return None
+
+    # -- grammar -------------------------------------------------------
+    def statement(self) -> Statement:
+        token = self.peek()
+        if token.kind != "keyword":
+            raise QuelSyntaxError(
+                f"statement must start with a keyword, found {token.value!r}"
+            )
+        handlers = {
+            "range": self.range_decl,
+            "retrieve": self.retrieve,
+            "append": self.append,
+            "delete": self.delete,
+            "replace": self.replace,
+        }
+        handler = handlers.get(token.value)
+        if handler is None:
+            raise QuelSyntaxError(f"unknown statement {token.value!r}")
+        node = handler()
+        self.expect("end")
+        return node
+
+    def range_decl(self) -> RangeDecl:
+        self.expect("keyword", "range")
+        self.expect("keyword", "of")
+        variable = self.expect("name").value
+        self.expect("keyword", "is")
+        relation = self.expect("name").value
+        return RangeDecl(variable, relation)
+
+    def retrieve(self) -> Retrieve:
+        self.expect("keyword", "retrieve")
+        unique = self.accept("keyword", "unique") is not None
+        into = None
+        if self.accept("keyword", "into"):
+            into = self.expect("name").value
+        self.expect("punct", "(")
+        targets: list[Target] = [self.target()]
+        while self.accept("punct", ","):
+            targets.append(self.target())
+        self.expect("punct", ")")
+        qual = self.qualification()
+        sort_by = None
+        sort_descending = False
+        if self.accept("keyword", "sort"):
+            self.expect("keyword", "by")
+            sort_by = self.attr_ref()
+            sort_descending = self.accept("keyword", "descending") is not None
+        return Retrieve(tuple(targets), unique, into, tuple(qual),
+                        sort_by, sort_descending)
+
+    def target(self) -> Target:
+        token = self.peek()
+        if token.kind == "keyword" and token.value in AGG_OPS:
+            op = self.advance().value
+            self.expect("punct", "(")
+            ref = self.attr_ref()
+            by = None
+            if self.accept("keyword", "by"):
+                by = self.attr_ref()
+            self.expect("punct", ")")
+            return AggTarget(op, ref, by)
+        return self.attr_ref()
+
+    def attr_ref(self) -> AttrRef:
+        variable = self.expect("name").value
+        self.expect("punct", ".")
+        token = self.peek()
+        if token.kind == "keyword" and token.value == "all":
+            self.advance()
+            return AttrRef(variable, "all")
+        return AttrRef(variable, self.expect("name").value)
+
+    def qualification(self) -> list[Comparison]:
+        if not self.accept("keyword", "where"):
+            return []
+        comparisons = [self.comparison()]
+        while self.accept("keyword", "and"):
+            comparisons.append(self.comparison())
+        return comparisons
+
+    def comparison(self) -> Comparison:
+        left = self.attr_ref()
+        op = self.expect("op").value
+        if op == "!=":
+            raise QuelSyntaxError("inequality predicates are not supported")
+        token = self.peek()
+        right: Any
+        if token.kind == "int":
+            right = int(self.advance().value)
+        elif token.kind == "string":
+            right = self.advance().value
+        elif token.kind == "name":
+            right = self.attr_ref()
+        else:
+            raise QuelSyntaxError(
+                f"expected a literal or attribute at {token.position}"
+            )
+        return Comparison(left, op, right)
+
+    def append(self) -> Append:
+        self.expect("keyword", "append")
+        self.expect("keyword", "to")
+        relation = self.expect("name").value
+        assignments = self.assignments()
+        return Append(relation, assignments)
+
+    def delete(self) -> Delete:
+        self.expect("keyword", "delete")
+        variable = self.expect("name").value
+        qual = self.qualification()
+        return Delete(variable, tuple(qual))
+
+    def replace(self) -> Replace:
+        self.expect("keyword", "replace")
+        variable = self.expect("name").value
+        assignments = self.assignments()
+        qual = self.qualification()
+        return Replace(variable, assignments, tuple(qual))
+
+    def assignments(self) -> tuple[tuple[str, Any], ...]:
+        self.expect("punct", "(")
+        pairs = [self.assignment()]
+        while self.accept("punct", ","):
+            pairs.append(self.assignment())
+        self.expect("punct", ")")
+        return tuple(pairs)
+
+    def assignment(self) -> tuple[str, Any]:
+        attr = self.expect("name").value
+        self.expect("op", "=")
+        token = self.peek()
+        if token.kind == "int":
+            return attr, int(self.advance().value)
+        if token.kind == "string":
+            return attr, self.advance().value
+        raise QuelSyntaxError(
+            f"expected a literal value at position {token.position}"
+        )
+
+
+def parse(text: str) -> Statement:
+    """Parse one QUEL statement."""
+    return _Parser(tokenize(text)).statement()

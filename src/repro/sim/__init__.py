@@ -1,0 +1,27 @@
+"""Discrete-event simulation kernel (the NOSE operating-system substitute).
+
+Public surface::
+
+    from repro.sim import Simulation, Server, Store
+    from repro.sim import Delay, Use, Acquire, Release, Put, Get, Join, WaitAll
+"""
+
+from .events import Acquire, Delay, Get, Join, Put, Release, Use, WaitAll
+from .kernel import Process, Simulation, run_to_completion
+from .resources import Server, Store
+
+__all__ = [
+    "Acquire",
+    "Delay",
+    "Get",
+    "Join",
+    "Process",
+    "Put",
+    "Release",
+    "Server",
+    "Simulation",
+    "Store",
+    "Use",
+    "WaitAll",
+    "run_to_completion",
+]

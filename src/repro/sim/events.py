@@ -1,0 +1,89 @@
+"""Effect objects yielded by simulation processes.
+
+A simulation process is a Python generator.  Instead of blocking, it yields
+one of the effect objects defined here; the kernel performs the effect and
+resumes the generator (``gen.send(result)``) when the effect completes.
+
+Effects are deliberately tiny immutable descriptions — all behaviour lives in
+:mod:`repro.sim.kernel` and :mod:`repro.sim.resources`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .kernel import Process
+    from .resources import Server, Store
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Suspend the process for ``duration`` simulated seconds."""
+
+    duration: float
+
+
+@dataclass(frozen=True)
+class Acquire:
+    """Enter the FIFO queue of ``server``; resume once a slot is granted.
+
+    The process owns the slot until it yields a matching :class:`Release`.
+    """
+
+    server: "Server"
+
+
+@dataclass(frozen=True)
+class Release:
+    """Give back a slot previously obtained with :class:`Acquire`."""
+
+    server: "Server"
+
+
+@dataclass(frozen=True)
+class Use:
+    """Acquire ``server``, hold it for ``duration``, then release it.
+
+    Equivalent to ``Acquire`` + ``Delay`` + ``Release`` but cheaper and
+    impossible to leak.
+    """
+
+    server: "Server"
+    duration: float
+
+
+@dataclass(frozen=True)
+class Put:
+    """Append ``item`` to ``store``; resume when capacity allows."""
+
+    store: "Store"
+    item: Any
+
+
+@dataclass(frozen=True)
+class Get:
+    """Resume with the next item from ``store`` (FIFO order)."""
+
+    store: "Store"
+
+
+@dataclass(frozen=True)
+class Join:
+    """Resume (with the process return value) once ``process`` finishes."""
+
+    process: "Process"
+
+
+@dataclass(frozen=True)
+class WaitAll:
+    """Resume once every process in ``processes`` has finished.
+
+    The result is a list of the processes' return values, in order.
+    """
+
+    processes: Sequence["Process"] = field(default_factory=tuple)
+
+
+Effect = Delay | Acquire | Release | Use | Put | Get | Join | WaitAll

@@ -1,0 +1,205 @@
+"""Generator-based discrete-event simulation kernel.
+
+This is the NOSE substitute: the paper's operating system provides
+lightweight processes with cheap message passing; here a
+:class:`Simulation` owns a priority queue of timestamped wake-ups and a set
+of :class:`Process` objects (plain Python generators).  Processes yield
+effect objects from :mod:`repro.sim.events`; the kernel performs the effect
+and resumes the generator when it completes.
+
+The kernel is deterministic: simultaneous events fire in the order they were
+scheduled (FIFO tie-break on a sequence counter), so a given workload always
+produces exactly the same simulated timeline.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..errors import SimulationError
+from .events import Acquire, Delay, Get, Join, Put, Release, Use, WaitAll
+
+ProcessGen = Generator[Any, Any, Any]
+
+
+class Process:
+    """A running simulation process wrapping a generator.
+
+    Attributes:
+        name: Diagnostic label used in error messages.
+        finished: True once the generator has returned or raised.
+        value: The generator's return value (valid when ``finished``).
+    """
+
+    __slots__ = ("_gen", "name", "finished", "value", "failure", "_waiters")
+
+    def __init__(self, gen: ProcessGen, name: str = "proc") -> None:
+        self._gen = gen
+        self.name = name
+        self.finished = False
+        self.value: Any = None
+        self.failure: Optional[BaseException] = None
+        self._waiters: list[Callable[[Any], None]] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        state = "done" if self.finished else "running"
+        return f"<Process {self.name} {state}>"
+
+    def _add_waiter(self, resume: Callable[[Any], None]) -> None:
+        if self.finished:
+            resume(self.value)
+        else:
+            self._waiters.append(resume)
+
+
+class Simulation:
+    """Discrete-event simulation with generator processes.
+
+    Typical usage::
+
+        sim = Simulation()
+        sim.spawn(my_process(sim), name="scan")
+        sim.run()
+        print(sim.now)
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._active = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # scheduling primitives
+    # ------------------------------------------------------------------
+    def call_at(self, time: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` to run at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before now {self._now}"
+            )
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, fn))
+
+    def call_after(self, delay: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.call_at(self._now + delay, fn)
+
+    # ------------------------------------------------------------------
+    # processes
+    # ------------------------------------------------------------------
+    def spawn(self, gen: ProcessGen, name: str = "proc") -> Process:
+        """Start a new process immediately (at the current time)."""
+        proc = Process(gen, name)
+        self._active += 1
+        self.call_after(0.0, lambda: self._step(proc, None))
+        return proc
+
+    def _step(self, proc: Process, value: Any) -> None:
+        """Resume ``proc`` with ``value`` and perform its next effect."""
+        try:
+            effect = proc._gen.send(value)
+        except StopIteration as stop:
+            self._finish(proc, stop.value)
+            return
+        except BaseException as exc:
+            proc.finished = True
+            proc.failure = exc
+            self._active -= 1
+            raise SimulationError(
+                f"process {proc.name!r} failed at t={self._now:.6f}"
+            ) from exc
+        self._perform(proc, effect)
+
+    def _finish(self, proc: Process, value: Any) -> None:
+        proc.finished = True
+        proc.value = value
+        self._active -= 1
+        waiters, proc._waiters = proc._waiters, []
+        for resume in waiters:
+            resume(value)
+
+    def _perform(self, proc: Process, effect: Any) -> None:
+        resume = lambda value=None: self._step(proc, value)  # noqa: E731
+        if isinstance(effect, Delay):
+            if effect.duration < 0:
+                raise SimulationError(
+                    f"process {proc.name!r} yielded negative delay"
+                )
+            self.call_after(effect.duration, resume)
+        elif isinstance(effect, Use):
+            effect.server._use(self, effect.duration, resume)
+        elif isinstance(effect, Acquire):
+            effect.server._acquire(self, resume)
+        elif isinstance(effect, Release):
+            effect.server._release(self)
+            self.call_after(0.0, resume)
+        elif isinstance(effect, Put):
+            effect.store._put(self, effect.item, resume)
+        elif isinstance(effect, Get):
+            effect.store._get(self, resume)
+        elif isinstance(effect, Join):
+            effect.process._add_waiter(resume)
+        elif isinstance(effect, WaitAll):
+            _wait_all(list(effect.processes), resume)
+        else:
+            raise SimulationError(
+                f"process {proc.name!r} yielded unknown effect {effect!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the event queue drains (or simulated ``until``).
+
+        Returns the final simulated time.
+        """
+        while self._heap:
+            time, _seq, fn = self._heap[0]
+            if until is not None and time > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._heap)
+            self._now = time
+            fn()
+        return self._now
+
+
+def _wait_all(procs: list[Process], resume: Callable[[Any], None]) -> None:
+    """Resume once every process in ``procs`` finished, with their values."""
+    remaining = len(procs)
+    results: list[Any] = [None] * len(procs)
+    if remaining == 0:
+        resume(results)
+        return
+
+    state = {"left": remaining}
+
+    def make_waiter(index: int) -> Callable[[Any], None]:
+        def waiter(value: Any) -> None:
+            results[index] = value
+            state["left"] -= 1
+            if state["left"] == 0:
+                resume(results)
+
+        return waiter
+
+    for i, proc in enumerate(procs):
+        proc._add_waiter(make_waiter(i))
+
+
+def run_to_completion(gens: Iterable[ProcessGen]) -> float:
+    """Convenience: run a fresh simulation over ``gens`` and return end time."""
+    sim = Simulation()
+    for i, gen in enumerate(gens):
+        sim.spawn(gen, name=f"proc-{i}")
+    return sim.run()

@@ -1,0 +1,165 @@
+"""Queueing resources for the simulation kernel.
+
+Two primitives cover everything the Gamma model needs:
+
+* :class:`Server` — a FIFO service centre with fixed capacity.  CPUs, disk
+  drives, network interfaces and the token ring are all ``Server``\\ s; the
+  contention they create is what produces every bottleneck in the paper.
+* :class:`Store` — a bounded FIFO buffer of items.  Mailboxes (operator input
+  ports) and prefetch pipelines are ``Store``\\ s; bounded capacity gives
+  natural back-pressure, which is how the dataflow engine self-schedules.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .kernel import Simulation
+
+Resume = Callable[..., None]
+
+
+class Server:
+    """A FIFO service centre with ``capacity`` parallel slots.
+
+    Processes either ``yield Use(server, duration)`` for a self-contained
+    service interval, or bracket work with ``Acquire``/``Release``.
+    Statistics (busy time, total requests) are kept for utilisation reports.
+    """
+
+    __slots__ = (
+        "name",
+        "capacity",
+        "_in_service",
+        "_queue",
+        "busy_time",
+        "requests",
+        "_last_change",
+    )
+
+    def __init__(self, name: str, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"server {name!r} needs capacity >= 1")
+        self.name = name
+        self.capacity = capacity
+        self._in_service = 0
+        self._queue: deque[tuple[Optional[float], Resume]] = deque()
+        self.busy_time = 0.0
+        self.requests = 0
+        self._last_change = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"<Server {self.name} {self._in_service}/{self.capacity}>"
+
+    @property
+    def queue_length(self) -> int:
+        """Number of waiting (not yet serviced) requests."""
+        return len(self._queue)
+
+    def utilisation(self, now: float) -> float:
+        """Fraction of time at least one slot was busy, up to ``now``."""
+        if now <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / (now * self.capacity))
+
+    # -- kernel-facing API ------------------------------------------------
+    def _use(self, sim: "Simulation", duration: float, resume: Resume) -> None:
+        if duration < 0:
+            raise SimulationError(f"negative service time on {self.name!r}")
+        self.requests += 1
+        if self._in_service < self.capacity:
+            self._start(sim, duration, resume)
+        else:
+            self._queue.append((duration, resume))
+
+    def _acquire(self, sim: "Simulation", resume: Resume) -> None:
+        self.requests += 1
+        if self._in_service < self.capacity:
+            self._in_service += 1
+            sim.call_after(0.0, resume)
+        else:
+            self._queue.append((None, resume))
+
+    def _release(self, sim: "Simulation") -> None:
+        if self._in_service <= 0:
+            raise SimulationError(f"release of idle server {self.name!r}")
+        self._in_service -= 1
+        self._dispatch(sim)
+
+    def _start(self, sim: "Simulation", duration: float, resume: Resume) -> None:
+        self._in_service += 1
+        self.busy_time += duration
+
+        def complete() -> None:
+            self._in_service -= 1
+            self._dispatch(sim)
+            resume(None)
+
+        sim.call_after(duration, complete)
+
+    def _dispatch(self, sim: "Simulation") -> None:
+        while self._queue and self._in_service < self.capacity:
+            duration, resume = self._queue.popleft()
+            if duration is None:
+                self._in_service += 1
+                sim.call_after(0.0, resume)
+            else:
+                self._start(sim, duration, resume)
+
+
+class Store:
+    """A bounded FIFO buffer connecting producer and consumer processes.
+
+    ``capacity=None`` means unbounded.  ``Put`` blocks when full, ``Get``
+    blocks when empty.  Items are arbitrary Python objects (tuple packets,
+    control messages, disk pages).
+    """
+
+    __slots__ = ("name", "capacity", "_items", "_getters", "_putters")
+
+    def __init__(self, name: str, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"store {name!r} needs capacity >= 1")
+        self.name = name
+        self.capacity = capacity
+        self._items: deque[Any] = deque()
+        self._getters: deque[Resume] = deque()
+        self._putters: deque[tuple[Any, Resume]] = deque()
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"<Store {self.name} items={len(self._items)}>"
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    # -- kernel-facing API ------------------------------------------------
+    def _put(self, sim: "Simulation", item: Any, resume: Resume) -> None:
+        if self._getters:
+            # Hand the item straight to the longest-waiting consumer.
+            getter = self._getters.popleft()
+            sim.call_after(0.0, lambda: getter(item))
+            sim.call_after(0.0, resume)
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            sim.call_after(0.0, resume)
+        else:
+            self._putters.append((item, resume))
+
+    def _get(self, sim: "Simulation", resume: Resume) -> None:
+        if self._items:
+            item = self._items.popleft()
+            if self._putters:
+                pending, putter = self._putters.popleft()
+                self._items.append(pending)
+                sim.call_after(0.0, putter)
+            sim.call_after(0.0, lambda: resume(item))
+        elif self._putters:
+            pending, putter = self._putters.popleft()
+            sim.call_after(0.0, putter)
+            sim.call_after(0.0, lambda: resume(pending))
+        else:
+            self._getters.append(resume)

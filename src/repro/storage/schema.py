@@ -1,0 +1,114 @@
+"""Relation schemas.
+
+Tuples are plain Python tuples; a :class:`Schema` gives the attributes
+names, declared byte widths (what the 1988 hardware would have stored — the
+cost model bills these bytes, not Python object sizes) and positional
+accessors used by compiled predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable, Iterable, Sequence
+
+from ..errors import StorageError
+
+
+class AttrType(Enum):
+    """Wisconsin-benchmark attribute types."""
+
+    INT = "int"
+    STRING = "string"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One attribute: a name, a type and its on-disk width in bytes."""
+
+    name: str
+    type: AttrType
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise StorageError(f"attribute {self.name!r} needs size > 0")
+
+
+def int_attr(name: str) -> Attribute:
+    """A 4-byte integer attribute (the Wisconsin standard)."""
+    return Attribute(name, AttrType.INT, 4)
+
+
+def string_attr(name: str, size: int = 52) -> Attribute:
+    """A fixed-width string attribute (52 bytes in the Wisconsin schema)."""
+    return Attribute(name, AttrType.STRING, size)
+
+
+class Schema:
+    """An ordered list of attributes with fast name→position lookup."""
+
+    __slots__ = ("attributes", "_index", "tuple_bytes")
+
+    def __init__(self, attributes: Sequence[Attribute]) -> None:
+        if not attributes:
+            raise StorageError("schema needs at least one attribute")
+        names = [a.name for a in attributes]
+        if len(set(names)) != len(names):
+            raise StorageError(f"duplicate attribute names in {names}")
+        self.attributes = tuple(attributes)
+        self._index = {a.name: i for i, a in enumerate(attributes)}
+        self.tuple_bytes = sum(a.size for a in attributes)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.attributes == other.attributes
+
+    def __hash__(self) -> int:
+        return hash(self.attributes)
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        names = ", ".join(a.name for a in self.attributes)
+        return f"<Schema [{names}] {self.tuple_bytes}B>"
+
+    def position(self, name: str) -> int:
+        """Index of attribute ``name`` within a tuple."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise StorageError(
+                f"unknown attribute {name!r}; have {list(self._index)}"
+            ) from None
+
+    def names(self) -> list[str]:
+        return [a.name for a in self.attributes]
+
+    def getter(self, name: str) -> Callable[[tuple], Any]:
+        """A compiled positional accessor for attribute ``name``.
+
+        This mirrors Gamma compiling predicates "into machine language":
+        the per-tuple path holds no name lookups.
+        """
+        pos = self.position(name)
+        return lambda record: record[pos]
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """Schema of a projection onto ``names`` (order preserved)."""
+        return Schema([self.attributes[self.position(n)] for n in names])
+
+    def concat(self, other: "Schema", suffix: str = "_r") -> "Schema":
+        """Schema of a join result; right-side name clashes get ``suffix``."""
+        attrs = list(self.attributes)
+        for attr in other.attributes:
+            name = attr.name
+            while name in self._index or name in [a.name for a in attrs[len(self.attributes):]]:
+                name = name + suffix
+            attrs.append(Attribute(name, attr.type, attr.size))
+        return Schema(attrs)

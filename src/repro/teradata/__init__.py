@@ -1,0 +1,16 @@
+"""The Teradata DBC/1012 baseline (Section 3 of the paper)."""
+
+from .amp import Amp, AmpFragment, DenseHashIndex, hash_key_order
+from .costs import DEFAULT_TERADATA_COSTS, TeradataCosts
+from .machine import TeradataMachine, TeradataRelation
+
+__all__ = [
+    "Amp",
+    "AmpFragment",
+    "DEFAULT_TERADATA_COSTS",
+    "DenseHashIndex",
+    "TeradataCosts",
+    "TeradataMachine",
+    "TeradataRelation",
+    "hash_key_order",
+]

@@ -1,0 +1,184 @@
+"""Access Module Processors and their hash-key-ordered storage.
+
+Every relation fragment on an AMP is kept in *hash-key order*: tuples are
+placed by the hash of the primary key, so an exact-match on the key is one
+disk access, but a range predicate — on any attribute — sees the file in
+effectively random key order and must scan all of it.  Secondary indexes
+are dense and themselves hash-organised, so a range query must scan the
+whole index too (the behaviour behind rows 3-4 of Table 1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterator, Optional
+
+from ..catalog import gamma_hash
+from ..hardware import DiskDrive, TeradataConfig
+from ..sim import Server, Simulation
+from ..storage import BufferPool, HeapFile, Schema, records_per_page
+from .costs import TeradataCosts
+
+
+def hash_key_order(records: list[tuple], key_pos: int) -> list[tuple]:
+    """Sort records the way the DBC/1012 stores them: by key hash."""
+    return sorted(
+        records, key=lambda r: (gamma_hash(r[key_pos], 1 << 30), r[key_pos])
+    )
+
+
+class DenseHashIndex:
+    """A dense secondary index whose rows are hashed, NOT key-sorted.
+
+    "whenever a range query over an indexed attribute is performed, the
+    entire index must be scanned."
+    """
+
+    ENTRY_BYTES = 16
+
+    def __init__(self, name: str, attr: str, page_size: int) -> None:
+        self.name = name
+        self.attr = attr
+        self.page_size = page_size
+        self.entries: list[tuple[Any, int]] = []  # (value, tuple ordinal)
+
+    @property
+    def num_pages(self) -> int:
+        per_page = records_per_page(self.page_size, self.ENTRY_BYTES)
+        return (len(self.entries) + per_page - 1) // per_page
+
+    def build(self, values: list[Any]) -> None:
+        pairs = [(v, i) for i, v in enumerate(values)]
+        self.entries = sorted(
+            pairs, key=lambda e: gamma_hash(e[0], 1 << 30)
+        )
+
+    def matching(self, low: Any, high: Any) -> list[int]:
+        """Ordinals of tuples with value in [low, high] — found only by
+        scanning every entry."""
+        return [i for v, i in self.entries if low <= v <= high]
+
+    def exact(self, value: Any) -> list[int]:
+        return [i for v, i in self.entries if v == value]
+
+
+class AmpFragment:
+    """One relation's data on one AMP."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        key_attr: str,
+        page_size: int,
+        records: list[tuple],
+    ) -> None:
+        self.name = name
+        self.schema = schema
+        self.key_attr = key_attr
+        key_pos = schema.position(key_attr)
+        ordered = hash_key_order(records, key_pos)
+        self.heap = HeapFile(name, schema, page_size)
+        self.heap.bulk_append(ordered)
+        self.records = ordered
+        self.indexes: dict[str, DenseHashIndex] = {}
+
+    @property
+    def num_pages(self) -> int:
+        return self.heap.num_pages
+
+    @property
+    def num_records(self) -> int:
+        return len(self.records)
+
+    def add_index(self, attr: str) -> None:
+        index = DenseHashIndex(
+            f"{self.name}.idx.{attr}", attr, self.heap.page_size
+        )
+        pos = self.schema.position(attr)
+        index.build([r[pos] for r in self.records])
+        self.indexes[attr] = index
+
+    def page_of_ordinal(self, ordinal: int) -> int:
+        per_page = self.heap.records_per_full_page
+        return ordinal // per_page
+
+    def append(self, record: tuple) -> None:
+        self.records.append(record)
+        self.heap.append(record)
+        pos_by_attr = {
+            attr: self.schema.position(attr) for attr in self.indexes
+        }
+        for attr, index in self.indexes.items():
+            index.entries.append(
+                (record[pos_by_attr[attr]], len(self.records) - 1)
+            )
+
+    def remove(self, ordinal: int) -> tuple:
+        record = self.records[ordinal]
+        self.records[ordinal] = None  # type: ignore[call-overload]
+        for index in self.indexes.values():
+            index.entries = [
+                (v, i) for v, i in index.entries if i != ordinal
+            ]
+        return record
+
+    def replace(self, ordinal: int, record: tuple) -> None:
+        old = self.records[ordinal]
+        self.records[ordinal] = record
+        for attr, index in self.indexes.items():
+            pos = self.schema.position(attr)
+            if old[pos] != record[pos]:
+                index.entries = [
+                    (v, i) for v, i in index.entries if i != ordinal
+                ]
+                index.entries.append((record[pos], ordinal))
+
+    def live_records(self) -> Iterator[tuple]:
+        return (r for r in self.records if r is not None)
+
+
+class Amp:
+    """One AMP: a CPU, two disk drives, a buffer pool."""
+
+    def __init__(
+        self, sim: Simulation, index: int, config: TeradataConfig
+    ) -> None:
+        self.sim = sim
+        self.index = index
+        self.name = f"amp{index}"
+        self.config = config
+        self.cpu = Server(f"{self.name}.cpu")
+        self.drives = [
+            DiskDrive(f"{self.name}.d{d}", config.disk)
+            for d in range(config.disks_per_amp)
+        ]
+        self._next_drive = 0
+        self.buffer = BufferPool(f"{self.name}.buf", 128)
+
+    def work(self, instructions: float) -> Generator[Any, Any, None]:
+        if instructions <= 0:
+            return
+        from ..sim import Use
+
+        yield Use(self.cpu, self.config.cpu.time_for(instructions))
+
+    def _drive_for(self, file_id: str) -> DiskDrive:
+        # Files are spread over the AMP's two DSUs by name hash.
+        return self.drives[gamma_hash(file_id, len(self.drives))]
+
+    def read_page(
+        self, file_id: str, page_no: int, sequential: Optional[bool] = None
+    ) -> Generator[Any, Any, None]:
+        if self.buffer.access(file_id, page_no):
+            return
+        yield from self._drive_for(file_id).read(
+            file_id, page_no, self.config.page_size, sequential
+        )
+
+    def write_page(
+        self, file_id: str, page_no: int, sequential: Optional[bool] = None
+    ) -> Generator[Any, Any, None]:
+        yield from self._drive_for(file_id).write(
+            file_id, page_no, self.config.page_size, sequential
+        )
+        self.buffer.access(file_id, page_no)

@@ -1,0 +1,574 @@
+"""Query execution on the Teradata DBC/1012 model.
+
+Selections scan (or fully scan a dense index over) each AMP's fragment;
+results are redistributed by hashing the result key and stored through the
+single-tuple-optimised ``INSERT INTO`` path (≈3 random I/Os plus heavy CPU
+per tuple — the dominant cost in Tables 1 and 2).  Joins redistribute both
+source relations by hashing the join attribute (skipped when it is the
+primary key), sort the spool files, then sort-merge.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Generator, Optional
+
+from ..catalog import gamma_hash
+from ..engine.plan import (
+    ExactMatch,
+    JoinNode,
+    Query,
+    RangePredicate,
+    ScanNode,
+    TruePredicate,
+    AppendTuple,
+    DeleteTuple,
+    ModifyTuple,
+    UpdateRequest,
+)
+from ..errors import PlanError
+from ..sim import Delay, Server, Simulation, Use, WaitAll
+from ..storage import Schema, external_sort, records_per_page
+from .amp import Amp, AmpFragment
+
+PACKAGE_BYTES = 4096  # Y-net moves spool pages
+
+
+class TeradataRun:
+    """One retrieval query on the DBC/1012."""
+
+    def __init__(
+        self, machine: "Any", sim: Simulation, amps: list[Amp], query: Query
+    ) -> None:
+        self.machine = machine
+        self.costs = machine.costs
+        self.config = machine.config
+        self.sim = sim
+        self.amps = amps
+        self.query = query
+        self.ynet = Server("ynet")
+        self.stats: Counter[str] = Counter()
+        self.collected: list[tuple] = []
+        self.result_count = 0
+        self.result_relation: Optional[Any] = None
+        self.plan_description = ""
+        self._tmp = 0
+
+    # ------------------------------------------------------------------
+    def coordinator(self) -> Generator[Any, Any, None]:
+        yield Delay(self.costs.host_roundtrip_s)
+        root = self.query.root
+        per_amp, schema = yield from self._execute(root)
+        matches = sum(len(m) for m in per_amp)
+        self.result_count = matches
+        if self.query.into is not None:
+            yield Delay(self.costs.result_table_create_s)
+            yield from self._store_phase(per_amp, schema)
+        else:
+            for bucket in per_amp:
+                self.collected.extend(bucket)
+            nbytes = matches * schema.tuple_bytes
+            yield Use(self.ynet, nbytes / self.config.network.ring_bandwidth)
+
+    def _execute(
+        self, node: Any
+    ) -> Generator[Any, Any, tuple[list[list[tuple]], Schema]]:
+        if isinstance(node, ScanNode):
+            result = yield from self._select_phase(node)
+            return result
+        if isinstance(node, JoinNode):
+            result = yield from self._join_phase(node)
+            return result
+        raise PlanError(f"Teradata model cannot execute {node!r}")
+
+    # ------------------------------------------------------------------
+    # selections
+    # ------------------------------------------------------------------
+    def _select_phase(
+        self, scan: ScanNode
+    ) -> Generator[Any, Any, tuple[list[list[tuple]], Schema]]:
+        relation = self.machine.lookup(scan.relation)
+        predicate = scan.predicate
+        schema = relation.schema
+        self.plan_description += f"amp-select({scan.relation})"
+        out: list[list[tuple]] = [[] for _ in self.amps]
+
+        if (
+            isinstance(predicate, ExactMatch)
+            and predicate.attr == relation.key_attr
+        ):
+            # Hash-addressed single-tuple retrieval: one AMP, one access.
+            amp_no = relation.amp_of_key(predicate.value, len(self.amps))
+            proc = self.sim.spawn(
+                self._amp_exact(self.amps[amp_no],
+                                relation.fragments[amp_no], predicate,
+                                out, amp_no),
+                name=f"exact.{amp_no}",
+            )
+            yield WaitAll([proc])
+            return out, schema
+
+        use_index = self._index_wins(relation, predicate)
+        procs = []
+        for i, amp in enumerate(self.amps):
+            fragment = relation.fragments[i]
+            if use_index:
+                gen = self._amp_index_select(amp, fragment, predicate, out, i)
+            else:
+                gen = self._amp_scan(amp, fragment, predicate, out, i)
+            procs.append(self.sim.spawn(gen, name=f"sel.{i}"))
+        yield WaitAll(procs)
+        self.plan_description += "/idx" if use_index else "/scan"
+        return out, schema
+
+    def _index_wins(self, relation: Any, predicate: Any) -> bool:
+        """Cost comparison between a full dense-index scan plus random
+        fetches and a plain file scan.  Because the index rows are hashed
+        (never key-sorted), the whole index is always read."""
+        attr = getattr(predicate, "attr", None)
+        if attr not in relation.indexed_attrs():
+            return False
+        if isinstance(predicate, ExactMatch):
+            return True
+        if not isinstance(predicate, RangePredicate):
+            return False
+        cpu = self.config.cpu
+        disk = self.config.disk
+        n = relation.num_records
+        per_amp = n / len(self.amps)
+        frag = relation.fragments[0]
+        index = frag.indexes[attr]
+        sel = predicate.selectivity(n)
+        index_cost = (
+            index.num_pages * disk.sequential_access_time(self.config.page_size)
+            + per_amp * cpu.time_for(self.costs.index_entry)
+            + sel * per_amp * disk.random_access_time(self.config.page_size)
+        )
+        scan_cost = (
+            frag.num_pages * disk.sequential_access_time(self.config.page_size)
+            + per_amp * cpu.time_for(self.costs.scan_tuple)
+        )
+        return index_cost < scan_cost
+
+    def _amp_exact(
+        self, amp: Amp, fragment: AmpFragment, predicate: ExactMatch,
+        out: list[list[tuple]], i: int,
+    ) -> Generator[Any, Any, None]:
+        yield from amp.work(self.costs.exact_match_cpu)
+        pos = fragment.schema.position(predicate.attr)
+        hits = [
+            r for r in fragment.live_records() if r[pos] == predicate.value
+        ]
+        yield from amp.read_page(fragment.name, 0, sequential=False)
+        out[i] = hits
+        self.stats["pages_read"] += 1
+
+    def _amp_scan(
+        self, amp: Amp, fragment: AmpFragment, predicate: Any,
+        out: list[list[tuple]], i: int,
+    ) -> Generator[Any, Any, None]:
+        compiled = predicate.compile(fragment.schema)
+        matches = [r for r in fragment.live_records() if compiled(r)]
+        out[i] = matches
+        n = fragment.num_records
+        pages = fragment.num_pages
+        self.stats["pages_read"] += pages
+        for page_no in range(pages):
+            yield from amp.read_page(fragment.name, page_no)
+        yield from amp.work(
+            self.costs.scan_tuple * n + self.costs.page_io_setup * pages
+        )
+
+    def _amp_index_select(
+        self, amp: Amp, fragment: AmpFragment, predicate: Any,
+        out: list[list[tuple]], i: int,
+    ) -> Generator[Any, Any, None]:
+        attr = predicate.attr
+        index = fragment.indexes[attr]
+        if isinstance(predicate, ExactMatch):
+            ordinals = index.exact(predicate.value)
+        else:
+            ordinals = index.matching(predicate.low, predicate.high)
+        # The whole index is scanned sequentially (hash order, not key
+        # order), then each qualifying tuple costs a random data access.
+        for page_no in range(index.num_pages):
+            yield from amp.read_page(index.name, page_no)
+        yield from amp.work(self.costs.index_entry * len(index.entries))
+        hits = []
+        for ordinal in ordinals:
+            page_no = fragment.page_of_ordinal(ordinal)
+            yield from amp.read_page(fragment.name, page_no, sequential=False)
+            hits.append(fragment.records[ordinal])
+        yield from amp.work(self.costs.scan_tuple * len(hits))
+        out[i] = hits
+        self.stats["pages_read"] += index.num_pages + len(ordinals)
+
+    # ------------------------------------------------------------------
+    # joins
+    # ------------------------------------------------------------------
+    def _join_phase(
+        self, join: JoinNode
+    ) -> Generator[Any, Any, tuple[list[list[tuple]], Schema]]:
+        left_per_amp, left_schema = yield from self._execute(join.build)
+        right_per_amp, right_schema = yield from self._execute(join.probe)
+        left_pos = left_schema.position(join.build_attr)
+        right_pos = right_schema.position(join.probe_attr)
+        self.plan_description += "+sort-merge"
+
+        left_local = self._already_partitioned(join.build, join.build_attr)
+        right_local = self._already_partitioned(join.probe, join.probe_attr)
+        left_spools = yield from self._redistribute(
+            left_per_amp, left_pos, left_schema, local=left_local
+        )
+        right_spools = yield from self._redistribute(
+            right_per_amp, right_pos, right_schema, local=right_local
+        )
+
+        out: list[list[tuple]] = [[] for _ in self.amps]
+        procs = []
+        for i, amp in enumerate(self.amps):
+            procs.append(
+                self.sim.spawn(
+                    self._amp_sort_merge(
+                        amp, left_spools[i], right_spools[i],
+                        left_pos, right_pos, left_schema, right_schema,
+                        out, i,
+                    ),
+                    name=f"smj.{i}",
+                )
+            )
+        yield WaitAll(procs)
+        return out, left_schema.concat(right_schema)
+
+    def _already_partitioned(self, node: Any, attr: str) -> bool:
+        """Redistribution is skipped when joining a base relation on its
+        primary (partitioning) key — Table 2 rows 4-6's 25-50 % gain."""
+        if not isinstance(node, ScanNode):
+            return False
+        relation = self.machine.lookup(node.relation)
+        return attr == relation.key_attr
+
+    def _redistribute(
+        self,
+        per_amp: list[list[tuple]],
+        pos: int,
+        schema: Schema,
+        local: bool,
+    ) -> Generator[Any, Any, list[list[tuple]]]:
+        n_amps = len(self.amps)
+        if local:
+            self.stats["redistributions_skipped"] += 1
+            return per_amp
+        buckets: list[list[tuple]] = [[] for _ in range(n_amps)]
+        for source in per_amp:
+            for record in source:
+                buckets[gamma_hash(record[pos], n_amps)].append(record)
+        per_page = max(1, records_per_page(self.config.page_size,
+                                           schema.tuple_bytes))
+        procs = []
+        for i, amp in enumerate(self.amps):
+            procs.append(
+                self.sim.spawn(
+                    self._amp_redistribute(
+                        amp, len(per_amp[i]), len(buckets[i]),
+                        schema.tuple_bytes, per_page, i,
+                    ),
+                    name=f"redist.{i}",
+                )
+            )
+        yield WaitAll(procs)
+        self.stats["tuples_redistributed"] += sum(len(b) for b in buckets)
+        return buckets
+
+    def _amp_redistribute(
+        self, amp: Amp, n_sent: int, n_received: int,
+        tuple_bytes: int, per_page: int, i: int,
+    ) -> Generator[Any, Any, None]:
+        # Sending side: hash and inject into the Y-net page by page.
+        yield from amp.work(self.costs.redistribute_tuple * n_sent)
+        sent_pages = (n_sent + per_page - 1) // per_page
+        for _ in range(sent_pages):
+            yield Use(
+                self.ynet,
+                PACKAGE_BYTES / self.config.network.ring_bandwidth,
+            )
+        # Receiving side: append to a local spool file.
+        yield from amp.work(self.costs.receive_tuple * n_received)
+        spool_pages = (n_received + per_page - 1) // per_page
+        spool = f"spool.{i}.{self._tmp}"
+        for page_no in range(spool_pages):
+            yield from amp.write_page(spool, page_no)
+        self.stats["spool_pages"] += spool_pages
+
+    def _amp_sort_merge(
+        self,
+        amp: Amp,
+        left: list[tuple],
+        right: list[tuple],
+        left_pos: int,
+        right_pos: int,
+        left_schema: Schema,
+        right_schema: Schema,
+        out: list[list[tuple]],
+        i: int,
+    ) -> Generator[Any, Any, None]:
+        sorted_left, lstats = external_sort(
+            left, key=lambda r: r[left_pos],
+            record_bytes=left_schema.tuple_bytes,
+            page_size=self.config.page_size,
+            memory_bytes=self.config.sort_memory_per_amp,
+        )
+        sorted_right, rstats = external_sort(
+            right, key=lambda r: r[right_pos],
+            record_bytes=right_schema.tuple_bytes,
+            page_size=self.config.page_size,
+            memory_bytes=self.config.sort_memory_per_amp,
+        )
+        sort_pass_tuples = (
+            len(left) * (1 + lstats.merge_passes)
+            + len(right) * (1 + rstats.merge_passes)
+        )
+        yield from amp.work(self.costs.sort_tuple_pass * sort_pass_tuples)
+        io_pages = lstats.total_page_ios + rstats.total_page_ios
+        for spool_no, stats in (("l", lstats), ("r", rstats)):
+            file_id = f"sort.{i}.{spool_no}.{self._tmp}"
+            for page_no in range(stats.pages_written):
+                yield from amp.write_page(file_id, page_no)
+            for page_no in range(stats.pages_read):
+                yield from amp.read_page(file_id, page_no % max(1, stats.n_pages or 1))
+        self.stats["sort_page_ios"] += io_pages
+
+        matches = _merge_join(sorted_left, sorted_right, left_pos, right_pos)
+        yield from amp.work(
+            self.costs.merge_tuple * (len(left) + len(right))
+            + self.costs.join_result_tuple * len(matches)
+        )
+        out[i] = matches
+
+    # ------------------------------------------------------------------
+    # storing results
+    # ------------------------------------------------------------------
+    def _store_phase(
+        self, per_amp: list[list[tuple]], schema: Schema
+    ) -> Generator[Any, Any, None]:
+        """Redistribute result tuples on the result key and INSERT them.
+
+        "the Teradata insert code is currently optimized for single tuple
+        and not bulk updates, at least 3 I/Os are incurred for each tuple
+        inserted."
+        """
+        n_amps = len(self.amps)
+        buckets: list[list[tuple]] = [[] for _ in range(n_amps)]
+        for source in per_amp:
+            for record in source:
+                buckets[gamma_hash(record[0], n_amps)].append(record)
+        per_page = max(
+            1, records_per_page(self.config.page_size, schema.tuple_bytes)
+        )
+        procs = []
+        for i, amp in enumerate(self.amps):
+            procs.append(
+                self.sim.spawn(
+                    self._amp_store(amp, per_amp[i], buckets[i],
+                                    schema, per_page, i),
+                    name=f"store.{i}",
+                )
+            )
+        yield WaitAll(procs)
+        fragments = [
+            AmpFragment(
+                f"{self.query.into}.a{i}", schema, schema.names()[0],
+                self.config.page_size, buckets[i],
+            )
+            for i in range(n_amps)
+        ]
+        from .machine import TeradataRelation
+
+        self.result_relation = TeradataRelation(
+            self.query.into, schema, schema.names()[0], fragments
+        )
+
+    def _amp_store(
+        self, amp: Amp, outgoing: list[tuple], incoming: list[tuple],
+        schema: Schema, per_page: int, i: int,
+    ) -> Generator[Any, Any, None]:
+        yield from amp.work(self.costs.redistribute_tuple * len(outgoing))
+        pages = (len(outgoing) + per_page - 1) // per_page
+        for _ in range(pages):
+            yield Use(
+                self.ynet,
+                PACKAGE_BYTES / self.config.network.ring_bandwidth,
+            )
+        # The logged single-tuple INSERT path.
+        yield from amp.work(self.costs.insert_tuple_cpu * len(incoming))
+        file_id = f"{self.query.into}.a{i}"
+        io_count = int(len(incoming) * self.config.insert_ios_per_tuple)
+        for k in range(io_count):
+            yield from amp.write_page(file_id, k, sequential=False)
+        self.stats["insert_ios"] += io_count
+
+
+def _merge_join(
+    left: list[tuple], right: list[tuple], lpos: int, rpos: int
+) -> list[tuple]:
+    """Classic sort-merge equi-join with duplicate-run handling."""
+    out: list[tuple] = []
+    li = ri = 0
+    nl, nr = len(left), len(right)
+    while li < nl and ri < nr:
+        lv = left[li][lpos]
+        rv = right[ri][rpos]
+        if lv < rv:
+            li += 1
+        elif lv > rv:
+            ri += 1
+        else:
+            lrun_end = li
+            while lrun_end < nl and left[lrun_end][lpos] == lv:
+                lrun_end += 1
+            rrun_end = ri
+            while rrun_end < nr and right[rrun_end][rpos] == rv:
+                rrun_end += 1
+            for a in range(li, lrun_end):
+                for b in range(ri, rrun_end):
+                    out.append(left[a] + right[b])
+            li, ri = lrun_end, rrun_end
+    return out
+
+
+class TeradataUpdateRun:
+    """One single-tuple update on the DBC/1012 (full logging)."""
+
+    def __init__(
+        self, machine: "Any", sim: Simulation, amps: list[Amp],
+        request: UpdateRequest,
+    ) -> None:
+        self.machine = machine
+        self.costs = machine.costs
+        self.config = machine.config
+        self.sim = sim
+        self.amps = amps
+        self.request = request
+        self.stats: Counter[str] = Counter()
+        self.affected = 0
+
+    def coordinator(self) -> Generator[Any, Any, None]:
+        yield Delay(self.costs.update_host_s)
+        request = self.request
+        if isinstance(request, AppendTuple):
+            yield from self._append(request)
+        elif isinstance(request, DeleteTuple):
+            yield from self._delete(request)
+        elif isinstance(request, ModifyTuple):
+            yield from self._modify(request)
+        else:  # pragma: no cover - closed union
+            raise PlanError(f"unknown update {request!r}")
+
+    def _locate(
+        self, relation: Any, where: ExactMatch
+    ) -> tuple[int, Optional[int]]:
+        """(amp, ordinal) of the target tuple, or (amp, None)."""
+        pos = relation.schema.position(where.attr)
+        if where.attr == relation.key_attr:
+            amp_no = relation.amp_of_key(where.value, len(self.amps))
+            candidates = [amp_no]
+        else:
+            candidates = list(range(len(self.amps)))
+        for amp_no in candidates:
+            fragment = relation.fragments[amp_no]
+            for ordinal, record in enumerate(fragment.records):
+                if record is not None and record[pos] == where.value:
+                    return amp_no, ordinal
+        return 0, None
+
+    def _update_io(self, amp: Amp, file_id: str) -> Generator[Any, Any, None]:
+        for k in range(int(self.costs.update_ios)):
+            yield from amp.write_page(file_id, k, sequential=False)
+
+    def _append(self, request: AppendTuple) -> Generator[Any, Any, None]:
+        relation = self.machine.lookup(request.relation)
+        key_pos = relation.schema.position(relation.key_attr)
+        amp_no = relation.amp_of_key(
+            request.record[key_pos], len(self.amps)
+        )
+        amp = self.amps[amp_no]
+        fragment = relation.fragments[amp_no]
+        fragment.append(request.record)
+        yield from amp.work(self.costs.update_tuple_cpu)
+        yield from self._update_io(amp, fragment.name)
+        if fragment.indexes:
+            yield from amp.work(
+                self.costs.index_maintenance_cpu * len(fragment.indexes)
+            )
+            yield from self._update_io(amp, fragment.name + ".idx")
+        self.affected = 1
+
+    def _delete(self, request: DeleteTuple) -> Generator[Any, Any, None]:
+        relation = self.machine.lookup(request.relation)
+        amp_no, ordinal = self._locate(relation, request.where)
+        amp = self.amps[amp_no]
+        fragment = relation.fragments[amp_no]
+        use_index = (
+            request.where.attr == relation.key_attr
+            or request.where.attr in fragment.indexes
+        )
+        yield from amp.work(
+            self.costs.exact_match_cpu if use_index
+            else self.costs.scan_tuple * fragment.num_records
+        )
+        yield from amp.read_page(fragment.name, 0, sequential=False)
+        if ordinal is None:
+            return
+        fragment.remove(ordinal)
+        yield from amp.work(self.costs.update_tuple_cpu)
+        yield from self._update_io(amp, fragment.name)
+        if fragment.indexes:
+            yield from amp.work(
+                self.costs.index_maintenance_cpu * len(fragment.indexes)
+            )
+            yield from self._update_io(amp, fragment.name + ".idx")
+        self.affected = 1
+
+    def _modify(self, request: ModifyTuple) -> Generator[Any, Any, None]:
+        relation = self.machine.lookup(request.relation)
+        amp_no, ordinal = self._locate(relation, request.where)
+        if ordinal is None:
+            yield from self.amps[amp_no].work(self.costs.exact_match_cpu)
+            return
+        amp = self.amps[amp_no]
+        fragment = relation.fragments[amp_no]
+        yield from amp.work(self.costs.exact_match_cpu)
+        yield from amp.read_page(fragment.name, 0, sequential=False)
+        pos = relation.schema.position(request.attr)
+        old = fragment.records[ordinal]
+        new_record = old[:pos] + (request.value,) + old[pos + 1:]
+        if request.attr == relation.key_attr:
+            # Relocation: delete here, re-hash, insert at the new AMP,
+            # and fix every secondary index.
+            fragment.remove(ordinal)
+            yield from amp.work(self.costs.update_tuple_cpu)
+            yield from self._update_io(amp, fragment.name)
+            new_amp_no = relation.amp_of_key(
+                request.value, len(self.amps)
+            )
+            new_amp = self.amps[new_amp_no]
+            relation.fragments[new_amp_no].append(new_record)
+            yield from new_amp.work(self.costs.update_tuple_cpu)
+            yield from self._update_io(
+                new_amp, relation.fragments[new_amp_no].name
+            )
+            n_indexes = len(fragment.indexes)
+            if n_indexes:
+                yield from new_amp.work(
+                    self.costs.index_maintenance_cpu * n_indexes * 2
+                )
+                yield from self._update_io(new_amp, fragment.name + ".idx")
+        else:
+            index_touched = request.attr in fragment.indexes
+            fragment.replace(ordinal, new_record)
+            yield from amp.work(self.costs.update_tuple_cpu)
+            yield from self._update_io(amp, fragment.name)
+            if index_touched:
+                yield from amp.work(self.costs.index_maintenance_cpu)
+                yield from self._update_io(amp, fragment.name + ".idx")
+        self.affected = 1

@@ -1,0 +1,180 @@
+"""The Teradata DBC/1012 baseline machine.
+
+The comparison system of Sections 3-7: 4 IFPs, 20 AMPs with two DSUs each,
+a 12 MB/s Y-net, release 2.3 software.  It accepts the same
+:class:`~repro.engine.plan.Query` objects as :class:`~repro.engine.machine.
+GammaMachine`, so every benchmark runs the identical workload on both
+machines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..catalog import gamma_hash
+from ..errors import CatalogError, PlanError
+from ..hardware import TeradataConfig
+from ..sim import Simulation
+from ..storage import Schema
+from ..engine.plan import Query, UpdateRequest
+from ..engine.results import QueryResult
+from ..workloads import generate_tuples, wisconsin_schema
+from .amp import Amp, AmpFragment
+from .costs import DEFAULT_TERADATA_COSTS, TeradataCosts
+from .executor import TeradataRun, TeradataUpdateRun
+
+
+class TeradataRelation:
+    """A relation hash-partitioned on its primary key across all AMPs."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        key_attr: str,
+        fragments: Sequence[AmpFragment],
+    ) -> None:
+        self.name = name
+        self.schema = schema
+        self.key_attr = key_attr
+        self.fragments = list(fragments)
+
+    @property
+    def num_records(self) -> int:
+        return sum(f.num_records for f in self.fragments)
+
+    @property
+    def num_pages(self) -> int:
+        return sum(f.num_pages for f in self.fragments)
+
+    def indexed_attrs(self) -> set[str]:
+        return set(self.fragments[0].indexes)
+
+    def records(self) -> Iterable[tuple]:
+        for fragment in self.fragments:
+            yield from fragment.live_records()
+
+    def amp_of_key(self, value: object, n_amps: int) -> int:
+        return gamma_hash(value, n_amps)
+
+
+class TeradataMachine:
+    """A configured DBC/1012 with a catalog of loaded relations."""
+
+    def __init__(
+        self,
+        config: Optional[TeradataConfig] = None,
+        costs: TeradataCosts = DEFAULT_TERADATA_COSTS,
+    ) -> None:
+        self.config = config or TeradataConfig.paper_default()
+        self.costs = costs
+        self.relations: dict[str, TeradataRelation] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (
+            f"<TeradataMachine {self.config.n_amps} AMPs,"
+            f" {len(self.relations)} relations>"
+        )
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def load_relation(
+        self,
+        name: str,
+        schema: Schema,
+        records: Sequence[tuple],
+        primary_key: str,
+        secondary_on: Iterable[str] = (),
+    ) -> TeradataRelation:
+        """Hash tuples to AMPs on the primary key; store in hash-key order.
+
+        "Whenever a tuple is to be inserted into a relation, a hash
+        function is applied to the primary key of the relation to select
+        an AMP for storage."
+        """
+        if name in self.relations:
+            raise CatalogError(f"relation {name!r} already exists")
+        key_pos = schema.position(primary_key)
+        n = self.config.n_amps
+        buckets: list[list[tuple]] = [[] for _ in range(n)]
+        for record in records:
+            buckets[gamma_hash(record[key_pos], n)].append(record)
+        fragments = [
+            AmpFragment(
+                f"{name}.a{i}", schema, primary_key,
+                self.config.page_size, bucket,
+            )
+            for i, bucket in enumerate(buckets)
+        ]
+        relation = TeradataRelation(name, schema, primary_key, fragments)
+        for attr in secondary_on:
+            for fragment in fragments:
+                fragment.add_index(attr)
+        self.relations[name] = relation
+        return relation
+
+    def load_wisconsin(
+        self,
+        name: str,
+        n: int,
+        seed: Optional[int] = None,
+        secondary_on: Iterable[str] = (),
+        strings: str = "cheap",
+    ) -> TeradataRelation:
+        if seed is None:
+            seed = abs(hash(name)) % (2**31)
+        records = list(generate_tuples(n, seed=seed, strings=strings))  # type: ignore[arg-type]
+        return self.load_relation(
+            name, wisconsin_schema(), records,
+            primary_key="unique1", secondary_on=secondary_on,
+        )
+
+    def lookup(self, name: str) -> TeradataRelation:
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise CatalogError(f"unknown relation {name!r}") from None
+
+    def drop_relation(self, name: str) -> None:
+        self.lookup(name)
+        del self.relations[name]
+
+    def drop_if_exists(self, name: str) -> None:
+        self.relations.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, query: Query) -> QueryResult:
+        """Execute a retrieval query (selection / join / join-of-join)."""
+        if query.into is not None and query.into in self.relations:
+            raise CatalogError(f"result relation {query.into!r} exists")
+        sim = Simulation()
+        amps = [Amp(sim, i, self.config) for i in range(self.config.n_amps)]
+        run = TeradataRun(self, sim, amps, query)
+        sim.spawn(run.coordinator(), name="ifp")
+        response_time = sim.run()
+        if query.into is not None and run.result_relation is not None:
+            self.relations[query.into] = run.result_relation
+        return QueryResult(
+            response_time=response_time,
+            tuples=run.collected if query.into is None else None,
+            result_relation=query.into,
+            result_count=run.result_count,
+            stats=dict(run.stats),
+            plan=run.plan_description,
+        )
+
+    def update(self, request: UpdateRequest) -> QueryResult:
+        sim = Simulation()
+        amps = [Amp(sim, i, self.config) for i in range(self.config.n_amps)]
+        run = TeradataUpdateRun(self, sim, amps, request)
+        sim.spawn(run.coordinator(), name="ifp")
+        response_time = sim.run()
+        return QueryResult(
+            response_time=response_time,
+            result_count=run.affected,
+            stats=dict(run.stats),
+            plan=type(request).__name__,
+        )

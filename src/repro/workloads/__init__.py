@@ -1,0 +1,21 @@
+"""Workloads: the Wisconsin benchmark generator and the paper's queries."""
+
+from .wisconsin import (
+    INT_ATTRS,
+    STRING_ATTRS,
+    TUPLE_BYTES,
+    SelectivityRange,
+    generate_tuples,
+    selection_range,
+    wisconsin_schema,
+)
+
+__all__ = [
+    "INT_ATTRS",
+    "STRING_ATTRS",
+    "SelectivityRange",
+    "TUPLE_BYTES",
+    "generate_tuples",
+    "selection_range",
+    "wisconsin_schema",
+]

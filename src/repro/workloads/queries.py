@@ -1,0 +1,153 @@
+"""The paper's benchmark query suite (Sections 5-7).
+
+Builders return :class:`~repro.engine.plan.Query` objects accepted by both
+:class:`~repro.engine.GammaMachine` and
+:class:`~repro.teradata.TeradataMachine`, parameterised exactly the way the
+paper parameterises them: selectivity, access-path organisation, key vs
+non-key join attributes, and Local/Remote/Allnodes placement.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..engine.plan import (
+    AccessPath,
+    AppendTuple,
+    DeleteTuple,
+    ExactMatch,
+    JoinMode,
+    JoinNode,
+    ModifyTuple,
+    Query,
+    RangePredicate,
+    ScanNode,
+)
+from ..errors import BenchmarkError
+from .wisconsin import generate_tuples, selection_range
+
+
+def selection_query(
+    relation: str,
+    n: int,
+    selectivity: float,
+    attr: str = "unique2",
+    into: Optional[str] = None,
+    forced_path: Optional[AccessPath] = None,
+) -> Query:
+    """A range selection retrieving ``selectivity`` of ``relation``.
+
+    ``attr="unique2"`` probes the non-clustered organisation (or a plain
+    scan on an unindexed copy); ``attr="unique1"`` probes the clustered
+    organisation.
+    """
+    r = selection_range(n, selectivity, attr=attr)
+    return Query.select(
+        relation, RangePredicate(r.attr, r.low, r.high),
+        into=into, forced_path=forced_path,
+    )
+
+
+def single_tuple_select(
+    relation: str, value: int, into: Optional[str] = None
+) -> Query:
+    """The Table 1 single-tuple selection (exact match on the key)."""
+    return Query.select(relation, ExactMatch("unique1", value), into=into)
+
+
+def join_abprime(
+    a_relation: str,
+    bprime_relation: str,
+    key: bool,
+    mode: JoinMode = JoinMode.REMOTE,
+    into: Optional[str] = None,
+) -> Query:
+    """joinABprime: A ⋈ Bprime, Bprime is 1/10th of A.
+
+    ``key=True`` joins on unique1 (the partitioning attribute);
+    ``key=False`` joins on unique2.  Bprime is the build (smaller) side.
+    """
+    attr = "unique1" if key else "unique2"
+    return Query.join(
+        ScanNode(bprime_relation), ScanNode(a_relation),
+        on=(attr, attr), mode=mode, into=into,
+    )
+
+
+def join_aselb(
+    a_relation: str,
+    b_relation: str,
+    n: int,
+    key: bool,
+    mode: JoinMode = JoinMode.REMOTE,
+    into: Optional[str] = None,
+) -> Query:
+    """joinAselB: A ⋈ (10% selection of B), both of cardinality ``n``.
+
+    The selection predicate is on the join attribute, so Gamma's optimizer
+    can propagate it to A (turning the query into joinselAselB) while the
+    Teradata executor still reads both relations in full — the asymmetry
+    Section 6.1 analyses.
+    """
+    attr = "unique1" if key else "unique2"
+    r = selection_range(n, 0.10, attr=attr)
+    return Query.join(
+        ScanNode(b_relation, RangePredicate(r.attr, r.low, r.high)),
+        ScanNode(a_relation),
+        on=(attr, attr), mode=mode, into=into,
+    )
+
+
+def join_cselaselb(
+    a_relation: str,
+    b_relation: str,
+    c_relation: str,
+    n: int,
+    key: bool,
+    mode: JoinMode = JoinMode.REMOTE,
+    into: Optional[str] = None,
+) -> Query:
+    """joinCselAselB: C ⋈ (selA ⋈ selB).
+
+    A and B are restricted to 10% on the join attribute and joined; the
+    intermediate (n/10 tuples) is joined with C (n/10 tuples) so the final
+    result contains exactly |C| tuples — the paper's construction.
+    """
+    attr = "unique1" if key else "unique2"
+    r = selection_range(n, 0.10, attr=attr, offset_fraction=0.0)
+    pred = RangePredicate(attr, r.low, r.high)
+    inner = JoinNode(
+        ScanNode(b_relation, pred), ScanNode(a_relation, pred),
+        attr, attr, mode,
+    )
+    # The intermediate's B-side join attribute keeps its original name;
+    # C's matching attribute spans the same 0..n/10-1 value range.
+    return Query.join(
+        ScanNode(c_relation), inner, on=(attr, attr), mode=mode, into=into,
+    )
+
+
+def update_suite(relation: str, n: int, seed: int = 987) -> dict[str, object]:
+    """The six Table 3 update requests against ``relation``.
+
+    Values are chosen to exist (or deliberately not exist) in a Wisconsin
+    relation of ``n`` tuples.
+    """
+    if n < 1000:
+        raise BenchmarkError("update suite expects n >= 1000")
+    base = next(iter(generate_tuples(1, seed=seed)))
+    fresh = (n + seed, n + seed) + base[2:]
+    return {
+        "append 1 tuple (no indices)": AppendTuple(relation, fresh),
+        "append 1 tuple (one index)": AppendTuple(relation, fresh),
+        "delete 1 tuple": DeleteTuple(relation, ExactMatch("unique1", n + seed)),
+        "modify 1 tuple (key attribute)": ModifyTuple(
+            relation, ExactMatch("unique1", n // 2), "unique1", n + seed + 1
+        ),
+        "modify 1 tuple (non-indexed attribute)": ModifyTuple(
+            relation, ExactMatch("unique1", n // 3), "odd100", 13
+        ),
+        "modify 1 tuple (non-clustered index attribute)": ModifyTuple(
+            relation, ExactMatch("unique2", n // 4), "unique2", n + seed + 2
+        ),
+    }

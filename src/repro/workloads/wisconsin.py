@@ -1,0 +1,156 @@
+"""The Wisconsin benchmark relation generator [BITT83].
+
+Each relation has thirteen 4-byte integer attributes and three 52-byte
+string attributes (208 bytes per tuple).  ``unique1`` and ``unique2`` are
+independent random permutations of ``0..n-1`` — every tuple has a unique
+value for each and the two are uncorrelated within a tuple, exactly as the
+paper describes.  The remaining integers are derived from ``unique1``.
+
+Selectivity predicates are ranges on ``unique1``/``unique2``: a predicate
+``low <= unique2 < low + n//100`` retrieves exactly 1 % of the relation.
+
+String handling: the benchmark queries in the paper never consult the
+string attributes; they exist to pad the tuple to 208 bytes (byte widths
+are declared in the schema and billed by the cost model regardless of the
+Python value).  To keep 1 M-tuple relations resident, the default mode
+stores shared placeholder strings; ``strings="full"`` generates the
+classic unique 52-character values.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Literal
+
+from ..errors import BenchmarkError
+from ..storage import Schema, int_attr, string_attr
+
+#: Integer attribute names, in tuple order.
+INT_ATTRS = (
+    "unique1",
+    "unique2",
+    "two",
+    "four",
+    "ten",
+    "twenty",
+    "hundred",
+    "thousand",
+    "twothous",
+    "fivethous",
+    "tenthous",
+    "odd100",
+    "even100",
+)
+
+#: String attribute names, in tuple order after the integers.
+STRING_ATTRS = ("stringu1", "stringu2", "string4")
+
+#: Width of one Wisconsin tuple: 13*4 + 3*52 = 208 bytes.
+TUPLE_BYTES = 208
+
+_STRING4_CYCLE = (
+    "A" + "x" * 50 + "A",
+    "H" + "x" * 50 + "H",
+    "O" + "x" * 50 + "O",
+    "V" + "x" * 50 + "V",
+)
+_PLACEHOLDER = "P" + "x" * 50 + "P"
+
+StringsMode = Literal["cheap", "full"]
+
+
+def wisconsin_schema() -> Schema:
+    """The 16-attribute, 208-byte Wisconsin schema."""
+    attrs = [int_attr(name) for name in INT_ATTRS]
+    attrs += [string_attr(name) for name in STRING_ATTRS]
+    return Schema(attrs)
+
+
+def _unique_string(value: int) -> str:
+    """The classic 52-byte unique string: a base-26 prefix padded with x."""
+    letters = []
+    v = value
+    for _ in range(7):
+        letters.append(chr(ord("A") + v % 26))
+        v //= 26
+    prefix = "".join(reversed(letters))
+    return prefix + "x" * (52 - len(prefix))
+
+
+def generate_tuples(
+    n: int,
+    seed: int = 0,
+    strings: StringsMode = "cheap",
+) -> Iterator[tuple]:
+    """Yield ``n`` Wisconsin tuples (deterministic for a given seed)."""
+    if n < 1:
+        raise BenchmarkError(f"relation needs >= 1 tuple, got {n}")
+    rng = random.Random(seed)
+    unique1 = list(range(n))
+    rng.shuffle(unique1)
+    unique2 = list(range(n))
+    rng.shuffle(unique2)
+    full = strings == "full"
+    for i in range(n):
+        u1 = unique1[i]
+        u2 = unique2[i]
+        if full:
+            s1 = _unique_string(u1)
+            s2 = _unique_string(u2)
+        else:
+            s1 = _PLACEHOLDER
+            s2 = _PLACEHOLDER
+        yield (
+            u1,
+            u2,
+            u1 % 2,
+            u1 % 4,
+            u1 % 10,
+            u1 % 20,
+            u1 % 100,
+            u1 % 1000,
+            u1 % 2000,
+            u1 % 5000,
+            u1 % 10000,
+            (u1 % 50) * 2 + 1,
+            (u1 % 50) * 2 + 2,
+            s1,
+            s2,
+            _STRING4_CYCLE[i % 4],
+        )
+
+
+@dataclass(frozen=True)
+class SelectivityRange:
+    """A range predicate on a unique attribute with known selectivity."""
+
+    attr: str
+    low: int
+    high: int  # inclusive
+
+    @property
+    def count(self) -> int:
+        return self.high - self.low + 1
+
+
+def selection_range(
+    n: int,
+    selectivity: float,
+    attr: str = "unique2",
+    offset_fraction: float = 0.25,
+) -> SelectivityRange:
+    """A range on a unique attribute retrieving ``selectivity * n`` tuples.
+
+    ``selectivity=0.0`` produces an empty range below any stored key (the
+    paper's 0 % queries still scan but emit nothing).
+    """
+    if not 0.0 <= selectivity <= 1.0:
+        raise BenchmarkError(f"selectivity {selectivity} out of [0, 1]")
+    k = round(n * selectivity)
+    if k == 0:
+        return SelectivityRange(attr, -2, -1)
+    low = int(n * offset_fraction)
+    if low + k > n:
+        low = n - k
+    return SelectivityRange(attr, low, low + k - 1)

@@ -1,0 +1,197 @@
+"""Tests for declustering strategies and the catalog."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import (
+    Catalog,
+    Hashed,
+    RangePartitioned,
+    RoundRobin,
+    UniformRange,
+    gamma_hash,
+)
+from repro.errors import CatalogError
+from repro.storage import Schema, int_attr
+
+
+def schema():
+    return Schema([int_attr("key"), int_attr("other")])
+
+
+def records(n):
+    return [(i, n - i) for i in range(n)]
+
+
+class TestGammaHash:
+    def test_deterministic(self):
+        assert gamma_hash(42, 8) == gamma_hash(42, 8)
+
+    def test_in_range(self):
+        for v in range(1000):
+            assert 0 <= gamma_hash(v, 7) < 7
+
+    def test_spreads_uniformly(self):
+        counts = [0] * 8
+        for v in range(8000):
+            counts[gamma_hash(v, 8)] += 1
+        assert max(counts) < 1.25 * min(counts)
+
+    def test_zero_buckets_rejected(self):
+        with pytest.raises(CatalogError):
+            gamma_hash(1, 0)
+
+
+class TestRoundRobin:
+    def test_deals_evenly(self):
+        buckets = RoundRobin().partition(records(100), schema(), 8)
+        sizes = [len(b) for b in buckets]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_preserves_all_tuples(self):
+        recs = records(37)
+        buckets = RoundRobin().partition(recs, schema(), 4)
+        assert sorted(r for b in buckets for r in b) == sorted(recs)
+
+    def test_no_key_derivable(self):
+        assert RoundRobin().site_for_key(5, 8) is None
+
+
+class TestHashed:
+    def test_same_key_same_site(self):
+        strat = Hashed("key")
+        buckets = strat.partition(records(100), schema(), 8)
+        for site, bucket in enumerate(buckets):
+            for rec in bucket:
+                assert strat.site_for_key(rec[0], 8) == site
+
+    def test_roughly_even(self):
+        buckets = Hashed("key").partition(records(10_000), schema(), 8)
+        sizes = [len(b) for b in buckets]
+        assert max(sizes) < 1.3 * min(sizes)
+
+    def test_unprepared_raises(self):
+        with pytest.raises(CatalogError):
+            Hashed("key").site_of((1, 2), 8)
+
+    def test_bind_without_load(self):
+        strat = Hashed("key").bind(schema())
+        assert strat.site_of((5, 0), 8) == gamma_hash(5, 8)
+
+
+class TestRangePartitioned:
+    def test_respects_boundaries(self):
+        strat = RangePartitioned("key", [25, 50, 75])
+        buckets = strat.partition(records(100), schema(), 4)
+        assert all(r[0] <= 25 for r in buckets[0])
+        assert all(25 < r[0] <= 50 for r in buckets[1])
+        assert all(50 < r[0] <= 75 for r in buckets[2])
+        assert all(r[0] > 75 for r in buckets[3])
+
+    def test_key_site_derivable(self):
+        strat = RangePartitioned("key", [25, 50, 75])
+        strat.prepare(records(100), schema(), 4)
+        assert strat.site_for_key(10, 4) == 0
+        assert strat.site_for_key(99, 4) == 3
+
+    def test_wrong_boundary_count_rejected(self):
+        with pytest.raises(CatalogError):
+            RangePartitioned("key", [10]).partition(records(100), schema(), 4)
+
+    def test_unsorted_boundaries_rejected(self):
+        with pytest.raises(CatalogError):
+            RangePartitioned("key", [50, 10])
+
+    def test_empty_boundaries_rejected(self):
+        with pytest.raises(CatalogError):
+            RangePartitioned("key", [])
+
+
+class TestUniformRange:
+    def test_even_split(self):
+        buckets = UniformRange("key").partition(records(1000), schema(), 8)
+        sizes = [len(b) for b in buckets]
+        assert max(sizes) - min(sizes) <= 2
+
+    def test_order_within_ranges(self):
+        buckets = UniformRange("key").partition(records(100), schema(), 4)
+        highs = [max(r[0] for r in b) for b in buckets if b]
+        assert highs == sorted(highs)
+
+    def test_unprepared_raises(self):
+        with pytest.raises(CatalogError):
+            UniformRange("key").site_of((1, 2), 4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=500),
+    n_sites=st.integers(min_value=1, max_value=16),
+    kind=st.sampled_from(["rr", "hash", "uniform"]),
+)
+def test_property_partitioning_is_complete_and_disjoint(n, n_sites, kind):
+    strat = {
+        "rr": RoundRobin(),
+        "hash": Hashed("key"),
+        "uniform": UniformRange("key"),
+    }[kind]
+    recs = records(n)
+    buckets = strat.partition(recs, schema(), n_sites)
+    assert len(buckets) == n_sites
+    flattened = [r for b in buckets for r in b]
+    assert sorted(flattened) == sorted(recs)  # complete, no duplication
+
+
+class TestCatalog:
+    def test_create_and_lookup(self):
+        cat = Catalog()
+        rel = cat.create(
+            "r", schema(), Hashed("key"), records(100),
+            n_sites=4, page_size=4096,
+        )
+        assert cat.lookup("r") is rel
+        assert rel.num_records == 100
+        assert rel.n_sites == 4
+
+    def test_duplicate_name_rejected(self):
+        cat = Catalog()
+        cat.create("r", schema(), RoundRobin(), records(10), 2, 4096)
+        with pytest.raises(CatalogError):
+            cat.create("r", schema(), RoundRobin(), records(10), 2, 4096)
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().lookup("ghost")
+
+    def test_drop(self):
+        cat = Catalog()
+        cat.create("r", schema(), RoundRobin(), records(10), 2, 4096)
+        cat.drop("r")
+        assert "r" not in cat
+
+    def test_clustered_creation(self):
+        cat = Catalog()
+        rel = cat.create(
+            "r", schema(), Hashed("key"), records(500),
+            n_sites=4, page_size=4096, clustered_on="key",
+        )
+        assert rel.clustered_on == "key"
+        for frag in rel.fragments:
+            keys = [r[0] for r in frag.records()]
+            assert keys == sorted(keys)
+
+    def test_secondary_index_on_create(self):
+        cat = Catalog()
+        rel = cat.create(
+            "r", schema(), RoundRobin(), records(100),
+            n_sites=2, page_size=4096, secondary_on=["other"],
+        )
+        assert rel.has_index_on("other")
+        assert rel.indexed_attrs() == {"other"}
+
+    def test_records_roundtrip(self):
+        cat = Catalog()
+        recs = records(64)
+        rel = cat.create("r", schema(), Hashed("key"), recs, 4, 4096)
+        assert sorted(rel.records()) == sorted(recs)

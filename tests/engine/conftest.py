@@ -1,0 +1,32 @@
+"""Shared fixtures: a small Gamma machine with loaded Wisconsin relations."""
+
+import pytest
+
+from repro import GammaConfig, GammaMachine
+
+
+def small_config(**overrides):
+    defaults = dict(n_disk_sites=4, n_diskless=4)
+    defaults.update(overrides)
+    return GammaConfig(**defaults)
+
+
+@pytest.fixture
+def machine():
+    """A 4+4-node machine with a 2 000-tuple relation in three organisations."""
+    m = GammaMachine(small_config())
+    m.load_wisconsin(
+        "twok", 2_000, seed=11, clustered_on="unique1", secondary_on=["unique2"]
+    )
+    m.load_wisconsin("heap2k", 2_000, seed=11)
+    return m
+
+
+@pytest.fixture
+def join_machine():
+    m = GammaMachine(small_config())
+    m.load_wisconsin("A", 2_000, seed=21)
+    m.load_wisconsin("B", 2_000, seed=22)
+    m.load_wisconsin("Bprime", 200, seed=23)
+    m.load_wisconsin("C", 200, seed=24)
+    return m

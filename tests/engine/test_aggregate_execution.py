@@ -1,0 +1,85 @@
+"""End-to-end aggregate execution against plain-Python oracles."""
+
+import pytest
+
+from repro.engine import Query, RangePredicate
+from repro.workloads import generate_tuples
+
+
+def data(n=2000, seed=11):
+    return list(generate_tuples(n, seed=seed))
+
+
+class TestScalarAggregates:
+    def test_count(self, machine):
+        r = machine.run(Query.aggregate("twok", op="count"))
+        assert r.tuples == [(2000,)]
+
+    def test_min(self, machine):
+        r = machine.run(Query.aggregate("twok", op="min", attr="unique2"))
+        assert r.tuples == [(0,)]
+
+    def test_max(self, machine):
+        r = machine.run(Query.aggregate("twok", op="max", attr="unique2"))
+        assert r.tuples == [(1999,)]
+
+    def test_sum(self, machine):
+        r = machine.run(Query.aggregate("twok", op="sum", attr="unique1"))
+        assert r.tuples == [(sum(range(2000)),)]
+
+    def test_avg(self, machine):
+        r = machine.run(Query.aggregate("twok", op="avg", attr="unique1"))
+        assert r.tuples[0][0] == pytest.approx(999.5)
+
+    def test_aggregate_with_selection(self, machine):
+        r = machine.run(
+            Query.aggregate("twok", op="count",
+                            where=RangePredicate("unique2", 0, 199))
+        )
+        assert r.tuples == [(200,)]
+
+
+class TestGroupedAggregates:
+    def test_count_by_ten(self, machine):
+        r = machine.run(Query.aggregate("twok", op="count", group_by="ten"))
+        assert sorted(r.tuples) == [(g, 200) for g in range(10)]
+
+    def test_min_by_two(self, machine):
+        r = machine.run(
+            Query.aggregate("twok", op="min", attr="unique1", group_by="two")
+        )
+        assert sorted(r.tuples) == [(0, 0), (1, 1)]
+
+    def test_sum_by_hundred_matches_oracle(self, machine):
+        oracle = {}
+        for t in data():
+            oracle[t[6]] = oracle.get(t[6], 0) + t[0]
+        r = machine.run(
+            Query.aggregate("twok", op="sum", attr="unique1", group_by="hundred")
+        )
+        assert dict(r.tuples) == oracle
+
+    def test_grouped_result_stored(self, machine):
+        r = machine.run(
+            Query.aggregate("twok", op="count", group_by="twenty", into="agg_out")
+        )
+        rel = machine.catalog.lookup("agg_out")
+        assert rel.num_records == 20
+        assert r.result_count == 20
+
+    def test_group_by_with_selection(self, machine):
+        r = machine.run(
+            Query.aggregate(
+                "twok", op="count", group_by="two",
+                where=RangePredicate("unique1", 0, 99),
+            )
+        )
+        assert sorted(r.tuples) == [(0, 50), (1, 50)]
+
+    def test_more_tuples_cost_more(self, machine):
+        small = machine.run(
+            Query.aggregate("twok", op="count",
+                            where=RangePredicate("unique1", 0, 19))
+        )
+        big = machine.run(Query.aggregate("twok", op="count"))
+        assert big.response_time > small.response_time

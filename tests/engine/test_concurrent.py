@@ -1,0 +1,96 @@
+"""Tests for multiuser execution (the paper's stated future work)."""
+
+import pytest
+
+from repro import GammaConfig, GammaMachine, JoinMode, Query, RangePredicate
+from repro.engine import ScanNode
+from repro.errors import CatalogError
+
+
+def machine():
+    m = GammaMachine(GammaConfig(n_disk_sites=4, n_diskless=4))
+    m.load_wisconsin("A", 4_000, seed=1)
+    m.load_wisconsin("Bp", 400, seed=2)
+    m.load_wisconsin("S", 4_000, seed=3)
+    return m
+
+
+class TestConcurrentExecution:
+    def test_answers_match_solo_runs(self):
+        m = machine()
+        q1 = Query.select("S", RangePredicate("unique2", 0, 39), into="r1")
+        q2 = Query.select("A", RangePredicate("unique2", 100, 199), into="r2")
+        r1, r2 = m.run_concurrent([q1, q2])
+        assert r1.result_count == 40
+        assert r2.result_count == 100
+        assert m.catalog.lookup("r1").num_records == 40
+        assert m.catalog.lookup("r2").num_records == 100
+
+    def test_contention_slows_both_vs_solo(self):
+        solo = machine().run(
+            Query.select("S", RangePredicate("unique2", 0, 399), into="x")
+        )
+        m = machine()
+        r1, r2 = m.run_concurrent([
+            Query.select("S", RangePredicate("unique2", 0, 399), into="c1"),
+            Query.select("A", RangePredicate("unique2", 0, 399), into="c2"),
+        ])
+        assert r1.response_time > solo.response_time
+        assert r2.response_time > solo.response_time
+        # Interleaved scans even break each other's sequential disk
+        # pattern, so concurrency costs more than 2x solo here — but it
+        # must stay far from pathological serialisation.
+        assert max(r1.response_time, r2.response_time) < 3 * solo.response_time
+
+    def test_remote_join_offloads_disk_sites(self):
+        # "offloading the join operators to remote processors will allow
+        # the processors with disks to effectively support more concurrent
+        # selection and store operators."
+        def concurrent_selection_time(mode):
+            m = machine()
+            _join, sel = m.run_concurrent([
+                Query.join(ScanNode("Bp"), ScanNode("A"),
+                           on=("unique2", "unique2"), mode=mode, into="j"),
+                Query.select("S", RangePredicate("unique2", 0, 399),
+                             into="s"),
+            ])
+            return sel.response_time
+
+        assert (
+            concurrent_selection_time(JoinMode.REMOTE)
+            < concurrent_selection_time(JoinMode.LOCAL)
+        )
+
+    def test_duplicate_result_names_rejected(self):
+        m = machine()
+        q = Query.select("S", RangePredicate("unique2", 0, 9), into="dup")
+        with pytest.raises(CatalogError):
+            m.run_concurrent([q, q])
+
+    def test_existing_result_name_rejected(self):
+        m = machine()
+        m.run(Query.select("S", RangePredicate("unique2", 0, 9), into="taken"))
+        with pytest.raises(CatalogError):
+            m.run_concurrent([
+                Query.select("S", RangePredicate("unique2", 0, 9),
+                             into="taken")
+            ])
+
+    def test_mixed_host_and_stored_results(self):
+        m = machine()
+        to_host = Query.select("S", RangePredicate("unique2", 0, 9))
+        stored = Query.select("A", RangePredicate("unique2", 0, 9), into="st")
+        r1, r2 = m.run_concurrent([to_host, stored])
+        assert len(r1.tuples) == 10
+        assert r2.result_relation == "st"
+
+    def test_single_query_matches_run(self):
+        m1 = machine()
+        solo = m1.run(Query.select("S", RangePredicate("unique2", 0, 99),
+                                   into="a"))
+        m2 = machine()
+        (conc,) = m2.run_concurrent([
+            Query.select("S", RangePredicate("unique2", 0, 99), into="a")
+        ])
+        assert conc.response_time == pytest.approx(solo.response_time,
+                                                   rel=0.01)

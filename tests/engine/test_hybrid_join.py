@@ -1,0 +1,125 @@
+"""Tests for the parallel Hybrid hash join (the paper's announced fix)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import GammaConfig, GammaMachine
+from repro.engine import JoinMode, Query, RangePredicate, ScanNode
+from repro.workloads import generate_tuples
+
+
+def nested_loop_join(left, right, lpos, rpos):
+    index = {}
+    for lt in left:
+        index.setdefault(lt[lpos], []).append(lt)
+    return sorted(
+        lt + rt for rt in right for lt in index.get(rt[rpos], [])
+    )
+
+
+def hybrid_machine(join_memory=10_000_000, **kwargs):
+    config = replace(
+        GammaConfig(n_disk_sites=4, n_diskless=4,
+                    join_memory_total=join_memory),
+        join_algorithm="hybrid", **kwargs,
+    )
+    m = GammaMachine(config)
+    m.load_wisconsin("A", 2_000, seed=21)
+    m.load_wisconsin("Bprime", 500, seed=23)
+    return m
+
+
+class TestHybridCorrectness:
+    def test_in_memory_join_matches_oracle(self):
+        m = hybrid_machine()
+        r = m.run(Query.join(ScanNode("Bprime"), ScanNode("A"),
+                             on=("unique2", "unique2"), into="o"))
+        expected = nested_loop_join(
+            list(generate_tuples(500, seed=23)),
+            list(generate_tuples(2000, seed=21)), 1, 1,
+        )
+        assert sorted(m.catalog.lookup("o").records()) == expected
+        assert r.result_count == 500
+
+    def test_spilling_join_matches_oracle(self):
+        m = hybrid_machine(join_memory=30_000)  # forces several partitions
+        r = m.run(Query.join(ScanNode("Bprime"), ScanNode("A"),
+                             on=("unique2", "unique2"), into="o"))
+        expected = nested_loop_join(
+            list(generate_tuples(500, seed=23)),
+            list(generate_tuples(2000, seed=21)), 1, 1,
+        )
+        assert sorted(m.catalog.lookup("o").records()) == expected
+        assert r.max_overflows > 0  # reported as partitions beyond memory
+
+    def test_deep_memory_pressure_still_correct(self):
+        m = hybrid_machine(join_memory=12_000)
+        r = m.run(Query.join(ScanNode("Bprime"), ScanNode("A"),
+                             on=("unique2", "unique2"), into="o"))
+        assert r.result_count == 500
+
+    def test_with_selections(self):
+        m = hybrid_machine(join_memory=30_000)
+        sel = RangePredicate("unique2", 0, 99)
+        r = m.run(Query.join(ScanNode("Bprime", sel), ScanNode("A"),
+                             on=("unique2", "unique2"), into="o"))
+        assert r.result_count == 100
+
+    def test_local_mode(self):
+        m = hybrid_machine(join_memory=30_000)
+        r = m.run(Query.join(ScanNode("Bprime"), ScanNode("A"),
+                             on=("unique1", "unique1"),
+                             mode=JoinMode.LOCAL, into="o"))
+        assert r.result_count == 500
+
+    def test_empty_build_side(self):
+        m = hybrid_machine(join_memory=30_000)
+        r = m.run(Query.join(
+            ScanNode("Bprime", RangePredicate("unique2", -9, -1)),
+            ScanNode("A"), on=("unique2", "unique2"), into="o",
+        ))
+        assert r.result_count == 0
+
+    def test_bit_filters_compose(self):
+        m = hybrid_machine(join_memory=30_000, use_bit_filters=True)
+        r = m.run(Query.join(ScanNode("Bprime"), ScanNode("A"),
+                             on=("unique2", "unique2"), into="o"))
+        assert r.result_count == 500
+
+
+class TestHybridVsSimple:
+    def _run(self, algorithm, join_memory):
+        config = replace(
+            GammaConfig(n_disk_sites=4, n_diskless=4,
+                        join_memory_total=join_memory),
+            join_algorithm=algorithm,
+        )
+        m = GammaMachine(config)
+        m.load_wisconsin("A", 4_000, seed=21)
+        m.load_wisconsin("Bprime", 1_000, seed=23)
+        return m.run(Query.join(ScanNode("Bprime"), ScanNode("A"),
+                                on=("unique2", "unique2"), into="o"))
+
+    def test_same_answer_both_algorithms(self):
+        simple = self._run("simple", 40_000)
+        hybrid = self._run("hybrid", 40_000)
+        assert simple.result_count == hybrid.result_count == 1000
+
+    def test_hybrid_wins_under_deep_pressure(self):
+        simple = self._run("simple", 25_000)
+        hybrid = self._run("hybrid", 25_000)
+        assert hybrid.response_time < simple.response_time
+
+    def test_equivalent_with_ample_memory(self):
+        simple = self._run("simple", 10_000_000)
+        hybrid = self._run("hybrid", 10_000_000)
+        assert hybrid.response_time == pytest.approx(
+            simple.response_time, rel=0.02
+        )
+
+    def test_invalid_algorithm_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            GammaConfig(join_algorithm="sort-merge")

@@ -1,0 +1,169 @@
+"""Tests for the projection operator and range-partition site pruning."""
+
+import pytest
+
+from repro import (
+    GammaConfig,
+    GammaMachine,
+    Query,
+    RangePredicate,
+    RangePartitioned,
+    UniformRange,
+)
+from repro.engine import ScanNode
+from repro.engine.plan import ProjectNode
+from repro.errors import PlanError
+from repro.workloads import generate_tuples, wisconsin_schema
+
+
+@pytest.fixture
+def machine():
+    m = GammaMachine(GammaConfig(n_disk_sites=4, n_diskless=4))
+    m.load_wisconsin("r", 2_000, seed=31)
+    return m
+
+
+class TestProjection:
+    def test_streaming_projection(self, machine):
+        r = machine.run(
+            Query.select("r", RangePredicate("unique2", 0, 99),
+                         project=["unique1", "ten"])
+        )
+        assert r.result_count == 100
+        assert all(len(t) == 2 for t in r.tuples)
+
+    def test_projection_values_match_oracle(self, machine):
+        r = machine.run(
+            Query.select("r", RangePredicate("unique2", 0, 49),
+                         project=["unique2", "hundred"])
+        )
+        expected = sorted(
+            (t[1], t[6]) for t in generate_tuples(2_000, seed=31)
+            if t[1] <= 49
+        )
+        assert sorted(r.tuples) == expected
+
+    def test_unique_projection_deduplicates(self, machine):
+        r = machine.run(Query.select("r", project=["ten"], unique=True))
+        assert sorted(r.tuples) == [(i,) for i in range(10)]
+
+    def test_unique_projection_multi_attr(self, machine):
+        r = machine.run(
+            Query.select("r", project=["two", "ten"], unique=True)
+        )
+        # two = unique1 % 2 and ten = unique1 % 10 are correlated:
+        # two is determined by ten, so exactly 10 distinct pairs exist.
+        assert r.result_count == 10
+
+    def test_streaming_keeps_duplicates(self, machine):
+        r = machine.run(Query.select("r", project=["ten"]))
+        assert r.result_count == 2_000
+
+    def test_projection_of_join(self, machine):
+        machine.load_wisconsin("s", 200, seed=32)
+        q = Query(
+            ProjectNode(
+                __import__("repro.engine", fromlist=["JoinNode"]).JoinNode(
+                    ScanNode("s"), ScanNode("r"), "unique2", "unique2"
+                ),
+                ["unique1", "unique1_r"],
+                unique=False,
+            ),
+            into=None,
+        )
+        r = machine.run(q)
+        assert r.result_count == 200
+        assert all(len(t) == 2 for t in r.tuples)
+
+    def test_stored_projection_schema(self, machine):
+        machine.run(
+            Query.select("r", project=["four", "twenty"], unique=True,
+                         into="proj_out")
+        )
+        rel = machine.catalog.lookup("proj_out")
+        assert rel.schema.names() == ["four", "twenty"]
+        assert rel.schema.tuple_bytes == 8
+
+    def test_unknown_projection_attr_rejected(self, machine):
+        with pytest.raises(Exception):
+            machine.run(Query.select("r", project=["zzz"]))
+
+    def test_empty_projection_rejected(self):
+        with pytest.raises(PlanError):
+            ProjectNode(ScanNode("r"), [])
+
+    def test_unique_projection_costs_more_than_streaming(self, machine):
+        stream = machine.run(Query.select("r", project=["ten"], into="p1"))
+        unique = machine.run(
+            Query.select("r", project=["ten"], unique=True, into="p2")
+        )
+        assert unique.result_count < stream.result_count
+        # Dedup work happens but emits far fewer tuples; both finite.
+        assert unique.response_time > 0
+
+
+class TestRangePartitionPruning:
+    def _machines(self):
+        ranged = GammaMachine(GammaConfig(n_disk_sites=4, n_diskless=4))
+        records = list(generate_tuples(2_000, seed=31))
+        ranged.load_relation(
+            "r", wisconsin_schema(), records,
+            partitioning=UniformRange("unique1"), clustered_on="unique1",
+        )
+        hashed = GammaMachine(GammaConfig(n_disk_sites=4, n_diskless=4))
+        hashed.load_wisconsin("r", 2_000, seed=31, clustered_on="unique1")
+        return ranged, hashed
+
+    def test_narrow_range_prunes_to_one_site(self):
+        ranged, _hashed = self._machines()
+        r = ranged.run(Query.select("r", RangePredicate("unique1", 0, 99)))
+        assert "sites=1" in r.plan
+        assert r.result_count == 100
+
+    def test_wide_range_touches_all_sites(self):
+        ranged, _hashed = self._machines()
+        r = ranged.run(Query.select("r", RangePredicate("unique1", 0, 1999)))
+        assert "sites=4" in r.plan
+        assert r.result_count == 2_000
+
+    def test_boundary_spanning_range_touches_two_sites(self):
+        ranged, _hashed = self._machines()
+        # Uniform split of 2000 keys over 4 sites: boundaries near 500.
+        r = ranged.run(Query.select("r", RangePredicate("unique1", 450, 550)))
+        assert "sites=2" in r.plan
+        assert r.result_count == 101
+
+    def test_pruning_wins_for_tiny_ranges(self):
+        # Startup costs dominate tiny retrievals: activating one site
+        # beats activating four.
+        ranged, hashed = self._machines()
+        pr = ranged.run(Query.select("r", RangePredicate("unique1", 10, 14)))
+        ph = hashed.run(Query.select("r", RangePredicate("unique1", 10, 14)))
+        assert pr.result_count == ph.result_count == 5
+        assert pr.response_time < ph.response_time
+
+    def test_pruning_loses_for_large_ranges(self):
+        # ... but a single site retrieves a big range serially, the
+        # declustering trade-off [RIES78] studies.
+        ranged, hashed = self._machines()
+        pr = ranged.run(Query.select("r", RangePredicate("unique1", 0, 399)))
+        ph = hashed.run(Query.select("r", RangePredicate("unique1", 0, 399)))
+        assert pr.result_count == ph.result_count == 400
+        assert pr.response_time > ph.response_time
+
+    def test_non_partitioning_range_not_pruned(self):
+        ranged, _hashed = self._machines()
+        r = ranged.run(Query.select("r", RangePredicate("unique2", 0, 99)))
+        assert "sites=4" in r.plan
+
+    def test_user_specified_ranges(self):
+        m = GammaMachine(GammaConfig(n_disk_sites=4, n_diskless=4))
+        records = list(generate_tuples(2_000, seed=31))
+        m.load_relation(
+            "r", wisconsin_schema(), records,
+            partitioning=RangePartitioned("unique1", [499, 999, 1499]),
+            clustered_on="unique1",
+        )
+        r = m.run(Query.select("r", RangePredicate("unique1", 1000, 1100)))
+        assert "sites=1" in r.plan
+        assert r.result_count == 101

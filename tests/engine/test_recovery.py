@@ -1,0 +1,87 @@
+"""Tests for the recovery server (write-ahead log shipping)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import (
+    AppendTuple,
+    DeleteTuple,
+    ExactMatch,
+    GammaConfig,
+    GammaMachine,
+    ModifyTuple,
+    Query,
+    RangePredicate,
+)
+from repro.workloads import generate_tuples
+
+
+def machine(use_recovery=True):
+    config = replace(
+        GammaConfig(n_disk_sites=4, n_diskless=4),
+        use_recovery_server=use_recovery,
+    )
+    m = GammaMachine(config)
+    m.load_wisconsin("r", 2_000, seed=71, clustered_on="unique1")
+    return m
+
+
+def fresh(u):
+    return (u, u) + next(iter(generate_tuples(1, seed=5)))[2:]
+
+
+class TestRecoveryServer:
+    def test_store_ships_one_record_per_tuple(self):
+        m = machine()
+        r = m.run(Query.select("r", RangePredicate("unique1", 0, 199),
+                               into="o"))
+        assert r.stats["log_records"] == 200
+        assert r.stats["log_pages_forced"] >= 1
+
+    def test_no_logging_when_disabled(self):
+        m = machine(use_recovery=False)
+        r = m.run(Query.select("r", RangePredicate("unique1", 0, 199),
+                               into="o"))
+        assert "log_records" not in r.stats
+
+    def test_host_returns_are_not_logged(self):
+        m = machine()
+        r = m.run(Query.select("r", RangePredicate("unique1", 0, 199)))
+        assert r.stats.get("log_records", 0) == 0
+
+    def test_logging_adds_overhead(self):
+        off = machine(use_recovery=False).run(
+            Query.select("r", RangePredicate("unique1", 0, 399), into="o")
+        )
+        on = machine().run(
+            Query.select("r", RangePredicate("unique1", 0, 399), into="o")
+        )
+        assert on.response_time > off.response_time
+
+    def test_every_update_kind_logs(self):
+        m = machine()
+        append = m.update(AppendTuple("r", fresh(50_000)))
+        assert append.stats["log_records"] == 1
+        modify = m.update(
+            ModifyTuple("r", ExactMatch("unique1", 10), "odd100", 3)
+        )
+        assert modify.stats["log_records"] == 1
+        relocate = m.update(
+            ModifyTuple("r", ExactMatch("unique1", 11), "unique1", 60_000)
+        )
+        # Relocation logs the delete side and the re-insert side.
+        assert relocate.stats["log_records"] == 2
+        delete = m.update(DeleteTuple("r", ExactMatch("unique1", 50_000)))
+        assert delete.stats["log_records"] == 1
+
+    def test_update_forces_the_log(self):
+        m = machine()
+        r = m.update(AppendTuple("r", fresh(70_000)))
+        assert r.stats["log_pages_forced"] >= 1
+
+    def test_answers_unchanged_by_logging(self):
+        pred = RangePredicate("unique1", 5, 105)
+        off = machine(use_recovery=False).run(Query.select("r", pred))
+        on = machine().run(Query.select("r", pred))
+        assert sorted(off.tuples) == sorted(on.tuples)

@@ -1,0 +1,140 @@
+"""End-to-end selection execution: answers checked against oracles."""
+
+import pytest
+
+from repro import GammaConfig, GammaMachine
+from repro.engine import AccessPath, ExactMatch, Query, RangePredicate, TruePredicate
+from repro.errors import CatalogError
+from repro.workloads import generate_tuples
+
+
+def oracle(n, seed, predicate_fn):
+    return sorted(
+        t for t in generate_tuples(n, seed=seed) if predicate_fn(t)
+    )
+
+
+class TestSelectionCorrectness:
+    def test_one_percent_clustered(self, machine):
+        r = machine.run(Query.select("twok", RangePredicate("unique1", 0, 19)))
+        assert sorted(r.tuples) == oracle(2000, 11, lambda t: t[0] <= 19)
+        assert r.result_count == 20
+
+    def test_one_percent_nonclustered(self, machine):
+        r = machine.run(Query.select("twok", RangePredicate("unique2", 100, 119)))
+        assert sorted(r.tuples) == oracle(2000, 11, lambda t: 100 <= t[1] <= 119)
+
+    def test_ten_percent_file_scan(self, machine):
+        r = machine.run(Query.select("twok", RangePredicate("unique2", 0, 199)))
+        assert r.result_count == 200
+        assert "file-scan" in r.plan
+
+    def test_full_scan(self, machine):
+        r = machine.run(Query.select("heap2k", TruePredicate()))
+        assert r.result_count == 2000
+
+    def test_zero_percent_returns_nothing(self, machine):
+        r = machine.run(Query.select("twok", RangePredicate("unique2", -10, -1)))
+        assert r.result_count == 0
+        assert r.tuples == []
+
+    def test_exact_match_single_tuple(self, machine):
+        r = machine.run(Query.select("twok", ExactMatch("unique1", 777)))
+        assert r.result_count == 1
+        assert r.tuples[0][0] == 777
+
+    def test_exact_match_via_secondary(self, machine):
+        r = machine.run(Query.select("twok", ExactMatch("unique2", 777)))
+        assert r.result_count == 1
+        assert r.tuples[0][1] == 777
+
+    def test_exact_match_miss(self, machine):
+        r = machine.run(Query.select("twok", ExactMatch("unique1", 10**6)))
+        assert r.result_count == 0
+
+    def test_forced_file_scan_same_answer(self, machine):
+        pred = RangePredicate("unique2", 0, 19)
+        indexed = machine.run(Query.select("twok", pred))
+        forced = machine.run(
+            Query.select("twok", pred, forced_path=AccessPath.FILE_SCAN)
+        )
+        assert sorted(indexed.tuples) == sorted(forced.tuples)
+
+
+class TestStoredResults:
+    def test_result_relation_registered(self, machine):
+        r = machine.run(
+            Query.select("twok", RangePredicate("unique1", 0, 99), into="sel_out")
+        )
+        assert r.result_relation == "sel_out"
+        rel = machine.catalog.lookup("sel_out")
+        assert rel.num_records == 100
+        assert sorted(rel.records()) == oracle(2000, 11, lambda t: t[0] <= 99)
+
+    def test_result_spread_round_robin(self, machine):
+        machine.run(
+            Query.select("twok", RangePredicate("unique1", 0, 399), into="rr_out")
+        )
+        sizes = machine.catalog.lookup("rr_out").fragment_sizes()
+        assert max(sizes) - min(sizes) <= len(sizes)
+
+    def test_duplicate_result_name_rejected(self, machine):
+        machine.run(Query.select("twok", RangePredicate("unique1", 0, 1), into="dup"))
+        with pytest.raises(CatalogError):
+            machine.run(
+                Query.select("twok", RangePredicate("unique1", 0, 1), into="dup")
+            )
+
+    def test_storing_costs_more_than_host_return(self, machine):
+        pred = RangePredicate("unique2", 0, 199)
+        to_host = machine.run(Query.select("heap2k", pred))
+        stored = machine.run(Query.select("heap2k", pred, into="st_out"))
+        assert stored.response_time > 0
+        assert stored.result_count == to_host.result_count
+
+
+class TestSelectionTiming:
+    def test_higher_selectivity_costs_more(self, machine):
+        r1 = machine.run(Query.select("heap2k", RangePredicate("unique2", 0, 19), into="t1"))
+        r10 = machine.run(Query.select("heap2k", RangePredicate("unique2", 0, 199), into="t10"))
+        assert r10.response_time > r1.response_time
+
+    def test_clustered_beats_scan(self, machine):
+        clustered = machine.run(Query.select("twok", RangePredicate("unique1", 0, 19)))
+        scan = machine.run(
+            Query.select("twok", RangePredicate("unique1", 0, 19),
+                         forced_path=AccessPath.FILE_SCAN)
+        )
+        assert clustered.response_time < scan.response_time
+
+    def test_exact_single_site_beats_broadcast(self, machine):
+        single = machine.run(Query.select("twok", ExactMatch("unique1", 5)))
+        broadcast = machine.run(Query.select("twok", ExactMatch("unique2", 5)))
+        assert single.response_time < broadcast.response_time
+
+    def test_more_processors_scan_faster(self):
+        times = {}
+        for sites in (1, 4):
+            m = GammaMachine(GammaConfig(n_disk_sites=sites, n_diskless=sites))
+            m.load_wisconsin("r", 4_000, seed=5)
+            res = m.run(Query.select("r", RangePredicate("unique2", 0, 39), into="o"))
+            times[sites] = res.response_time
+        assert times[4] < times[1]
+        # near-linear speedup: at least 2.5x from 4x the hardware
+        assert times[1] / times[4] > 2.5
+
+    def test_response_time_positive_and_stats_filled(self, machine):
+        r = machine.run(Query.select("twok", RangePredicate("unique1", 0, 9)))
+        assert r.response_time > 0
+        assert r.stats["sched_messages"] > 0
+        assert r.utilisations  # non-empty
+
+    def test_deterministic_response_time(self):
+        def once():
+            m = GammaMachine(GammaConfig(n_disk_sites=2, n_diskless=2))
+            m.load_wisconsin("r", 1_000, seed=9)
+            return m.run(
+                Query.select("r", RangePredicate("unique2", 0, 99), into="o")
+            ).response_time
+
+        assert once() == once()

@@ -1,0 +1,140 @@
+"""Tests for the parallel range-sort operator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import GammaConfig, GammaMachine, Query, RangePredicate
+from repro.engine import JoinNode, ScanNode
+from repro.engine.plan import SortNode
+from repro.workloads import generate_tuples
+
+
+@pytest.fixture
+def machine():
+    m = GammaMachine(GammaConfig(n_disk_sites=4, n_diskless=4))
+    m.load_wisconsin("r", 2_000, seed=91)
+    return m
+
+
+class TestSortCorrectness:
+    def test_ascending_order(self, machine):
+        r = machine.run(Query.select("r", sort_by="unique2"))
+        keys = [t[1] for t in r.tuples]
+        assert keys == sorted(keys)
+        assert len(keys) == 2_000
+
+    def test_descending_order(self, machine):
+        r = machine.run(
+            Query.select("r", RangePredicate("unique2", 0, 499),
+                         sort_by="unique2", descending=True)
+        )
+        keys = [t[1] for t in r.tuples]
+        assert keys == sorted(keys, reverse=True)
+
+    def test_sort_preserves_multiset(self, machine):
+        r = machine.run(Query.select("r", sort_by="ten"))
+        expected = sorted(generate_tuples(2_000, seed=91),
+                          key=lambda t: t[4])
+        assert [t[4] for t in r.tuples] == [t[4] for t in expected]
+        assert sorted(r.tuples) == sorted(expected)
+
+    def test_sort_uses_parallel_slices(self, machine):
+        r = machine.run(Query.select("r", sort_by="unique1"))
+        assert "x4" in r.plan  # four sorter nodes
+
+    def test_sort_over_projection(self, machine):
+        r = machine.run(
+            Query.select("r", project=["unique2", "hundred"],
+                         sort_by="unique2")
+        )
+        keys = [t[0] for t in r.tuples]
+        assert keys == sorted(keys)
+
+    def test_sort_over_join(self, machine):
+        machine.load_wisconsin("s", 200, seed=92)
+        q = Query(
+            SortNode(
+                JoinNode(ScanNode("s"), ScanNode("r"),
+                         "unique2", "unique2"),
+                "unique1",
+            )
+        )
+        r = machine.run(q)
+        # 'unique1' resolves to the build (s) side of the concat schema.
+        keys = [t[0] for t in r.tuples]
+        assert keys == sorted(keys)
+        assert len(keys) == 200
+
+    def test_sort_grouped_aggregate_output(self, machine):
+        from repro.engine.plan import AggregateNode
+
+        q = Query(
+            SortNode(
+                AggregateNode(ScanNode("r"), "count", None, "ten"),
+                "count", descending=True,
+            )
+        )
+        r = machine.run(q)
+        counts = [t[1] for t in r.tuples]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_stored_sorted_result(self, machine):
+        r = machine.run(Query.select("r", sort_by="unique1", into="sorted_r"))
+        assert r.result_count == 2_000
+        assert machine.catalog.lookup("sorted_r").num_records == 2_000
+
+    def test_single_sorter_fallback_still_correct(self):
+        # No diskless nodes and 1 disk site -> unparallel sort.
+        m = GammaMachine(GammaConfig(n_disk_sites=1, n_diskless=0))
+        m.load_wisconsin("r", 500, seed=93)
+        r = m.run(Query.select("r", sort_by="unique2"))
+        keys = [t[1] for t in r.tuples]
+        assert keys == sorted(keys)
+
+    def test_sort_costs_more_than_unsorted(self, machine):
+        plain = machine.run(Query.select("r", RangePredicate("unique2", 0, 999)))
+        ordered = machine.run(
+            Query.select("r", RangePredicate("unique2", 0, 999),
+                         sort_by="unique2")
+        )
+        assert ordered.response_time > plain.response_time
+
+
+class TestQuelSort:
+    def test_quel_sort_clause(self, machine):
+        from repro.quel import QuelSession
+
+        s = QuelSession(machine)
+        s.execute("range of t is r")
+        r = s.execute(
+            "retrieve (t.unique1) where t.unique1 < 300 sort by t.unique1"
+        )
+        assert [t[0] for t in r.tuples] == list(range(300))
+
+    def test_quel_sort_descending(self, machine):
+        from repro.quel import QuelSession
+
+        s = QuelSession(machine)
+        s.execute("range of t is r")
+        r = s.execute(
+            "retrieve (t.unique1) where t.unique1 < 50"
+            " sort by t.unique1 descending"
+        )
+        assert [t[0] for t in r.tuples] == list(reversed(range(50)))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=10, max_value=400),
+    attr_pos=st.sampled_from([("unique1", 0), ("unique2", 1), ("ten", 4)]),
+    descending=st.booleans(),
+)
+def test_property_sort_equals_python_sorted(n, attr_pos, descending):
+    attr, pos = attr_pos
+    m = GammaMachine(GammaConfig(n_disk_sites=2, n_diskless=2))
+    m.load_wisconsin("r", n, seed=97)
+    r = m.run(Query.select("r", sort_by=attr, descending=descending))
+    got = [t[pos] for t in r.tuples]
+    assert got == sorted(got, reverse=descending)
+    assert len(got) == n

@@ -1,0 +1,110 @@
+"""End-to-end single-tuple update execution (the Table 3 operation mix)."""
+
+import pytest
+
+from repro.engine import AppendTuple, DeleteTuple, ExactMatch, ModifyTuple, Query
+from repro.workloads import generate_tuples
+
+
+def fresh_tuple(unique1, unique2):
+    base = next(iter(generate_tuples(1, seed=123)))
+    return (unique1, unique2) + base[2:]
+
+
+class TestAppend:
+    def test_append_heap(self, machine):
+        r = machine.update(AppendTuple("heap2k", fresh_tuple(50_000, 50_000)))
+        assert r.result_count == 1
+        rel = machine.catalog.lookup("heap2k")
+        assert rel.num_records == 2001
+        assert any(t[0] == 50_000 for t in rel.records())
+
+    def test_append_indexed_costs_more_than_heap(self, machine):
+        heap = machine.update(AppendTuple("heap2k", fresh_tuple(60_000, 60_000)))
+        indexed = machine.update(AppendTuple("twok", fresh_tuple(60_001, 60_001)))
+        assert indexed.response_time > heap.response_time
+
+    def test_append_maintains_indexes(self, machine):
+        machine.update(AppendTuple("twok", fresh_tuple(70_000, 70_000)))
+        r = machine.run(Query.select("twok", ExactMatch("unique2", 70_000)))
+        assert r.result_count == 1
+
+    def test_append_deferred_update_recorded(self, machine):
+        r = machine.update(AppendTuple("twok", fresh_tuple(80_000, 80_000)))
+        assert r.stats.get("deferred_update_files", 0) == 1
+
+
+class TestDelete:
+    def test_delete_via_clustered_index(self, machine):
+        r = machine.update(DeleteTuple("twok", ExactMatch("unique1", 42)))
+        assert r.result_count == 1
+        check = machine.run(Query.select("twok", ExactMatch("unique1", 42)))
+        assert check.result_count == 0
+
+    def test_delete_via_secondary_index(self, machine):
+        r = machine.update(DeleteTuple("twok", ExactMatch("unique2", 42)))
+        assert r.result_count == 1
+        check = machine.run(Query.select("twok", ExactMatch("unique2", 42)))
+        assert check.result_count == 0
+
+    def test_delete_missing_affects_nothing(self, machine):
+        r = machine.update(DeleteTuple("twok", ExactMatch("unique1", 10**6)))
+        assert r.result_count == 0
+        assert machine.catalog.lookup("twok").num_records == 2000
+
+    def test_single_site_delete_cheaper_than_broadcast(self, machine):
+        by_key = machine.update(DeleteTuple("twok", ExactMatch("unique1", 10)))
+        by_other = machine.update(DeleteTuple("twok", ExactMatch("unique2", 10)))
+        assert by_key.response_time < by_other.response_time
+
+
+class TestModify:
+    def test_modify_nonindexed_attribute_in_place(self, machine):
+        r = machine.update(
+            ModifyTuple("twok", ExactMatch("unique1", 100), "odd100", 7)
+        )
+        assert r.result_count == 1
+        got = machine.run(Query.select("twok", ExactMatch("unique1", 100)))
+        pos = machine.catalog.lookup("twok").schema.position("odd100")
+        assert got.tuples[0][pos] == 7
+
+    def test_modify_key_attribute_relocates(self, machine):
+        r = machine.update(
+            ModifyTuple("twok", ExactMatch("unique1", 200), "unique1", 90_000)
+        )
+        assert r.result_count == 1
+        gone = machine.run(Query.select("twok", ExactMatch("unique1", 200)))
+        assert gone.result_count == 0
+        moved = machine.run(Query.select("twok", ExactMatch("unique1", 90_000)))
+        assert moved.result_count == 1
+        # Cardinality preserved.
+        assert machine.catalog.lookup("twok").num_records == 2000
+
+    def test_modify_indexed_attribute_updates_index(self, machine):
+        machine.update(
+            ModifyTuple("twok", ExactMatch("unique2", 300), "unique2", 95_000)
+        )
+        via_new = machine.run(Query.select("twok", ExactMatch("unique2", 95_000)))
+        assert via_new.result_count == 1
+        via_old = machine.run(Query.select("twok", ExactMatch("unique2", 300)))
+        assert via_old.result_count == 0
+
+    def test_modify_key_costs_most(self, machine):
+        plain = machine.update(
+            ModifyTuple("twok", ExactMatch("unique1", 400), "odd100", 9)
+        )
+        via_index = machine.update(
+            ModifyTuple("twok", ExactMatch("unique2", 401), "unique2", 96_000)
+        )
+        relocate = machine.update(
+            ModifyTuple("twok", ExactMatch("unique1", 402), "unique1", 97_000)
+        )
+        # Table 3 ordering: key modify > indexed modify > plain modify.
+        assert relocate.response_time > via_index.response_time
+        assert via_index.response_time > plain.response_time
+
+    def test_modify_miss(self, machine):
+        r = machine.update(
+            ModifyTuple("twok", ExactMatch("unique1", 10**6), "odd100", 1)
+        )
+        assert r.result_count == 0

@@ -1,0 +1,126 @@
+"""Tests for the QUEL tokenizer and parser."""
+
+import pytest
+
+from repro.quel import QuelSyntaxError, parse, tokenize
+from repro.quel.ast import (
+    AggTarget,
+    Append,
+    AttrRef,
+    Delete,
+    RangeDecl,
+    Replace,
+    Retrieve,
+)
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("RETRIEVE Unique InTo")
+        assert [t.value for t in tokens[:-1]] == ["retrieve", "unique", "into"]
+        assert all(t.kind == "keyword" for t in tokens[:-1])
+
+    def test_identifiers_keep_case(self):
+        tokens = tokenize("TenKtup")
+        assert tokens[0].kind == "name"
+        assert tokens[0].value == "TenKtup"
+
+    def test_numbers_including_negative(self):
+        tokens = tokenize("42 -7")
+        assert [(t.kind, t.value) for t in tokens[:-1]] == [
+            ("int", "42"), ("int", "-7"),
+        ]
+
+    def test_string_literal(self):
+        tokens = tokenize('"hello world"')
+        assert tokens[0].kind == "string"
+        assert tokens[0].value == "hello world"
+
+    def test_unterminated_string_rejected(self):
+        with pytest.raises(QuelSyntaxError):
+            tokenize('"oops')
+
+    def test_two_char_operators(self):
+        tokens = tokenize("a.b <= 5")
+        ops = [t for t in tokens if t.kind == "op"]
+        assert ops[0].value == "<="
+
+    def test_unexpected_character(self):
+        with pytest.raises(QuelSyntaxError):
+            tokenize("a @ b")
+
+    def test_end_token_present(self):
+        assert tokenize("")[-1].kind == "end"
+
+
+class TestParser:
+    def test_range_decl(self):
+        stmt = parse("range of t is tenktup")
+        assert stmt == RangeDecl("t", "tenktup")
+
+    def test_retrieve_all(self):
+        stmt = parse("retrieve (t.all)")
+        assert isinstance(stmt, Retrieve)
+        assert stmt.targets == (AttrRef("t", "all"),)
+        assert not stmt.unique
+        assert stmt.into is None
+
+    def test_retrieve_unique_into(self):
+        stmt = parse("retrieve unique into res (t.ten, t.two)")
+        assert stmt.unique
+        assert stmt.into == "res"
+        assert len(stmt.targets) == 2
+
+    def test_where_conjunction(self):
+        stmt = parse(
+            "retrieve (t.all) where t.unique2 >= 0 and t.unique2 <= 99"
+        )
+        assert len(stmt.qualification) == 2
+        assert stmt.qualification[0].op == ">="
+
+    def test_join_term(self):
+        stmt = parse("retrieve (a.all, b.all) where a.unique2 = b.unique2")
+        (comparison,) = stmt.qualification
+        assert comparison.is_join_term
+        assert comparison.right == AttrRef("b", "unique2")
+
+    def test_aggregate_targets(self):
+        stmt = parse("retrieve (min(t.unique2))")
+        (target,) = stmt.targets
+        assert target == AggTarget("min", AttrRef("t", "unique2"))
+
+    def test_grouped_aggregate(self):
+        stmt = parse("retrieve (count(t.all by t.ten))")
+        (target,) = stmt.targets
+        assert target.op == "count"
+        assert target.by == AttrRef("t", "ten")
+
+    def test_append(self):
+        stmt = parse('append to rel (unique1 = 5, stringu1 = "x")')
+        assert stmt == Append("rel", (("unique1", 5), ("stringu1", "x")))
+
+    def test_delete(self):
+        stmt = parse("delete t where t.unique1 = 55")
+        assert isinstance(stmt, Delete)
+        assert stmt.variable == "t"
+
+    def test_replace(self):
+        stmt = parse("replace t (odd100 = 7) where t.unique1 = 5")
+        assert isinstance(stmt, Replace)
+        assert stmt.assignments == (("odd100", 7),)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(QuelSyntaxError):
+            parse("retrieve (t.all) extra")
+
+    def test_inequality_rejected(self):
+        with pytest.raises(QuelSyntaxError):
+            parse("retrieve (t.all) where t.a != 5")
+
+    def test_unknown_statement_rejected(self):
+        with pytest.raises(QuelSyntaxError):
+            parse("select t.all")
+
+    def test_missing_parenthesis_rejected(self):
+        with pytest.raises(QuelSyntaxError):
+            parse("retrieve t.all")

@@ -1,0 +1,180 @@
+"""End-to-end QUEL session tests: compile + execute against oracles."""
+
+import pytest
+
+from repro import GammaConfig, GammaMachine
+from repro.engine.plan import (
+    AggregateNode,
+    ExactMatch,
+    JoinNode,
+    ProjectNode,
+    RangePredicate,
+    ScanNode,
+)
+from repro.quel import QuelCompileError, QuelSession
+from repro.workloads import generate_tuples
+
+
+@pytest.fixture
+def session():
+    machine = GammaMachine(GammaConfig(n_disk_sites=4, n_diskless=4))
+    machine.load_wisconsin("tenktup", 2_000, seed=61,
+                           clustered_on="unique1", secondary_on=["unique2"])
+    machine.load_wisconsin("small", 200, seed=62)
+    s = QuelSession(machine)
+    s.execute("range of t is tenktup")
+    s.execute("range of s is small")
+    return s
+
+
+def data(n=2000, seed=61):
+    return list(generate_tuples(n, seed=seed))
+
+
+class TestCompilation:
+    def test_range_bounds_merge(self, session):
+        q = session.compile(
+            "retrieve (t.all) where t.unique2 >= 10 and t.unique2 < 20"
+        )
+        pred = q.root.predicate
+        assert isinstance(pred, RangePredicate)
+        assert (pred.low, pred.high) == (10, 19)
+
+    def test_equality_becomes_exact_match(self, session):
+        q = session.compile("retrieve (t.all) where t.unique1 = 55")
+        assert isinstance(q.root.predicate, ExactMatch)
+
+    def test_contradictory_bounds_give_empty_range(self, session):
+        q = session.compile(
+            "retrieve (t.all) where t.unique2 = 5 and t.unique2 > 100"
+        )
+        pred = q.root.predicate
+        assert pred.low > pred.high
+
+    def test_projection_node_built(self, session):
+        q = session.compile("retrieve (t.unique1, t.ten)")
+        assert isinstance(q.root, ProjectNode)
+        assert q.root.attrs == ["unique1", "ten"]
+
+    def test_aggregate_node_built(self, session):
+        q = session.compile("retrieve (sum(t.unique1 by t.two))")
+        assert isinstance(q.root, AggregateNode)
+        assert q.root.group_by == "two"
+
+    def test_join_restricted_side_builds(self, session):
+        q = session.compile(
+            "retrieve (t.all, s.all)"
+            " where t.unique2 = s.unique2 and s.unique2 < 50"
+        )
+        assert isinstance(q.root, JoinNode)
+        assert isinstance(q.root.build, ScanNode)
+        assert q.root.build.relation == "small"
+
+    def test_undeclared_variable_rejected(self, session):
+        with pytest.raises(QuelCompileError):
+            session.compile("retrieve (z.all)")
+
+    def test_unknown_attribute_rejected(self, session):
+        with pytest.raises(Exception):
+            session.execute("retrieve (t.zzz)")
+
+    def test_three_variables_rejected(self, session):
+        session.execute("range of u is tenktup")
+        with pytest.raises(QuelCompileError):
+            session.compile(
+                "retrieve (t.all, s.all, u.all)"
+                " where t.unique2 = s.unique2 and u.unique1 = 1"
+            )
+
+    def test_two_vars_without_join_rejected(self, session):
+        with pytest.raises(QuelCompileError):
+            session.compile("retrieve (t.all, s.all)")
+
+    def test_multi_attr_restriction_rejected(self, session):
+        with pytest.raises(QuelCompileError):
+            session.compile(
+                "retrieve (t.all) where t.unique1 = 5 and t.unique2 = 7"
+            )
+
+    def test_sum_of_all_rejected(self, session):
+        with pytest.raises(QuelCompileError):
+            session.compile("retrieve (sum(t.all))")
+
+    def test_unique_needs_attribute_list(self, session):
+        with pytest.raises(QuelCompileError):
+            session.compile("retrieve unique (t.all)")
+
+
+class TestExecution:
+    def test_selection_matches_oracle(self, session):
+        r = session.execute(
+            "retrieve (t.all) where t.unique2 >= 0 and t.unique2 <= 49"
+        )
+        expected = sorted(t for t in data() if t[1] <= 49)
+        assert sorted(r.tuples) == expected
+
+    def test_projection_values(self, session):
+        r = session.execute(
+            "retrieve (t.unique2, t.hundred) where t.unique2 < 30"
+        )
+        expected = sorted((t[1], t[6]) for t in data() if t[1] < 30)
+        assert sorted(r.tuples) == expected
+
+    def test_unique_projection(self, session):
+        r = session.execute("retrieve unique (t.four)")
+        assert sorted(r.tuples) == [(i,) for i in range(4)]
+
+    def test_scalar_aggregate(self, session):
+        r = session.execute("retrieve (max(t.unique1))")
+        assert r.tuples == [(1999,)]
+
+    def test_grouped_aggregate(self, session):
+        r = session.execute("retrieve (count(t.all by t.ten))")
+        assert sorted(r.tuples) == [(g, 200) for g in range(10)]
+
+    def test_join_matches_oracle(self, session):
+        r = session.execute(
+            "retrieve (s.all, t.all) where s.unique2 = t.unique2"
+        )
+        big = {t[1]: t for t in data()}
+        expected = sorted(
+            st + big[st[1]] for st in data(200, 62) if st[1] in big
+        )
+        assert sorted(r.tuples) == expected
+
+    def test_stored_result_queryable(self, session):
+        session.execute(
+            "retrieve into kept (t.all) where t.unique1 < 100"
+        )
+        session.execute("range of k is kept")
+        r = session.execute("retrieve (count(k.all))")
+        assert r.tuples == [(100,)]
+
+    def test_append_then_visible(self, session):
+        session.execute("append to tenktup (unique1 = 77777, unique2 = 77777)")
+        r = session.execute("retrieve (t.all) where t.unique2 = 77777")
+        assert r.result_count == 1
+
+    def test_append_fills_defaults(self, session):
+        session.execute("append to tenktup (unique1 = 88888, unique2 = 88888)")
+        r = session.execute("retrieve (t.all) where t.unique1 = 88888")
+        record = r.tuples[0]
+        assert record[2] == 0  # 'two' defaulted
+        assert record[13] == ""  # stringu1 defaulted
+
+    def test_replace_and_delete(self, session):
+        session.execute("replace t (odd100 = 3) where t.unique1 = 10")
+        r = session.execute("retrieve (t.odd100) where t.unique1 = 10")
+        assert r.tuples == [(3,)]
+        session.execute("delete t where t.unique1 = 10")
+        r = session.execute("retrieve (t.all) where t.unique1 = 10")
+        assert r.result_count == 0
+
+    def test_range_redeclaration_rebinds(self, session):
+        session.execute("range of t is small")
+        r = session.execute("retrieve (count(t.all))")
+        assert r.tuples == [(200,)]
+
+    def test_delete_needs_exact_predicate(self, session):
+        with pytest.raises(QuelCompileError):
+            session.execute("delete t where t.unique1 < 100")

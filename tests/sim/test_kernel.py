@@ -1,0 +1,382 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    Delay,
+    Get,
+    Join,
+    Put,
+    Server,
+    Simulation,
+    Store,
+    Use,
+    WaitAll,
+    run_to_completion,
+)
+
+
+def test_empty_simulation_runs_to_time_zero():
+    sim = Simulation()
+    assert sim.run() == 0.0
+    assert sim.now == 0.0
+
+
+def test_single_delay_advances_clock():
+    def proc(sim):
+        yield Delay(2.5)
+        assert sim.now == 2.5
+
+    sim = Simulation()
+    sim.spawn(proc(sim))
+    assert sim.run() == 2.5
+
+
+def test_sequential_delays_accumulate():
+    def proc(sim):
+        yield Delay(1.0)
+        yield Delay(0.5)
+        yield Delay(0.25)
+
+    sim = Simulation()
+    sim.spawn(proc(sim))
+    assert sim.run() == pytest.approx(1.75)
+
+
+def test_parallel_processes_overlap():
+    log = []
+
+    def proc(sim, name, dur):
+        yield Delay(dur)
+        log.append((name, sim.now))
+
+    sim = Simulation()
+    sim.spawn(proc(sim, "a", 3.0))
+    sim.spawn(proc(sim, "b", 1.0))
+    sim.run()
+    assert log == [("b", 1.0), ("a", 3.0)]
+    assert sim.now == 3.0
+
+
+def test_process_return_value_via_join():
+    def child():
+        yield Delay(1.0)
+        return 42
+
+    def parent(sim, child_proc, out):
+        value = yield Join(child_proc)
+        out.append((value, sim.now))
+
+    sim = Simulation()
+    out = []
+    cp = sim.spawn(child())
+    sim.spawn(parent(sim, cp, out))
+    sim.run()
+    assert out == [(42, 1.0)]
+
+
+def test_join_on_already_finished_process():
+    def child():
+        return "done"
+        yield  # pragma: no cover - makes this a generator
+
+    def parent(sim, child_proc, out):
+        yield Delay(5.0)
+        value = yield Join(child_proc)
+        out.append(value)
+
+    sim = Simulation()
+    out = []
+    cp = sim.spawn(child())
+    sim.spawn(parent(sim, cp, out))
+    sim.run()
+    assert out == ["done"]
+
+
+def test_wait_all_collects_results_in_order():
+    def child(dur, value):
+        yield Delay(dur)
+        return value
+
+    def parent(sim, procs, out):
+        values = yield WaitAll(procs)
+        out.append((values, sim.now))
+
+    sim = Simulation()
+    procs = [sim.spawn(child(3.0, "slow")), sim.spawn(child(1.0, "fast"))]
+    out = []
+    sim.spawn(parent(sim, procs, out))
+    sim.run()
+    assert out == [(["slow", "fast"], 3.0)]
+
+
+def test_wait_all_empty_resumes_immediately():
+    def parent(out):
+        values = yield WaitAll([])
+        out.append(values)
+
+    sim = Simulation()
+    out = []
+    sim.spawn(parent(out))
+    sim.run()
+    assert out == [[]]
+
+
+def test_negative_delay_rejected():
+    def proc():
+        yield Delay(-1.0)
+
+    sim = Simulation()
+    sim.spawn(proc())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_process_exception_wrapped_with_context():
+    def proc():
+        yield Delay(1.0)
+        raise ValueError("boom")
+
+    sim = Simulation()
+    sim.spawn(proc())
+    with pytest.raises(SimulationError) as excinfo:
+        sim.run()
+    assert isinstance(excinfo.value.__cause__, ValueError)
+
+
+def test_unknown_effect_rejected():
+    def proc():
+        yield "not an effect"
+
+    sim = Simulation()
+    sim.spawn(proc())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_run_until_stops_clock_early():
+    def proc():
+        yield Delay(100.0)
+
+    sim = Simulation()
+    sim.spawn(proc())
+    assert sim.run(until=10.0) == 10.0
+
+
+def test_run_to_completion_helper():
+    def proc(dur):
+        yield Delay(dur)
+
+    assert run_to_completion([proc(1.0), proc(4.0)]) == 4.0
+
+
+def test_deterministic_tie_break_is_spawn_order():
+    order = []
+
+    def proc(name):
+        yield Delay(1.0)
+        order.append(name)
+
+    sim = Simulation()
+    for name in ["a", "b", "c"]:
+        sim.spawn(proc(name))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+class TestServer:
+    def test_single_server_serialises_work(self):
+        done = []
+
+        def proc(sim, server, name):
+            yield Use(server, 2.0)
+            done.append((name, sim.now))
+
+        sim = Simulation()
+        server = Server("disk")
+        sim.spawn(proc(sim, server, "a"))
+        sim.spawn(proc(sim, server, "b"))
+        sim.run()
+        assert done == [("a", 2.0), ("b", 4.0)]
+
+    def test_capacity_two_allows_overlap(self):
+        done = []
+
+        def proc(sim, server, name):
+            yield Use(server, 2.0)
+            done.append((name, sim.now))
+
+        sim = Simulation()
+        server = Server("cpu", capacity=2)
+        for name in ["a", "b", "c"]:
+            sim.spawn(proc(sim, server, name))
+        sim.run()
+        assert done == [("a", 2.0), ("b", 2.0), ("c", 4.0)]
+
+    def test_acquire_release_bracketing(self):
+        from repro.sim import Acquire, Release
+
+        trace = []
+
+        def holder(sim, server):
+            yield Acquire(server)
+            trace.append(("got", sim.now))
+            yield Delay(3.0)
+            yield Release(server)
+
+        def waiter(sim, server):
+            yield Delay(0.1)
+            yield Acquire(server)
+            trace.append(("waited", sim.now))
+            yield Release(server)
+
+        sim = Simulation()
+        server = Server("lock")
+        sim.spawn(holder(sim, server))
+        sim.spawn(waiter(sim, server))
+        sim.run()
+        assert trace == [("got", 0.0), ("waited", 3.0)]
+
+    def test_release_without_acquire_raises(self):
+        from repro.sim import Release
+
+        def proc(server):
+            yield Release(server)
+
+        sim = Simulation()
+        with pytest.raises(SimulationError):
+            sim.spawn(proc(Server("x")))
+            sim.run()
+
+    def test_busy_time_and_utilisation(self):
+        def proc(server):
+            yield Use(server, 5.0)
+
+        sim = Simulation()
+        server = Server("disk")
+        sim.spawn(proc(server))
+        sim.spawn(proc(server))
+        sim.run()
+        assert server.busy_time == pytest.approx(10.0)
+        assert server.utilisation(sim.now) == pytest.approx(1.0)
+        assert server.requests == 2
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            Server("bad", capacity=0)
+
+
+class TestStore:
+    def test_put_then_get(self):
+        out = []
+
+        def producer(store):
+            yield Put(store, "x")
+
+        def consumer(store):
+            item = yield Get(store)
+            out.append(item)
+
+        sim = Simulation()
+        store = Store("mbox")
+        sim.spawn(producer(store))
+        sim.spawn(consumer(store))
+        sim.run()
+        assert out == ["x"]
+
+    def test_get_blocks_until_put(self):
+        out = []
+
+        def consumer(sim, store):
+            item = yield Get(store)
+            out.append((item, sim.now))
+
+        def producer(store):
+            yield Delay(4.0)
+            yield Put(store, "late")
+
+        sim = Simulation()
+        store = Store("mbox")
+        sim.spawn(consumer(sim, store))
+        sim.spawn(producer(store))
+        sim.run()
+        assert out == [("late", 4.0)]
+
+    def test_fifo_order_preserved(self):
+        out = []
+
+        def producer(store):
+            for i in range(5):
+                yield Put(store, i)
+
+        def consumer(store):
+            for _ in range(5):
+                item = yield Get(store)
+                out.append(item)
+
+        sim = Simulation()
+        store = Store("mbox")
+        sim.spawn(producer(store))
+        sim.spawn(consumer(store))
+        sim.run()
+        assert out == [0, 1, 2, 3, 4]
+
+    def test_bounded_store_applies_backpressure(self):
+        timeline = []
+
+        def producer(sim, store):
+            for i in range(3):
+                yield Put(store, i)
+                timeline.append(("put", i, sim.now))
+
+        def consumer(sim, store):
+            for _ in range(3):
+                yield Delay(10.0)
+                item = yield Get(store)
+                timeline.append(("get", item, sim.now))
+
+        sim = Simulation()
+        store = Store("pipe", capacity=1)
+        sim.spawn(producer(sim, store))
+        sim.spawn(consumer(sim, store))
+        sim.run()
+        # Second put can only complete once the consumer drains the first.
+        put_times = [t for kind, _i, t in timeline if kind == "put"]
+        assert put_times[0] == 0.0
+        assert put_times[1] >= 10.0
+        assert put_times[2] >= 20.0
+
+    def test_multiple_consumers_each_get_one(self):
+        out = []
+
+        def consumer(store, name):
+            item = yield Get(store)
+            out.append((name, item))
+
+        def producer(store):
+            yield Put(store, 1)
+            yield Put(store, 2)
+
+        sim = Simulation()
+        store = Store("mbox")
+        sim.spawn(consumer(store, "a"))
+        sim.spawn(consumer(store, "b"))
+        sim.spawn(producer(store))
+        sim.run()
+        assert sorted(out) == [("a", 1), ("b", 2)]
+
+    def test_len_reports_buffered_items(self):
+        def producer(store):
+            yield Put(store, "x")
+            yield Put(store, "y")
+
+        sim = Simulation()
+        store = Store("mbox")
+        sim.spawn(producer(store))
+        sim.run()
+        assert len(store) == 2
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            Store("bad", capacity=0)

@@ -1,0 +1,146 @@
+"""Tests for schemas and slotted pages."""
+
+import pytest
+
+from repro.errors import PageFullError, RecordNotFoundError, StorageError
+from repro.storage import (
+    PAGE_HEADER_BYTES,
+    Page,
+    Schema,
+    int_attr,
+    records_per_page,
+    string_attr,
+)
+
+
+def wisconsin_like_schema():
+    ints = [int_attr(f"i{k}") for k in range(13)]
+    strings = [string_attr(f"s{k}") for k in range(3)]
+    return Schema(ints + strings)
+
+
+class TestSchema:
+    def test_tuple_bytes_matches_wisconsin(self):
+        # Thirteen 4-byte integers + three 52-byte strings = 208 bytes.
+        assert wisconsin_like_schema().tuple_bytes == 208
+
+    def test_position_and_getter(self):
+        schema = Schema([int_attr("a"), int_attr("b")])
+        assert schema.position("b") == 1
+        get_b = schema.getter("b")
+        assert get_b((10, 20)) == 20
+
+    def test_unknown_attribute_raises(self):
+        schema = Schema([int_attr("a")])
+        with pytest.raises(StorageError):
+            schema.position("zzz")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(StorageError):
+            Schema([int_attr("a"), int_attr("a")])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(StorageError):
+            Schema([])
+
+    def test_project(self):
+        schema = Schema([int_attr("a"), int_attr("b"), int_attr("c")])
+        proj = schema.project(["c", "a"])
+        assert proj.names() == ["c", "a"]
+        assert proj.tuple_bytes == 8
+
+    def test_concat_renames_clashes(self):
+        left = Schema([int_attr("a"), int_attr("b")])
+        right = Schema([int_attr("a"), int_attr("c")])
+        joined = left.concat(right)
+        assert joined.names() == ["a", "b", "a_r", "c"]
+        assert joined.tuple_bytes == 16
+
+    def test_contains(self):
+        schema = Schema([int_attr("a")])
+        assert "a" in schema
+        assert "b" not in schema
+
+    def test_equality_and_hash(self):
+        s1 = Schema([int_attr("a")])
+        s2 = Schema([int_attr("a")])
+        assert s1 == s2
+        assert hash(s1) == hash(s2)
+
+
+class TestRecordsPerPage:
+    def test_paper_anchor_17_tuples_per_4kb_page(self):
+        # "with 17 tuples per data page" for the 208-byte Wisconsin tuple.
+        assert records_per_page(4096, 208) == 17
+
+    def test_2kb_page_holds_8(self):
+        assert records_per_page(2048, 208) == 8
+
+    def test_32kb_page_holds_about_150(self):
+        # "With 32 Kbyte pages, each page will hold approximately 150 tuples"
+        count = records_per_page(32 * 1024, 208)
+        assert 130 <= count <= 160
+
+    def test_oversized_record_rejected(self):
+        with pytest.raises(StorageError):
+            records_per_page(2048, 4096)
+
+
+class TestPage:
+    def test_insert_and_get(self):
+        page = Page(4096)
+        slot = page.insert((1, 2), 208)
+        assert page.get(slot) == (1, 2)
+        assert page.num_records == 1
+
+    def test_capacity_enforced_in_bytes(self):
+        page = Page(4096)
+        inserted = 0
+        with pytest.raises(PageFullError):
+            while True:
+                page.insert((inserted,), 208)
+                inserted += 1
+        assert inserted == 17
+
+    def test_free_bytes_accounting(self):
+        page = Page(4096)
+        before = page.free_bytes
+        page.insert((1,), 208)
+        assert before - page.free_bytes == 208 + 30
+
+    def test_delete_frees_space_and_slot_reused(self):
+        page = Page(1024)
+        slot = page.insert((1,), 208)
+        page.delete(slot, 208)
+        assert page.num_records == 0
+        slot2 = page.insert((2,), 208)
+        assert slot2 == slot
+
+    def test_get_deleted_slot_raises(self):
+        page = Page(1024)
+        slot = page.insert((1,), 208)
+        page.delete(slot, 208)
+        with pytest.raises(RecordNotFoundError):
+            page.get(slot)
+
+    def test_replace_in_place(self):
+        page = Page(1024)
+        slot = page.insert((1,), 208)
+        old = page.replace(slot, (9,))
+        assert old == (1,)
+        assert page.get(slot) == (9,)
+
+    def test_records_skips_holes(self):
+        page = Page(4096)
+        s0 = page.insert((0,), 100)
+        page.insert((1,), 100)
+        page.delete(s0, 100)
+        assert list(page.records()) == [(1,)]
+
+    def test_header_counted(self):
+        page = Page(4096)
+        assert page.free_bytes == 4096 - PAGE_HEADER_BYTES
+
+    def test_tiny_page_rejected(self):
+        with pytest.raises(StorageError):
+            Page(16)

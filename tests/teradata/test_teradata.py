@@ -1,0 +1,291 @@
+"""Tests for the Teradata DBC/1012 baseline model."""
+
+import pytest
+
+from repro import (
+    AppendTuple,
+    DeleteTuple,
+    ExactMatch,
+    ModifyTuple,
+    Query,
+    RangePredicate,
+    TeradataConfig,
+)
+from repro.catalog import gamma_hash
+from repro.engine import JoinNode, ScanNode
+from repro.errors import CatalogError
+from repro.teradata import TeradataMachine, hash_key_order
+from repro.workloads import generate_tuples
+
+
+@pytest.fixture
+def machine():
+    m = TeradataMachine(TeradataConfig(n_amps=5))
+    m.load_wisconsin("twok", 2_000, seed=11, secondary_on=["unique2"])
+    return m
+
+
+def data(n=2000, seed=11):
+    return list(generate_tuples(n, seed=seed))
+
+
+class TestLoading:
+    def test_partitioned_by_key_hash(self, machine):
+        rel = machine.lookup("twok")
+        assert rel.num_records == 2000
+        for i, frag in enumerate(rel.fragments):
+            for record in frag.live_records():
+                assert gamma_hash(record[0], 5) == i
+
+    def test_fragments_in_hash_key_order(self, machine):
+        rel = machine.lookup("twok")
+        frag = rel.fragments[0]
+        hashes = [gamma_hash(r[0], 1 << 30) for r in frag.live_records()]
+        assert hashes == sorted(hashes)
+
+    def test_hash_key_order_helper(self):
+        records = [(i,) for i in range(100)]
+        ordered = hash_key_order(records, 0)
+        assert sorted(ordered) == records
+        assert ordered != records  # hash order, not key order
+
+    def test_secondary_index_is_dense(self, machine):
+        rel = machine.lookup("twok")
+        assert sum(len(f.indexes["unique2"].entries) for f in rel.fragments) == 2000
+
+    def test_duplicate_relation_rejected(self, machine):
+        with pytest.raises(CatalogError):
+            machine.load_wisconsin("twok", 100)
+
+    def test_unknown_relation_rejected(self, machine):
+        with pytest.raises(CatalogError):
+            machine.lookup("ghost")
+
+
+class TestSelections:
+    def test_scan_correctness(self, machine):
+        r = machine.run(Query.select("twok", RangePredicate("hundred", 0, 0)))
+        expected = sorted(t for t in data() if t[6] == 0)
+        assert sorted(r.tuples) == expected
+
+    def test_index_selection_correctness(self, machine):
+        r = machine.run(Query.select("twok", RangePredicate("unique2", 0, 19)))
+        assert sorted(t[1] for t in r.tuples) == list(range(20))
+        assert "/idx" in r.plan
+
+    def test_ten_percent_prefers_scan(self, machine):
+        # "In the case of the 10% selection, the optimizer decided
+        # (correctly) not to use the index."
+        r = machine.run(Query.select("twok", RangePredicate("unique2", 0, 199)))
+        assert "/scan" in r.plan
+        assert r.result_count == 200
+
+    def test_single_tuple_select_one_amp(self, machine):
+        r = machine.run(Query.select("twok", ExactMatch("unique1", 77)))
+        assert r.result_count == 1
+        assert r.tuples[0][0] == 77
+
+    def test_store_result_registered(self, machine):
+        r = machine.run(
+            Query.select("twok", RangePredicate("unique1", 0, 99), into="res")
+        )
+        assert r.result_count == 100
+        assert machine.lookup("res").num_records == 100
+
+    def test_duplicate_result_name_rejected(self, machine):
+        machine.run(Query.select("twok", RangePredicate("unique1", 0, 1), into="dup"))
+        with pytest.raises(CatalogError):
+            machine.run(
+                Query.select("twok", RangePredicate("unique1", 0, 1), into="dup")
+            )
+
+    def test_storing_is_expensive(self, machine):
+        # The logged INSERT path dominates: storing 10% costs far more
+        # than returning it.
+        to_host = machine.run(Query.select("twok", RangePredicate("ten", 0, 0)))
+        stored = machine.run(
+            Query.select("twok", RangePredicate("ten", 1, 1), into="st")
+        )
+        assert stored.response_time > 2 * to_host.response_time
+
+    def test_indexed_range_reads_whole_index(self, machine):
+        # Hash-organised index: row 3 of Table 1 is barely better than a
+        # scan because every index entry is examined.
+        small = machine.run(Query.select("twok", RangePredicate("unique2", 0, 19)))
+        zero = machine.run(Query.select("twok", RangePredicate("unique2", -9, -1)))
+        # Even an empty range pays the full index scan.
+        assert zero.response_time > 0.5 * small.response_time
+
+
+class TestJoins:
+    def _nl_join(self, left, right, lpos, rpos):
+        idx = {}
+        for lt in left:
+            idx.setdefault(lt[lpos], []).append(lt)
+        return sorted(
+            lt + rt for rt in right for lt in idx.get(rt[rpos], [])
+        )
+
+    def test_sort_merge_correctness(self, machine):
+        machine.load_wisconsin("small", 200, seed=23)
+        r = machine.run(
+            Query.join(ScanNode("small"), ScanNode("twok"),
+                       on=("unique2", "unique2"), into="j")
+        )
+        expected = self._nl_join(data(200, 23), data(), 1, 1)
+        assert sorted(machine.lookup("j").records()) == expected
+        assert r.result_count == 200
+
+    def test_key_join_skips_redistribution(self, machine):
+        machine.load_wisconsin("small", 200, seed=23)
+        nonkey = machine.run(
+            Query.join(ScanNode("small"), ScanNode("twok"),
+                       on=("unique2", "unique2"), into="j1")
+        )
+        key = machine.run(
+            Query.join(ScanNode("small"), ScanNode("twok"),
+                       on=("unique1", "unique1"), into="j2")
+        )
+        assert key.stats.get("redistributions_skipped", 0) == 2
+        assert key.response_time < nonkey.response_time
+        assert key.result_count == nonkey.result_count == 200
+
+    def test_key_join_correctness(self, machine):
+        machine.load_wisconsin("small", 200, seed=23)
+        machine.run(
+            Query.join(ScanNode("small"), ScanNode("twok"),
+                       on=("unique1", "unique1"), into="jk")
+        )
+        expected = self._nl_join(data(200, 23), data(), 0, 0)
+        assert sorted(machine.lookup("jk").records()) == expected
+
+    def test_join_with_selections(self, machine):
+        machine.load_wisconsin("other", 2_000, seed=12)
+        sel = RangePredicate("unique2", 0, 199)
+        r = machine.run(
+            Query.join(ScanNode("other", sel), ScanNode("twok", sel),
+                       on=("unique2", "unique2"), into="js")
+        )
+        assert r.result_count == 200
+
+    def test_nested_join(self, machine):
+        machine.load_wisconsin("B", 2_000, seed=12)
+        machine.load_wisconsin("C", 200, seed=13)
+        sel = RangePredicate("unique2", 0, 199)
+        q = Query.join(
+            build=ScanNode("C"),
+            probe=JoinNode(ScanNode("B", sel), ScanNode("twok", sel),
+                           "unique2", "unique2"),
+            on=("unique1", "unique1"),
+            into="j3",
+        )
+        r = machine.run(q)
+        a = [t for t in data() if t[1] <= 199]
+        b = [t for t in data(2000, 12) if t[1] <= 199]
+        ab = self._nl_join(b, a, 1, 1)
+        expected = self._nl_join(data(200, 13), ab, 0, 0)
+        assert r.result_count == len(expected)
+
+    def test_abprime_faster_than_aselb(self):
+        # "the Teradata can always do joinABprime faster than joinAselB"
+        m = TeradataMachine(TeradataConfig(n_amps=5))
+        m.load_wisconsin("A", 2_000, seed=1)
+        m.load_wisconsin("B", 2_000, seed=2)
+        m.load_wisconsin("Bprime", 200, seed=3)
+        abprime = m.run(
+            Query.join(ScanNode("Bprime"), ScanNode("A"),
+                       on=("unique2", "unique2"), into="r1")
+        )
+        sel = RangePredicate("unique2", 0, 199)
+        aselb = m.run(
+            Query.join(ScanNode("B", sel), ScanNode("A"),
+                       on=("unique2", "unique2"), into="r2")
+        )
+        assert abprime.response_time < aselb.response_time
+
+
+class TestUpdates:
+    def _fresh(self, u1, u2):
+        base = next(iter(generate_tuples(1, seed=5)))
+        return (u1, u2) + base[2:]
+
+    def test_append(self, machine):
+        r = machine.update(AppendTuple("twok", self._fresh(9_000, 9_000)))
+        assert r.result_count == 1
+        assert machine.lookup("twok").num_records == 2001
+
+    def test_delete(self, machine):
+        r = machine.update(DeleteTuple("twok", ExactMatch("unique1", 5)))
+        assert r.result_count == 1
+        assert all(t[0] != 5 for t in machine.lookup("twok").records())
+
+    def test_modify_key_relocates_to_right_amp(self, machine):
+        machine.update(ModifyTuple("twok", ExactMatch("unique1", 7),
+                                   "unique1", 12_345))
+        rel = machine.lookup("twok")
+        home = gamma_hash(12_345, 5)
+        assert any(
+            t[0] == 12_345 for t in rel.fragments[home].live_records()
+        )
+
+    def test_modify_nonkey_in_place(self, machine):
+        r = machine.update(ModifyTuple("twok", ExactMatch("unique1", 9),
+                                       "odd100", 3))
+        assert r.result_count == 1
+        hit = [t for t in machine.lookup("twok").records() if t[0] == 9]
+        assert hit[0][11] == 3
+
+    def test_modify_key_costs_more_than_plain(self, machine):
+        plain = machine.update(
+            ModifyTuple("twok", ExactMatch("unique1", 20), "odd100", 5)
+        )
+        key = machine.update(
+            ModifyTuple("twok", ExactMatch("unique1", 21), "unique1", 77_777)
+        )
+        assert key.response_time > plain.response_time
+
+    def test_miss_affects_nothing(self, machine):
+        r = machine.update(DeleteTuple("twok", ExactMatch("unique1", 10**6)))
+        assert r.result_count == 0
+
+
+class TestGammaVsTeradata:
+    """The headline cross-machine comparisons of the paper."""
+
+    def test_gamma_faster_on_selections(self):
+        from repro import GammaConfig, GammaMachine
+
+        g = GammaMachine(GammaConfig(n_disk_sites=4, n_diskless=4))
+        t = TeradataMachine(TeradataConfig(n_amps=10))
+        g.load_wisconsin("r", 2_000, seed=1)
+        t.load_wisconsin("r", 2_000, seed=1)
+        pred = RangePredicate("hundred", 0, 0)
+        rg = g.run(Query.select("r", pred, into="og"))
+        rt = t.run(Query.select("r", pred, into="ot"))
+        assert rg.response_time < rt.response_time
+
+    def test_gamma_aselb_faster_than_abprime_teradata_opposite(self):
+        # Table 2's crossed asymmetry, at reduced scale.
+        from repro import GammaConfig, GammaMachine
+
+        def load(m):
+            m.load_wisconsin("A", 4_000, seed=1)
+            m.load_wisconsin("B", 4_000, seed=2)
+            m.load_wisconsin("Bprime", 400, seed=3)
+
+        sel = RangePredicate("unique2", 0, 399)
+        g = GammaMachine(GammaConfig(n_disk_sites=4, n_diskless=4))
+        load(g)
+        g_abp = g.run(Query.join(ScanNode("Bprime"), ScanNode("A"),
+                                 on=("unique2", "unique2"), into="x1"))
+        g_aselb = g.run(Query.join(ScanNode("B", sel), ScanNode("A", sel),
+                                   on=("unique2", "unique2"), into="x2"))
+        assert g_aselb.response_time < g_abp.response_time
+
+        t = TeradataMachine(TeradataConfig(n_amps=10))
+        load(t)
+        t_abp = t.run(Query.join(ScanNode("Bprime"), ScanNode("A"),
+                                 on=("unique2", "unique2"), into="x1"))
+        t_aselb = t.run(Query.join(ScanNode("B", sel), ScanNode("A"),
+                                   on=("unique2", "unique2"), into="x2"))
+        assert t_abp.response_time < t_aselb.response_time

@@ -1,0 +1,147 @@
+"""Unit tests for the DBC/1012 internals: dense hash index, fragments,
+merge join, and the executor's cost structure."""
+
+import pytest
+
+from repro.catalog import gamma_hash
+from repro.engine import Query, RangePredicate
+from repro.storage import Schema, int_attr
+from repro.teradata import DenseHashIndex, TeradataMachine
+from repro.teradata.amp import AmpFragment
+from repro.teradata.executor import _merge_join
+from repro.hardware import TeradataConfig
+
+
+def schema():
+    return Schema([int_attr("key"), int_attr("other")])
+
+
+class TestDenseHashIndex:
+    def test_entries_in_hash_order_not_key_order(self):
+        index = DenseHashIndex("i", "other", 4096)
+        index.build(list(range(100)))
+        values = [v for v, _i in index.entries]
+        assert sorted(values) == list(range(100))
+        assert values != sorted(values)  # hashed, NOT key sorted
+
+    def test_matching_scans_whole_range(self):
+        index = DenseHashIndex("i", "other", 4096)
+        index.build([v * 2 for v in range(50)])
+        assert sorted(index.matching(10, 20)) == sorted(
+            i for i in range(50) if 10 <= i * 2 <= 20
+        )
+
+    def test_exact(self):
+        index = DenseHashIndex("i", "other", 4096)
+        index.build([5, 7, 5])
+        assert sorted(index.exact(5)) == [0, 2]
+
+    def test_num_pages_from_entry_width(self):
+        index = DenseHashIndex("i", "other", 4096)
+        index.build(list(range(1000)))
+        per_page = (4096 - 32) // (16 + 30)
+        assert index.num_pages == -(-1000 // per_page)
+
+
+class TestAmpFragment:
+    def _fragment(self, n=100):
+        records = [(i, n - i) for i in range(n)]
+        return AmpFragment("f", schema(), "key", 4096, records)
+
+    def test_records_stored_in_hash_key_order(self):
+        frag = self._fragment()
+        hashes = [gamma_hash(r[0], 1 << 30) for r in frag.records]
+        assert hashes == sorted(hashes)
+
+    def test_append_maintains_indexes(self):
+        frag = self._fragment()
+        frag.add_index("other")
+        frag.append((999, 12345))
+        assert 12345 in [v for v, _ in frag.indexes["other"].entries]
+
+    def test_remove_clears_index_entries(self):
+        frag = self._fragment()
+        frag.add_index("other")
+        target = frag.records[3]
+        frag.remove(3)
+        assert 3 not in [i for _v, i in frag.indexes["other"].entries]
+        assert target not in list(frag.live_records())
+
+    def test_replace_updates_changed_index(self):
+        frag = self._fragment()
+        frag.add_index("other")
+        old = frag.records[5]
+        frag.replace(5, (old[0], 77_777))
+        entries = dict(
+            (i, v) for v, i in frag.indexes["other"].entries
+        )
+        assert entries[5] == 77_777
+
+    def test_page_of_ordinal(self):
+        frag = self._fragment(1000)
+        per_page = frag.heap.records_per_full_page
+        assert frag.page_of_ordinal(0) == 0
+        assert frag.page_of_ordinal(per_page) == 1
+
+
+class TestMergeJoin:
+    def test_basic_equi_join(self):
+        left = sorted([(k,) for k in [1, 2, 2, 5]])
+        right = sorted([(k, "r") for k in [2, 3, 5, 5]])
+        out = _merge_join(left, right, 0, 0)
+        assert sorted(out) == sorted([
+            (2, 2, "r"), (2, 2, "r"), (5, 5, "r"), (5, 5, "r"),
+        ])
+
+    def test_duplicate_runs_cross_product(self):
+        left = [(1,), (1,)]
+        right = [(1, "a"), (1, "b")]
+        assert len(_merge_join(left, right, 0, 0)) == 4
+
+    def test_disjoint_inputs(self):
+        assert _merge_join([(1,)], [(2, "x")], 0, 0) == []
+
+    def test_empty_sides(self):
+        assert _merge_join([], [(1, "x")], 0, 0) == []
+        assert _merge_join([(1,)], [], 0, 0) == []
+
+
+class TestExecutorCostStructure:
+    def test_more_amps_scan_faster(self):
+        times = {}
+        for amps in (5, 20):
+            m = TeradataMachine(TeradataConfig(n_amps=amps))
+            m.load_wisconsin("r", 10_000, seed=1)
+            times[amps] = m.run(
+                Query.select("r", RangePredicate("hundred", 0, 0))
+            ).response_time
+        assert times[20] < times[5]
+
+    def test_fixed_host_cost_dominates_tiny_queries(self):
+        m = TeradataMachine()
+        m.load_wisconsin("r", 1_000, seed=1)
+        r = m.run(Query.select("r", RangePredicate("hundred", -5, -1)))
+        assert r.response_time > m.costs.host_roundtrip_s
+
+    def test_insert_path_charges_three_ios_per_tuple(self):
+        m = TeradataMachine(TeradataConfig(n_amps=2))
+        m.load_wisconsin("r", 1_000, seed=1)
+        result = m.run(
+            Query.select("r", RangePredicate("unique1", 0, 99), into="out")
+        )
+        assert result.stats["insert_ios"] == pytest.approx(
+            100 * m.config.insert_ios_per_tuple, abs=2
+        )
+
+    def test_redistribution_stats(self):
+        from repro.engine import ScanNode
+
+        m = TeradataMachine(TeradataConfig(n_amps=4))
+        m.load_wisconsin("A", 1_000, seed=1)
+        m.load_wisconsin("B", 100, seed=2)
+        nonkey = m.run(Query.join(ScanNode("B"), ScanNode("A"),
+                                  on=("unique2", "unique2"), into="j1"))
+        assert nonkey.stats["tuples_redistributed"] == 1100
+        key = m.run(Query.join(ScanNode("B"), ScanNode("A"),
+                               on=("unique1", "unique1"), into="j2"))
+        assert key.stats.get("tuples_redistributed", 0) == 0

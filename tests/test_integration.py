@@ -1,0 +1,128 @@
+"""End-to-end integration: the paper's whole workload on one machine pair.
+
+A miniature version of the full evaluation — every query family from
+Sections 5-7 executed back-to-back against the same catalog, verifying
+that state composes correctly across queries (result relations, updates
+mutating indexed relations, subsequent queries seeing the mutations).
+"""
+
+import pytest
+
+from repro import (
+    AppendTuple,
+    DeleteTuple,
+    ExactMatch,
+    GammaConfig,
+    GammaMachine,
+    JoinMode,
+    ModifyTuple,
+    Query,
+    RangePredicate,
+)
+from repro.engine import JoinNode, ScanNode
+from repro.workloads import generate_tuples
+
+
+@pytest.fixture(scope="module")
+def machine():
+    m = GammaMachine(GammaConfig(n_disk_sites=4, n_diskless=4))
+    m.load_wisconsin("big", 4_000, seed=101,
+                     clustered_on="unique1", secondary_on=["unique2"])
+    m.load_wisconsin("bigheap", 4_000, seed=101)
+    m.load_wisconsin("other", 4_000, seed=102)
+    m.load_wisconsin("tenth", 400, seed=103)
+    return m
+
+
+def test_full_workload_sequence(machine):
+    m = machine
+
+    # --- Section 5: selections -----------------------------------------
+    sel = m.run(Query.select("big", RangePredicate("unique1", 0, 39),
+                             into="w_sel"))
+    assert sel.result_count == 40
+
+    scan = m.run(Query.select("bigheap", RangePredicate("unique2", 0, 399),
+                              into="w_scan"))
+    assert scan.result_count == 400
+
+    single = m.run(Query.select("big", ExactMatch("unique1", 123)))
+    assert single.tuples[0][0] == 123
+
+    # --- Section 6: joins, including a query over a stored result ------
+    join = m.run(Query.join(ScanNode("tenth"), ScanNode("bigheap"),
+                            on=("unique2", "unique2"), into="w_join"))
+    assert join.result_count == 400
+
+    # Query the stored join result: result relations are first-class.
+    requery = m.run(Query.select("w_join", RangePredicate("unique2", 0, 99)))
+    assert requery.result_count == 100
+
+    three_way = m.run(
+        Query.join(
+            ScanNode("tenth"),
+            JoinNode(
+                ScanNode("other", RangePredicate("unique2", 0, 399)),
+                ScanNode("bigheap", RangePredicate("unique2", 0, 399)),
+                "unique2", "unique2",
+            ),
+            on=("unique2", "unique2"),
+            mode=JoinMode.ALLNODES,
+            into="w_3way",
+        )
+    )
+    assert three_way.result_count == 400
+
+    # --- Section 7: updates against the indexed relation ---------------
+    fresh = (90_000, 90_000) + next(iter(generate_tuples(1, seed=9)))[2:]
+    assert m.update(AppendTuple("big", fresh)).result_count == 1
+    assert m.run(Query.select("big", ExactMatch("unique2", 90_000))
+                 ).result_count == 1
+
+    assert m.update(
+        ModifyTuple("big", ExactMatch("unique1", 90_000), "unique2", 91_000)
+    ).result_count == 1
+    assert m.run(Query.select("big", ExactMatch("unique2", 91_000))
+                 ).result_count == 1
+
+    assert m.update(
+        DeleteTuple("big", ExactMatch("unique1", 90_000))
+    ).result_count == 1
+    assert m.run(Query.select("big", ExactMatch("unique1", 90_000))
+                 ).result_count == 0
+
+    # --- aggregates over the mutated relation --------------------------
+    count = m.run(Query.aggregate("big", op="count"))
+    assert count.tuples == [(4_000,)]
+
+    grouped = m.run(Query.aggregate("big", op="count", group_by="two"))
+    assert sorted(grouped.tuples) == [(0, 2000), (1, 2000)]
+
+    # --- cleanup: dropping results keeps the catalog tidy ---------------
+    for name in ("w_sel", "w_scan", "w_join", "w_3way"):
+        m.drop_relation(name)
+    assert len(m.catalog) == 4
+
+
+def test_every_query_reports_timing_and_stats(machine):
+    result = machine.run(
+        Query.select("bigheap", RangePredicate("unique2", 0, 39))
+    )
+    assert result.response_time > 0
+    assert result.stats["sched_messages"] > 0
+    assert result.stats["packets_received"] >= 1
+    assert result.utilisations
+
+
+def test_workload_deterministic_across_machines():
+    def run_once():
+        m = GammaMachine(GammaConfig(n_disk_sites=4, n_diskless=4))
+        m.load_wisconsin("r", 2_000, seed=55)
+        m.load_wisconsin("s", 200, seed=56)
+        a = m.run(Query.select("r", RangePredicate("unique2", 0, 99),
+                               into="t1"))
+        b = m.run(Query.join(ScanNode("s"), ScanNode("r"),
+                             on=("unique2", "unique2"), into="t2"))
+        return a.response_time, b.response_time
+
+    assert run_once() == run_once()

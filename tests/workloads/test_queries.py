@@ -1,0 +1,108 @@
+"""Tests for the paper's benchmark query builders."""
+
+import pytest
+
+from repro.engine import (
+    AppendTuple,
+    ExactMatch,
+    JoinMode,
+    JoinNode,
+    RangePredicate,
+    ScanNode,
+)
+from repro.errors import BenchmarkError
+from repro.workloads.queries import (
+    join_abprime,
+    join_aselb,
+    join_cselaselb,
+    selection_query,
+    single_tuple_select,
+    update_suite,
+)
+
+
+class TestSelectionQuery:
+    def test_one_percent_range(self):
+        q = selection_query("r", 10_000, 0.01)
+        assert isinstance(q.root, ScanNode)
+        pred = q.root.predicate
+        assert isinstance(pred, RangePredicate)
+        assert pred.high - pred.low + 1 == 100
+        assert pred.attr == "unique2"
+
+    def test_clustered_variant_uses_unique1(self):
+        q = selection_query("r", 10_000, 0.10, attr="unique1")
+        assert q.root.predicate.attr == "unique1"
+
+    def test_into_propagated(self):
+        q = selection_query("r", 1000, 0.01, into="out")
+        assert q.into == "out"
+
+    def test_single_tuple(self):
+        q = single_tuple_select("r", 42)
+        assert isinstance(q.root.predicate, ExactMatch)
+        assert q.root.predicate.value == 42
+
+
+class TestJoinBuilders:
+    def test_abprime_build_is_bprime(self):
+        q = join_abprime("A", "Bp", key=False)
+        assert isinstance(q.root, JoinNode)
+        assert q.root.build.relation == "Bp"
+        assert q.root.probe.relation == "A"
+        assert q.root.build_attr == "unique2"
+
+    def test_abprime_key_variant(self):
+        q = join_abprime("A", "Bp", key=True, mode=JoinMode.LOCAL)
+        assert q.root.build_attr == "unique1"
+        assert q.root.mode is JoinMode.LOCAL
+
+    def test_aselb_has_ten_percent_selection_on_join_attr(self):
+        q = join_aselb("A", "B", 10_000, key=False)
+        pred = q.root.build.predicate
+        assert isinstance(pred, RangePredicate)
+        assert pred.attr == "unique2"
+        assert pred.high - pred.low + 1 == 1000
+
+    def test_cselaselb_shape(self):
+        q = join_cselaselb("A", "B", "C", 10_000, key=False)
+        assert isinstance(q.root, JoinNode)
+        assert q.root.build.relation == "C"
+        inner = q.root.probe
+        assert isinstance(inner, JoinNode)
+        assert isinstance(inner.build.predicate, RangePredicate)
+        assert isinstance(inner.probe.predicate, RangePredicate)
+
+    def test_cselaselb_result_cardinality(self):
+        # The construction must yield exactly |C| result tuples.
+        from repro import GammaConfig, GammaMachine
+
+        n = 2_000
+        m = GammaMachine(GammaConfig(n_disk_sites=4, n_diskless=4))
+        m.load_wisconsin("A", n, seed=1)
+        m.load_wisconsin("B", n, seed=2)
+        m.load_wisconsin("C", n // 10, seed=3)
+        r = m.run(join_cselaselb("A", "B", "C", n, key=False, into="out"))
+        assert r.result_count == n // 10
+
+
+class TestUpdateSuite:
+    def test_six_requests(self):
+        suite = update_suite("r", 10_000)
+        assert len(suite) == 6
+        assert isinstance(suite["append 1 tuple (no indices)"], AppendTuple)
+
+    def test_fresh_tuple_outside_keyspace(self):
+        suite = update_suite("r", 10_000)
+        append = suite["append 1 tuple (no indices)"]
+        assert append.record[0] >= 10_000
+
+    def test_tiny_relation_rejected(self):
+        with pytest.raises(BenchmarkError):
+            update_suite("r", 10)
+
+    def test_delete_targets_the_appended_tuple(self):
+        suite = update_suite("r", 10_000)
+        append = suite["append 1 tuple (one index)"]
+        delete = suite["delete 1 tuple"]
+        assert delete.where.value == append.record[0]

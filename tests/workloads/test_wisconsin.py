@@ -1,0 +1,107 @@
+"""Tests for the Wisconsin benchmark generator."""
+
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.workloads import (
+    INT_ATTRS,
+    TUPLE_BYTES,
+    generate_tuples,
+    selection_range,
+    wisconsin_schema,
+)
+
+
+class TestSchema:
+    def test_208_bytes(self):
+        assert wisconsin_schema().tuple_bytes == TUPLE_BYTES == 208
+
+    def test_sixteen_attributes(self):
+        assert len(wisconsin_schema()) == 16
+
+    def test_attribute_order(self):
+        names = wisconsin_schema().names()
+        assert names[:13] == list(INT_ATTRS)
+        assert names[13:] == ["stringu1", "stringu2", "string4"]
+
+
+class TestGenerator:
+    def test_unique1_unique2_are_permutations(self):
+        tuples = list(generate_tuples(1000, seed=1))
+        u1 = sorted(t[0] for t in tuples)
+        u2 = sorted(t[1] for t in tuples)
+        assert u1 == list(range(1000))
+        assert u2 == list(range(1000))
+
+    def test_unique1_unique2_uncorrelated(self):
+        tuples = list(generate_tuples(1000, seed=1))
+        matches = sum(1 for t in tuples if t[0] == t[1])
+        assert matches < 20  # expected ~1 for a random permutation pair
+
+    def test_deterministic_for_seed(self):
+        a = list(generate_tuples(100, seed=7))
+        b = list(generate_tuples(100, seed=7))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = list(generate_tuples(100, seed=1))
+        b = list(generate_tuples(100, seed=2))
+        assert a != b
+
+    def test_derived_attributes_consistent(self):
+        schema = wisconsin_schema()
+        pos = {name: schema.position(name) for name in INT_ATTRS}
+        for t in generate_tuples(500, seed=3):
+            u1 = t[pos["unique1"]]
+            assert t[pos["two"]] == u1 % 2
+            assert t[pos["four"]] == u1 % 4
+            assert t[pos["ten"]] == u1 % 10
+            assert t[pos["hundred"]] == u1 % 100
+            assert t[pos["tenthous"]] == u1 % 10000
+            assert t[pos["odd100"]] % 2 == 1
+            assert t[pos["even100"]] % 2 == 0
+
+    def test_full_strings_are_unique_and_52_bytes(self):
+        tuples = list(generate_tuples(200, seed=1, strings="full"))
+        s1 = {t[13] for t in tuples}
+        assert len(s1) == 200
+        assert all(len(t[13]) == 52 for t in tuples)
+
+    def test_cheap_strings_shared(self):
+        tuples = list(generate_tuples(100, seed=1))
+        assert len({id(t[13]) for t in tuples}) == 1
+
+    def test_zero_tuples_rejected(self):
+        with pytest.raises(BenchmarkError):
+            list(generate_tuples(0))
+
+
+class TestSelectionRange:
+    def test_one_percent_of_10k(self):
+        r = selection_range(10_000, 0.01)
+        assert r.count == 100
+        assert r.attr == "unique2"
+
+    def test_ten_percent(self):
+        r = selection_range(10_000, 0.10)
+        assert r.count == 1000
+
+    def test_hundred_percent(self):
+        r = selection_range(1000, 1.0)
+        assert r.count == 1000
+        assert r.low == 0
+
+    def test_zero_percent_is_empty_range(self):
+        r = selection_range(1000, 0.0)
+        assert r.high < r.low or r.high < 0
+
+    def test_range_selects_exact_count(self):
+        n = 5000
+        r = selection_range(n, 0.01)
+        tuples = generate_tuples(n, seed=5)
+        hits = sum(1 for t in tuples if r.low <= t[1] <= r.high)
+        assert hits == r.count == 50
+
+    def test_bad_selectivity_rejected(self):
+        with pytest.raises(BenchmarkError):
+            selection_range(100, 1.5)
