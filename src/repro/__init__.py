@@ -38,6 +38,7 @@ from .engine import (
 )
 from .catalog import Hashed, RangePartitioned, RoundRobin, UniformRange
 from .hardware import GammaConfig, TeradataConfig
+from .metrics import MetricsRegistry, TraceBuffer, UtilisationReport
 from .quel import QuelSession
 from .workloads import generate_tuples, selection_range, wisconsin_schema
 
@@ -54,6 +55,7 @@ __all__ = [
     "Hashed",
     "JoinMode",
     "JoinNode",
+    "MetricsRegistry",
     "ModifyTuple",
     "QuelSession",
     "Query",
@@ -63,8 +65,10 @@ __all__ = [
     "RoundRobin",
     "ScanNode",
     "TeradataConfig",
+    "TraceBuffer",
     "TruePredicate",
     "UniformRange",
+    "UtilisationReport",
     "__version__",
     "generate_tuples",
     "selection_range",

@@ -8,12 +8,14 @@ checks (``report.check(...)``) that the benchmark tests assert.
 
 from __future__ import annotations
 
+import os
 from typing import Optional, Sequence
 
 from ..engine import JoinMode, Query
 from ..hardware import GammaConfig
 from ..engine.plan import AccessPath, RangePredicate
 from ..hardware import KB, MB
+from ..metrics import TraceBuffer, peak_utilisation
 from ..workloads import selection_range
 from ..workloads.queries import (
     join_abprime,
@@ -32,7 +34,7 @@ from .harness import (
     speedup_series,
 )
 from .recorded import TABLE1_SELECTIONS, TABLE2_JOINS, TABLE3_UPDATES
-from .reporting import Report, ratio_note
+from .reporting import Report, ratio_note, results_dir
 
 
 # ---------------------------------------------------------------------------
@@ -312,33 +314,75 @@ def fig01_02_experiment(
     n: int = 100_000,
     processor_counts: Sequence[int] = (1, 2, 4, 8),
 ) -> Report:
-    """Response time and speedup of 0/1/10% selections vs processors."""
+    """Response time and speedup of 0/1/10% selections vs processors.
+
+    Besides the paper's two figures, each row reports the busiest node's
+    CPU/disk/network busy fractions, and the widest configuration's 1%
+    selection is re-run under a :class:`~repro.metrics.TraceBuffer` to
+    (a) export a Chrome-trace timeline next to the markdown report and
+    (b) assert that tracing leaves the simulated timeline bit-identical.
+    """
     report = Report(
         name="fig01_02_select_speedup",
         title=f"Figures 1-2 — Non-indexed selections on {n:,} tuples"
               " vs processors with disks",
-        columns=["selectivity", "processors", "response (s)", "speedup"],
+        columns=["selectivity", "processors", "response (s)", "speedup",
+                 "cpu util", "disk util", "net util"],
     )
     selectivities = (0.0, 0.01, 0.10)
     times: dict[float, dict[int, float]] = {s: {} for s in selectivities}
+    utils: dict[tuple[float, int], dict[str, float]] = {}
+    traced_pair: Optional[tuple[float, float]] = None
     for procs in processor_counts:
         machine = build_gamma(
             GammaConfig.paper_default().with_sites(procs),
             relations=[("rel", n, "heap")],
         )
         for sel in selectivities:
-            times[sel][procs] = run_stored(
+            result = run_stored(
                 machine, lambda into, s=sel: selection_query(
                     "rel", n, s, into=into)
-            ).response_time
+            )
+            times[sel][procs] = result.response_time
+            utils[(sel, procs)] = result.utilisations
+        if procs == max(processor_counts):
+            traced = run_stored(
+                machine,
+                lambda into: selection_query("rel", n, 0.01, into=into),
+                trace=(trace := TraceBuffer()),
+            )
+            traced_pair = (times[0.01][procs], traced.response_time)
+            trace.write(os.path.join(
+                results_dir(), "fig01_02_select_speedup.trace.json"))
     for sel in selectivities:
         speedups = speedup_series(times[sel], min(processor_counts))
         for procs in processor_counts:
+            u = utils[(sel, procs)]
             report.add_row(f"{sel:.0%}", procs, times[sel][procs],
-                           speedups[procs])
+                           speedups[procs],
+                           peak_utilisation(u, "cpu"),
+                           peak_utilisation(u, "disk"),
+                           peak_utilisation(u, "nic"))
 
     lo, hi = min(processor_counts), max(processor_counts)
     ideal = hi / lo
+    report.check(
+        "the disk is the saturated bottleneck at every scale"
+        " (busiest disk >= 90% busy and above every CPU/NIC)",
+        all(
+            peak_utilisation(utils[(sel, procs)], "disk") >= 0.90
+            and peak_utilisation(utils[(sel, procs)], "disk")
+            > max(peak_utilisation(utils[(sel, procs)], "cpu"),
+                  peak_utilisation(utils[(sel, procs)], "nic"))
+            for sel in selectivities for procs in processor_counts
+        ),
+    )
+    if traced_pair is not None:
+        report.check(
+            "trace collection does not perturb the simulated timeline"
+            " (bit-identical response time with tracing on)",
+            traced_pair[0] == traced_pair[1],
+        )
     for sel in selectivities:
         report.check(
             f"{sel:.0%} selection speeds up with processors",

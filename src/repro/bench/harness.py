@@ -83,15 +83,20 @@ def build_teradata(
     return machine
 
 
-def run_stored(machine, make_query) -> QueryResult:
+def run_stored(machine, make_query, trace=None) -> QueryResult:
     """Run a stored-result query, then drop the result relation.
 
     ``make_query(into_name)`` builds the query.  Dropping keeps repeated
     sweeps memory-flat, and mirrors Gamma's cheap recovery story (dropping
-    a result relation is just deleting its files).
+    a result relation is just deleting its files).  Pass a
+    :class:`~repro.metrics.TraceBuffer` as ``trace`` to record the run's
+    execution timeline (Gamma machines only).
     """
     name = f"bench_result_{next(_result_names)}"
-    result = machine.run(make_query(name))
+    if trace is None:
+        result = machine.run(make_query(name))
+    else:
+        result = machine.run(make_query(name), trace=trace)
     machine.drop_relation(name)
     return result
 

@@ -79,16 +79,21 @@ class Report:
 
     def save(self, directory: Optional[str] = None) -> str:
         """Write the markdown report; returns the file path."""
-        directory = directory or os.environ.get(
-            "GAMMA_BENCH_RESULTS",
-            os.path.join(os.path.dirname(__file__), "..", "..", "..",
-                         "benchmarks", "results"),
-        )
-        os.makedirs(directory, exist_ok=True)
-        path = os.path.join(directory, f"{self.name}.md")
+        path = os.path.join(results_dir(directory), f"{self.name}.md")
         with open(path, "w") as fh:
             fh.write(self.to_markdown())
         return path
+
+
+def results_dir(directory: Optional[str] = None) -> str:
+    """The benchmark output directory (``GAMMA_BENCH_RESULTS``-tunable)."""
+    directory = directory or os.environ.get(
+        "GAMMA_BENCH_RESULTS",
+        os.path.join(os.path.dirname(__file__), "..", "..", "..",
+                     "benchmarks", "results"),
+    )
+    os.makedirs(directory, exist_ok=True)
+    return directory
 
 
 def ratio_note(measured: float, paper: Optional[float]) -> Optional[float]:

@@ -106,7 +106,7 @@ class LoadRun:
             port.store,
             DataPacket(records, nbytes, "host", src_node=host.name),
         )
-        ctx.stats["load_packets"] += 1
+        ctx.metrics.add("load_packets")
 
     # ------------------------------------------------------------------
     def _loader(
@@ -183,4 +183,4 @@ class LoadRun:
         index_file = ctx.temp_file_id(f"{self.name}.idxbuild")
         for page_no in range(leaf_pages):
             yield from node.write_page(index_file, page_no)
-        ctx.stats["index_pages_built"] += leaf_pages
+        ctx.metrics.add("index_pages_built", leaf_pages)

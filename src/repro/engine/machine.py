@@ -148,13 +148,18 @@ class GammaMachine:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def run(self, query: Query) -> QueryResult:
-        """Execute a retrieval query, returning the answer and timings."""
+    def run(self, query: Query, trace: Optional["Any"] = None) -> QueryResult:
+        """Execute a retrieval query, returning the answer and timings.
+
+        Pass a :class:`~repro.metrics.TraceBuffer` as ``trace`` to record
+        the execution's service intervals and operator lifetimes for
+        Chrome-trace export; tracing never changes the simulated timeline.
+        """
         if query.into is not None and query.into in self.catalog:
             raise CatalogError(
                 f"result relation {query.into!r} already exists"
             )
-        ctx = ExecutionContext(self.config)
+        ctx = ExecutionContext(self.config, trace=trace)
         plan = Planner(self.config, self.catalog).plan(query)
         run = QueryRun(ctx, self.catalog, plan)
         ctx.sim.spawn(run.host_process(), name="host")
@@ -166,6 +171,8 @@ class GammaMachine:
             )
             self.catalog.register(relation)
             result_relation = query.into
+        snapshot = ctx.metrics.snapshot()
+        utilisation_report = ctx.utilisation_report()
         return QueryResult(
             response_time=response_time,
             tuples=run.collected if query.into is None else None,
@@ -173,7 +180,10 @@ class GammaMachine:
             result_count=run.result_count,
             stats=dict(ctx.stats),
             overflows_per_node=run.overflows_per_node,
-            utilisations=ctx.utilisations(),
+            utilisations=utilisation_report.as_dict(),
+            node_metrics=snapshot["nodes"],
+            operator_metrics=snapshot["operators"],
+            utilisation_report=utilisation_report,
             plan=plan.description,
         )
 
@@ -238,6 +248,7 @@ class GammaMachine:
                         result_count=run.result_count,
                         stats=dict(ctx.stats),
                         overflows_per_node=run.overflows_per_node,
+                        utilisations=ctx.utilisations(),
                         plan=run.plan.description,
                     )
                 )
@@ -252,15 +263,20 @@ class GammaMachine:
                 )
         return results
 
-    def update(self, request: UpdateRequest) -> QueryResult:
+    def update(
+        self, request: UpdateRequest, trace: Optional["Any"] = None
+    ) -> QueryResult:
         """Execute a single-tuple update request (Table 3 operations)."""
-        ctx = ExecutionContext(self.config)
+        ctx = ExecutionContext(self.config, trace=trace)
         run = UpdateRun(ctx, self.catalog, request)
         ctx.sim.spawn(run.host_process(), name="host")
         response_time = ctx.sim.run()
+        utilisation_report = ctx.utilisation_report()
         return QueryResult(
             response_time=response_time,
             result_count=run.affected,
             stats=dict(ctx.stats),
+            utilisations=utilisation_report.as_dict(),
+            utilisation_report=utilisation_report,
             plan=type(request).__name__,
         )

@@ -2,8 +2,8 @@
 
 An :class:`ExecutionContext` is built fresh for every query (Gamma is
 evaluated single-user with cold buffers): it owns the simulation, one
-:class:`Node` per processor, the interconnect, and the query-wide
-statistics the benchmarks report.
+:class:`Node` per processor, the interconnect, the metrics registry and
+(optionally) the trace-event stream the benchmarks report.
 """
 
 from __future__ import annotations
@@ -13,6 +13,7 @@ from collections import Counter
 from typing import Any, Generator, Iterator, Optional
 
 from ..hardware import DiskDrive, GammaConfig, Interconnect
+from ..metrics import MetricsRegistry, TraceBuffer, UtilisationReport
 from ..sim import Simulation, Server, Use
 from ..storage import BufferPool
 
@@ -106,10 +107,22 @@ class Node:
 
 
 class ExecutionContext:
-    """Everything one query execution needs: sim, nodes, network, stats."""
+    """Everything one query execution needs: sim, nodes, network, metrics.
 
-    def __init__(self, config: GammaConfig) -> None:
+    ``trace`` (optional) attaches a :class:`~repro.metrics.TraceBuffer`:
+    service intervals on every CPU/disk/NIC/ring server and operator
+    lifetimes are recorded into it as the simulation runs.  Tracing and
+    the always-on :class:`~repro.metrics.MetricsRegistry` are passive —
+    they never schedule events, so the simulated timeline is identical
+    whether or not they are inspected.
+    """
+
+    def __init__(
+        self, config: GammaConfig, trace: Optional[TraceBuffer] = None
+    ) -> None:
         self.config = config
+        self.metrics = MetricsRegistry()
+        self.trace = trace
         self.sim = Simulation()
         self.disk_nodes = [
             Node(self.sim, f"disk{i}", config, has_disk=True)
@@ -146,9 +159,33 @@ class ExecutionContext:
 
         self.locks = LockManager(self.sim)
         self._txn_ids = itertools.count(1)
-        self.stats: Counter[str] = Counter()
         self._spool_rr = itertools.cycle(range(len(self.disk_nodes)))
         self._temp_ids = itertools.count()
+        if trace is not None:
+            self._wire_trace(trace)
+
+    @property
+    def stats(self) -> Counter[str]:
+        """Query-wide counters (view of the metrics registry, kept for
+        compatibility with the pre-registry ``ctx.stats`` dict)."""
+        return self.metrics.query
+
+    def _wire_trace(self, trace: TraceBuffer) -> None:
+        """Attach service-interval observers to every hardware server."""
+
+        def observer(node_name: str, lane: str):
+            def on_service(server_name: str, start: float, dur: float) -> None:
+                trace.duration(node_name, lane, lane, start, dur, cat=lane)
+
+            return on_service
+
+        for node in self.nodes.values():
+            node.cpu.observer = observer(node.name, "cpu")
+            if node.drive is not None:
+                node.drive.server.observer = observer(node.name, "disk")
+        for name, interface in self.net.interfaces.items():
+            interface.server.observer = observer(name, "nic")
+        self.net.ring.observer = observer("ring", "ring")
 
     # ------------------------------------------------------------------
     # placement helpers
@@ -191,13 +228,9 @@ class ExecutionContext:
         return {"pages_read": read, "pages_written": written}
 
     def utilisations(self) -> dict[str, float]:
-        now = self.sim.now
-        out = {}
-        for node in self.disk_nodes:
-            out[f"{node.name}.cpu"] = node.cpu.utilisation(now)
-            if node.drive:
-                out[f"{node.name}.disk"] = node.drive.server.utilisation(now)
-            out[f"{node.name}.nic"] = (
-                self.net.interfaces[node.name].server.utilisation(now)
-            )
-        return out
+        """Flat ``{"node.resource": busy fraction}`` map over all nodes."""
+        return self.utilisation_report().as_dict()
+
+    def utilisation_report(self) -> UtilisationReport:
+        """The per-node CPU/disk/network busy-fraction report (post-run)."""
+        return UtilisationReport.from_context(self)

@@ -99,7 +99,7 @@ class SpoolFile:
     def _write_page(self, sender: Node) -> Generator[Any, Any, None]:
         page_no = self._pages_written
         self._pages_written += 1
-        self.ctx.stats["spool_pages_written"] += 1
+        self.ctx.metrics.record_spool_write(sender.name)
         if self.target is not sender:
             yield from self.ctx.net.transfer(
                 sender.name, self.target.name, self.ctx.config.page_size
@@ -116,7 +116,7 @@ class SpoolFile:
 
     def read_page_io(self, page_no: int) -> Generator[Any, Any, None]:
         """Charge the I/O (and network, if remote) of reading one page."""
-        self.ctx.stats["spool_pages_read"] += 1
+        self.ctx.metrics.record_spool_read(self.owner.name)
         yield from self.target.read_page(self.file_id, page_no)
         if self.target is not self.owner:
             yield from self.ctx.net.transfer(
@@ -128,5 +128,5 @@ def operator_done(
     ctx: ExecutionContext, node: Node
 ) -> Generator[Any, Any, None]:
     """The completion control message an operator sends its scheduler."""
-    ctx.stats["control_messages"] += 1
+    ctx.metrics.record_control_message(node.name)
     yield from ctx.net.transfer(node.name, ctx.scheduler_node.name, 64)

@@ -113,6 +113,7 @@ def hybrid_build_consumer(
                 state.bytes_used += state.entry_bytes
             else:
                 spill[p].append(record)
+        ctx.metrics.record_hash_table_bytes(state.node.name, state.bytes_used)
         yield from state.node.work(cpu)
         for p, batch in spill.items():
             yield from state.build_spools[p - 1].add_batch(batch)
@@ -196,6 +197,10 @@ def hybrid_resolve(
                 break
             if start > 0 or consumed < len(build_pages) - start:
                 state.overflow_chunks += 1
+                ctx.metrics.node(state.node.name).overflow_chunks += 1
+            ctx.metrics.record_hash_table_bytes(
+                state.node.name, state.bytes_used
+            )
             start += consumed
             results: list[tuple] = []
             cpu = 0.0

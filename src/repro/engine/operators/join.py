@@ -203,6 +203,9 @@ def _insert_batch(
             cpu += costs.bitfilter_set
         if state.bytes_used > state.capacity_bytes:
             cpu += _evict(state, exchange, spill, costs)
+    state.ctx.metrics.record_hash_table_bytes(
+        state.node.name, state.bytes_used
+    )
     yield from state.node.work(cpu)
     for target, batch in spill.items():
         yield from exchange.build_spools[target].add_batch(
@@ -221,7 +224,7 @@ def _evict(
     Returns the CPU instructions spent rehashing the table.
     """
     state.overflows += 1
-    state.ctx.stats["hash_overflows"] += 1
+    state.ctx.metrics.record_overflow_chunk(state.node.name)
     state.kept_fraction = state.target_kept_fraction()
     seed = state.seed
     doomed = [
@@ -330,7 +333,7 @@ def redistribute_tables_after_overflow(
         for state in states:
             if state.bytes_used > state.capacity_bytes:
                 state.overflows += 1
-                ctx.stats["hash_overflows"] += 1
+                ctx.metrics.record_overflow_chunk(state.node.name)
         kept_global /= 2.0
         evict_to_global()
     for state in states:
@@ -357,7 +360,7 @@ def redistribute_tables_after_overflow(
             yield from exchange.build_spools[i].add_batch(
                 spool_moves[i], sender=state.node
             )
-        ctx.stats["overflow_redistributed_tuples"] += moved_out[i]
+        ctx.metrics.add("overflow_redistributed_tuples", moved_out[i])
 
     return [charge(state) for state in states]
 

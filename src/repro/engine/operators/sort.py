@@ -59,7 +59,7 @@ def sort_operator(
             yield from spool.target.read_page(
                 spool.file_id, page_no % max(1, stats.n_pages)
             )
-        ctx.stats["sort_spill_pages"] += stats.total_page_ios
+        ctx.metrics.add("sort_spill_pages", stats.total_page_ios)
     if go is not None:
         yield Get(go)  # wait for the preceding slice to finish emitting
     for start in range(0, len(ordered), EMIT_BATCH):

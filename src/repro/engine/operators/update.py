@@ -42,7 +42,7 @@ def _charge_deferred_update(
     file_id = ctx.temp_file_id(f"dfr.{label}")
     for page_no in range(ctx.config.deferred_update_ios):
         yield from node.write_page(file_id, page_no, sequential=False)
-    ctx.stats["deferred_update_files"] += 1
+    ctx.metrics.add("deferred_update_files")
 
 
 def _ship_log(

@@ -73,7 +73,19 @@ class InputPort:
                 yield from self.node.work(costs.packet_short_circuit)
             else:
                 yield from self.node.work(costs.packet_receive)
-            self.ctx.stats["packets_received"] += 1
+            self.ctx.metrics.record_packet_received(
+                self.node.name, len(message.records)
+            )
+            self.ctx.metrics.record_operator_tuples(
+                self.name, self.node.name, tuples_in=len(message.records)
+            )
+            if self.ctx.trace is not None:
+                self.ctx.trace.instant(
+                    self.node.name, "net", f"recv:{self.name}",
+                    self.ctx.sim.now, cat="packet",
+                    args={"tuples": len(message.records),
+                          "from": message.src_node},
+                )
             return message
         return None
 
@@ -188,11 +200,21 @@ class OutputPort:
             src_node=self.node.name,
         )
         self.tuples_sent += len(records)
-        self.ctx.stats["packets_sent"] += 1
-        self.ctx.stats["tuples_shipped"] += len(records)
+        short_circuit = dest.node_name == self.node.name
+        self.ctx.metrics.record_packet_sent(
+            self.node.name, len(records), short_circuit=short_circuit
+        )
+        self.ctx.metrics.record_operator_tuples(
+            self.label, self.node.name, tuples_out=len(records)
+        )
+        if self.ctx.trace is not None:
+            self.ctx.trace.instant(
+                self.node.name, "net", f"send:{self.label}",
+                self.ctx.sim.now, cat="packet",
+                args={"tuples": len(records), "to": dest.node_name},
+            )
         costs = self.node.config.costs
-        if dest.node_name == self.node.name:
-            self.ctx.stats["packets_short_circuited"] += 1
+        if short_circuit:
             yield from self.node.work(costs.packet_short_circuit)
         else:
             yield from self.node.work(costs.packet_send)
@@ -201,7 +223,7 @@ class OutputPort:
     def _send_control(
         self, dest: "Any", message: EndOfStream
     ) -> Generator[Any, Any, None]:
-        self.ctx.stats["control_messages"] += 1
+        self.ctx.metrics.record_control_message(self.node.name)
         self._dispatch(dest, message, nbytes=64)
         return
         yield  # pragma: no cover - keeps this a generator

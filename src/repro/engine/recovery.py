@@ -56,7 +56,7 @@ class RecoveryLog:
         config = self.ctx.config
         total_bytes = payload_bytes + n_records * config.log_record_bytes
         self.records_logged += n_records
-        self.ctx.stats["log_records"] += n_records
+        self.ctx.metrics.add("log_records", n_records)
         yield from src.work(LOG_RECORD_CPU * n_records)
         # Ship in packet-sized chunks.
         remaining = total_bytes
@@ -81,7 +81,7 @@ class RecoveryLog:
     def _force_page(self) -> Generator[Any, Any, None]:
         assert self.node.drive is not None
         self.pages_forced += 1
-        self.ctx.stats["log_pages_forced"] += 1
+        self.ctx.metrics.add("log_pages_forced")
         yield from self.node.drive.write(
             "recovery.log", self._next_page, self.ctx.config.page_size,
             sequential=True,

@@ -20,6 +20,12 @@ class QueryResult:
         overflows_per_node: Hash-table overflows seen at each joining node
             (Figure 13's x-axis is this value at one of eight sites).
         utilisations: End-of-run busy fractions of CPUs/disks/interfaces.
+        node_metrics: Typed per-node counters (tuples, packets, spool I/O,
+            hash-table bytes, overflow chunks) from the metrics registry.
+        operator_metrics: Per-operator counters (tuples in/out, lifetime).
+        utilisation_report: The printable per-node
+            :class:`~repro.metrics.UtilisationReport`, when the machine
+            built one (Gamma runs).
         plan: Text description of the physical plan executed.
     """
 
@@ -30,6 +36,9 @@ class QueryResult:
     stats: dict[str, int] = field(default_factory=dict)
     overflows_per_node: list[int] = field(default_factory=list)
     utilisations: dict[str, float] = field(default_factory=dict)
+    node_metrics: dict[str, dict] = field(default_factory=dict)
+    operator_metrics: dict[str, dict] = field(default_factory=dict)
+    utilisation_report: Optional[Any] = None
     plan: str = ""
 
     @property

@@ -67,6 +67,33 @@ CONTROL_BYTES = 128
 REPLY_BYTES = 64
 
 
+def _spawn_operator(
+    ctx: ExecutionContext, node: Node, gen: Any, label: str
+) -> Process:
+    """Spawn an operator process with lifetime metrics and trace events.
+
+    The operator pays its activation CPU first; start/finish times land in
+    the metrics registry and (when tracing) as a duration event on the
+    node's ``op:<label>`` lane.
+    """
+
+    def wrapped() -> Generator[Any, Any, Any]:
+        started = ctx.sim.now
+        ctx.metrics.record_operator_start(label, node.name, started)
+        yield from node.work(ctx.config.costs.operator_startup)
+        result = yield from gen
+        finished = ctx.sim.now
+        ctx.metrics.record_operator_finish(label, node.name, finished)
+        if ctx.trace is not None:
+            ctx.trace.duration(
+                node.name, f"op:{label}", label,
+                started, finished - started, cat="operator",
+            )
+        return result
+
+    return ctx.sim.spawn(wrapped(), name=label)
+
+
 class QueryRun:
     """Executes one physical plan inside a fresh execution context."""
 
@@ -740,18 +767,13 @@ class QueryRun:
         for _ in range(2):
             yield from ctx.net.transfer(sched, node.name, CONTROL_BYTES)
             yield from ctx.net.transfer(node.name, sched, REPLY_BYTES)
-        ctx.stats["sched_messages"] += ctx.config.sched_messages_per_operator
+        n = ctx.config.sched_messages_per_operator
+        ctx.metrics.add("sched_messages", n)
+        ctx.metrics.node(sched).control_messages += n
 
     def _spawn(self, node: Node, gen: Any, label: str) -> Process:
         """Start an operator process; it pays its activation CPU first."""
-        ctx = self.ctx
-
-        def wrapped() -> Generator[Any, Any, Any]:
-            yield from node.work(ctx.config.costs.operator_startup)
-            result = yield from gen
-            return result
-
-        return ctx.sim.spawn(wrapped(), name=label)
+        return _spawn_operator(self.ctx, node, gen, label)
 
 
 class UpdateRun:
@@ -926,14 +948,9 @@ class UpdateRun:
         for _ in range(2):
             yield from ctx.net.transfer(sched, node.name, CONTROL_BYTES)
             yield from ctx.net.transfer(node.name, sched, REPLY_BYTES)
-        ctx.stats["sched_messages"] += ctx.config.sched_messages_per_operator
+        n = ctx.config.sched_messages_per_operator
+        ctx.metrics.add("sched_messages", n)
+        ctx.metrics.node(sched).control_messages += n
 
     def _spawn(self, node: Node, gen: Any, label: str) -> Process:
-        ctx = self.ctx
-
-        def wrapped() -> Generator[Any, Any, Any]:
-            yield from node.work(ctx.config.costs.operator_startup)
-            result = yield from gen
-            return result
-
-        return ctx.sim.spawn(wrapped(), name=label)
+        return _spawn_operator(self.ctx, node, gen, label)

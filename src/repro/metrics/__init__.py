@@ -1,0 +1,29 @@
+"""Observability layer for the simulated machines.
+
+Three pieces, all passive (they never schedule simulation events, so the
+simulated timeline is bit-identical with metrics enabled or disabled):
+
+* :class:`MetricsRegistry` — typed per-node and per-operator counters
+  (tuples, packets, spool I/O, control messages, hash-table bytes,
+  overflow chunks), threaded through every execution context.
+* :class:`TraceBuffer` — a structured trace-event stream (operator
+  start/stop, packet send/receive, disk/CPU/network service intervals)
+  with a Chrome-trace-format exporter for ``chrome://tracing`` /
+  Perfetto.
+* :class:`UtilisationReport` — the post-run per-node CPU/disk/network
+  busy fractions the paper's Figures 1-8 arguments are built on.
+"""
+
+from .registry import MetricsRegistry, NodeMetrics, OperatorMetrics
+from .report import NodeUtilisation, UtilisationReport, peak_utilisation
+from .trace import TraceBuffer
+
+__all__ = [
+    "MetricsRegistry",
+    "NodeMetrics",
+    "NodeUtilisation",
+    "OperatorMetrics",
+    "TraceBuffer",
+    "UtilisationReport",
+    "peak_utilisation",
+]

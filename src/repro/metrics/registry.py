@@ -1,0 +1,194 @@
+"""Typed per-node and per-operator counters for one query execution.
+
+The registry replaces the old ad-hoc ``ctx.stats`` Counter as the single
+place execution-layer instrumentation reports to.  The legacy query-wide
+counter keys (``packets_sent``, ``spool_pages_written``, ...) are still
+maintained — ``ExecutionContext.stats`` is now a view of
+:attr:`MetricsRegistry.query` — but every event is *also* attributed to
+the node (and, where meaningful, the operator) that caused it, which is
+what the paper's resource-utilisation arguments need.
+
+Everything here is passive bookkeeping: recording a metric never touches
+the simulation, so timelines are bit-identical with metrics interrogated
+or ignored.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Optional
+
+
+class NodeMetrics:
+    """Per-node execution counters (one instance per processor)."""
+
+    __slots__ = (
+        "name",
+        "tuples_in",
+        "tuples_out",
+        "packets_sent",
+        "packets_received",
+        "packets_short_circuited",
+        "control_messages",
+        "spool_pages_read",
+        "spool_pages_written",
+        "hash_table_peak_bytes",
+        "overflow_chunks",
+    )
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.tuples_in = 0
+        self.tuples_out = 0
+        self.packets_sent = 0
+        self.packets_received = 0
+        self.packets_short_circuited = 0
+        self.control_messages = 0
+        self.spool_pages_read = 0
+        self.spool_pages_written = 0
+        self.hash_table_peak_bytes = 0.0
+        self.overflow_chunks = 0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (
+            f"<NodeMetrics {self.name} in={self.tuples_in}"
+            f" out={self.tuples_out}>"
+        )
+
+
+class OperatorMetrics:
+    """Per-operator counters (one instance per operator process)."""
+
+    __slots__ = (
+        "label",
+        "node",
+        "tuples_in",
+        "tuples_out",
+        "started_at",
+        "finished_at",
+    )
+
+    def __init__(self, label: str, node: str) -> None:
+        self.label = label
+        self.node = node
+        self.tuples_in = 0
+        self.tuples_out = 0
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    @property
+    def elapsed(self) -> Optional[float]:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "label": self.label,
+            "node": self.node,
+            "tuples_in": self.tuples_in,
+            "tuples_out": self.tuples_out,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"<OperatorMetrics {self.label}@{self.node}>"
+
+
+class MetricsRegistry:
+    """Query-wide, per-node and per-operator counters for one execution."""
+
+    def __init__(self) -> None:
+        self.query: Counter[str] = Counter()
+        self.nodes: dict[str, NodeMetrics] = {}
+        self.operators: dict[str, OperatorMetrics] = {}
+
+    # -- access -----------------------------------------------------------
+    def node(self, name: str) -> NodeMetrics:
+        metrics = self.nodes.get(name)
+        if metrics is None:
+            metrics = self.nodes[name] = NodeMetrics(name)
+        return metrics
+
+    def operator(self, label: str, node: str) -> OperatorMetrics:
+        metrics = self.operators.get(label)
+        if metrics is None:
+            metrics = self.operators[label] = OperatorMetrics(label, node)
+        return metrics
+
+    # -- generic ----------------------------------------------------------
+    def add(self, key: str, n: int = 1) -> None:
+        """Bump a query-wide counter (legacy ``ctx.stats`` key space)."""
+        self.query[key] += n
+
+    # -- typed recording --------------------------------------------------
+    def record_packet_sent(
+        self, node: str, n_tuples: int, short_circuit: bool = False
+    ) -> None:
+        self.query["packets_sent"] += 1
+        self.query["tuples_shipped"] += n_tuples
+        nm = self.node(node)
+        nm.packets_sent += 1
+        nm.tuples_out += n_tuples
+        if short_circuit:
+            self.query["packets_short_circuited"] += 1
+            nm.packets_short_circuited += 1
+
+    def record_packet_received(self, node: str, n_tuples: int) -> None:
+        self.query["packets_received"] += 1
+        nm = self.node(node)
+        nm.packets_received += 1
+        nm.tuples_in += n_tuples
+
+    def record_control_message(self, node: str, n: int = 1) -> None:
+        self.query["control_messages"] += n
+        self.node(node).control_messages += n
+
+    def record_spool_write(self, node: str, n_pages: int = 1) -> None:
+        self.query["spool_pages_written"] += n_pages
+        self.node(node).spool_pages_written += n_pages
+
+    def record_spool_read(self, node: str, n_pages: int = 1) -> None:
+        self.query["spool_pages_read"] += n_pages
+        self.node(node).spool_pages_read += n_pages
+
+    def record_hash_table_bytes(self, node: str, bytes_used: float) -> None:
+        nm = self.node(node)
+        if bytes_used > nm.hash_table_peak_bytes:
+            nm.hash_table_peak_bytes = bytes_used
+
+    def record_overflow_chunk(self, node: str) -> None:
+        self.query["hash_overflows"] += 1
+        self.node(node).overflow_chunks += 1
+
+    def record_operator_start(
+        self, label: str, node: str, now: float
+    ) -> OperatorMetrics:
+        metrics = self.operator(label, node)
+        metrics.started_at = now
+        return metrics
+
+    def record_operator_finish(self, label: str, node: str, now: float) -> None:
+        self.operator(label, node).finished_at = now
+
+    def record_operator_tuples(
+        self, label: str, node: str, tuples_in: int = 0, tuples_out: int = 0
+    ) -> None:
+        metrics = self.operator(label, node)
+        metrics.tuples_in += tuples_in
+        metrics.tuples_out += tuples_out
+
+    # -- export -----------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """A plain-dict dump of every counter (for results/serialisation)."""
+        return {
+            "query": dict(self.query),
+            "nodes": {k: v.as_dict() for k, v in sorted(self.nodes.items())},
+            "operators": {
+                k: v.as_dict() for k, v in sorted(self.operators.items())
+            },
+        }

@@ -1,0 +1,175 @@
+"""Post-run utilisation reports.
+
+The paper explains every headline result through resource utilisation:
+linear selection speedup because the disks stay saturated (Figures 1-4),
+the CPU-bound to disk-bound crossover as the page size grows (Figures
+5-8), network-interface throttling of high-selectivity queries.  A
+:class:`UtilisationReport` prints exactly those per-node CPU/disk/network
+busy fractions for one finished execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+
+def peak_utilisation(
+    utilisations: Mapping[str, float], resource: str
+) -> float:
+    """Busiest node's busy fraction for one resource class.
+
+    Operates on the flat ``{"node.resource": fraction}`` mapping carried by
+    ``QueryResult.utilisations`` (bare keys like ``"ring"`` match whole).
+    """
+    return max(
+        (
+            value for key, value in utilisations.items()
+            if key == resource or key.endswith(f".{resource}")
+        ),
+        default=0.0,
+    )
+
+
+@dataclass
+class NodeUtilisation:
+    """Busy fractions and key counters for one processor."""
+
+    name: str
+    cpu: float
+    disk: Optional[float]
+    nic: Optional[float]
+    pages_read: int = 0
+    pages_written: int = 0
+    tuples_in: int = 0
+    tuples_out: int = 0
+
+    @property
+    def busiest_resource(self) -> tuple[str, float]:
+        candidates = [("cpu", self.cpu)]
+        if self.disk is not None:
+            candidates.append(("disk", self.disk))
+        if self.nic is not None:
+            candidates.append(("nic", self.nic))
+        return max(candidates, key=lambda kv: kv[1])
+
+
+class UtilisationReport:
+    """Per-node CPU/disk/network busy fractions for one execution."""
+
+    def __init__(
+        self,
+        elapsed: float,
+        rows: list[NodeUtilisation],
+        ring: Optional[float] = None,
+    ) -> None:
+        self.elapsed = elapsed
+        self.rows = rows
+        self.ring = ring
+
+    @classmethod
+    def from_context(cls, ctx: Any) -> "UtilisationReport":
+        """Build from a finished :class:`~repro.engine.node.ExecutionContext`.
+
+        Duck-typed on purpose (``ctx`` needs ``sim``, ``nodes``, ``net``
+        and ``metrics``) so the metrics layer never imports the engine.
+        """
+        now = ctx.sim.now
+        rows = []
+        for name, node in ctx.nodes.items():
+            nm = ctx.metrics.node(name)
+            interface = ctx.net.interfaces.get(name)
+            rows.append(NodeUtilisation(
+                name=name,
+                cpu=node.cpu.utilisation(now),
+                disk=(
+                    node.drive.server.utilisation(now)
+                    if node.drive is not None else None
+                ),
+                nic=(
+                    interface.server.utilisation(now)
+                    if interface is not None else None
+                ),
+                pages_read=node.drive.pages_read if node.drive else 0,
+                pages_written=node.drive.pages_written if node.drive else 0,
+                tuples_in=nm.tuples_in,
+                tuples_out=nm.tuples_out,
+            ))
+        return cls(now, rows, ring=ctx.net.ring.utilisation(now))
+
+    # -- analysis ---------------------------------------------------------
+    def bottleneck(self) -> tuple[str, str, float]:
+        """(node, resource, busy fraction) of the most utilised resource."""
+        best = ("", "none", 0.0)
+        for row in self.rows:
+            resource, value = row.busiest_resource
+            if value > best[2]:
+                best = (row.name, resource, value)
+        if self.ring is not None and self.ring > best[2]:
+            best = ("ring", "ring", self.ring)
+        return best
+
+    def max_utilisation(self, resource: str) -> float:
+        """Highest busy fraction of ``resource`` (cpu|disk|nic) on any node."""
+        values = [
+            getattr(row, resource)
+            for row in self.rows
+            if getattr(row, resource) is not None
+        ]
+        return max(values, default=0.0)
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat ``{"node.resource": fraction}`` map (QueryResult shape)."""
+        out: dict[str, float] = {}
+        for row in self.rows:
+            out[f"{row.name}.cpu"] = row.cpu
+            if row.disk is not None:
+                out[f"{row.name}.disk"] = row.disk
+            if row.nic is not None:
+                out[f"{row.name}.nic"] = row.nic
+        if self.ring is not None:
+            out["ring"] = self.ring
+        return out
+
+    # -- rendering --------------------------------------------------------
+    def to_markdown(self) -> str:
+        lines = [
+            f"### Utilisation over {self.elapsed:.3f} simulated seconds",
+            "",
+            "| node | cpu | disk | nic | pages r/w | tuples in/out |",
+            "|---|---|---|---|---|---|",
+        ]
+        for row in self.rows:
+            disk = f"{row.disk:.2f}" if row.disk is not None else "—"
+            nic = f"{row.nic:.2f}" if row.nic is not None else "—"
+            lines.append(
+                f"| {row.name} | {row.cpu:.2f} | {disk} | {nic}"
+                f" | {row.pages_read}/{row.pages_written}"
+                f" | {row.tuples_in}/{row.tuples_out} |"
+            )
+        if self.ring is not None:
+            lines.append(f"| ring | — | — | {self.ring:.2f} | — | — |")
+        node, resource, value = self.bottleneck()
+        lines.append("")
+        lines.append(f"Bottleneck: {resource} at {node} ({value:.0%} busy)")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        header = (
+            f"{'node':>10} {'cpu':>6} {'disk':>6} {'nic':>6}"
+            f" {'pages r/w':>12} {'tuples in/out':>16}"
+        )
+        lines = [
+            f"utilisation over {self.elapsed:.3f}s simulated", header,
+        ]
+        for row in self.rows:
+            disk = f"{row.disk:.2f}" if row.disk is not None else "-"
+            nic = f"{row.nic:.2f}" if row.nic is not None else "-"
+            lines.append(
+                f"{row.name:>10} {row.cpu:>6.2f} {disk:>6} {nic:>6}"
+                f" {f'{row.pages_read}/{row.pages_written}':>12}"
+                f" {f'{row.tuples_in}/{row.tuples_out}':>16}"
+            )
+        node, resource, value = self.bottleneck()
+        lines.append(f"bottleneck: {resource}@{node} {value:.0%}")
+        return "\n".join(lines)

@@ -8,12 +8,13 @@ Public surface::
 
 from .events import Acquire, Delay, Get, Join, Put, Release, Use, WaitAll
 from .kernel import Process, Simulation, run_to_completion
-from .resources import Server, Store
+from .resources import IntervalStats, Server, Store
 
 __all__ = [
     "Acquire",
     "Delay",
     "Get",
+    "IntervalStats",
     "Join",
     "Process",
     "Put",

@@ -30,9 +30,14 @@ class Process:
         name: Diagnostic label used in error messages.
         finished: True once the generator has returned or raised.
         value: The generator's return value (valid when ``finished``).
+        blocked_on: The effect this process is currently suspended on
+            (diagnostics; ``None`` while runnable or finished).
     """
 
-    __slots__ = ("_gen", "name", "finished", "value", "failure", "_waiters")
+    __slots__ = (
+        "_gen", "name", "finished", "value", "failure", "_waiters",
+        "blocked_on",
+    )
 
     def __init__(self, gen: ProcessGen, name: str = "proc") -> None:
         self._gen = gen
@@ -41,6 +46,7 @@ class Process:
         self.value: Any = None
         self.failure: Optional[BaseException] = None
         self._waiters: list[Callable[[Any], None]] = []
+        self.blocked_on: Any = None
 
     def __repr__(self) -> str:  # pragma: no cover - diagnostics only
         state = "done" if self.finished else "running"
@@ -69,6 +75,7 @@ class Simulation:
         self._seq = 0
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._active = 0
+        self._procs: list[Process] = []
 
     @property
     def now(self) -> float:
@@ -100,11 +107,13 @@ class Simulation:
         """Start a new process immediately (at the current time)."""
         proc = Process(gen, name)
         self._active += 1
+        self._procs.append(proc)
         self.call_after(0.0, lambda: self._step(proc, None))
         return proc
 
     def _step(self, proc: Process, value: Any) -> None:
         """Resume ``proc`` with ``value`` and perform its next effect."""
+        proc.blocked_on = None
         try:
             effect = proc._gen.send(value)
         except StopIteration as stop:
@@ -129,6 +138,7 @@ class Simulation:
 
     def _perform(self, proc: Process, effect: Any) -> None:
         resume = lambda value=None: self._step(proc, value)  # noqa: E731
+        proc.blocked_on = effect
         if isinstance(effect, Delay):
             if effect.duration < 0:
                 raise SimulationError(
@@ -161,7 +171,15 @@ class Simulation:
     def run(self, until: Optional[float] = None) -> float:
         """Run until the event queue drains (or simulated ``until``).
 
-        Returns the final simulated time.
+        Returns the final simulated time.  The cutoff and early-drain
+        paths are consistent: with ``until`` given, the clock always
+        advances to ``until`` even when the queue drains first.
+
+        Raises:
+            SimulationError: if the event queue drains while unfinished
+                processes remain blocked — a deadlocked dataflow must not
+                masquerade as a fast completion.  The error names every
+                stuck process and the Store/Server it blocks on.
         """
         while self._heap:
             time, _seq, fn = self._heap[0]
@@ -171,7 +189,44 @@ class Simulation:
             heapq.heappop(self._heap)
             self._now = time
             fn()
+        if self._active > 0:
+            raise SimulationError(self._deadlock_message())
+        if until is not None and until > self._now:
+            self._now = until
         return self._now
+
+    def _deadlock_message(self) -> str:
+        stuck = [p for p in self._procs if not p.finished]
+        lines = [
+            f"deadlock at t={self._now:.6f}:"
+            f" {len(stuck)} process(es) blocked with no pending events"
+        ]
+        for proc in stuck:
+            lines.append(
+                f"  - {proc.name!r} blocked on"
+                f" {_describe_block(proc.blocked_on)}"
+            )
+        return "\n".join(lines)
+
+
+def _describe_block(effect: Any) -> str:
+    """Human-readable description of the effect a stuck process waits on."""
+    if isinstance(effect, Get):
+        return f"Get(Store {effect.store.name!r}, empty)"
+    if isinstance(effect, Put):
+        return f"Put(Store {effect.store.name!r}, full)"
+    if isinstance(effect, Acquire):
+        return f"Acquire(Server {effect.server.name!r})"
+    if isinstance(effect, Use):
+        return f"Use(Server {effect.server.name!r})"
+    if isinstance(effect, Join):
+        return f"Join(process {effect.process.name!r})"
+    if isinstance(effect, WaitAll):
+        pending = [p.name for p in effect.processes if not p.finished]
+        return f"WaitAll(pending: {', '.join(pending) or 'none'})"
+    if effect is None:
+        return "nothing (never scheduled)"
+    return repr(effect)
 
 
 def _wait_all(procs: list[Process], resume: Callable[[Any], None]) -> None:

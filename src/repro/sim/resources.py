@@ -8,10 +8,17 @@ Two primitives cover everything the Gamma model needs:
 * :class:`Store` — a bounded FIFO buffer of items.  Mailboxes (operator input
   ports) and prefetch pipelines are ``Store``\\ s; bounded capacity gives
   natural back-pressure, which is how the dataflow engine self-schedules.
+
+Accounting is *interval-accurate*: every state change integrates the time
+since the previous change, so utilisation queried mid-run pro-rates
+in-flight service to ``now`` instead of crediting whole service intervals
+at their start.  All statistics are passive — they never schedule events —
+so enabling or inspecting them cannot perturb the simulated timeline.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections import deque
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
@@ -22,13 +29,69 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 Resume = Callable[..., None]
 
+#: ``server.observer`` signature: (server_name, start_time, duration).
+ServiceObserver = Callable[[str, float, float], None]
+
+
+class IntervalStats:
+    """Online summary of a stream of durations (wait times, service times).
+
+    Keeps count/total/max plus a fixed logarithmic histogram so memory stays
+    O(1) regardless of how many requests a run serves.
+    """
+
+    #: Upper edges (seconds) of the histogram bins; the last bin is open.
+    BIN_EDGES = (1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+
+    __slots__ = ("count", "total", "max", "bins")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+        self.bins = [0] * (len(self.BIN_EDGES) + 1)
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+        self.bins[bisect_right(self.BIN_EDGES, value)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "max": self.max,
+            "bins": list(self.bins),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (
+            f"<IntervalStats n={self.count} mean={self.mean:.6f}"
+            f" max={self.max:.6f}>"
+        )
+
 
 class Server:
     """A FIFO service centre with ``capacity`` parallel slots.
 
     Processes either ``yield Use(server, duration)`` for a self-contained
     service interval, or bracket work with ``Acquire``/``Release``.
-    Statistics (busy time, total requests) are kept for utilisation reports.
+
+    Statistics kept for utilisation reports (all interval-accurate):
+
+    * ``busy_time`` — slot-seconds of completed service so far (in-flight
+      service is pro-rated by :meth:`utilisation`/:meth:`mean_utilisation`
+      rather than credited up front).
+    * ``requests`` — total service requests (``Use`` and ``Acquire``).
+    * ``wait_stats`` — histogram of time spent queued before service.
+    * time-weighted queue length via :meth:`mean_queue_length`.
     """
 
     __slots__ = (
@@ -36,9 +99,13 @@ class Server:
         "capacity",
         "_in_service",
         "_queue",
-        "busy_time",
         "requests",
         "_last_change",
+        "_busy_accrued",
+        "_slot_accrued",
+        "_qlen_accrued",
+        "wait_stats",
+        "observer",
     )
 
     def __init__(self, name: str, capacity: int = 1) -> None:
@@ -47,10 +114,15 @@ class Server:
         self.name = name
         self.capacity = capacity
         self._in_service = 0
-        self._queue: deque[tuple[Optional[float], Resume]] = deque()
-        self.busy_time = 0.0
+        # Queue entries: (duration | None, resume, enqueue_time).
+        self._queue: deque[tuple[Optional[float], Resume, float]] = deque()
         self.requests = 0
         self._last_change = 0.0
+        self._busy_accrued = 0.0  # seconds with >= 1 slot busy
+        self._slot_accrued = 0.0  # slot-seconds of service
+        self._qlen_accrued = 0.0  # queue-length-seconds
+        self.wait_stats = IntervalStats()
+        self.observer: Optional[ServiceObserver] = None
 
     def __repr__(self) -> str:  # pragma: no cover - diagnostics only
         return f"<Server {self.name} {self._in_service}/{self.capacity}>"
@@ -60,41 +132,97 @@ class Server:
         """Number of waiting (not yet serviced) requests."""
         return len(self._queue)
 
+    @property
+    def in_service(self) -> int:
+        """Number of slots currently serving."""
+        return self._in_service
+
+    @property
+    def busy_time(self) -> float:
+        """Slot-seconds of service accrued so far (in-flight not included)."""
+        return self._slot_accrued
+
+    # -- accounting -------------------------------------------------------
+    def _advance(self, now: float) -> None:
+        """Integrate busy/queue time up to ``now`` (call before any change)."""
+        dt = now - self._last_change
+        if dt > 0.0:
+            if self._in_service > 0:
+                self._busy_accrued += dt
+            self._slot_accrued += self._in_service * dt
+            self._qlen_accrued += len(self._queue) * dt
+            self._last_change = now
+
+    def _prorated(self, now: float) -> tuple[float, float, float]:
+        """(any-busy seconds, slot-seconds, queue-length-seconds) at ``now``."""
+        dt = max(0.0, now - self._last_change)
+        busy = self._busy_accrued + (dt if self._in_service > 0 else 0.0)
+        slots = self._slot_accrued + self._in_service * dt
+        qlen = self._qlen_accrued + len(self._queue) * dt
+        return busy, slots, qlen
+
     def utilisation(self, now: float) -> float:
         """Fraction of time at least one slot was busy, up to ``now``."""
         if now <= 0:
             return 0.0
-        return min(1.0, self.busy_time / (now * self.capacity))
+        busy, _, _ = self._prorated(now)
+        return min(1.0, busy / now)
+
+    def mean_utilisation(self, now: float) -> float:
+        """Average per-slot utilisation up to ``now``.
+
+        Equal to :meth:`utilisation` when ``capacity == 1``; strictly the
+        mean fraction of busy slots otherwise.
+        """
+        if now <= 0:
+            return 0.0
+        _, slots, _ = self._prorated(now)
+        return min(1.0, slots / (now * self.capacity))
+
+    def mean_queue_length(self, now: float) -> float:
+        """Time-weighted mean number of waiting requests up to ``now``."""
+        if now <= 0:
+            return 0.0
+        _, _, qlen = self._prorated(now)
+        return qlen / now
 
     # -- kernel-facing API ------------------------------------------------
     def _use(self, sim: "Simulation", duration: float, resume: Resume) -> None:
         if duration < 0:
             raise SimulationError(f"negative service time on {self.name!r}")
         self.requests += 1
+        self._advance(sim.now)
         if self._in_service < self.capacity:
+            self.wait_stats.record(0.0)
             self._start(sim, duration, resume)
         else:
-            self._queue.append((duration, resume))
+            self._queue.append((duration, resume, sim.now))
 
     def _acquire(self, sim: "Simulation", resume: Resume) -> None:
         self.requests += 1
+        self._advance(sim.now)
         if self._in_service < self.capacity:
+            self.wait_stats.record(0.0)
             self._in_service += 1
             sim.call_after(0.0, resume)
         else:
-            self._queue.append((None, resume))
+            self._queue.append((None, resume, sim.now))
 
     def _release(self, sim: "Simulation") -> None:
         if self._in_service <= 0:
             raise SimulationError(f"release of idle server {self.name!r}")
+        self._advance(sim.now)
         self._in_service -= 1
         self._dispatch(sim)
 
     def _start(self, sim: "Simulation", duration: float, resume: Resume) -> None:
+        # _advance(sim.now) has already run on every path into here.
         self._in_service += 1
-        self.busy_time += duration
+        if self.observer is not None:
+            self.observer(self.name, sim.now, duration)
 
         def complete() -> None:
+            self._advance(sim.now)
             self._in_service -= 1
             self._dispatch(sim)
             resume(None)
@@ -103,7 +231,8 @@ class Server:
 
     def _dispatch(self, sim: "Simulation") -> None:
         while self._queue and self._in_service < self.capacity:
-            duration, resume = self._queue.popleft()
+            duration, resume, enqueued = self._queue.popleft()
+            self.wait_stats.record(sim.now - enqueued)
             if duration is None:
                 self._in_service += 1
                 sim.call_after(0.0, resume)
@@ -135,6 +264,16 @@ class Store:
 
     def __len__(self) -> int:
         return len(self._items)
+
+    @property
+    def blocked_getters(self) -> int:
+        """Consumers currently blocked on an empty store."""
+        return len(self._getters)
+
+    @property
+    def blocked_putters(self) -> int:
+        """Producers currently blocked on a full store."""
+        return len(self._putters)
 
     # -- kernel-facing API ------------------------------------------------
     def _put(self, sim: "Simulation", item: Any, resume: Resume) -> None:

@@ -24,6 +24,19 @@ from .costs import DEFAULT_TERADATA_COSTS, TeradataCosts
 from .executor import TeradataRun, TeradataUpdateRun
 
 
+def _amp_utilisations(sim, amps, ynet=None) -> dict[str, float]:
+    """Per-AMP CPU/disk (and Y-net) busy fractions for one finished run."""
+    now = sim.now
+    out: dict[str, float] = {}
+    for amp in amps:
+        out[f"{amp.name}.cpu"] = amp.cpu.utilisation(now)
+        for drive in amp.drives:
+            out[f"{drive.name}"] = drive.server.utilisation(now)
+    if ynet is not None:
+        out["ynet"] = ynet.utilisation(now)
+    return out
+
+
 class TeradataRelation:
     """A relation hash-partitioned on its primary key across all AMPs."""
 
@@ -163,6 +176,7 @@ class TeradataMachine:
             result_relation=query.into,
             result_count=run.result_count,
             stats=dict(run.stats),
+            utilisations=_amp_utilisations(sim, amps, run.ynet),
             plan=run.plan_description,
         )
 
@@ -176,5 +190,6 @@ class TeradataMachine:
             response_time=response_time,
             result_count=run.affected,
             stats=dict(run.stats),
+            utilisations=_amp_utilisations(sim, amps),
             plan=type(request).__name__,
         )

@@ -207,6 +207,24 @@ class TestSpoolFile:
         spool = SpoolFile(ctx, node, "t", record_bytes=208)
         assert spool.target is node
 
+    def test_page_io_attributed_to_owner_node_metrics(self):
+        ctx = make_ctx()
+        node = ctx.disk_nodes[0]
+        spool = SpoolFile(ctx, node, "t", record_bytes=208)
+
+        def proc():
+            yield from spool.add_batch([(i,) for i in range(100)])
+            yield from spool.flush()
+            for page_no in range(spool.num_pages):
+                yield from spool.read_page_io(page_no)
+
+        run_procs(ctx, proc())
+        nm = ctx.metrics.node(node.name)
+        assert nm.spool_pages_written == spool.num_pages == 6
+        assert nm.spool_pages_read == 6
+        assert ctx.stats["spool_pages_written"] == 6
+        assert ctx.stats["spool_pages_read"] == 6
+
 
 class TestNodeIO:
     def test_buffer_hit_skips_disk(self):

@@ -1,0 +1,357 @@
+"""Unit tests for Server/Store accounting and kernel termination.
+
+These pin the interval-accurate accounting semantics: busy time integrates
+at every state change (and pro-rates in-flight service when sampled
+mid-run), Acquire/Release intervals count as service, Stores are FIFO with
+back-pressure, and a drained event queue with blocked processes is a
+deadlock error — never a silent fast completion.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    Acquire,
+    Delay,
+    Get,
+    IntervalStats,
+    Put,
+    Release,
+    Server,
+    Simulation,
+    Store,
+    Use,
+)
+
+
+class TestIntervalStats:
+    def test_empty_stats(self):
+        stats = IntervalStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.max == 0.0
+
+    def test_moments_and_bins(self):
+        stats = IntervalStats()
+        for value in (0.0, 0.005, 0.5, 50.0):
+            stats.record(value)
+        assert stats.count == 4
+        assert stats.total == pytest.approx(50.505)
+        assert stats.mean == pytest.approx(50.505 / 4)
+        assert stats.max == 50.0
+        # 0.0 -> bin 0 (< 1e-5), 0.005 -> bin 3 [1e-3, 1e-2),
+        # 0.5 -> bin 5 [0.1, 1), 50 -> open bin past the last edge.
+        assert stats.bins[0] == 1
+        assert stats.bins[3] == 1
+        assert stats.bins[5] == 1
+        assert stats.bins[-1] == 1
+        assert sum(stats.bins) == 4
+
+    def test_as_dict_round_trip(self):
+        stats = IntervalStats()
+        stats.record(0.25)
+        d = stats.as_dict()
+        assert d["count"] == 1
+        assert d["mean"] == pytest.approx(0.25)
+        assert len(d["bins"]) == len(IntervalStats.BIN_EDGES) + 1
+
+
+class TestServerAccounting:
+    def test_sequential_service_accrues_slot_seconds(self):
+        server = Server("disk")
+        sim = Simulation()
+
+        def proc():
+            yield Use(server, 5.0)
+            yield Use(server, 5.0)
+
+        sim.spawn(proc())
+        assert sim.run() == pytest.approx(10.0)
+        assert server.busy_time == pytest.approx(10.0)
+        assert server.utilisation(sim.now) == pytest.approx(1.0)
+        assert server.requests == 2
+
+    def test_midrun_sample_prorates_in_flight_service(self):
+        # The old accounting credited service only at completion, so a
+        # sample taken mid-interval under-reported utilisation.
+        server = Server("disk")
+        sim = Simulation()
+        sampled = {}
+
+        def worker():
+            yield Use(server, 10.0)
+
+        def sampler():
+            yield Delay(4.0)
+            sampled["util"] = server.utilisation(sim.now)
+            sampled["mean"] = server.mean_utilisation(sim.now)
+
+        sim.spawn(worker())
+        sim.spawn(sampler())
+        sim.run()
+        assert sampled["util"] == pytest.approx(1.0)
+        assert sampled["mean"] == pytest.approx(1.0)
+
+    def test_idle_gap_lowers_utilisation(self):
+        server = Server("disk")
+        sim = Simulation()
+
+        def proc():
+            yield Use(server, 2.0)
+            yield Delay(6.0)
+            yield Use(server, 2.0)
+
+        sim.spawn(proc())
+        assert sim.run() == pytest.approx(10.0)
+        assert server.busy_time == pytest.approx(4.0)
+        assert server.utilisation(sim.now) == pytest.approx(0.4)
+
+    def test_any_slot_vs_mean_slot_utilisation(self):
+        # Two slots, one busy the whole run: "some slot busy" is 1.0,
+        # the mean across slots is 0.5.
+        server = Server("cpu", capacity=2)
+        sim = Simulation()
+
+        def proc():
+            yield Use(server, 8.0)
+
+        sim.spawn(proc())
+        sim.run()
+        assert server.utilisation(sim.now) == pytest.approx(1.0)
+        assert server.mean_utilisation(sim.now) == pytest.approx(0.5)
+
+    def test_wait_stats_and_mean_queue_length(self):
+        server = Server("disk")
+        sim = Simulation()
+
+        def proc():
+            yield Use(server, 5.0)
+
+        sim.spawn(proc())
+        sim.spawn(proc())
+        sim.run()
+        # Second request queues for 5s; queue holds 1 entry for 5 of 10s.
+        assert server.wait_stats.count == 2
+        assert server.wait_stats.max == pytest.approx(5.0)
+        assert server.wait_stats.mean == pytest.approx(2.5)
+        assert server.mean_queue_length(sim.now) == pytest.approx(0.5)
+
+    def test_acquire_release_interval_accrues_busy_time(self):
+        # Acquire/Release bracketed work must count as service; the old
+        # accounting only credited Use intervals.
+        server = Server("lock")
+        sim = Simulation()
+
+        def proc():
+            yield Acquire(server)
+            yield Delay(3.0)
+            yield Release(server)
+            yield Delay(1.0)
+
+        sim.spawn(proc())
+        assert sim.run() == pytest.approx(4.0)
+        assert server.busy_time == pytest.approx(3.0)
+        assert server.utilisation(sim.now) == pytest.approx(0.75)
+
+    def test_utilisation_clamped_to_one(self):
+        server = Server("disk")
+        sim = Simulation()
+
+        def proc():
+            yield Use(server, 5.0)
+
+        sim.spawn(proc())
+        sim.run()
+        assert server.utilisation(2.5) <= 1.0
+        assert server.mean_utilisation(2.5) <= 1.0
+
+    def test_zero_now_is_zero_utilisation(self):
+        server = Server("disk")
+        assert server.utilisation(0.0) == 0.0
+        assert server.mean_utilisation(0.0) == 0.0
+        assert server.mean_queue_length(0.0) == 0.0
+
+    def test_observer_sees_service_intervals(self):
+        server = Server("disk")
+        seen = []
+        server.observer = lambda name, start, dur: seen.append(
+            (name, start, dur)
+        )
+        sim = Simulation()
+
+        def proc():
+            yield Use(server, 2.0)
+            yield Use(server, 3.0)
+
+        sim.spawn(proc())
+        sim.run()
+        assert seen == [("disk", 0.0, 2.0), ("disk", 2.0, 3.0)]
+
+
+class TestStore:
+    def test_put_get_is_fifo(self):
+        store = Store("mbox")
+        sim = Simulation()
+        got = []
+
+        def producer():
+            for item in ("a", "b", "c"):
+                yield Put(store, item)
+
+        def consumer():
+            for _ in range(3):
+                item = yield Get(store)
+                got.append(item)
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        assert got == ["a", "b", "c"]
+
+    def test_bounded_store_back_pressures_producer(self):
+        store = Store("mbox", capacity=1)
+        sim = Simulation()
+        put_times = []
+        got = []
+
+        def producer():
+            for item in ("a", "b", "c"):
+                yield Put(store, item)
+                put_times.append(sim.now)
+
+        def consumer():
+            for _ in range(3):
+                yield Delay(2.0)
+                item = yield Get(store)
+                got.append(item)
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        assert got == ["a", "b", "c"]
+        # First put lands immediately; the rest wait for a slot freed by
+        # the consumer at t=2 and t=4.
+        assert put_times[0] == pytest.approx(0.0)
+        assert put_times[1] == pytest.approx(2.0)
+        assert put_times[2] == pytest.approx(4.0)
+
+    def test_blocked_counters(self):
+        store = Store("mbox", capacity=1)
+        sim = Simulation()
+
+        def producer():
+            yield Put(store, "a")
+            yield Put(store, "b")  # blocks: store full, no consumer yet
+
+        def observer():
+            yield Delay(1.0)
+            assert store.blocked_putters == 1
+            assert store.blocked_getters == 0
+            yield Get(store)
+            yield Get(store)
+
+        sim.spawn(producer())
+        sim.spawn(observer())
+        sim.run()
+        assert store.blocked_putters == 0
+
+    def test_get_from_empty_waits_for_put(self):
+        store = Store("mbox")
+        sim = Simulation()
+        got = []
+
+        def consumer():
+            item = yield Get(store)
+            got.append((item, sim.now))
+
+        def producer():
+            yield Delay(3.0)
+            yield Put(store, "late")
+
+        sim.spawn(consumer())
+        sim.spawn(producer())
+        sim.run()
+        assert got == [("late", 3.0)]
+
+
+class TestTermination:
+    def test_two_process_store_deadlock_raises_and_names_parties(self):
+        # A classic cycle: each process waits on a store only the other
+        # could fill.
+        a_to_b = Store("a_to_b")
+        b_to_a = Store("b_to_a")
+        sim = Simulation()
+
+        def left():
+            item = yield Get(b_to_a)
+            yield Put(a_to_b, item)
+
+        def right():
+            item = yield Get(a_to_b)
+            yield Put(b_to_a, item)
+
+        sim.spawn(left(), name="left")
+        sim.spawn(right(), name="right")
+        with pytest.raises(SimulationError) as exc:
+            sim.run()
+        message = str(exc.value)
+        assert "deadlock" in message
+        assert "'left'" in message and "'right'" in message
+        assert "'a_to_b'" in message and "'b_to_a'" in message
+        assert "empty" in message
+
+    def test_full_store_deadlock_names_put(self):
+        store = Store("mbox", capacity=1)
+        sim = Simulation()
+
+        def producer():
+            yield Put(store, 1)
+            yield Put(store, 2)  # nobody will ever drain the store
+
+        sim.spawn(producer(), name="producer")
+        with pytest.raises(SimulationError) as exc:
+            sim.run()
+        assert "Put(Store 'mbox', full)" in str(exc.value)
+
+    def test_server_starvation_names_acquire(self):
+        server = Server("lock")
+        sim = Simulation()
+
+        def hog():
+            yield Acquire(server)
+            # Never releases.
+
+        def waiter():
+            yield Acquire(server)
+
+        sim.spawn(hog(), name="hog")
+        sim.spawn(waiter(), name="waiter")
+        with pytest.raises(SimulationError) as exc:
+            sim.run()
+        message = str(exc.value)
+        assert "'waiter'" in message
+        assert "Acquire(Server 'lock')" in message
+
+    def test_run_until_advances_clock_on_early_drain(self):
+        sim = Simulation()
+
+        def proc():
+            yield Delay(2.0)
+
+        sim.spawn(proc())
+        assert sim.run(until=10.0) == pytest.approx(10.0)
+        assert sim.now == pytest.approx(10.0)
+
+    def test_run_until_before_pending_event_stops_at_until(self):
+        sim = Simulation()
+
+        def proc():
+            yield Delay(5.0)
+
+        sim.spawn(proc())
+        assert sim.run(until=3.0) == pytest.approx(3.0)
+        assert sim.now == pytest.approx(3.0)
+
+    def test_empty_run_with_until_reaches_until(self):
+        sim = Simulation()
+        assert sim.run(until=7.0) == pytest.approx(7.0)
