@@ -46,6 +46,20 @@ Scale note: tables default to the 10,000- and 100,000-tuple relations; set
 columns (several minutes of wall time).  Figure experiments use the
 100,000-tuple relations the paper uses.
 
+Wall-clock note: every sweep (processor count, page size, memory ratio,
+relation size) fans its points across CPU cores through a process pool;
+`GAMMA_BENCH_JOBS=N` caps the workers and `GAMMA_BENCH_JOBS=1` forces
+sequential in-process execution.  Parallel and sequential runs produce
+**byte-identical** tables (per-relation seeds are `crc32`-derived, so they
+do not depend on the process or execution order; asserted by
+`tests/bench/test_sweep.py`).  The simulator's own speed is tracked
+separately by `python benchmarks/perf/run_perf.py`, which times a
+pure-kernel workload, the Figure 1-2 file-scan selection and a hybrid
+join, and writes wall-clock seconds, simulated seconds and events/second
+to `benchmarks/results/BENCH_perf.json`; CI runs it at 10k scale and
+fails if events/second regresses >30 % against
+`benchmarks/perf/baseline.json`.
+
 ## Summary of fidelity
 
 * **Table 1 (selections)** — Gamma measured/paper ratios land between

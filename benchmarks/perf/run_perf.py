@@ -1,0 +1,248 @@
+"""Wall-clock perf microbenchmarks for the simulation kernel and engine.
+
+Unlike the ``bench_*`` suites (which measure *simulated* seconds — the
+paper's numbers), this harness measures how fast the simulator itself runs:
+wall-clock seconds, simulated seconds, kernel events processed, and
+events/second for three workloads:
+
+- ``kernel_dispatch``: a pure-kernel workload (processes cycling through
+  Delay and Use effects on a shared FIFO server) — isolates effect
+  dispatch and scheduling overhead from the engine.
+- ``file_scan``: the Figure 1-2 single-processor 1% non-indexed selection
+  (machine build excluded from the timing).
+- ``hybrid_join``: joinABprime on non-key attributes at paper
+  configuration — the deepest operator pipeline in the repo.
+
+Usage::
+
+    python benchmarks/perf/run_perf.py                # full scale (100k)
+    python benchmarks/perf/run_perf.py --scale 10000  # CI smoke scale
+    python benchmarks/perf/run_perf.py --scale 10000 \
+        --baseline benchmarks/perf/baseline.json      # regression gate
+
+Results land in ``benchmarks/results/BENCH_perf.json`` (``--out`` to
+override).  With ``--baseline``, the run fails (exit 1) if any
+benchmark's events/second drops more than ``--max-regression`` (default
+30%) below the committed baseline.  ``--update-baseline`` rewrites the
+baseline file from this run instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any, Callable, Generator
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "..", "src"),
+)
+
+from repro.bench import build_gamma, run_stored  # noqa: E402
+from repro.hardware import GammaConfig  # noqa: E402
+from repro.sim import Delay, Server, Simulation, Use  # noqa: E402
+from repro.workloads.queries import join_abprime, selection_query  # noqa: E402
+
+#: Wall-clock seconds of the ``file_scan`` query at 100k tuples measured at
+#: the pre-fast-path commit on the reference container — the denominator of
+#: the ``speedup_vs_seed`` figure this PR's acceptance criterion tracks.
+SEED_FILE_SCAN_100K_WALL_S = 0.468
+
+
+def _sample(wall: float, cpu: float, sim_s: float, events: int) -> dict[str, Any]:
+    """One timed run.  ``events_per_s`` is the headline wall-clock rate;
+    ``events_per_cpu_s`` divides by process CPU time instead, which is
+    immune to scheduler contention and is what the regression gate uses."""
+    return {
+        "wall_s": wall,
+        "cpu_s": cpu,
+        "sim_s": sim_s,
+        "events": events,
+        "events_per_s": events / wall,
+        "events_per_cpu_s": events / cpu,
+    }
+
+
+def _bench_kernel_dispatch(scale: int) -> dict[str, Any]:
+    """Pure-kernel churn: ``scale`` Delay/Use round-trips over 50 procs."""
+    n_procs = 50
+    iters = max(1, scale // n_procs)
+    sim = Simulation()
+    server = Server("cpu")
+
+    def worker() -> Generator[Any, Any, None]:
+        for _ in range(iters):
+            yield Delay(0.0)
+            yield Use(server, 1e-6)
+            yield Delay(1e-6)
+
+    for _ in range(n_procs):
+        sim.spawn(worker())
+    wall0, cpu0 = time.perf_counter(), time.process_time()
+    sim_s = sim.run()
+    wall = time.perf_counter() - wall0
+    cpu = time.process_time() - cpu0
+    return _sample(wall, cpu, sim_s, sim.events_processed)
+
+
+def _bench_file_scan(scale: int) -> dict[str, Any]:
+    """Figure 1-2's single-processor 1% selection (build not timed)."""
+    machine = build_gamma(
+        GammaConfig.paper_default().with_sites(1),
+        relations=[("perfscan", scale, "heap")],
+    )
+    wall0, cpu0 = time.perf_counter(), time.process_time()
+    result = run_stored(
+        machine,
+        lambda into: selection_query("perfscan", scale, 0.01, into=into),
+    )
+    wall = time.perf_counter() - wall0
+    cpu = time.process_time() - cpu0
+    out = _sample(wall, cpu, result.response_time,
+                  result.stats["sim_events"])
+    if scale == 100_000:
+        out["seed_wall_s"] = SEED_FILE_SCAN_100K_WALL_S
+        out["speedup_vs_seed"] = SEED_FILE_SCAN_100K_WALL_S / wall
+    return out
+
+
+def _bench_hybrid_join(scale: int) -> dict[str, Any]:
+    """joinABprime (non-key) at paper configuration (build not timed)."""
+    machine = build_gamma(relations=[
+        ("perfA", scale, "heap"), ("perfBp", scale // 10, "heap"),
+    ])
+    wall0, cpu0 = time.perf_counter(), time.process_time()
+    result = run_stored(
+        machine,
+        lambda into: join_abprime("perfA", "perfBp", key=False, into=into),
+    )
+    wall = time.perf_counter() - wall0
+    cpu = time.process_time() - cpu0
+    return _sample(wall, cpu, result.response_time,
+                   result.stats["sim_events"])
+
+
+BENCHMARKS: dict[str, Callable[[int], dict[str, Any]]] = {
+    "kernel_dispatch": _bench_kernel_dispatch,
+    "file_scan": _bench_file_scan,
+    "hybrid_join": _bench_hybrid_join,
+}
+
+
+def run_benchmarks(scale: int, repeat: int = 3) -> dict[str, Any]:
+    """Run every microbenchmark ``repeat`` times, keeping the best wall.
+
+    The simulated timeline and event count are deterministic across
+    repeats (asserted); only the wall clock varies, so best-of-N is the
+    low-noise estimator.
+    """
+    results: dict[str, Any] = {}
+    for name, fn in BENCHMARKS.items():
+        best: dict[str, Any] | None = None
+        for _ in range(max(1, repeat)):
+            sample = fn(scale)
+            if best is not None:
+                assert sample["events"] == best["events"], name
+                assert sample["sim_s"] == best["sim_s"], name
+            if best is None or sample["cpu_s"] < best["cpu_s"]:
+                best = sample
+        results[name] = best
+    return {
+        "scale": scale,
+        "repeat": repeat,
+        "python": platform.python_version(),
+        "benchmarks": results,
+    }
+
+
+def check_baseline(
+    report: dict[str, Any], baseline: dict[str, Any], max_regression: float
+) -> list[str]:
+    """Names of benchmarks whose events/s regressed past the threshold."""
+    failures: list[str] = []
+    for name, base in baseline.get("benchmarks", {}).items():
+        measured = report["benchmarks"].get(name)
+        if measured is None:
+            failures.append(f"{name}: missing from this run")
+            continue
+        floor = base["events_per_cpu_s"] * (1.0 - max_regression)
+        if measured["events_per_cpu_s"] < floor:
+            failures.append(
+                f"{name}: {measured['events_per_cpu_s']:,.0f} events/cpu-s <"
+                f" {floor:,.0f} ({1 - max_regression:.0%} of baseline"
+                f" {base['events_per_cpu_s']:,.0f})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=int, default=100_000,
+                        help="tuples in the benchmarked relations")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="repetitions per benchmark (best wall kept)")
+    parser.add_argument("--out", default=os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", "results",
+        "BENCH_perf.json"))
+    parser.add_argument("--baseline", default=None,
+                        help="baseline JSON to gate events/s against")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="allowed fractional events/s drop vs baseline")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite --baseline from this run")
+    args = parser.parse_args(argv)
+
+    report = run_benchmarks(args.scale, args.repeat)
+    os.makedirs(os.path.dirname(os.path.abspath(args.out)), exist_ok=True)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    for name, r in report["benchmarks"].items():
+        line = (
+            f"{name:16s} wall {r['wall_s']:8.3f}s   sim {r['sim_s']:8.3f}s"
+            f"   {r['events']:>10,} events   {r['events_per_s']:>12,.0f} ev/s"
+        )
+        if "speedup_vs_seed" in r:
+            line += f"   {r['speedup_vs_seed']:.2f}x vs seed"
+        print(line)
+    print(f"wrote {os.path.relpath(args.out)}")
+
+    if args.baseline:
+        if args.update_baseline:
+            baseline = {
+                "scale": report["scale"],
+                "benchmarks": {
+                    name: {"events_per_cpu_s": r["events_per_cpu_s"]}
+                    for name, r in report["benchmarks"].items()
+                },
+            }
+            with open(args.baseline, "w") as fh:
+                json.dump(baseline, fh, indent=2)
+                fh.write("\n")
+            print(f"updated baseline {os.path.relpath(args.baseline)}")
+            return 0
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        if baseline.get("scale") != report["scale"]:
+            print(
+                f"baseline scale {baseline.get('scale')} !="
+                f" run scale {report['scale']}; skipping the gate"
+            )
+            return 0
+        failures = check_baseline(report, baseline, args.max_regression)
+        if failures:
+            print("PERF REGRESSION:")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print("baseline gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

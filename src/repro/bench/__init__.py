@@ -35,6 +35,7 @@ from .recorded import (
     TABLE3_UPDATES,
 )
 from .reporting import Report, ratio_note
+from .sweep import bench_jobs, run_sweep
 
 __all__ = [
     "FIGURE_CLAIMS",
@@ -48,6 +49,7 @@ __all__ = [
     "TABLE2_JOINS",
     "TABLE3_UPDATES",
     "aggregate_experiment",
+    "bench_jobs",
     "bench_sizes",
     "build_gamma",
     "build_teradata",
@@ -60,6 +62,7 @@ __all__ = [
     "fig14_15_experiment",
     "ratio_note",
     "run_stored",
+    "run_sweep",
     "run_to_host",
     "speedup_series",
     "table1_selection_experiment",

@@ -35,11 +35,52 @@ from .harness import (
 )
 from .recorded import TABLE1_SELECTIONS, TABLE2_JOINS, TABLE3_UPDATES
 from .reporting import Report, ratio_note, results_dir
+from .sweep import run_sweep
 
 
 # ---------------------------------------------------------------------------
 # Table 1 — selections
 # ---------------------------------------------------------------------------
+
+def _table1_point(n: int) -> dict[tuple[str, int, str], float]:
+    """Sweep point: both machines at one relation size (picklable)."""
+    measured: dict[tuple[str, int, str], float] = {}
+    gamma = build_gamma(relations=[
+        (f"heap{n}", n, "heap"), (f"idx{n}", n, "indexed"),
+    ])
+    teradata = build_teradata(relations=[
+        (f"heap{n}", n, "heap"), (f"idx{n}", n, "indexed"),
+    ])
+    runs = {
+        "1% nonindexed selection": lambda into, m=n: selection_query(
+            f"heap{m}", m, 0.01, into=into),
+        "10% nonindexed selection": lambda into, m=n: selection_query(
+            f"heap{m}", m, 0.10, into=into),
+        "1% selection using non-clustered index":
+            lambda into, m=n: selection_query(f"idx{m}", m, 0.01, into=into),
+        "10% selection using non-clustered index":
+            lambda into, m=n: selection_query(f"idx{m}", m, 0.10, into=into),
+        "1% selection using clustered index":
+            lambda into, m=n: selection_query(
+                f"idx{m}", m, 0.01, attr="unique1", into=into),
+        "10% selection using clustered index":
+            lambda into, m=n: selection_query(
+                f"idx{m}", m, 0.10, attr="unique1", into=into),
+    }
+    for label, builder in runs.items():
+        measured[(label, n, "gamma")] = run_stored(
+            gamma, builder).response_time
+        if "clustered index" not in label or "non-clustered" in label:
+            measured[(label, n, "teradata")] = run_stored(
+                teradata, builder).response_time
+    # Single-tuple select returns to the host.
+    single = single_tuple_select(f"idx{n}", n // 2)
+    measured[("single tuple select", n, "gamma")] = gamma.run(
+        single).response_time
+    measured[("single tuple select", n, "teradata")] = teradata.run(
+        single).response_time
+    return measured
+
 
 def table1_selection_experiment(
     sizes: Optional[Sequence[int]] = None,
@@ -53,41 +94,8 @@ def table1_selection_experiment(
                  "gamma paper", "gamma", "gamma ratio"],
     )
     measured: dict[tuple[str, int, str], float] = {}
-    for n in sizes:
-        gamma = build_gamma(relations=[
-            (f"heap{n}", n, "heap"), (f"idx{n}", n, "indexed"),
-        ])
-        teradata = build_teradata(relations=[
-            (f"heap{n}", n, "heap"), (f"idx{n}", n, "indexed"),
-        ])
-        runs = {
-            "1% nonindexed selection": lambda into, m=n: selection_query(
-                f"heap{m}", m, 0.01, into=into),
-            "10% nonindexed selection": lambda into, m=n: selection_query(
-                f"heap{m}", m, 0.10, into=into),
-            "1% selection using non-clustered index":
-                lambda into, m=n: selection_query(f"idx{m}", m, 0.01, into=into),
-            "10% selection using non-clustered index":
-                lambda into, m=n: selection_query(f"idx{m}", m, 0.10, into=into),
-            "1% selection using clustered index":
-                lambda into, m=n: selection_query(
-                    f"idx{m}", m, 0.01, attr="unique1", into=into),
-            "10% selection using clustered index":
-                lambda into, m=n: selection_query(
-                    f"idx{m}", m, 0.10, attr="unique1", into=into),
-        }
-        for label, builder in runs.items():
-            measured[(label, n, "gamma")] = run_stored(
-                gamma, builder).response_time
-            if "clustered index" not in label or "non-clustered" in label:
-                measured[(label, n, "teradata")] = run_stored(
-                    teradata, builder).response_time
-        # Single-tuple select returns to the host.
-        single = single_tuple_select(f"idx{n}", n // 2)
-        measured[("single tuple select", n, "gamma")] = gamma.run(
-            single).response_time
-        measured[("single tuple select", n, "teradata")] = teradata.run(
-            single).response_time
+    for fragment in run_sweep(_table1_point, sizes):
+        measured.update(fragment)
 
     for label, per_size in TABLE1_SELECTIONS.items():
         for n in sizes:
@@ -149,6 +157,38 @@ def table1_selection_experiment(
 # Table 2 — joins
 # ---------------------------------------------------------------------------
 
+def _table2_point(n: int) -> dict[tuple[str, int, str], float]:
+    """Sweep point: the six join variants at one size (picklable)."""
+    measured: dict[tuple[str, int, str], float] = {}
+    tenth = n // 10
+    rels = [
+        (f"A{n}", n, "heap"), (f"B{n}", n, "heap"),
+        (f"Bp{n}", tenth, "heap"), (f"C{n}", tenth, "heap"),
+    ]
+    gamma = build_gamma(relations=rels)
+    teradata = build_teradata(relations=rels)
+    builders = {
+        "joinABprime (non-key attributes)": lambda into, m=n: join_abprime(
+            f"A{m}", f"Bp{m}", key=False, into=into),
+        "joinAselB (non-key attributes)": lambda into, m=n: join_aselb(
+            f"A{m}", f"B{m}", m, key=False, into=into),
+        "joinCselAselB (non-key attributes)": lambda into, m=n: join_cselaselb(
+            f"A{m}", f"B{m}", f"C{m}", m, key=False, into=into),
+        "joinABprime (key attributes)": lambda into, m=n: join_abprime(
+            f"A{m}", f"Bp{m}", key=True, into=into),
+        "joinAselB (key attributes)": lambda into, m=n: join_aselb(
+            f"A{m}", f"B{m}", m, key=True, into=into),
+        "joinCselAselB (key attributes)": lambda into, m=n: join_cselaselb(
+            f"A{m}", f"B{m}", f"C{m}", m, key=True, into=into),
+    }
+    for label, builder in builders.items():
+        measured[(label, n, "gamma")] = run_stored(
+            gamma, builder).response_time
+        measured[(label, n, "teradata")] = run_stored(
+            teradata, builder).response_time
+    return measured
+
+
 def table2_join_experiment(
     sizes: Optional[Sequence[int]] = None,
 ) -> Report:
@@ -161,33 +201,8 @@ def table2_join_experiment(
                  "gamma paper", "gamma", "gamma ratio"],
     )
     measured: dict[tuple[str, int, str], float] = {}
-    for n in sizes:
-        tenth = n // 10
-        rels = [
-            (f"A{n}", n, "heap"), (f"B{n}", n, "heap"),
-            (f"Bp{n}", tenth, "heap"), (f"C{n}", tenth, "heap"),
-        ]
-        gamma = build_gamma(relations=rels)
-        teradata = build_teradata(relations=rels)
-        builders = {
-            "joinABprime (non-key attributes)": lambda into, m=n: join_abprime(
-                f"A{m}", f"Bp{m}", key=False, into=into),
-            "joinAselB (non-key attributes)": lambda into, m=n: join_aselb(
-                f"A{m}", f"B{m}", m, key=False, into=into),
-            "joinCselAselB (non-key attributes)": lambda into, m=n: join_cselaselb(
-                f"A{m}", f"B{m}", f"C{m}", m, key=False, into=into),
-            "joinABprime (key attributes)": lambda into, m=n: join_abprime(
-                f"A{m}", f"Bp{m}", key=True, into=into),
-            "joinAselB (key attributes)": lambda into, m=n: join_aselb(
-                f"A{m}", f"B{m}", m, key=True, into=into),
-            "joinCselAselB (key attributes)": lambda into, m=n: join_cselaselb(
-                f"A{m}", f"B{m}", f"C{m}", m, key=True, into=into),
-        }
-        for label, builder in builders.items():
-            measured[(label, n, "gamma")] = run_stored(
-                gamma, builder).response_time
-            measured[(label, n, "teradata")] = run_stored(
-                teradata, builder).response_time
+    for fragment in run_sweep(_table2_point, sizes):
+        measured.update(fragment)
 
     for label, per_size in TABLE2_JOINS.items():
         for n in sizes:
@@ -243,6 +258,25 @@ def table2_join_experiment(
 # Table 3 — updates
 # ---------------------------------------------------------------------------
 
+def _table3_point(n: int) -> dict[tuple[str, int, str], float]:
+    """Sweep point: the update mix at one size (picklable)."""
+    measured: dict[tuple[str, int, str], float] = {}
+    gamma = build_gamma(relations=[
+        (f"heap{n}", n, "heap"), (f"idx{n}", n, "indexed"),
+    ])
+    teradata = build_teradata(relations=[
+        (f"heap{n}", n, "heap"), (f"idx{n}", n, "indexed"),
+    ])
+    heap_suite = update_suite(f"heap{n}", n)
+    idx_suite = update_suite(f"idx{n}", n)
+    for machine, tag in ((gamma, "gamma"), (teradata, "teradata")):
+        for label in TABLE3_UPDATES:
+            suite = heap_suite if label == "append 1 tuple (no indices)" else idx_suite
+            measured[(label, n, tag)] = machine.update(
+                suite[label]).response_time
+    return measured
+
+
 def table3_update_experiment(
     sizes: Optional[Sequence[int]] = None,
 ) -> Report:
@@ -255,20 +289,8 @@ def table3_update_experiment(
                  "gamma paper", "gamma"],
     )
     measured: dict[tuple[str, int, str], float] = {}
-    for n in sizes:
-        gamma = build_gamma(relations=[
-            (f"heap{n}", n, "heap"), (f"idx{n}", n, "indexed"),
-        ])
-        teradata = build_teradata(relations=[
-            (f"heap{n}", n, "heap"), (f"idx{n}", n, "indexed"),
-        ])
-        heap_suite = update_suite(f"heap{n}", n)
-        idx_suite = update_suite(f"idx{n}", n)
-        for machine, tag in ((gamma, "gamma"), (teradata, "teradata")):
-            for label in TABLE3_UPDATES:
-                suite = heap_suite if label == "append 1 tuple (no indices)" else idx_suite
-                measured[(label, n, tag)] = machine.update(
-                    suite[label]).response_time
+    for fragment in run_sweep(_table3_point, sizes):
+        measured.update(fragment)
 
     for label, per_size in TABLE3_UPDATES.items():
         for n in sizes:
@@ -310,6 +332,40 @@ def table3_update_experiment(
 # Figures 1-2 — non-indexed selection speedup
 # ---------------------------------------------------------------------------
 
+_FIG01_02_SELECTIVITIES = (0.0, 0.01, 0.10)
+
+
+def _fig01_02_point(
+    args: tuple[int, int, bool],
+) -> tuple[int, dict[float, float], dict[float, dict], Optional[float]]:
+    """Sweep point: one processor count, all selectivities (picklable)."""
+    n, procs, traced = args
+    machine = build_gamma(
+        GammaConfig.paper_default().with_sites(procs),
+        relations=[("rel", n, "heap")],
+    )
+    times: dict[float, float] = {}
+    utils: dict[float, dict] = {}
+    for sel in _FIG01_02_SELECTIVITIES:
+        result = run_stored(
+            machine, lambda into, s=sel: selection_query(
+                "rel", n, s, into=into)
+        )
+        times[sel] = result.response_time
+        utils[sel] = result.utilisations
+    traced_time: Optional[float] = None
+    if traced:
+        traced_run = run_stored(
+            machine,
+            lambda into: selection_query("rel", n, 0.01, into=into),
+            trace=(trace := TraceBuffer()),
+        )
+        traced_time = traced_run.response_time
+        trace.write(os.path.join(
+            results_dir(), "fig01_02_select_speedup.trace.json"))
+    return procs, times, utils, traced_time
+
+
 def fig01_02_experiment(
     n: int = 100_000,
     processor_counts: Sequence[int] = (1, 2, 4, 8),
@@ -329,31 +385,22 @@ def fig01_02_experiment(
         columns=["selectivity", "processors", "response (s)", "speedup",
                  "cpu util", "disk util", "net util"],
     )
-    selectivities = (0.0, 0.01, 0.10)
+    selectivities = _FIG01_02_SELECTIVITIES
     times: dict[float, dict[int, float]] = {s: {} for s in selectivities}
     utils: dict[tuple[float, int], dict[str, float]] = {}
     traced_pair: Optional[tuple[float, float]] = None
-    for procs in processor_counts:
-        machine = build_gamma(
-            GammaConfig.paper_default().with_sites(procs),
-            relations=[("rel", n, "heap")],
-        )
+    points = [
+        (n, procs, procs == max(processor_counts))
+        for procs in processor_counts
+    ]
+    for procs, ptimes, putils, traced_time in run_sweep(
+        _fig01_02_point, points
+    ):
         for sel in selectivities:
-            result = run_stored(
-                machine, lambda into, s=sel: selection_query(
-                    "rel", n, s, into=into)
-            )
-            times[sel][procs] = result.response_time
-            utils[(sel, procs)] = result.utilisations
-        if procs == max(processor_counts):
-            traced = run_stored(
-                machine,
-                lambda into: selection_query("rel", n, 0.01, into=into),
-                trace=(trace := TraceBuffer()),
-            )
-            traced_pair = (times[0.01][procs], traced.response_time)
-            trace.write(os.path.join(
-                results_dir(), "fig01_02_select_speedup.trace.json"))
+            times[sel][procs] = ptimes[sel]
+            utils[(sel, procs)] = putils[sel]
+        if traced_time is not None:
+            traced_pair = (ptimes[0.01], traced_time)
     for sel in selectivities:
         speedups = speedup_series(times[sel], min(processor_counts))
         for procs in processor_counts:
@@ -418,6 +465,31 @@ def fig01_02_experiment(
 # Figures 3-4 — indexed selection speedup
 # ---------------------------------------------------------------------------
 
+_FIG03_04_VARIANTS = {
+    "1% clustered": ("unique1", 0.01, None),
+    "10% clustered": ("unique1", 0.10, None),
+    "1% non-clustered": ("unique2", 0.01, None),
+    "0% non-clustered": ("unique2", 0.0, AccessPath.NONCLUSTERED_INDEX),
+}
+
+
+def _fig03_04_point(args: tuple[int, int]) -> tuple[int, dict[str, float]]:
+    """Sweep point: indexed-selection variants at one width (picklable)."""
+    n, procs = args
+    machine = build_gamma(
+        GammaConfig.paper_default().with_sites(procs),
+        relations=[("rel", n, "indexed")],
+    )
+    times: dict[str, float] = {}
+    for label, (attr, sel, forced) in _FIG03_04_VARIANTS.items():
+        times[label] = run_stored(
+            machine,
+            lambda into, a=attr, s=sel, f=forced: selection_query(
+                "rel", n, s, attr=a, into=into, forced_path=f),
+        ).response_time
+    return procs, times
+
+
 def fig03_04_experiment(
     n: int = 100_000,
     processor_counts: Sequence[int] = (1, 2, 4, 8),
@@ -429,24 +501,13 @@ def fig03_04_experiment(
               " vs processors with disks",
         columns=["query", "processors", "response (s)", "speedup"],
     )
-    variants = {
-        "1% clustered": ("unique1", 0.01, None),
-        "10% clustered": ("unique1", 0.10, None),
-        "1% non-clustered": ("unique2", 0.01, None),
-        "0% non-clustered": ("unique2", 0.0, AccessPath.NONCLUSTERED_INDEX),
-    }
+    variants = _FIG03_04_VARIANTS
     times: dict[str, dict[int, float]] = {v: {} for v in variants}
-    for procs in processor_counts:
-        machine = build_gamma(
-            GammaConfig.paper_default().with_sites(procs),
-            relations=[("rel", n, "indexed")],
-        )
-        for label, (attr, sel, forced) in variants.items():
-            times[label][procs] = run_stored(
-                machine,
-                lambda into, a=attr, s=sel, f=forced: selection_query(
-                    "rel", n, s, attr=a, into=into, forced_path=f),
-            ).response_time
+    for procs, ptimes in run_sweep(
+        _fig03_04_point, [(n, procs) for procs in processor_counts]
+    ):
+        for label in variants:
+            times[label][procs] = ptimes[label]
     for label in variants:
         speedups = speedup_series(times[label], min(processor_counts))
         for procs in processor_counts:
@@ -478,6 +539,25 @@ def fig03_04_experiment(
 # Figures 5-6 — page size vs non-indexed selections
 # ---------------------------------------------------------------------------
 
+_FIG05_06_SELECTIVITIES = (0.0, 0.01, 0.10, 1.0)
+
+
+def _fig05_06_point(args: tuple[int, int]) -> tuple[int, dict[float, float]]:
+    """Sweep point: one page size, all selectivities (picklable)."""
+    n, kb = args
+    machine = build_gamma(
+        GammaConfig.paper_default().with_page_size(kb * KB),
+        relations=[("rel", n, "heap")],
+    )
+    times: dict[float, float] = {}
+    for sel in _FIG05_06_SELECTIVITIES:
+        times[sel] = run_stored(
+            machine, lambda into, s=sel: selection_query(
+                "rel", n, s, into=into)
+        ).response_time
+    return kb, times
+
+
 def fig05_06_experiment(
     n: int = 100_000,
     page_sizes_kb: Sequence[int] = (2, 4, 8, 16, 32),
@@ -489,18 +569,13 @@ def fig05_06_experiment(
               " vs disk page size (8 processors)",
         columns=["selectivity", "page KB", "response (s)", "speedup vs 2KB"],
     )
-    selectivities = (0.0, 0.01, 0.10, 1.0)
+    selectivities = _FIG05_06_SELECTIVITIES
     times: dict[float, dict[int, float]] = {s: {} for s in selectivities}
-    for kb in page_sizes_kb:
-        machine = build_gamma(
-            GammaConfig.paper_default().with_page_size(kb * KB),
-            relations=[("rel", n, "heap")],
-        )
+    for kb, ptimes in run_sweep(
+        _fig05_06_point, [(n, kb) for kb in page_sizes_kb]
+    ):
         for sel in selectivities:
-            times[sel][kb] = run_stored(
-                machine, lambda into, s=sel: selection_query(
-                    "rel", n, s, into=into)
-            ).response_time
+            times[sel][kb] = ptimes[sel]
     for sel in selectivities:
         base = times[sel][min(page_sizes_kb)]
         for kb in page_sizes_kb:
@@ -529,6 +604,34 @@ def fig05_06_experiment(
 # Figures 7-8 — page size vs indexed selections
 # ---------------------------------------------------------------------------
 
+_FIG07_08_VARIANTS = {
+    "1% non-clustered": ("unique2", 0.01),
+    "1% clustered": ("unique1", 0.01),
+    "10% clustered": ("unique1", 0.10),
+}
+
+
+def _fig07_08_point(args: tuple[int, int]) -> tuple[int, dict[str, float]]:
+    """Sweep point: indexed variants at one page size (picklable)."""
+    n, kb = args
+    machine = build_gamma(
+        GammaConfig.paper_default().with_page_size(kb * KB),
+        relations=[("rel", n, "indexed")],
+    )
+    times: dict[str, float] = {}
+    for label, (attr, sel) in _FIG07_08_VARIANTS.items():
+        forced = (
+            AccessPath.NONCLUSTERED_INDEX
+            if label == "1% non-clustered" else None
+        )
+        times[label] = run_stored(
+            machine,
+            lambda into, a=attr, s=sel, f=forced: selection_query(
+                "rel", n, s, attr=a, into=into, forced_path=f),
+        ).response_time
+    return kb, times
+
+
 def fig07_08_experiment(
     n: int = 100_000,
     page_sizes_kb: Sequence[int] = (2, 4, 8, 16, 32),
@@ -540,27 +643,13 @@ def fig07_08_experiment(
               " vs disk page size (8 processors)",
         columns=["query", "page KB", "response (s)"],
     )
-    variants = {
-        "1% non-clustered": ("unique2", 0.01),
-        "1% clustered": ("unique1", 0.01),
-        "10% clustered": ("unique1", 0.10),
-    }
+    variants = _FIG07_08_VARIANTS
     times: dict[str, dict[int, float]] = {v: {} for v in variants}
-    for kb in page_sizes_kb:
-        machine = build_gamma(
-            GammaConfig.paper_default().with_page_size(kb * KB),
-            relations=[("rel", n, "indexed")],
-        )
-        for label, (attr, sel) in variants.items():
-            forced = (
-                AccessPath.NONCLUSTERED_INDEX
-                if label == "1% non-clustered" else None
-            )
-            times[label][kb] = run_stored(
-                machine,
-                lambda into, a=attr, s=sel, f=forced: selection_query(
-                    "rel", n, s, attr=a, into=into, forced_path=f),
-            ).response_time
+    for kb, ptimes in run_sweep(
+        _fig07_08_point, [(n, kb) for kb in page_sizes_kb]
+    ):
+        for label in variants:
+            times[label][kb] = ptimes[label]
     for label in variants:
         for kb in page_sizes_kb:
             report.add_row(label, kb, times[label][kb])
@@ -586,6 +675,29 @@ def fig07_08_experiment(
 # Figures 9-12 — join placement vs processors
 # ---------------------------------------------------------------------------
 
+_FIG09_12_MODES = (JoinMode.LOCAL, JoinMode.REMOTE, JoinMode.ALLNODES)
+
+
+def _fig09_12_point(
+    args: tuple[int, int],
+) -> tuple[int, dict[tuple[bool, JoinMode], float]]:
+    """Sweep point: every placement × join-attr pair at one width."""
+    n, procs = args
+    machine = build_gamma(
+        GammaConfig.paper_default().with_sites(procs),
+        relations=[("A", n, "heap"), ("Bp", n // 10, "heap")],
+    )
+    times: dict[tuple[bool, JoinMode], float] = {}
+    for key in (True, False):
+        for mode in _FIG09_12_MODES:
+            times[(key, mode)] = run_stored(
+                machine,
+                lambda into, k=key, md=mode: join_abprime(
+                    "A", "Bp", key=k, mode=md, into=into),
+            ).response_time
+    return procs, times
+
+
 def fig09_12_experiment(
     n: int = 100_000,
     processor_counts: Sequence[int] = (2, 4, 8),
@@ -598,22 +710,15 @@ def fig09_12_experiment(
         columns=["join attr", "mode", "processors", "response (s)",
                  "speedup vs 2"],
     )
-    modes = (JoinMode.LOCAL, JoinMode.REMOTE, JoinMode.ALLNODES)
+    modes = _FIG09_12_MODES
     times: dict[tuple[bool, JoinMode], dict[int, float]] = {
         (key, mode): {} for key in (True, False) for mode in modes
     }
-    for procs in processor_counts:
-        machine = build_gamma(
-            GammaConfig.paper_default().with_sites(procs),
-            relations=[("A", n, "heap"), ("Bp", n // 10, "heap")],
-        )
-        for key in (True, False):
-            for mode in modes:
-                times[(key, mode)][procs] = run_stored(
-                    machine,
-                    lambda into, k=key, md=mode: join_abprime(
-                        "A", "Bp", key=k, mode=md, into=into),
-                ).response_time
+    for procs, ptimes in run_sweep(
+        _fig09_12_point, [(n, procs) for procs in processor_counts]
+    ):
+        for pair, t in ptimes.items():
+            times[pair][procs] = t
     reference = min(processor_counts)
     for key in (True, False):
         for mode in modes:
@@ -657,6 +762,30 @@ def fig09_12_experiment(
 # Figure 13 — join overflow
 # ---------------------------------------------------------------------------
 
+def _fig13_point(
+    args: tuple[int, float],
+) -> tuple[float, dict[JoinMode, tuple[float, int]]]:
+    """Sweep point: Local + Remote joins at one memory ratio (picklable)."""
+    n, ratio = args
+    base_config = GammaConfig.paper_default()
+    smaller_bytes = (n // 10) * 208 * base_config.hash_table_overhead
+    config = base_config.with_join_memory(
+        max(64 * KB, int(ratio * smaller_bytes))
+    )
+    machine = build_gamma(
+        config, relations=[("A", n, "heap"), ("Bp", n // 10, "heap")],
+    )
+    per_mode: dict[JoinMode, tuple[float, int]] = {}
+    for mode in (JoinMode.LOCAL, JoinMode.REMOTE):
+        result = run_stored(
+            machine,
+            lambda into, md=mode: join_abprime(
+                "A", "Bp", key=True, mode=md, into=into),
+        )
+        per_mode[mode] = (result.response_time, result.max_overflows)
+    return ratio, per_mode
+
+
 def fig13_experiment(
     n: int = 100_000,
     memory_ratios: Sequence[float] = (1.2, 1.0, 0.9, 0.8, 0.6, 0.45, 0.3, 0.2),
@@ -675,25 +804,14 @@ def fig13_experiment(
         columns=["mode", "memory/|Bprime|", "response (s)",
                  "overflows per site"],
     )
-    base_config = GammaConfig.paper_default()
-    smaller_bytes = (n // 10) * 208 * base_config.hash_table_overhead
     times: dict[tuple[JoinMode, float], float] = {}
     overflows: dict[tuple[JoinMode, float], int] = {}
-    for ratio in memory_ratios:
-        config = base_config.with_join_memory(
-            max(64 * KB, int(ratio * smaller_bytes))
-        )
-        machine = build_gamma(
-            config, relations=[("A", n, "heap"), ("Bp", n // 10, "heap")],
-        )
-        for mode in (JoinMode.LOCAL, JoinMode.REMOTE):
-            result = run_stored(
-                machine,
-                lambda into, md=mode: join_abprime(
-                    "A", "Bp", key=True, mode=md, into=into),
-            )
-            times[(mode, ratio)] = result.response_time
-            overflows[(mode, ratio)] = result.max_overflows
+    for ratio, per_mode in run_sweep(
+        _fig13_point, [(n, ratio) for ratio in memory_ratios]
+    ):
+        for mode, (t, ovf) in per_mode.items():
+            times[(mode, ratio)] = t
+            overflows[(mode, ratio)] = ovf
     for mode in (JoinMode.LOCAL, JoinMode.REMOTE):
         for ratio in memory_ratios:
             report.add_row(mode.value, ratio, times[(mode, ratio)],
@@ -740,6 +858,20 @@ def fig13_experiment(
 # Figures 14-15 — page size vs joinAselB
 # ---------------------------------------------------------------------------
 
+def _fig14_15_point(args: tuple[int, int]) -> tuple[int, float]:
+    """Sweep point: joinAselB at one page size (picklable)."""
+    n, kb = args
+    machine = build_gamma(
+        GammaConfig.paper_default().with_page_size(kb * KB),
+        relations=[("A", n, "heap"), ("B", n, "heap")],
+    )
+    t = run_stored(
+        machine,
+        lambda into: join_aselb("A", "B", n, key=False, into=into),
+    ).response_time
+    return kb, t
+
+
 def fig14_15_experiment(
     n: int = 100_000,
     page_sizes_kb: Sequence[int] = (2, 4, 8, 16, 32),
@@ -750,16 +882,9 @@ def fig14_15_experiment(
         title=f"Figures 14-15 — joinAselB on {n:,} tuples vs disk page size",
         columns=["page KB", "response (s)", "speedup vs 2KB"],
     )
-    times: dict[int, float] = {}
-    for kb in page_sizes_kb:
-        machine = build_gamma(
-            GammaConfig.paper_default().with_page_size(kb * KB),
-            relations=[("A", n, "heap"), ("B", n, "heap")],
-        )
-        times[kb] = run_stored(
-            machine,
-            lambda into: join_aselb("A", "B", n, key=False, into=into),
-        ).response_time
+    times: dict[int, float] = dict(run_sweep(
+        _fig14_15_point, [(n, kb) for kb in page_sizes_kb]
+    ))
     base = times[min(page_sizes_kb)]
     for kb in page_sizes_kb:
         report.add_row(kb, times[kb], base / times[kb])

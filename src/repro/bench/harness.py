@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import itertools
 import os
+import zlib
 from typing import Iterable, Optional
 
 from ..engine import GammaMachine, Query
@@ -28,8 +29,14 @@ def bench_sizes() -> list[int]:
 
 
 def seed_for(name: str, n: int) -> int:
-    """Deterministic per-relation generator seed."""
-    return (abs(hash((name, n))) % 100_000) + 1
+    """Deterministic per-relation generator seed.
+
+    Uses :func:`zlib.crc32` over a canonical string rather than the builtin
+    ``hash()``: string hashing is salted per interpreter process
+    (``PYTHONHASHSEED``), so ``hash``-derived seeds would differ between the
+    parallel sweep workers and the parent — and between any two runs.
+    """
+    return (zlib.crc32(f"{name}:{n}".encode("utf-8")) % 100_000) + 1
 
 
 def build_gamma(

@@ -1,0 +1,61 @@
+"""Parallel sweep runner: fan independent sweep points across cores.
+
+Every figure experiment is a *sweep*: the same workload measured across a
+parameter axis (processor count, page size, memory ratio, relation size).
+Points are independent — each builds its own machine from scratch — so they
+parallelise perfectly.  :func:`run_sweep` fans them over a
+:class:`~concurrent.futures.ProcessPoolExecutor` and returns the results in
+input order.
+
+Determinism: a point function must derive all randomness from
+:func:`~repro.bench.harness.seed_for` (crc32 over the relation name — stable
+across processes, unlike the salted builtin ``hash``), so a point computes
+the same simulated timeline whether it runs in the parent or a worker.  The
+sequential path (``jobs=1``) is the reference; the parallel path produces
+byte-identical result tables.
+
+The worker count comes from ``GAMMA_BENCH_JOBS`` (default: all cores).
+``GAMMA_BENCH_JOBS=1`` forces everything in-process — use that under
+profilers, debuggers, or coverage tools that do not follow forks.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Optional, Sequence, TypeVar
+
+P = TypeVar("P")
+R = TypeVar("R")
+
+
+def bench_jobs() -> int:
+    """Worker-process count for sweeps (``GAMMA_BENCH_JOBS``-tunable)."""
+    raw = os.environ.get("GAMMA_BENCH_JOBS", "").strip()
+    if raw:
+        return max(1, int(raw))
+    return os.cpu_count() or 1
+
+
+def run_sweep(
+    point_fn: Callable[[P], R],
+    points: Sequence[P],
+    jobs: Optional[int] = None,
+) -> list[R]:
+    """Evaluate ``point_fn`` over every point, in order, possibly in parallel.
+
+    ``point_fn`` must be a module-level function and each point a picklable
+    value (they cross a process boundary when ``jobs > 1``).  Results come
+    back in input order regardless of completion order.  With ``jobs <= 1``
+    or a single point the sweep runs sequentially in-process and no worker
+    pool is created.
+    """
+    points = list(points)
+    if not points:
+        return []
+    jobs = bench_jobs() if jobs is None else max(1, int(jobs))
+    jobs = min(jobs, len(points))
+    if jobs <= 1:
+        return [point_fn(point) for point in points]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(point_fn, points))

@@ -164,6 +164,7 @@ class GammaMachine:
         run = QueryRun(ctx, self.catalog, plan)
         ctx.sim.spawn(run.host_process(), name="host")
         response_time = ctx.sim.run()
+        ctx.stats["sim_events"] = ctx.sim.events_processed
         result_relation = None
         if query.into is not None:
             relation = Relation(

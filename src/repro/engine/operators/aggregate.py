@@ -100,7 +100,9 @@ def grouped_aggregate_operator(
             if acc is None:
                 acc = groups[group] = _Accumulator()
             acc.fold(record[value_pos] if value_pos is not None else None)
-        yield from node.work(cpu)
+        eff = node.work_effect(cpu)
+        if eff is not None:
+            yield eff
     results = [
         (group, acc.result(op)) for group, acc in sorted(groups.items())
     ]
@@ -127,7 +129,9 @@ def partial_aggregate_operator(
         packet = yield from port.next_packet()
         if packet is None:
             break
-        yield from node.work(costs.aggregate_update * len(packet.records))
+        eff = node.work_effect(costs.aggregate_update * len(packet.records))
+        if eff is not None:
+            yield eff
         folded += len(packet.records)
         for record in packet.records:
             acc.fold(record[value_pos] if value_pos is not None else None)
@@ -151,7 +155,9 @@ def combine_aggregate_operator(
         packet = yield from port.next_packet()
         if packet is None:
             break
-        yield from node.work(costs.aggregate_update * len(packet.records))
+        eff = node.work_effect(costs.aggregate_update * len(packet.records))
+        if eff is not None:
+            yield eff
         for values in packet.records:
             final.merge(_Accumulator.from_tuple(values))
     yield from output.emit_many([(final.result(op),)])

@@ -83,7 +83,9 @@ class SpoolFile:
             return
         sender = sender or self.owner
         costs = sender.config.costs
-        yield from sender.work(costs.spool_tuple * len(records))
+        eff = sender.work_effect(costs.spool_tuple * len(records))
+        if eff is not None:
+            yield eff
         self.records.extend(records)
         self._unwritten += len(records)
         while self._unwritten >= self.per_page:

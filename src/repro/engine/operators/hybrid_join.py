@@ -114,7 +114,9 @@ def hybrid_build_consumer(
             else:
                 spill[p].append(record)
         ctx.metrics.record_hash_table_bytes(state.node.name, state.bytes_used)
-        yield from state.node.work(cpu)
+        eff = state.node.work_effect(cpu)
+        if eff is not None:
+            yield eff
         for p, batch in spill.items():
             yield from state.build_spools[p - 1].add_batch(batch)
     for spool in state.build_spools:
@@ -146,7 +148,9 @@ def hybrid_probe_consumer(
                 for build_record in bucket:
                     results.append(build_record + record)
         state.matches += len(results)
-        yield from state.node.work(cpu)
+        eff = state.node.work_effect(cpu)
+        if eff is not None:
+            yield eff
         if results:
             yield from state.output.emit_many(results)
         for p, batch in spill.items():
@@ -192,7 +196,9 @@ def hybrid_resolve(
                     state.table[record[state.build_pos]].append(record)
                     state.bytes_used += state.entry_bytes
                 consumed += 1
-            yield from state.node.work(cpu)
+            eff = state.node.work_effect(cpu)
+            if eff is not None:
+                yield eff
             if consumed == 0:
                 break
             if start > 0 or consumed < len(build_pages) - start:
@@ -214,7 +220,9 @@ def hybrid_resolve(
                         for build_record in bucket:
                             results.append(build_record + record)
             state.matches += len(results)
-            yield from state.node.work(cpu)
+            eff = state.node.work_effect(cpu)
+            if eff is not None:
+                yield eff
             if results:
                 yield from state.output.emit_many(results)
         state.table = defaultdict(list)

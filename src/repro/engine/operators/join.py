@@ -206,7 +206,9 @@ def _insert_batch(
     state.ctx.metrics.record_hash_table_bytes(
         state.node.name, state.bytes_used
     )
-    yield from state.node.work(cpu)
+    eff = state.node.work_effect(cpu)
+    if eff is not None:
+        yield eff
     for target, batch in spill.items():
         yield from exchange.build_spools[target].add_batch(
             batch, sender=state.node
@@ -397,7 +399,9 @@ def _probe_batch(
             for build_record in bucket:
                 results.append(build_record + record)
     state.matches += len(results)
-    yield from state.node.work(cpu)
+    eff = state.node.work_effect(cpu)
+    if eff is not None:
+        yield eff
     if results:
         yield from state.output.emit_many(results)
     for target, batch in spill.items():

@@ -25,8 +25,12 @@ def _page_feeder(
     feed: Store,
 ) -> Generator[Any, Any, None]:
     """Read-ahead process: stream data pages into a bounded store."""
+    read_effect = node.read_page_effect
+    name = fragment.name
     for page_no, records in fragment.scan_pages():
-        yield from node.read_page(fragment.name, page_no)
+        eff = read_effect(name, page_no)
+        if eff is not None:
+            yield eff
         yield Put(feed, (page_no, records))
     yield Put(feed, _FEED_END)
 
@@ -43,15 +47,17 @@ def file_scan_operator(
     feed = Store(f"{node.name}.feed", capacity=ctx.config.prefetch_depth)
     ctx.sim.spawn(_page_feeder(node, fragment, feed), name=f"feeder:{node.name}")
     matched = 0
+    per_tuple = costs.read_tuple + costs.apply_predicate
+    setup = costs.page_io_setup
+    work_effect = node.work_effect
     while True:
         item = yield Get(feed)
         if item is _FEED_END:
             break
         _page_no, records = item
-        yield from node.work(
-            costs.page_io_setup
-            + len(records) * (costs.read_tuple + costs.apply_predicate)
-        )
+        eff = work_effect(setup + len(records) * per_tuple)
+        if eff is not None:
+            yield eff
         matches = [r for r in records if predicate(r)]
         matched += len(matches)
         if matches:
@@ -82,12 +88,14 @@ def clustered_index_scan_operator(
         yield from node.read_page(tree.name, page_id, sequential=False)
         yield from node.work(costs.btree_level)
     matched = 0
+    per_tuple = costs.read_tuple + costs.apply_predicate
     for page_no, matches in pages:
-        yield from node.read_page(fragment.name, page_no)
-        yield from node.work(
-            costs.page_io_setup
-            + len(matches) * (costs.read_tuple + costs.apply_predicate)
-        )
+        eff = node.read_page_effect(fragment.name, page_no)
+        if eff is not None:
+            yield eff
+        eff = node.work_effect(costs.page_io_setup + len(matches) * per_tuple)
+        if eff is not None:
+            yield eff
         matched += len(matches)
         if matches:
             yield from output.emit_many(matches)
@@ -121,16 +129,25 @@ def nonclustered_index_scan_operator(
     matched = 0
     current_leaf: Optional[int] = descent[-1] if descent else None
     batch: list[tuple] = []
+    work_effect = node.work_effect
     for leaf_page, _key, rid in entries:
         if leaf_page != current_leaf:
             # Leaf chain advances to the next index page.
-            yield from node.read_page(tree.name, leaf_page, sequential=False)
-            yield from node.work(costs.page_io_setup)
+            eff = node.read_page_effect(tree.name, leaf_page, sequential=False)
+            if eff is not None:
+                yield eff
+            eff = work_effect(costs.page_io_setup)
+            if eff is not None:
+                yield eff
             current_leaf = leaf_page
-        yield from node.work(costs.index_entry)
-        yield from node.read_page_uncached(fragment.name, rid.page_no)
+        eff = work_effect(costs.index_entry)
+        if eff is not None:
+            yield eff
+        yield node.read_page_uncached_effect(fragment.name, rid.page_no)
         record = fragment.fetch(rid)
-        yield from node.work(costs.read_tuple)
+        eff = work_effect(costs.read_tuple)
+        if eff is not None:
+            yield eff
         matched += 1
         batch.append(record)
         if len(batch) >= 32:

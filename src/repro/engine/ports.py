@@ -70,9 +70,11 @@ class InputPort:
                 continue
             costs = self.node.config.costs
             if message.src_node == self.node.name:
-                yield from self.node.work(costs.packet_short_circuit)
+                eff = self.node.work_effect(costs.packet_short_circuit)
             else:
-                yield from self.node.work(costs.packet_receive)
+                eff = self.node.work_effect(costs.packet_receive)
+            if eff is not None:
+                yield eff
             self.ctx.metrics.record_packet_received(
                 self.node.name, len(message.records)
             )
@@ -127,6 +129,12 @@ class OutputPort:
         self._buffers: list[list[tuple]] = [
             [] for _ in range(len(split.destinations))
         ]
+        # Tuples bound for a same-node process skip the network-buffer
+        # copy (NOSE short-circuiting).  The destination set is fixed for
+        # the port's lifetime, so compute the flags once.
+        self._local_flags = [
+            dest.node_name == node.name for dest in split.destinations
+        ]
         self.tuples_sent = 0
         self.tuples_filtered = 0
         self._closed = False
@@ -137,33 +145,35 @@ class OutputPort:
             raise ExecutionError(f"emit on closed port {self.label}")
         costs = self.node.config.costs
         route = self.split.route
-        # Tuples bound for a same-node process skip the network-buffer
-        # copy (NOSE short-circuiting).
-        local_flags = [
-            dest.node_name == self.node.name
-            for dest in self.split.destinations
-        ]
+        local_flags = self._local_flags
+        buffers = self._buffers
+        capacity = self.packet_capacity
+        route_cost = self.split.route_cost
+        local_cost = costs.result_tuple_local + route_cost
+        remote_cost = costs.result_tuple + route_cost
+        bitfilter_cost = costs.bitfilter_test
         cpu = 0.0
         for record in records:
             dest_idx = route(record)
             if dest_idx is None:
                 # Dropped by a bit-vector filter in the split table.
                 self.tuples_filtered += 1
-                cpu += costs.bitfilter_test
+                cpu += bitfilter_cost
                 continue
-            if local_flags[dest_idx]:
-                cpu += costs.result_tuple_local + self.split.route_cost
-            else:
-                cpu += costs.result_tuple + self.split.route_cost
-            buffer = self._buffers[dest_idx]
+            cpu += local_cost if local_flags[dest_idx] else remote_cost
+            buffer = buffers[dest_idx]
             buffer.append(record)
-            if len(buffer) >= self.packet_capacity:
+            if len(buffer) >= capacity:
                 # Ship immediately so no packet exceeds the wire size.
-                yield from self.node.work(cpu)
+                eff = self.node.work_effect(cpu)
+                if eff is not None:
+                    yield eff
                 cpu = 0.0
                 yield from self._flush(dest_idx)
         if cpu:
-            yield from self.node.work(cpu)
+            eff = self.node.work_effect(cpu)
+            if eff is not None:
+                yield eff
 
     def flush_all(self) -> Generator[Any, Any, None]:
         """Push every partial buffer onto the wire without closing.
@@ -215,9 +225,11 @@ class OutputPort:
             )
         costs = self.node.config.costs
         if short_circuit:
-            yield from self.node.work(costs.packet_short_circuit)
+            eff = self.node.work_effect(costs.packet_short_circuit)
         else:
-            yield from self.node.work(costs.packet_send)
+            eff = self.node.work_effect(costs.packet_send)
+        if eff is not None:
+            yield eff
         self._dispatch(dest, packet, packet.nbytes)
 
     def _send_control(

@@ -129,10 +129,20 @@ class DiskDrive:
         sequential: Optional[bool] = None,
     ) -> Generator[Any, Any, None]:
         """Process-generator that occupies the drive for one page read."""
+        yield self.read_effect(file_id, page_no, nbytes, sequential)
+
+    def read_effect(
+        self,
+        file_id: Any,
+        page_no: int,
+        nbytes: int,
+        sequential: Optional[bool] = None,
+    ) -> Use:
+        """Fast-path :meth:`read`: the drive-occupancy effect itself."""
         duration = self._access_time(file_id, page_no, nbytes, sequential)
         self.pages_read += 1
         self.bytes_moved += nbytes
-        yield Use(self.server, duration)
+        return Use(self.server, duration)
 
     def write(
         self,

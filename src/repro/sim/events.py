@@ -18,14 +18,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .resources import Server, Store
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Delay:
     """Suspend the process for ``duration`` simulated seconds."""
 
     duration: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Acquire:
     """Enter the FIFO queue of ``server``; resume once a slot is granted.
 
@@ -35,14 +35,14 @@ class Acquire:
     server: "Server"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Release:
     """Give back a slot previously obtained with :class:`Acquire`."""
 
     server: "Server"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Use:
     """Acquire ``server``, hold it for ``duration``, then release it.
 
@@ -54,7 +54,7 @@ class Use:
     duration: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Put:
     """Append ``item`` to ``store``; resume when capacity allows."""
 
@@ -62,21 +62,21 @@ class Put:
     item: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Get:
     """Resume with the next item from ``store`` (FIFO order)."""
 
     store: "Store"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Join:
     """Resume (with the process return value) once ``process`` finishes."""
 
     process: "Process"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WaitAll:
     """Resume once every process in ``processes`` has finished.
 

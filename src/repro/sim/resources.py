@@ -204,7 +204,7 @@ class Server:
         if self._in_service < self.capacity:
             self.wait_stats.record(0.0)
             self._in_service += 1
-            sim.call_after(0.0, resume)
+            sim._schedule_now(resume)
         else:
             self._queue.append((None, resume, sim.now))
 
@@ -235,7 +235,7 @@ class Server:
             self.wait_stats.record(sim.now - enqueued)
             if duration is None:
                 self._in_service += 1
-                sim.call_after(0.0, resume)
+                sim._schedule_now(resume)
             else:
                 self._start(sim, duration, resume)
 
@@ -280,11 +280,11 @@ class Store:
         if self._getters:
             # Hand the item straight to the longest-waiting consumer.
             getter = self._getters.popleft()
-            sim.call_after(0.0, lambda: getter(item))
-            sim.call_after(0.0, resume)
+            sim._schedule_now(getter, item)
+            sim._schedule_now(resume)
         elif self.capacity is None or len(self._items) < self.capacity:
             self._items.append(item)
-            sim.call_after(0.0, resume)
+            sim._schedule_now(resume)
         else:
             self._putters.append((item, resume))
 
@@ -294,11 +294,11 @@ class Store:
             if self._putters:
                 pending, putter = self._putters.popleft()
                 self._items.append(pending)
-                sim.call_after(0.0, putter)
-            sim.call_after(0.0, lambda: resume(item))
+                sim._schedule_now(putter)
+            sim._schedule_now(resume, item)
         elif self._putters:
             pending, putter = self._putters.popleft()
-            sim.call_after(0.0, putter)
-            sim.call_after(0.0, lambda: resume(pending))
+            sim._schedule_now(putter)
+            sim._schedule_now(resume, pending)
         else:
             self._getters.append(resume)

@@ -79,9 +79,30 @@ class HeapFile:
         return RID(page_no, slot)
 
     def bulk_append(self, records: Iterable[tuple]) -> None:
-        """Append many records (used by loads and store operators)."""
-        for record in records:
-            self.append(record)
+        """Append many records (used by loads and store operators).
+
+        Bulk loads pack full pages directly instead of running the
+        per-record ``fits``/``insert`` machinery; the resulting page layout
+        is identical to repeated :meth:`append` calls.
+        """
+        records = list(records)
+        if not records:
+            return
+        record_bytes = self.record_bytes
+        # Top up the current tail page exactly as append() would.
+        i = 0
+        if self.pages:
+            tail = self.pages[-1]
+            while i < len(records) and tail.fits(record_bytes):
+                tail.insert(records[i], record_bytes)
+                self._record_count += 1
+                i += 1
+        per_page = self.records_per_full_page
+        while i < len(records):
+            chunk = records[i:i + per_page]
+            self.pages.append(Page.packed(self.page_size, chunk, record_bytes))
+            self._record_count += len(chunk)
+            i += per_page
 
     def insert_with_space_reuse(self, record: tuple) -> RID:
         """Insert preferring a page with a hole (post-delete reuse)."""

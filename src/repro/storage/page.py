@@ -53,6 +53,30 @@ class Page:
     def __repr__(self) -> str:  # pragma: no cover - diagnostics only
         return f"<Page {self._live} recs, {self.free_bytes}B free>"
 
+    @classmethod
+    def packed(
+        cls, page_size: int, records: list[tuple], record_bytes: int
+    ) -> "Page":
+        """A page bulk-filled with ``records`` in slot order.
+
+        Produces exactly the layout ``len(records)`` successive
+        :meth:`insert` calls on a fresh page would, without the per-record
+        ``fits`` checks — the bulk-load fast path.  The caller guarantees
+        the records fit (at most :func:`records_per_page`).
+        """
+        page = cls(page_size)
+        page._slots = list(records)
+        page._live = len(page._slots)
+        page.used_bytes = PAGE_HEADER_BYTES + page._live * (
+            record_bytes + RECORD_OVERHEAD_BYTES
+        )
+        if page.used_bytes > page_size:
+            raise PageFullError(
+                f"{page._live} records of {record_bytes}B overflow a"
+                f" {page_size}B page"
+            )
+        return page
+
     @property
     def free_bytes(self) -> int:
         return self.page_size - self.used_bytes

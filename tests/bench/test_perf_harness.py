@@ -1,0 +1,58 @@
+"""Tests for the wall-clock perf microbenchmark harness."""
+
+import importlib.util
+import os
+
+import pytest
+
+_RUN_PERF = os.path.join(
+    os.path.dirname(__file__), "..", "..", "benchmarks", "perf", "run_perf.py"
+)
+
+
+@pytest.fixture(scope="module")
+def run_perf():
+    spec = importlib.util.spec_from_file_location("run_perf", _RUN_PERF)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestRunBenchmarks:
+    def test_report_shape(self, run_perf):
+        report = run_perf.run_benchmarks(scale=1000, repeat=2)
+        assert report["scale"] == 1000
+        assert set(report["benchmarks"]) == {
+            "kernel_dispatch", "file_scan", "hybrid_join",
+        }
+        for sample in report["benchmarks"].values():
+            assert sample["wall_s"] > 0
+            assert sample["cpu_s"] > 0
+            assert sample["sim_s"] > 0
+            assert sample["events"] > 0
+            assert sample["events_per_s"] == pytest.approx(
+                sample["events"] / sample["wall_s"]
+            )
+
+    def test_speedup_recorded_only_at_full_scale(self, run_perf):
+        sample = run_perf._bench_file_scan(1000)
+        assert "speedup_vs_seed" not in sample
+
+
+class TestBaselineGate:
+    def test_pass_and_fail(self, run_perf):
+        report = {"benchmarks": {
+            "kernel_dispatch": {"events_per_cpu_s": 100_000.0},
+        }}
+        baseline = {"benchmarks": {
+            "kernel_dispatch": {"events_per_cpu_s": 120_000.0},
+        }}
+        assert run_perf.check_baseline(report, baseline, 0.30) == []
+        assert run_perf.check_baseline(report, baseline, 0.10)
+
+    def test_missing_benchmark_fails(self, run_perf):
+        baseline = {"benchmarks": {"gone": {"events_per_cpu_s": 1.0}}}
+        failures = run_perf.check_baseline(
+            {"benchmarks": {}}, baseline, 0.30
+        )
+        assert failures == ["gone: missing from this run"]

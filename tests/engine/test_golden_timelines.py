@@ -1,0 +1,59 @@
+"""Golden end-time tests: the simulated timeline is a contract.
+
+These response times were recorded from the straightforward (pre-fast-path)
+simulation kernel.  Every kernel or engine optimization must keep them
+**bit-identical** — an optimization that shifts a timestamp by one ULP has
+changed simulated behaviour, not just made the simulator faster.  One query
+per operator family: file scan, hash join, grouped aggregate, and an
+index-maintaining update.
+"""
+
+from repro.bench import build_gamma
+from repro.bench.harness import run_stored
+from repro.engine import Query
+from repro.hardware import GammaConfig
+from repro.workloads.queries import join_abprime, selection_query, update_suite
+
+N = 10_000
+
+#: Exact simulated response times (seconds) from the reference kernel.
+GOLDEN = {
+    "scan": 3.1857478276422686,
+    "join": 10.598602429268281,
+    "aggregate": 9.055588640650395,
+    "update": 0.6692377170731704,
+}
+
+
+def _machine():
+    return build_gamma(
+        GammaConfig.paper_default().with_sites(4),
+        relations=[
+            ("golden", N, "heap"),
+            ("goldenB", N // 10, "heap"),
+            ("goldenIdx", N, "indexed"),
+        ],
+    )
+
+
+def test_golden_end_times_bit_identical():
+    machine = _machine()
+    scan = run_stored(
+        machine, lambda into: selection_query("golden", N, 0.01, into=into)
+    )
+    join = run_stored(
+        machine,
+        lambda into: join_abprime("golden", "goldenB", key=False, into=into),
+    )
+    agg = machine.run(
+        Query.aggregate("golden", op="sum", attr="unique1", group_by="ten")
+    )
+    upd = machine.update(
+        update_suite("goldenIdx", N)["modify 1 tuple (key attribute)"]
+    )
+    assert scan.result_count == 100
+    assert join.result_count == 1000
+    assert scan.response_time == GOLDEN["scan"]
+    assert join.response_time == GOLDEN["join"]
+    assert agg.response_time == GOLDEN["aggregate"]
+    assert upd.response_time == GOLDEN["update"]
