@@ -15,13 +15,11 @@ from math import ceil
 from typing import Any, Generator, Optional, Sequence
 
 from ..catalog import PartitioningStrategy
-from ..sim import Delay, Process, WaitAll
+from ..sim import Delay, Process, Put, WaitAll
 from ..storage import Schema, external_sort, records_per_page
 from ..storage.btree import ENTRY_OVERHEAD_BYTES, NODE_HEADER_BYTES, POINTER_BYTES
 from .node import ExecutionContext, Node
 from .ports import DataPacket, EndOfStream, InputPort
-from .split_table import Destination
-from ..sim import Put
 
 #: Host CPU instructions to stage one tuple for shipment.
 HOST_TUPLE_CPU = 200.0

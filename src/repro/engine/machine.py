@@ -22,11 +22,11 @@ from ..errors import CatalogError
 from ..hardware import GammaConfig
 from ..storage import Schema
 from ..workloads import generate_tuples, wisconsin_schema
+from .driver import QueryDriver, UpdateDriver
 from .node import ExecutionContext
 from .plan import Query, UpdateRequest
 from .planner import Planner
 from .results import QueryResult
-from .scheduler import QueryRun, UpdateRun
 
 
 class GammaMachine:
@@ -86,7 +86,9 @@ class GammaMachine:
         """
         if seed is None:
             seed = abs(hash(name)) % (2**31)
-        records = list(generate_tuples(n, seed=seed, strings=strings))  # type: ignore[arg-type]
+        records = list(
+            generate_tuples(n, seed=seed, strings=strings)  # type: ignore[arg-type]
+        )
         return self.load_relation(
             name,
             wisconsin_schema(),
@@ -161,32 +163,11 @@ class GammaMachine:
             )
         ctx = ExecutionContext(self.config, trace=trace)
         plan = Planner(self.config, self.catalog).plan(query)
-        run = QueryRun(ctx, self.catalog, plan)
+        run = QueryDriver(ctx, self.catalog, plan)
         ctx.sim.spawn(run.host_process(), name="host")
         response_time = ctx.sim.run()
         ctx.stats["sim_events"] = ctx.sim.events_processed
-        result_relation = None
-        if query.into is not None:
-            relation = Relation(
-                query.into, plan.schema, RoundRobin(), run.result_fragments
-            )
-            self.catalog.register(relation)
-            result_relation = query.into
-        snapshot = ctx.metrics.snapshot()
-        utilisation_report = ctx.utilisation_report()
-        return QueryResult(
-            response_time=response_time,
-            tuples=run.collected if query.into is None else None,
-            result_relation=result_relation,
-            result_count=run.result_count,
-            stats=dict(ctx.stats),
-            overflows_per_node=run.overflows_per_node,
-            utilisations=utilisation_report.as_dict(),
-            node_metrics=snapshot["nodes"],
-            operator_metrics=snapshot["operators"],
-            utilisation_report=utilisation_report,
-            plan=plan.description,
-        )
+        return self._build_result(ctx, run, query, response_time)
 
     def run_concurrent(
         self, requests: Sequence[Query | UpdateRequest]
@@ -201,6 +182,11 @@ class GammaMachine:
         Remote-join off-loading claim (Section 6.2.1) can be tested: with
         joins on the diskless processors, the disk sites keep capacity for
         concurrent selections.
+
+        Every result carries the same stats/metrics fields as
+        :meth:`run`; because all requests share one simulation, the
+        metrics snapshots and utilisation report describe the whole
+        machine over the whole run, not any single request.
         """
         queries = [r for r in requests if isinstance(r, Query)]
         for query in queries:
@@ -216,11 +202,13 @@ class GammaMachine:
         runs: list[tuple[Any, Any, list[float]]] = []
         for i, request in enumerate(requests):
             if isinstance(request, Query):
-                run: Any = QueryRun(
+                run: Any = QueryDriver(
                     ctx, self.catalog, planner.plan(request)
                 )
             else:
-                run = UpdateRun(ctx, self.catalog, request)
+                run = UpdateDriver(
+                    ctx, self.catalog, planner.compile_update(request)
+                )
             finished: list[float] = []
 
             def host(run=run, finished=finished):
@@ -230,54 +218,67 @@ class GammaMachine:
             ctx.sim.spawn(host(), name=f"host.q{i}")
             runs.append((request, run, finished))
         ctx.sim.run()
-        results = []
-        for request, run, finished in runs:
-            response = finished[0] if finished else ctx.sim.now
-            if isinstance(request, Query):
-                result_relation = None
-                if request.into is not None:
-                    self.catalog.register(
-                        Relation(request.into, run.plan.schema, RoundRobin(),
-                                 run.result_fragments)
-                    )
-                    result_relation = request.into
-                results.append(
-                    QueryResult(
-                        response_time=response,
-                        tuples=run.collected if request.into is None else None,
-                        result_relation=result_relation,
-                        result_count=run.result_count,
-                        stats=dict(ctx.stats),
-                        overflows_per_node=run.overflows_per_node,
-                        utilisations=ctx.utilisations(),
-                        plan=run.plan.description,
-                    )
-                )
-            else:
-                results.append(
-                    QueryResult(
-                        response_time=response,
-                        result_count=run.affected,
-                        stats=dict(ctx.stats),
-                        plan=type(request).__name__,
-                    )
-                )
-        return results
+        ctx.stats["sim_events"] = ctx.sim.events_processed
+        return [
+            self._build_result(
+                ctx, run, request,
+                finished[0] if finished else ctx.sim.now,
+            )
+            for request, run, finished in runs
+        ]
 
     def update(
         self, request: UpdateRequest, trace: Optional["Any"] = None
     ) -> QueryResult:
         """Execute a single-tuple update request (Table 3 operations)."""
         ctx = ExecutionContext(self.config, trace=trace)
-        run = UpdateRun(ctx, self.catalog, request)
+        update_ir = Planner(self.config, self.catalog).compile_update(request)
+        run = UpdateDriver(ctx, self.catalog, update_ir)
         ctx.sim.spawn(run.host_process(), name="host")
         response_time = ctx.sim.run()
+        ctx.stats["sim_events"] = ctx.sim.events_processed
+        return self._build_result(ctx, run, request, response_time)
+
+    def _build_result(
+        self,
+        ctx: ExecutionContext,
+        run: Any,
+        request: Query | UpdateRequest,
+        response_time: float,
+    ) -> QueryResult:
+        """The one result assembler behind ``run``/``run_concurrent``/
+        ``update``: registers any result relation and snapshots the
+        context's metrics into a :class:`QueryResult`."""
+        snapshot = ctx.metrics.snapshot()
         utilisation_report = ctx.utilisation_report()
+        if isinstance(request, Query):
+            result_relation = None
+            if request.into is not None:
+                self.catalog.register(
+                    Relation(request.into, run.plan.schema, RoundRobin(),
+                             run.result_fragments)
+                )
+                result_relation = request.into
+            return QueryResult(
+                response_time=response_time,
+                tuples=run.collected if request.into is None else None,
+                result_relation=result_relation,
+                result_count=run.result_count,
+                stats=dict(ctx.stats),
+                overflows_per_node=run.overflows_per_node,
+                utilisations=utilisation_report.as_dict(),
+                node_metrics=snapshot["nodes"],
+                operator_metrics=snapshot["operators"],
+                utilisation_report=utilisation_report,
+                plan=run.plan.description,
+            )
         return QueryResult(
             response_time=response_time,
             result_count=run.affected,
             stats=dict(ctx.stats),
             utilisations=utilisation_report.as_dict(),
+            node_metrics=snapshot["nodes"],
+            operator_metrics=snapshot["operators"],
             utilisation_report=utilisation_report,
-            plan=type(request).__name__,
+            plan=run.plan.description,
         )

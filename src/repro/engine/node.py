@@ -10,11 +10,12 @@ from __future__ import annotations
 
 import itertools
 from collections import Counter
-from typing import Any, Generator, Iterator, Optional
+from typing import Any, Generator, Optional
 
+from ..errors import ExecutionError
 from ..hardware import DiskDrive, GammaConfig, Interconnect
 from ..metrics import MetricsRegistry, TraceBuffer, UtilisationReport
-from ..sim import Simulation, Server, Use
+from ..sim import Server, Simulation, Use
 from ..storage import BufferPool
 
 HOST = "host"
@@ -238,6 +239,19 @@ class ExecutionContext:
         if mode is JoinMode.REMOTE:
             return list(self.diskless_nodes)
         return [*self.disk_nodes, *self.diskless_nodes]
+
+    def placement_nodes(self, placement: "Any") -> list[Node]:
+        """Resolve an IR :class:`~repro.engine.ir.Placement` against this
+        machine's processors."""
+        if placement.role == "join-sites":
+            return self.join_nodes(placement.mode)
+        if placement.role == "diskless":
+            return list(self.diskless_nodes or self.disk_nodes)
+        if placement.role == "disk-sites":
+            return list(self.disk_nodes)
+        if placement.role == "host":
+            return [self.host_node]
+        raise ExecutionError(f"unknown placement role {placement.role!r}")
 
     def spool_target(self, node: Node) -> Node:
         """Disk node that stores a spool file for ``node``.

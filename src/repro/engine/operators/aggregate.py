@@ -164,3 +164,94 @@ def combine_aggregate_operator(
     yield from output.close()
     yield from operator_done(ctx, node)
     return 1
+
+
+class AggregateDriver:
+    """Drives an aggregation stage: a grouped aggregate hash-partitioned on
+    the grouping attribute, or a scalar combine stage fed by per-fragment
+    partial accumulators."""
+
+    def run(self, sched: Any, agg: Any, dest: Any) -> Generator[Any, Any, None]:
+        ctx = sched.ctx
+        nodes = ctx.placement_nodes(agg.placement)
+        value_pos = (
+            agg.child.schema.position(agg.attr) if agg.attr is not None else None
+        )
+        if agg.group_by is not None:
+            yield from self._run_grouped(sched, agg, dest, nodes, value_pos)
+        else:
+            yield from self._run_scalar(sched, agg, dest, nodes, value_pos)
+
+    def _run_grouped(
+        self, sched: Any, agg: Any, dest: Any, nodes: list[Node],
+        value_pos: Optional[int],
+    ) -> Generator[Any, Any, None]:
+        from ...sim import WaitAll
+        from ..split_table import Destination
+
+        ctx = sched.ctx
+        group_pos = agg.child.schema.position(agg.group_by)
+        ports: list[Destination] = []
+        procs = []
+        for idx, node in enumerate(nodes):
+            port = InputPort(ctx, f"{agg.op_id}.{idx}", node)
+            ports.append(Destination(node.name, port))
+            output = sched._make_output(node, dest, agg.schema)
+            yield from sched._initiate(node)
+            procs.append(
+                sched._spawn(
+                    node,
+                    grouped_aggregate_operator(
+                        ctx, node, port, value_pos, group_pos, agg.op, output
+                    ),
+                    f"{agg.op_id}.{idx}",
+                )
+            )
+        yield from sched.run_op(
+            agg.source, sched.lower_exchange(agg.exchange, ports)
+        )
+        yield WaitAll(procs)
+
+    def _run_scalar(
+        self, sched: Any, agg: Any, dest: Any, nodes: list[Node],
+        value_pos: Optional[int],
+    ) -> Generator[Any, Any, None]:
+        from ...sim import WaitAll
+        from ..split_table import Destination
+
+        ctx = sched.ctx
+        partial = agg.source  # the "partial" stage feeding this combine
+        combiner_node = nodes[0]
+        combine_port = InputPort(ctx, f"{agg.op_id}.combine", combiner_node)
+        yield from sched._initiate(combiner_node)
+        final_output = sched._make_output(combiner_node, dest, agg.schema)
+        combine_proc = sched._spawn(
+            combiner_node,
+            combine_aggregate_operator(
+                ctx, combiner_node, combine_port, agg.op, final_output
+            ),
+            f"{agg.op_id}.combine",
+        )
+        combine_dest = sched.lower_exchange(
+            agg.exchange,
+            [Destination(combiner_node.name, combine_port)],
+        )
+        ports: list[Destination] = []
+        procs = []
+        for idx, node in enumerate(nodes):
+            port = InputPort(ctx, f"{partial.op_id}.{idx}", node)
+            ports.append(Destination(node.name, port))
+            output = sched._make_output(node, combine_dest, partial.schema)
+            yield from sched._initiate(node)
+            procs.append(
+                sched._spawn(
+                    node,
+                    partial_aggregate_operator(ctx, node, port, value_pos, output),
+                    f"{partial.op_id}.{idx}",
+                )
+            )
+        yield from sched.run_op(
+            partial.source, sched.lower_exchange(partial.exchange, ports)
+        )
+        yield WaitAll(procs)
+        yield WaitAll([combine_proc])

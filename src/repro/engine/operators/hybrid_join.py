@@ -235,3 +235,94 @@ def hybrid_close(
     """Flush/close the node's output stream and report completion."""
     yield from state.output.close()
     yield from operator_done(ctx, state.node)
+
+
+class HybridHashJoinDriver:
+    """Drives the parallel Hybrid hash join (the paper's announced fix)."""
+
+    def run(self, sched: Any, join: Any, dest: Any) -> Generator[Any, Any, None]:
+        from ...sim import WaitAll
+        from ..ports import InputPort
+        from ..split_table import Destination
+
+        ctx = sched.ctx
+        config = ctx.config
+        nodes = ctx.placement_nodes(join.placement)
+        capacity = config.join_memory_total // len(nodes)
+        build_pos = join.build.schema.position(join.build_attr)
+        probe_pos = join.probe.schema.position(join.probe_attr)
+        est = join.build_input.estimated_rows
+        states: list[HybridJoinState] = []
+        build_ports: list[Destination] = []
+        probe_ports: list[Destination] = []
+        for idx, node in enumerate(nodes):
+            build_port = InputPort(ctx, f"{join.op_id}.b.{idx}", node)
+            probe_port = InputPort(ctx, f"{join.op_id}.p.{idx}", node)
+            build_ports.append(Destination(node.name, build_port))
+            probe_ports.append(Destination(node.name, probe_port))
+            output = sched._make_output(node, dest, join.schema)
+            bit_filter = (
+                BitVectorFilter() if config.use_bit_filters else None
+            )
+            yield from sched._initiate(node)
+            yield from sched._initiate(node)
+            states.append(
+                HybridJoinState(
+                    ctx, node, idx, build_pos, probe_pos, capacity,
+                    join.build.schema.tuple_bytes,
+                    join.probe.schema.tuple_bytes,
+                    output, bit_filter, build_port, probe_port,
+                    expected_build_tuples=est / len(nodes),
+                )
+            )
+
+        build_procs = [
+            sched._spawn(s.node, hybrid_build_consumer(ctx, s),
+                         f"{join.op_id}.build.{s.index}")
+            for s in states
+        ]
+        yield from sched.run_op(
+            join.build,
+            sched.lower_exchange(join.build_input.exchange, build_ports),
+        )
+        yield WaitAll(build_procs)
+
+        probe_filter: Optional[BitVectorFilter] = None
+        if config.use_bit_filters:
+            probe_filter = BitVectorFilter()
+            for state in states:
+                assert state.bit_filter is not None
+                yield from ctx.net.transfer(
+                    state.node.name, ctx.scheduler_node.name,
+                    state.bit_filter.size_bytes,
+                )
+                probe_filter.union(state.bit_filter)
+
+        probe_procs = [
+            sched._spawn(s.node, hybrid_probe_consumer(ctx, s),
+                         f"{join.op_id}.probe.{s.index}")
+            for s in states
+        ]
+        yield from sched.run_op(
+            join.probe,
+            sched.lower_exchange(
+                join.exchange, probe_ports, bit_filter=probe_filter
+            ),
+        )
+        yield WaitAll(probe_procs)
+
+        resolve_procs = [
+            sched._spawn(s.node, hybrid_resolve(ctx, s),
+                         f"{join.op_id}.resolve.{s.index}")
+            for s in states
+        ]
+        yield WaitAll(resolve_procs)
+        closers = [
+            sched._spawn(s.node, hybrid_close(ctx, s),
+                         f"{join.op_id}.close.{s.index}")
+            for s in states
+        ]
+        yield WaitAll(closers)
+        sched.overflows_per_node = [
+            max(0, s.n_partitions - 1) for s in states
+        ]

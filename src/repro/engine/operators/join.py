@@ -451,3 +451,142 @@ def close_output(
     """Flush/close the node's output stream and report completion."""
     yield from state.output.close()
     yield from operator_done(ctx, state.node)
+
+
+class SimpleHashJoinDriver:
+    """Drives a hash join with Gamma's original *Simple* overflow scheme:
+    build, (maybe) switch hash functions, probe, then resolution rounds
+    until no partition spills (Section 6.1)."""
+
+    def run(self, sched: Any, join: Any, dest: Any) -> Generator[Any, Any, None]:
+        from ...errors import ExecutionError
+        from ...sim import WaitAll
+        from ..ports import InputPort
+        from ..split_table import Destination
+        from .base import DestSpec
+
+        ctx = sched.ctx
+        config = ctx.config
+        nodes = ctx.placement_nodes(join.placement)
+        capacity = config.join_memory_total // len(nodes)
+        build_pos = join.build.schema.position(join.build_attr)
+        probe_pos = join.probe.schema.position(join.probe_attr)
+        states: list[JoinState] = []
+        build_ports: list[Destination] = []
+        probe_ports: list[Destination] = []
+        for idx, node in enumerate(nodes):
+            build_port = InputPort(ctx, f"{join.op_id}.b.{idx}", node)
+            probe_port = InputPort(ctx, f"{join.op_id}.p.{idx}", node)
+            build_ports.append(Destination(node.name, build_port))
+            probe_ports.append(Destination(node.name, probe_port))
+            output = sched._make_output(node, dest, join.schema)
+            bit_filter = (
+                BitVectorFilter() if config.use_bit_filters else None
+            )
+            # A join is logically two operators (build and probe): two
+            # activations' worth of scheduling messages per node.
+            yield from sched._initiate(node)
+            yield from sched._initiate(node)
+            states.append(
+                JoinState(
+                    ctx, node, idx, build_pos, probe_pos, capacity,
+                    join.build.schema.tuple_bytes,
+                    join.probe.schema.tuple_bytes,
+                    output, bit_filter, build_port, probe_port,
+                )
+            )
+        # The optimizer's building-relation estimate sizes the overflow
+        # subpartition fraction (Section 6.2.2's robustness claim).
+        est = join.build_input.estimated_rows
+        for state in states:
+            state.expected_build_tuples = est / len(nodes)
+        exchange = OverflowExchange(ctx, states, seed=1)
+
+        # Phase one: build.
+        build_procs = [
+            sched._spawn(s.node, build_consumer(ctx, s, exchange),
+                         f"{join.op_id}.build.{s.index}")
+            for s in states
+        ]
+        yield from sched.run_op(
+            join.build,
+            sched.lower_exchange(join.build_input.exchange, build_ports),
+        )
+        yield WaitAll(build_procs)
+
+        # Bit-vector filters: collected from the joining nodes, merged, and
+        # installed in the probe-side split tables before probing starts.
+        probe_filter: Optional[BitVectorFilter] = None
+        if config.use_bit_filters:
+            probe_filter = BitVectorFilter()
+            for state in states:
+                assert state.bit_filter is not None
+                yield from ctx.net.transfer(
+                    state.node.name, ctx.scheduler_node.name,
+                    state.bit_filter.size_bytes,
+                )
+                probe_filter.union(state.bit_filter)
+
+        # Hash-function switch: if any node overflowed during the build,
+        # the scheduler redistributes the kept tables under the new hash
+        # and passes the new function to the probing selections' split
+        # tables (Section 6.2.2) — Local joins lose their short-circuit.
+        if any(s.overflows for s in states):
+            charges = redistribute_tables_after_overflow(ctx, states, exchange)
+            redist_procs = [
+                sched._spawn(s.node, gen, f"{join.op_id}.redist.{s.index}")
+                for s, gen in zip(states, charges)
+            ]
+            yield WaitAll(redist_procs)
+            probe_dest = DestSpec(
+                "fn", probe_ports, attr=join.probe_attr,
+                bit_filter=probe_filter,
+                route_fn=overflow_route(len(states)),
+            )
+        else:
+            probe_dest = sched.lower_exchange(
+                join.exchange, probe_ports, bit_filter=probe_filter
+            )
+
+        # Phase two: probe.
+        probe_procs = [
+            sched._spawn(s.node, probe_consumer(ctx, s, exchange),
+                         f"{join.op_id}.probe.{s.index}")
+            for s in states
+        ]
+        yield from sched.run_op(join.probe, probe_dest)
+        yield WaitAll(probe_procs)
+
+        # Overflow resolution rounds: one generation at a time, all nodes
+        # in parallel, until no partition spilled.
+        round_no = 1
+        yield from exchange.flush()
+        while exchange.spooled_build() or exchange.spooled_probe():
+            round_no += 1
+            if round_no > 100:
+                raise ExecutionError("join overflow did not converge")
+            next_exchange = OverflowExchange(ctx, states, seed=round_no)
+            round_procs = [
+                sched._spawn(
+                    s.node,
+                    resolve_round(
+                        ctx, s,
+                        exchange.build_spools[s.index],
+                        exchange.probe_spools[s.index],
+                        next_exchange,
+                    ),
+                    f"{join.op_id}.ovfl.{round_no}.{s.index}",
+                )
+                for s in states
+            ]
+            yield WaitAll(round_procs)
+            yield from next_exchange.flush()
+            exchange = next_exchange
+
+        closers = [
+            sched._spawn(s.node, close_output(ctx, s),
+                         f"{join.op_id}.close.{s.index}")
+            for s in states
+        ]
+        yield WaitAll(closers)
+        sched.overflows_per_node = [s.overflows for s in states]

@@ -50,3 +50,38 @@ def project_operator(
     yield from output.close()
     yield from operator_done(ctx, node)
     return emitted
+
+
+class ProjectDriver:
+    """Drives a projection: duplicate-eliminating projections partition
+    their input by a hash of the projected attributes so each node
+    deduplicates a disjoint share; streaming projections take a
+    round-robin share (Section 2)."""
+
+    def run(
+        self, sched: Any, project: Any, dest: Any
+    ) -> Generator[Any, Any, None]:
+        from ...sim import WaitAll
+        from ..split_table import Destination
+
+        ctx = sched.ctx
+        nodes = ctx.placement_nodes(project.placement)
+        ports: list[Destination] = []
+        procs = []
+        for idx, node in enumerate(nodes):
+            port = InputPort(ctx, f"{project.op_id}.{idx}", node)
+            ports.append(Destination(node.name, port))
+            output = sched._make_output(node, dest, project.schema)
+            yield from sched._initiate(node)
+            procs.append(
+                sched._spawn(
+                    node,
+                    project_operator(ctx, node, port, project.positions,
+                                     project.unique, output),
+                    f"{project.op_id}.{idx}",
+                )
+            )
+        yield from sched.run_op(
+            project.source, sched.lower_exchange(project.exchange, ports)
+        )
+        yield WaitAll(procs)

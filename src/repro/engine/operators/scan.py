@@ -187,3 +187,79 @@ def exact_match_operator(
     yield from output.close()
     yield from operator_done(ctx, node)
     return matched
+
+
+class ScanDriver:
+    """Drives a :class:`~repro.engine.ir.ScanOp`: the scheduler activates
+    one selection operator per stored fragment, each emitting through the
+    destination exchange."""
+
+    def run(self, sched: Any, scan: Any, dest: Any) -> Generator[Any, Any, None]:
+        from ...sim import WaitAll
+
+        ctx = sched.ctx
+        # Register every producer on the destination ports *before* any
+        # scan starts: a fast site must not deliver its EndOfStream while a
+        # sibling is still unregistered.
+        outputs = {
+            site: sched._make_output(ctx.disk_nodes[site], dest, scan.schema)
+            for site in scan.sites
+        }
+        procs = []
+        for site in scan.sites:
+            node = ctx.disk_nodes[site]
+            yield from sched._initiate(node)
+            gen = self._generator(ctx, scan, site, node, outputs[site])
+            procs.append(
+                sched._spawn(
+                    node, gen,
+                    f"{scan.op_id}.{scan.relation.name}.{site}",
+                )
+            )
+        yield WaitAll(procs)
+
+    def _generator(
+        self, ctx: ExecutionContext, scan: Any, site: int, node: Node,
+        output: OutputPort,
+    ) -> Generator[Any, Any, int]:
+        from ...errors import PlanError
+        from ..plan import AccessPath
+
+        fragment = scan.relation.fragments[site]
+        predicate = scan.predicate
+        path = scan.path
+        if path is AccessPath.FILE_SCAN:
+            compiled = predicate.compile(scan.schema)
+            return file_scan_operator(ctx, node, fragment, compiled, output)
+        if path is AccessPath.CLUSTERED_INDEX:
+            low, high = self._bounds(predicate)
+            return clustered_index_scan_operator(
+                ctx, node, fragment, low, high, output
+            )
+        if path is AccessPath.NONCLUSTERED_INDEX:
+            low, high = self._bounds(predicate)
+            return nonclustered_index_scan_operator(
+                ctx, node, fragment, predicate.attr, low, high, output
+            )
+        if path is AccessPath.CLUSTERED_EXACT:
+            return exact_match_operator(
+                ctx, node, fragment, predicate.attr, predicate.value,
+                output, use_clustered=True,
+            )
+        if path is AccessPath.NONCLUSTERED_EXACT:
+            return exact_match_operator(
+                ctx, node, fragment, predicate.attr, predicate.value,
+                output, use_clustered=False,
+            )
+        raise PlanError(f"unsupported access path {path}")
+
+    @staticmethod
+    def _bounds(predicate: Any) -> tuple[Any, Any]:
+        from ...errors import PlanError
+        from ..plan import ExactMatch, RangePredicate
+
+        if isinstance(predicate, RangePredicate):
+            return predicate.low, predicate.high
+        if isinstance(predicate, ExactMatch):
+            return predicate.value, predicate.value
+        raise PlanError(f"predicate {predicate!r} has no bounds")

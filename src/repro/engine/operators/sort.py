@@ -75,3 +75,59 @@ def sort_operator(
     yield from output.close()
     yield from operator_done(ctx, node)
     return len(ordered)
+
+
+class SortDriver:
+    """Drives a parallel range sort: disjoint key slices, emitted in order.
+
+    The child stream is range-split by the optimizer's boundaries; each
+    sorter orders its slice (external sort, spill to its spool disk site),
+    then the slices emit one after another via a token chain so the
+    destination receives a globally ordered stream.
+    """
+
+    def run(self, sched: Any, sort: Any, dest: Any) -> Generator[Any, Any, None]:
+        from ...sim import WaitAll
+        from ..split_table import Destination
+
+        ctx = sched.ctx
+        nodes = ctx.placement_nodes(sort.placement)
+        boundaries = sort.exchange.boundaries
+        if boundaries is None:
+            nodes = nodes[:1]
+        ports: list[Destination] = []
+        procs = []
+        tokens: list[Store] = [
+            Store(f"{sort.op_id}.tok.{i}") for i in range(len(nodes))
+        ]
+        emit_order = list(range(len(nodes)))
+        if sort.descending:
+            emit_order.reverse()
+        chain_pos = {node_idx: k for k, node_idx in enumerate(emit_order)}
+        for idx, node in enumerate(nodes):
+            port = InputPort(ctx, f"{sort.op_id}.{idx}", node)
+            ports.append(Destination(node.name, port))
+            output = sched._make_output(node, dest, sort.schema)
+            yield from sched._initiate(node)
+            position = chain_pos[idx]
+            go = tokens[emit_order[position - 1]] if position > 0 else None
+            done = tokens[idx]
+            successor = (
+                nodes[emit_order[position + 1]].name
+                if position + 1 < len(emit_order) else None
+            )
+            procs.append(
+                sched._spawn(
+                    node,
+                    sort_operator(
+                        ctx, node, port, sort.key_pos, sort.descending,
+                        sort.schema.tuple_bytes, output, go, done,
+                        successor,
+                    ),
+                    f"{sort.op_id}.{idx}",
+                )
+            )
+        yield from sched.run_op(
+            sort.source, sched.lower_exchange(sort.exchange, ports)
+        )
+        yield WaitAll(procs)

@@ -80,3 +80,46 @@ def host_sink_operator(
             break
         collected.extend(packet.records)
     return len(collected)
+
+
+class StoreDriver:
+    """Drives the store stage: one store operator per disk site, result
+    tuples sprayed round-robin (Section 2)."""
+
+    def start(
+        self, sched: Any, store: Any
+    ) -> Generator[Any, Any, tuple[list[Any], Any]]:
+        from ..split_table import Destination
+
+        ctx = sched.ctx
+        procs: list[Any] = []
+        ports: list[Destination] = []
+        for site, node in enumerate(ctx.placement_nodes(store.placement)):
+            fragment = make_result_fragment(ctx, store.into, store.schema, site)
+            sched.result_fragments.append(fragment)
+            port = InputPort(ctx, f"{store.op_id}.{site}", node)
+            ports.append(Destination(node.name, port))
+            yield from sched._initiate(node)
+            procs.append(
+                sched._spawn(node, store_operator(ctx, node, port, fragment),
+                             f"{store.op_id}.{site}")
+            )
+        return procs, sched.lower_exchange(store.exchange, ports)
+
+
+class HostSinkDriver:
+    """Drives the host sink: one merge consumer on the host processor."""
+
+    def start(self, sched: Any, sink: Any) -> tuple[list[Any], Any]:
+        from ..split_table import Destination
+
+        ctx = sched.ctx
+        (host,) = ctx.placement_nodes(sink.placement)
+        port = InputPort(ctx, sink.op_id, host)
+        proc = ctx.sim.spawn(
+            host_sink_operator(ctx, port, sched.collected), name=sink.op_id
+        )
+        dest = sched.lower_exchange(
+            sink.exchange, [Destination(host.name, port)]
+        )
+        return [proc], dest

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
-from ...errors import ExecutionError
 from ...storage import RID, PageAccess, StoredFile
 from ..node import ExecutionContext, Node
 from ..plan import ExactMatch

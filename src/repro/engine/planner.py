@@ -1,8 +1,9 @@
-"""The query optimizer: access-path selection and operator placement.
+"""Gamma's query optimizer: access-path selection and operator placement.
 
 Gamma "uses traditional relational techniques for query parsing,
-optimization [SELI79], and code generation".  The decisions that matter for
-the paper's experiments are reproduced exactly:
+optimization [SELI79], and code generation".  The shared compiler walk and
+the physical IR live in :mod:`repro.engine.ir`; this module supplies the
+conventions that make the output a *Gamma* plan:
 
 * **access path** — clustered index whenever the predicate is on the
   clustered attribute; non-clustered index only when the estimated number
@@ -11,251 +12,71 @@ the paper's experiments are reproduced exactly:
   10 % non-clustered selection);
 * **single-site exact match** — an equality predicate on the partitioning
   attribute is sent to exactly one processor;
+* **selection propagation** — a range predicate on one side's join
+  attribute is propagated to the other side (joinAselB → joinselAselB);
 * **join placement** — Local / Remote / Allnodes per the query's
   :class:`~repro.engine.plan.JoinMode`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Optional
 
 from ..catalog import Catalog, Relation
 from ..errors import PlanError
 from ..hardware import GammaConfig
-from ..storage import Schema, int_attr
+from .ir import (
+    AggregateOp,
+    Exchange,
+    ExchangeKind,
+    HashJoinBuildOp,
+    HashJoinProbeOp,
+    HostSinkOp,
+    IRNode,
+    PhysicalIR,
+    Placement,
+    PlanCompiler,
+    ProjectOp,
+    ScanOp,
+    SortOp,
+    StoreOp,
+    UpdateIR,
+)
 from .plan import (
     AccessPath,
-    AggregateNode,
+    AppendTuple,
     ExactMatch,
-    JoinMode,
     JoinNode,
+    ModifyTuple,
     PlanNode,
-    ProjectNode,
-    Query,
     RangePredicate,
     ScanNode,
-    SortNode,
     TruePredicate,
 )
 
-
-@dataclass
-class PhysicalScan:
-    """A placed selection: which fragments, which access method."""
-
-    relation: Relation
-    predicate: object
-    path: AccessPath
-    sites: list[int]
-    schema: Schema
-    estimated_matches: float
-
-    def describe(self) -> str:
-        return (
-            f"scan({self.relation.name}, {self.path.value},"
-            f" sites={len(self.sites)})"
-        )
+# The IR operator classes under their pre-refactor names: the physical
+# node a Gamma plan's ``root`` exposes for a scan / join / aggregate /
+# projection / sort is exactly the corresponding IR operator.
+PhysicalScan = ScanOp
+PhysicalJoin = HashJoinProbeOp
+PhysicalAggregate = AggregateOp
+PhysicalProject = ProjectOp
+PhysicalSort = SortOp
+PhysicalPlan = PhysicalIR
+PhysicalNode = IRNode
 
 
-@dataclass
-class PhysicalJoin:
-    """A placed hash join."""
-
-    build: "PhysicalNode"
-    probe: "PhysicalNode"
-    build_attr: str
-    probe_attr: str
-    mode: JoinMode
-    schema: Schema
-
-    def describe(self) -> str:
-        return (
-            f"join[{self.mode.value}]({self.build.describe()},"
-            f" {self.probe.describe()})"
-        )
-
-
-@dataclass
-class PhysicalAggregate:
-    """A placed aggregate."""
-
-    child: "PhysicalNode"
-    op: str
-    attr: Optional[str]
-    group_by: Optional[str]
-    schema: Schema
-
-    def describe(self) -> str:
-        grouping = f" by {self.group_by}" if self.group_by else ""
-        return f"agg[{self.op}{grouping}]({self.child.describe()})"
-
-
-@dataclass
-class PhysicalProject:
-    """A placed projection."""
-
-    child: "PhysicalNode"
-    positions: list[int]
-    unique: bool
-    schema: Schema
-
-    def describe(self) -> str:
-        kind = "unique" if self.unique else "stream"
-        return f"project[{kind}]({self.child.describe()})"
-
-
-@dataclass
-class PhysicalSort:
-    """A placed parallel sort: range slices + ordered emission chain."""
-
-    child: "PhysicalNode"
-    attr: str
-    key_pos: int
-    descending: bool
-    boundaries: Optional[list]  # None -> single sorter (no statistics)
-    schema: Schema
-
-    def describe(self) -> str:
-        direction = "desc" if self.descending else "asc"
-        width = (len(self.boundaries) + 1) if self.boundaries is not None else 1
-        return (
-            f"sort[{self.attr} {direction} x{width}]"
-            f"({self.child.describe()})"
-        )
-
-
-PhysicalNode = Union[
-    PhysicalScan, PhysicalJoin, PhysicalAggregate, PhysicalProject,
-    PhysicalSort,
-]
-
-
-@dataclass
-class PhysicalPlan:
-    """The executable plan: a physical tree plus the result destination."""
-
-    root: PhysicalNode
-    into: Optional[str]
-    schema: Schema
-    description: str = field(default="")
-
-
-class Planner:
-    """Compiles logical :class:`~repro.engine.plan.Query` trees."""
+class Planner(PlanCompiler):
+    """Compiles logical :class:`~repro.engine.plan.Query` trees into
+    Gamma-convention physical IR."""
 
     def __init__(self, config: GammaConfig, catalog: Catalog) -> None:
-        self.config = config
-        self.catalog = catalog
-
-    def plan(self, query: Query) -> PhysicalPlan:
-        root = self._plan_node(query.root)
-        return PhysicalPlan(
-            root=root,
-            into=query.into,
-            schema=root.schema,
-            description=root.describe(),
-        )
+        super().__init__(config, catalog)
 
     # ------------------------------------------------------------------
-    def _plan_node(self, node: PlanNode) -> PhysicalNode:
-        if isinstance(node, ScanNode):
-            return self._plan_scan(node)
-        if isinstance(node, JoinNode):
-            return self._plan_join(node)
-        if isinstance(node, AggregateNode):
-            return self._plan_aggregate(node)
-        if isinstance(node, ProjectNode):
-            return self._plan_project(node)
-        if isinstance(node, SortNode):
-            return self._plan_sort(node)
-        raise PlanError(f"unknown plan node {node!r}")
-
-    def _plan_sort(self, node: SortNode) -> PhysicalSort:
-        child = self._plan_node(node.child)
-        key_pos = child.schema.position(node.attr)
-        return PhysicalSort(
-            child=child,
-            attr=node.attr,
-            key_pos=key_pos,
-            descending=node.descending,
-            boundaries=self._sort_boundaries(node.attr, child),
-            schema=child.schema,
-        )
-
-    def _sort_boundaries(
-        self, attr: str, child: PhysicalNode
-    ) -> Optional[list]:
-        """Range-slice boundaries from catalog statistics.
-
-        The optimizer samples the base relation holding ``attr`` (the
-        statistics a Selinger-style catalog keeps); without a base source
-        for the attribute the sort degrades to one sorter node — always
-        correct, just unparallel.
-        """
-        import itertools
-
-        n_sorters = max(1, self.config.n_diskless or self.config.n_disk_sites)
-        if n_sorters == 1:
-            return None
-        relation = self._base_relation_with(attr, child)
-        if relation is None:
-            return None
-        pos = relation.schema.position(attr)
-        sample = sorted(
-            record[pos]
-            for record in itertools.islice(relation.records(), 2000)
-        )
-        if len(sample) < n_sorters:
-            return None
-        return [
-            sample[(len(sample) * i) // n_sorters]
-            for i in range(1, n_sorters)
-        ]
-
-    def _base_relation_with(
-        self, attr: str, node: PhysicalNode
-    ) -> Optional[Relation]:
-        if isinstance(node, PhysicalScan):
-            return node.relation if attr in node.relation.schema else None
-        if isinstance(node, PhysicalJoin):
-            return (
-                self._base_relation_with(attr, node.build)
-                or self._base_relation_with(attr, node.probe)
-            )
-        if isinstance(node, (PhysicalAggregate, PhysicalProject)):
-            return self._base_relation_with(attr, node.child)
-        if isinstance(node, PhysicalSort):
-            return self._base_relation_with(attr, node.child)
-        return None
-
-    def _plan_project(self, node: ProjectNode) -> PhysicalProject:
-        child = self._plan_node(node.child)
-        positions = [child.schema.position(a) for a in node.attrs]
-        return PhysicalProject(
-            child=child,
-            positions=positions,
-            unique=node.unique,
-            schema=child.schema.project(node.attrs),
-        )
-
-    def _plan_scan(self, node: ScanNode) -> PhysicalScan:
-        relation = self.catalog.lookup(node.relation)
-        predicate = node.predicate
-        cardinality = relation.num_records
-        est = self._selectivity(relation, predicate) * cardinality
-        path = node.forced_path or self._choose_path(relation, predicate)
-        sites = self._choose_sites(relation, predicate, path)
-        return PhysicalScan(
-            relation=relation,
-            predicate=predicate,
-            path=path,
-            sites=sites,
-            schema=relation.schema,
-            estimated_matches=est,
-        )
-
-    def _selectivity(self, relation: Relation, predicate: object) -> float:
+    # scans
+    # ------------------------------------------------------------------
+    def selectivity(self, relation: Relation, predicate: object) -> float:
         """Selectivity estimate, preferring load-time catalog statistics
         over the uniform-over-cardinality fallback."""
         if isinstance(predicate, RangePredicate):
@@ -268,7 +89,7 @@ class Planner:
                 return 1.0 / stats.distinct_hint
         return predicate.selectivity(relation.num_records)
 
-    def _choose_path(self, relation: Relation, predicate: object) -> AccessPath:
+    def choose_path(self, relation: Relation, predicate: object) -> AccessPath:
         if isinstance(predicate, TruePredicate):
             return AccessPath.FILE_SCAN
         if isinstance(predicate, ExactMatch):
@@ -301,7 +122,7 @@ class Planner:
         page = self.config.page_size
         n_sites = max(1, relation.n_sites)
         matches_per_site = (
-            self._selectivity(relation, predicate)
+            self.selectivity(relation, predicate)
             * relation.num_records / n_sites
         )
         pages_per_site = relation.num_pages / n_sites
@@ -309,7 +130,7 @@ class Planner:
         scan_cost = pages_per_site * disk.sequential_access_time(page)
         return index_cost < scan_cost
 
-    def _choose_sites(
+    def choose_sites(
         self, relation: Relation, predicate: object, path: AccessPath
     ) -> list[int]:
         all_sites = list(range(relation.n_sites))
@@ -333,28 +154,10 @@ class Planner:
                 return sites
         return all_sites
 
-    def _plan_join(self, node: JoinNode) -> PhysicalJoin:
-        node = self._propagate_selection(node)
-        build = self._plan_node(node.build)
-        probe = self._plan_node(node.probe)
-        if node.build_attr not in build.schema:
-            raise PlanError(
-                f"build attribute {node.build_attr!r} not in build schema"
-            )
-        if node.probe_attr not in probe.schema:
-            raise PlanError(
-                f"probe attribute {node.probe_attr!r} not in probe schema"
-            )
-        return PhysicalJoin(
-            build=build,
-            probe=probe,
-            build_attr=node.build_attr,
-            probe_attr=node.probe_attr,
-            mode=node.mode,
-            schema=build.schema.concat(probe.schema),
-        )
-
-    def _propagate_selection(self, node: JoinNode) -> JoinNode:
+    # ------------------------------------------------------------------
+    # joins
+    # ------------------------------------------------------------------
+    def rewrite_join(self, node: JoinNode) -> JoinNode:
         """Selection propagation across an equi-join.
 
         A range predicate on one side's join attribute implies the same
@@ -400,20 +203,100 @@ class Planner:
                             node.probe_attr, node.mode)
         return node
 
-    def _plan_aggregate(self, node: AggregateNode) -> PhysicalAggregate:
-        child = self._plan_node(node.child)
-        if node.attr is not None and node.attr not in child.schema:
-            raise PlanError(f"aggregate attribute {node.attr!r} unknown")
-        if node.group_by is not None and node.group_by not in child.schema:
-            raise PlanError(f"group-by attribute {node.group_by!r} unknown")
-        if node.group_by is not None:
-            schema = Schema([int_attr(node.group_by), int_attr(node.op)])
-        else:
-            schema = Schema([int_attr(node.op)])
-        return PhysicalAggregate(
-            child=child,
-            op=node.op,
-            attr=node.attr,
-            group_by=node.group_by,
-            schema=schema,
+    # ------------------------------------------------------------------
+    # sorts
+    # ------------------------------------------------------------------
+    def sort_boundaries(self, attr: str, child: IRNode) -> Optional[list]:
+        """Range-slice boundaries from catalog statistics.
+
+        The optimizer samples the base relation holding ``attr`` (the
+        statistics a Selinger-style catalog keeps); without a base source
+        for the attribute the sort degrades to one sorter node — always
+        correct, just unparallel.
+        """
+        import itertools
+
+        n_sorters = max(1, self.config.n_diskless or self.config.n_disk_sites)
+        if n_sorters == 1:
+            return None
+        relation = self._base_relation_with(attr, child)
+        if relation is None:
+            return None
+        pos = relation.schema.position(attr)
+        sample = sorted(
+            record[pos]
+            for record in itertools.islice(relation.records(), 2000)
         )
+        if len(sample) < n_sorters:
+            return None
+        return [
+            sample[(len(sample) * i) // n_sorters]
+            for i in range(1, n_sorters)
+        ]
+
+    def _base_relation_with(
+        self, attr: str, node: IRNode
+    ) -> Optional[Relation]:
+        if isinstance(node, ScanOp):
+            return node.relation if attr in node.relation.schema else None
+        if isinstance(node, HashJoinProbeOp):
+            return (
+                self._base_relation_with(attr, node.build)
+                or self._base_relation_with(attr, node.source)
+            )
+        if isinstance(node, (AggregateOp, ProjectOp, SortOp)):
+            return self._base_relation_with(attr, node.source)
+        return None
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def append_site(self, relation: Relation, request: AppendTuple) -> int:
+        # Decide the home site exactly once (round-robin strategies
+        # advance a cursor on every call).
+        return relation.partitioning.site_of(request.record, relation.n_sites)
+
+    def update_sites(self, relation: Relation, where: ExactMatch) -> list[int]:
+        part_attr = getattr(relation.partitioning, "attr", None)
+        if where.attr == part_attr:
+            site = relation.partitioning.site_for_key(
+                where.value, relation.n_sites
+            )
+            if site is not None:
+                return [site]
+        return list(range(relation.n_sites))
+
+    def modify_relocates(
+        self, relation: Relation, request: ModifyTuple
+    ) -> bool:
+        part_attr = getattr(relation.partitioning, "attr", None)
+        return request.attr == part_attr or (
+            request.attr == relation.clustered_on
+        )
+
+
+__all__ = [
+    "AggregateOp",
+    "Exchange",
+    "ExchangeKind",
+    "HashJoinBuildOp",
+    "HashJoinProbeOp",
+    "HostSinkOp",
+    "IRNode",
+    "PhysicalAggregate",
+    "PhysicalIR",
+    "PhysicalJoin",
+    "PhysicalNode",
+    "PhysicalPlan",
+    "PhysicalProject",
+    "PhysicalScan",
+    "PhysicalSort",
+    "Placement",
+    "PlanCompiler",
+    "Planner",
+    "ProjectOp",
+    "ScanOp",
+    "SortOp",
+    "StoreOp",
+    "UpdateIR",
+]

@@ -13,7 +13,7 @@ back-pressure, exactly like the real DMA path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Generator, Optional
 
 from ..errors import ExecutionError

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Generator
 
-from ..sim import Use
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .node import ExecutionContext, Node

@@ -1,956 +1,58 @@
-"""Query scheduling and dataflow orchestration.
+"""Backwards-compatible names for the scheduler processes.
 
-The host parses/optimizes/compiles the query, hands it to a dispatcher, and
-an idle *scheduler process* drives execution: it activates operator
-processes at the chosen nodes (four control messages per operator per node,
-serialised through the scheduler's network interface — the cost visible in
-the 0 % indexed-selection speedup curve and in the Allnodes scheduling
-overhead), sequences the build and probe phases of joins, coordinates
-hash-overflow resolution rounds, and reports completion to the host.
+The scheduler logic now lives in the three-layer plan pipeline: the
+shared compiler walk in :mod:`repro.engine.ir`, Gamma's planning
+conventions in :mod:`repro.engine.planner`, and the driver that lowers
+Exchange edges to split tables + ports in :mod:`repro.engine.driver`
+(with the per-operator lowerings next to the operators themselves under
+:mod:`repro.engine.operators`).
+
+``QueryRun``/``UpdateRun`` remain importable under their historical
+names; ``UpdateRun`` still accepts a raw
+:class:`~repro.engine.plan.UpdateRequest` and compiles it on the way in.
 """
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import Union
 
-from ..catalog import Catalog, Relation, RoundRobin
-from ..errors import ExecutionError, PlanError
-from ..sim import Delay, Process, WaitAll
-from ..storage import Schema, StoredFile, int_attr
-from .bitfilter import BitVectorFilter
-from .node import ExecutionContext, Node
-from .operators import (
-    DestSpec,
-    JoinState,
-    OverflowExchange,
-    append_operator,
-    build_consumer,
-    close_output,
-    clustered_index_scan_operator,
-    combine_aggregate_operator,
-    delete_operator,
-    exact_match_operator,
-    file_scan_operator,
-    grouped_aggregate_operator,
-    host_sink_operator,
-    modify_operator,
-    nonclustered_index_scan_operator,
-    partial_aggregate_operator,
-    probe_consumer,
-    resolve_round,
-    store_operator,
+from ..catalog import Catalog
+from ..hardware import GammaConfig
+from .driver import (
+    CONTROL_BYTES,
+    REPLY_BYTES,
+    QueryDriver,
+    UpdateDriver,
+    _spawn_operator,
 )
-from .plan import (
-    AccessPath,
-    AppendTuple,
-    DeleteTuple,
-    ExactMatch,
-    ModifyTuple,
-    RangePredicate,
-    TruePredicate,
-    UpdateRequest,
-)
-from .planner import (
-    PhysicalAggregate,
-    PhysicalJoin,
-    PhysicalNode,
-    PhysicalPlan,
-    PhysicalProject,
-    PhysicalScan,
-    PhysicalSort,
-)
-from .ports import InputPort, OutputPort
-from .results import QueryResult
-from .split_table import Destination, SplitTable
+from .ir import UpdateIR
+from .node import ExecutionContext
+from .plan import UpdateRequest
 
-CONTROL_BYTES = 128
-REPLY_BYTES = 64
+QueryRun = QueryDriver
 
 
-def _spawn_operator(
-    ctx: ExecutionContext, node: Node, gen: Any, label: str
-) -> Process:
-    """Spawn an operator process with lifetime metrics and trace events.
-
-    The operator pays its activation CPU first; start/finish times land in
-    the metrics registry and (when tracing) as a duration event on the
-    node's ``op:<label>`` lane.
-    """
-
-    def wrapped() -> Generator[Any, Any, Any]:
-        started = ctx.sim.now
-        ctx.metrics.record_operator_start(label, node.name, started)
-        yield from node.work(ctx.config.costs.operator_startup)
-        result = yield from gen
-        finished = ctx.sim.now
-        ctx.metrics.record_operator_finish(label, node.name, finished)
-        if ctx.trace is not None:
-            ctx.trace.duration(
-                node.name, f"op:{label}", label,
-                started, finished - started, cat="operator",
-            )
-        return result
-
-    return ctx.sim.spawn(wrapped(), name=label)
-
-
-class QueryRun:
-    """Executes one physical plan inside a fresh execution context."""
+class UpdateRun(UpdateDriver):
+    """An :class:`UpdateDriver` that also accepts uncompiled requests."""
 
     def __init__(
-        self, ctx: ExecutionContext, catalog: Catalog, plan: PhysicalPlan
+        self,
+        ctx: ExecutionContext,
+        catalog: Catalog,
+        request: Union[UpdateRequest, UpdateIR],
     ) -> None:
-        self.ctx = ctx
-        self.catalog = catalog
-        self.plan = plan
-        self.collected: list[tuple] = []
-        self.result_fragments: list[StoredFile] = []
-        self.result_count = 0
-        self.overflows_per_node: list[int] = []
-        self._label_counter = 0
-        self.txn = ctx.next_txn_id()
+        if not isinstance(request, UpdateIR):
+            from .planner import Planner
 
-    # ------------------------------------------------------------------
-    # top level
-    # ------------------------------------------------------------------
-    def host_process(self) -> Generator[Any, Any, None]:
-        """Parse/optimize/compile at the host, then drive the scheduler."""
-        ctx = self.ctx
-        yield Delay(ctx.config.host_startup_s)
-        yield from ctx.net.transfer(
-            ctx.host_node.name, ctx.scheduler_node.name, 512
-        )
-        try:
-            yield from self._acquire_read_locks()
-            yield from self._scheduler()
-        finally:
-            # Strict two-phase locking: everything releases at commit.
-            ctx.locks.release_all(self.txn)
-        yield from ctx.net.transfer(
-            ctx.scheduler_node.name, ctx.host_node.name, REPLY_BYTES
-        )
-
-    def _acquire_read_locks(self) -> Generator[Any, Any, None]:
-        """Shared locks on every scanned fragment, in canonical order.
-
-        Sorted acquisition makes the engine's own workloads deadlock-free;
-        the lock manager's waits-for detector (Gamma's scheduler runs
-        "global deadlock detection") guards everything else.
-        """
-        from .locks import LockMode
-
-        names: set[tuple[str, int]] = set()
-
-        def visit(node: PhysicalNode) -> None:
-            if isinstance(node, PhysicalScan):
-                names.update(
-                    (node.relation.name, site) for site in node.sites
-                )
-            elif isinstance(node, PhysicalJoin):
-                visit(node.build)
-                visit(node.probe)
-            elif isinstance(node, (PhysicalAggregate, PhysicalProject)):
-                visit(node.child)
-
-        visit(self.plan.root)
-        for name in sorted(names):
-            yield from self.ctx.locks.acquire(self.txn, name, LockMode.SHARED)
-
-    def _scheduler(self) -> Generator[Any, Any, None]:
-        ctx = self.ctx
-        plan = self.plan
-        if plan.into is not None:
-            consumers, dest = yield from self._start_store_operators()
-        else:
-            consumers, dest = self._start_host_sink()
-        yield from self._run_subtree(plan.root, dest)
-        results = yield WaitAll(consumers)
-        self.result_count = sum(r or 0 for r in results)
-        if ctx.recovery_log is not None:
-            # Transaction commit: force the tail of the recovery log.
-            yield from ctx.recovery_log.commit()
-
-    def _start_store_operators(
-        self,
-    ) -> Generator[Any, Any, tuple[list[Process], DestSpec]]:
-        """One store operator per disk site; results split round-robin."""
-        ctx = self.ctx
-        assert self.plan.into is not None
-        procs: list[Process] = []
-        ports: list[Destination] = []
-        for site, node in enumerate(ctx.disk_nodes):
-            fragment = StoredFile(
-                f"{self.plan.into}.f{site}",
-                self.plan.schema,
-                ctx.config.page_size,
-            )
-            self.result_fragments.append(fragment)
-            port = InputPort(ctx, f"store.{site}", node)
-            ports.append(Destination(node.name, port))
-            yield from self._initiate(node)
-            procs.append(
-                self._spawn(node, store_operator(ctx, node, port, fragment),
-                            f"store.{site}")
-            )
-        return procs, DestSpec("rr", ports)
-
-    def _start_host_sink(self) -> tuple[list[Process], DestSpec]:
-        ctx = self.ctx
-        port = InputPort(ctx, "host.sink", ctx.host_node)
-        proc = ctx.sim.spawn(
-            host_sink_operator(ctx, port, self.collected), name="host.sink"
-        )
-        dest = DestSpec("single", [Destination(ctx.host_node.name, port)])
-        return [proc], dest
-
-    # ------------------------------------------------------------------
-    # plan-tree execution
-    # ------------------------------------------------------------------
-    def _run_subtree(
-        self, node: PhysicalNode, dest: DestSpec
-    ) -> Generator[Any, Any, None]:
-        if isinstance(node, PhysicalScan):
-            yield from self._run_scan(node, dest)
-        elif isinstance(node, PhysicalJoin):
-            yield from self._run_join(node, dest)
-        elif isinstance(node, PhysicalAggregate):
-            yield from self._run_aggregate(node, dest)
-        elif isinstance(node, PhysicalProject):
-            yield from self._run_project(node, dest)
-        elif isinstance(node, PhysicalSort):
-            yield from self._run_sort(node, dest)
-        else:  # pragma: no cover - planner guarantees the node types
-            raise PlanError(f"unknown physical node {node!r}")
-
-    # -- sort -------------------------------------------------------------
-    def _run_sort(
-        self, sort: "PhysicalSort", dest: DestSpec
-    ) -> Generator[Any, Any, None]:
-        """Parallel range sort: disjoint key slices, emitted in order.
-
-        The child stream is range-split by the optimizer's boundaries;
-        each sorter orders its slice (external sort, spill to its spool
-        disk site), then the slices emit one after another via a token
-        chain so the destination receives a globally ordered stream.
-        """
-        from bisect import bisect_right
-
-        from ..sim import Store
-        from .operators.sort import sort_operator
-
-        ctx = self.ctx
-        nodes = list(ctx.diskless_nodes or ctx.disk_nodes)
-        boundaries = sort.boundaries
-        if boundaries is None:
-            nodes = nodes[:1]
-        ports: list[Destination] = []
-        procs: list[Process] = []
-        tokens: list[Store] = [
-            Store(f"sort.tok.{i}") for i in range(len(nodes))
-        ]
-        emit_order = list(range(len(nodes)))
-        if sort.descending:
-            emit_order.reverse()
-        chain_pos = {node_idx: k for k, node_idx in enumerate(emit_order)}
-        for idx, node in enumerate(nodes):
-            port = InputPort(ctx, f"sort.{idx}", node)
-            ports.append(Destination(node.name, port))
-            output = self._make_output(node, dest, sort.schema)
-            yield from self._initiate(node)
-            position = chain_pos[idx]
-            go = tokens[emit_order[position - 1]] if position > 0 else None
-            done = tokens[idx]
-            successor = (
-                nodes[emit_order[position + 1]].name
-                if position + 1 < len(emit_order) else None
-            )
-            procs.append(
-                self._spawn(
-                    node,
-                    sort_operator(
-                        ctx, node, port, sort.key_pos, sort.descending,
-                        sort.schema.tuple_bytes, output, go, done,
-                        successor,
-                    ),
-                    f"sort.{idx}",
-                )
-            )
-        if boundaries is None:
-            child_dest = DestSpec("single", ports)
-        else:
-            bounds = list(boundaries)
-
-            def route(value: Any) -> int:
-                return bisect_right(bounds, value)
-
-            child_dest = DestSpec(
-                "fn", ports, attr=sort.attr, route_fn=route
-            )
-        yield from self._run_subtree(sort.child, child_dest)
-        yield WaitAll(procs)
-
-    # -- projection -------------------------------------------------------
-    def _run_project(
-        self, project: "PhysicalProject", dest: DestSpec
-    ) -> Generator[Any, Any, None]:
-        """Projection operators on the diskless processors (Section 2).
-
-        A duplicate-eliminating projection partitions its input by a hash
-        of the projected attributes so each node deduplicates a disjoint
-        share; a streaming projection takes a round-robin share.
-        """
-        from .operators.project import project_operator
-
-        ctx = self.ctx
-        nodes = ctx.diskless_nodes or ctx.disk_nodes
-        ports: list[Destination] = []
-        procs: list[Process] = []
-        for idx, node in enumerate(nodes):
-            port = InputPort(ctx, f"proj.{idx}", node)
-            ports.append(Destination(node.name, port))
-            output = self._make_output(node, dest, project.schema)
-            yield from self._initiate(node)
-            procs.append(
-                self._spawn(
-                    node,
-                    project_operator(ctx, node, port, project.positions,
-                                     project.unique, output),
-                    f"proj.{idx}",
-                )
-            )
-        if project.unique:
-            child_dest = DestSpec(
-                "record_hash", ports, attr=None,
-                route_fn=project.positions,
-            )
-        else:
-            child_dest = DestSpec("rr", ports)
-        yield from self._run_subtree(project.child, child_dest)
-        yield WaitAll(procs)
-
-    # -- scans ----------------------------------------------------------
-    def _run_scan(
-        self, scan: PhysicalScan, dest: DestSpec
-    ) -> Generator[Any, Any, None]:
-        ctx = self.ctx
-        # Register every producer on the destination ports *before* any
-        # scan starts: a fast site must not deliver its EndOfStream while a
-        # sibling is still unregistered.
-        outputs = {
-            site: self._make_output(ctx.disk_nodes[site], dest, scan.schema)
-            for site in scan.sites
-        }
-        procs: list[Process] = []
-        for site in scan.sites:
-            node = ctx.disk_nodes[site]
-            yield from self._initiate(node)
-            gen = self._scan_generator(scan, site, node, outputs[site])
-            procs.append(self._spawn(node, gen, f"scan.{scan.relation.name}.{site}"))
-        yield WaitAll(procs)
-
-    def _scan_generator(
-        self, scan: PhysicalScan, site: int, node: Node, output: OutputPort
-    ):
-        ctx = self.ctx
-        fragment = scan.relation.fragments[site]
-        predicate = scan.predicate
-        path = scan.path
-        if path is AccessPath.FILE_SCAN:
-            compiled = predicate.compile(scan.schema)
-            return file_scan_operator(ctx, node, fragment, compiled, output)
-        if path is AccessPath.CLUSTERED_INDEX:
-            low, high = self._bounds(predicate)
-            return clustered_index_scan_operator(
-                ctx, node, fragment, low, high, output
-            )
-        if path is AccessPath.NONCLUSTERED_INDEX:
-            low, high = self._bounds(predicate)
-            return nonclustered_index_scan_operator(
-                ctx, node, fragment, predicate.attr, low, high, output
-            )
-        if path is AccessPath.CLUSTERED_EXACT:
-            return exact_match_operator(
-                ctx, node, fragment, predicate.attr, predicate.value,
-                output, use_clustered=True,
-            )
-        if path is AccessPath.NONCLUSTERED_EXACT:
-            return exact_match_operator(
-                ctx, node, fragment, predicate.attr, predicate.value,
-                output, use_clustered=False,
-            )
-        raise PlanError(f"unsupported access path {path}")
-
-    @staticmethod
-    def _bounds(predicate: Any) -> tuple[Any, Any]:
-        if isinstance(predicate, RangePredicate):
-            return predicate.low, predicate.high
-        if isinstance(predicate, ExactMatch):
-            return predicate.value, predicate.value
-        raise PlanError(f"predicate {predicate!r} has no bounds")
-
-    # -- joins ------------------------------------------------------------
-    def _run_join(
-        self, join: PhysicalJoin, dest: DestSpec
-    ) -> Generator[Any, Any, None]:
-        if self.ctx.config.join_algorithm == "hybrid":
-            yield from self._run_hybrid_join(join, dest)
-            return
-        yield from self._run_simple_join(join, dest)
-
-    def _run_simple_join(
-        self, join: PhysicalJoin, dest: DestSpec
-    ) -> Generator[Any, Any, None]:
-        ctx = self.ctx
-        config = ctx.config
-        nodes = ctx.join_nodes(join.mode)
-        capacity = config.join_memory_total // len(nodes)
-        build_pos = join.build.schema.position(join.build_attr)
-        probe_pos = join.probe.schema.position(join.probe_attr)
-        states: list[JoinState] = []
-        build_ports: list[Destination] = []
-        probe_ports: list[Destination] = []
-        for idx, node in enumerate(nodes):
-            build_port = InputPort(ctx, f"join.b.{idx}", node)
-            probe_port = InputPort(ctx, f"join.p.{idx}", node)
-            build_ports.append(Destination(node.name, build_port))
-            probe_ports.append(Destination(node.name, probe_port))
-            output = self._make_output(node, dest, join.schema)
-            bit_filter = (
-                BitVectorFilter() if config.use_bit_filters else None
-            )
-            # A join is logically two operators (build and probe): two
-            # activations' worth of scheduling messages per node.
-            yield from self._initiate(node)
-            yield from self._initiate(node)
-            states.append(
-                JoinState(
-                    ctx, node, idx, build_pos, probe_pos, capacity,
-                    join.build.schema.tuple_bytes,
-                    join.probe.schema.tuple_bytes,
-                    output, bit_filter, build_port, probe_port,
-                )
-            )
-        # The optimizer's building-relation estimate sizes the overflow
-        # subpartition fraction (Section 6.2.2's robustness claim).
-        est = self._estimated_output(join.build)
-        for state in states:
-            state.expected_build_tuples = est / len(nodes)
-        exchange = OverflowExchange(ctx, states, seed=1)
-
-        # Phase one: build.
-        build_procs = [
-            self._spawn(s.node, build_consumer(ctx, s, exchange),
-                        f"join.build.{s.index}")
-            for s in states
-        ]
-        yield from self._run_subtree(
-            join.build, DestSpec("hash", build_ports, attr=join.build_attr)
-        )
-        yield WaitAll(build_procs)
-
-        # Bit-vector filters: collected from the joining nodes, merged, and
-        # installed in the probe-side split tables before probing starts.
-        probe_filter: Optional[BitVectorFilter] = None
-        if config.use_bit_filters:
-            probe_filter = BitVectorFilter()
-            for state in states:
-                assert state.bit_filter is not None
-                yield from ctx.net.transfer(
-                    state.node.name, ctx.scheduler_node.name,
-                    state.bit_filter.size_bytes,
-                )
-                probe_filter.union(state.bit_filter)
-
-        # Hash-function switch: if any node overflowed during the build,
-        # the scheduler redistributes the kept tables under the new hash
-        # and passes the new function to the probing selections' split
-        # tables (Section 6.2.2) — Local joins lose their short-circuit.
-        if any(s.overflows for s in states):
-            from .operators.join import (
-                overflow_route,
-                redistribute_tables_after_overflow,
-            )
-
-            charges = redistribute_tables_after_overflow(ctx, states, exchange)
-            redist_procs = [
-                self._spawn(s.node, gen, f"join.redist.{s.index}")
-                for s, gen in zip(states, charges)
-            ]
-            yield WaitAll(redist_procs)
-            probe_dest = DestSpec(
-                "fn", probe_ports, attr=join.probe_attr,
-                bit_filter=probe_filter,
-                route_fn=overflow_route(len(states)),
-            )
-        else:
-            probe_dest = DestSpec(
-                "hash", probe_ports, attr=join.probe_attr,
-                bit_filter=probe_filter,
-            )
-
-        # Phase two: probe.
-        probe_procs = [
-            self._spawn(s.node, probe_consumer(ctx, s, exchange),
-                        f"join.probe.{s.index}")
-            for s in states
-        ]
-        yield from self._run_subtree(join.probe, probe_dest)
-        yield WaitAll(probe_procs)
-
-        # Overflow resolution rounds: one generation at a time, all nodes
-        # in parallel, until no partition spilled.
-        round_no = 1
-        yield from exchange.flush()
-        while exchange.spooled_build() or exchange.spooled_probe():
-            round_no += 1
-            if round_no > 100:
-                raise ExecutionError("join overflow did not converge")
-            next_exchange = OverflowExchange(ctx, states, seed=round_no)
-            round_procs = [
-                self._spawn(
-                    s.node,
-                    resolve_round(
-                        ctx, s,
-                        exchange.build_spools[s.index],
-                        exchange.probe_spools[s.index],
-                        next_exchange,
-                    ),
-                    f"join.ovfl.{round_no}.{s.index}",
-                )
-                for s in states
-            ]
-            yield WaitAll(round_procs)
-            yield from next_exchange.flush()
-            exchange = next_exchange
-
-        closers = [
-            self._spawn(s.node, close_output(ctx, s), f"join.close.{s.index}")
-            for s in states
-        ]
-        yield WaitAll(closers)
-        self.overflows_per_node = [s.overflows for s in states]
-
-    def _run_hybrid_join(
-        self, join: PhysicalJoin, dest: DestSpec
-    ) -> Generator[Any, Any, None]:
-        """The parallel Hybrid hash join (the paper's announced fix)."""
-        from .operators.hybrid_join import (
-            HybridJoinState,
-            hybrid_build_consumer,
-            hybrid_close,
-            hybrid_probe_consumer,
-            hybrid_resolve,
-        )
-
-        ctx = self.ctx
-        config = ctx.config
-        nodes = ctx.join_nodes(join.mode)
-        capacity = config.join_memory_total // len(nodes)
-        build_pos = join.build.schema.position(join.build_attr)
-        probe_pos = join.probe.schema.position(join.probe_attr)
-        est = self._estimated_output(join.build)
-        states: list[HybridJoinState] = []
-        build_ports: list[Destination] = []
-        probe_ports: list[Destination] = []
-        for idx, node in enumerate(nodes):
-            build_port = InputPort(ctx, f"hjoin.b.{idx}", node)
-            probe_port = InputPort(ctx, f"hjoin.p.{idx}", node)
-            build_ports.append(Destination(node.name, build_port))
-            probe_ports.append(Destination(node.name, probe_port))
-            output = self._make_output(node, dest, join.schema)
-            bit_filter = (
-                BitVectorFilter() if config.use_bit_filters else None
-            )
-            yield from self._initiate(node)
-            yield from self._initiate(node)
-            states.append(
-                HybridJoinState(
-                    ctx, node, idx, build_pos, probe_pos, capacity,
-                    join.build.schema.tuple_bytes,
-                    join.probe.schema.tuple_bytes,
-                    output, bit_filter, build_port, probe_port,
-                    expected_build_tuples=est / len(nodes),
-                )
-            )
-
-        build_procs = [
-            self._spawn(s.node, hybrid_build_consumer(ctx, s),
-                        f"hjoin.build.{s.index}")
-            for s in states
-        ]
-        yield from self._run_subtree(
-            join.build, DestSpec("hash", build_ports, attr=join.build_attr)
-        )
-        yield WaitAll(build_procs)
-
-        probe_filter: Optional[BitVectorFilter] = None
-        if config.use_bit_filters:
-            probe_filter = BitVectorFilter()
-            for state in states:
-                assert state.bit_filter is not None
-                yield from ctx.net.transfer(
-                    state.node.name, ctx.scheduler_node.name,
-                    state.bit_filter.size_bytes,
-                )
-                probe_filter.union(state.bit_filter)
-
-        probe_procs = [
-            self._spawn(s.node, hybrid_probe_consumer(ctx, s),
-                        f"hjoin.probe.{s.index}")
-            for s in states
-        ]
-        yield from self._run_subtree(
-            join.probe,
-            DestSpec("hash", probe_ports, attr=join.probe_attr,
-                     bit_filter=probe_filter),
-        )
-        yield WaitAll(probe_procs)
-
-        resolve_procs = [
-            self._spawn(s.node, hybrid_resolve(ctx, s),
-                        f"hjoin.resolve.{s.index}")
-            for s in states
-        ]
-        yield WaitAll(resolve_procs)
-        closers = [
-            self._spawn(s.node, hybrid_close(ctx, s),
-                        f"hjoin.close.{s.index}")
-            for s in states
-        ]
-        yield WaitAll(closers)
-        self.overflows_per_node = [
-            max(0, s.n_partitions - 1) for s in states
-        ]
-
-    # -- aggregates -------------------------------------------------------
-    def _run_aggregate(
-        self, agg: PhysicalAggregate, dest: DestSpec
-    ) -> Generator[Any, Any, None]:
-        ctx = self.ctx
-        nodes = ctx.diskless_nodes or ctx.disk_nodes
-        value_pos = (
-            agg.child.schema.position(agg.attr) if agg.attr is not None else None
-        )
-        if agg.group_by is not None:
-            yield from self._run_grouped_aggregate(agg, dest, nodes, value_pos)
-        else:
-            yield from self._run_scalar_aggregate(agg, dest, nodes, value_pos)
-
-    def _run_grouped_aggregate(
-        self,
-        agg: PhysicalAggregate,
-        dest: DestSpec,
-        nodes: list[Node],
-        value_pos: Optional[int],
-    ) -> Generator[Any, Any, None]:
-        ctx = self.ctx
-        group_pos = agg.child.schema.position(agg.group_by)  # type: ignore[arg-type]
-        ports: list[Destination] = []
-        procs: list[Process] = []
-        for idx, node in enumerate(nodes):
-            port = InputPort(ctx, f"agg.{idx}", node)
-            ports.append(Destination(node.name, port))
-            output = self._make_output(node, dest, agg.schema)
-            yield from self._initiate(node)
-            procs.append(
-                self._spawn(
-                    node,
-                    grouped_aggregate_operator(
-                        ctx, node, port, value_pos, group_pos, agg.op, output
-                    ),
-                    f"agg.{idx}",
-                )
-            )
-        yield from self._run_subtree(
-            agg.child, DestSpec("hash", ports, attr=agg.group_by)
-        )
-        yield WaitAll(procs)
-
-    def _run_scalar_aggregate(
-        self,
-        agg: PhysicalAggregate,
-        dest: DestSpec,
-        nodes: list[Node],
-        value_pos: Optional[int],
-    ) -> Generator[Any, Any, None]:
-        ctx = self.ctx
-        combiner_node = nodes[0]
-        combine_port = InputPort(ctx, "agg.combine", combiner_node)
-        yield from self._initiate(combiner_node)
-        final_output = self._make_output(combiner_node, dest, agg.schema)
-        combine_proc = self._spawn(
-            combiner_node,
-            combine_aggregate_operator(
-                ctx, combiner_node, combine_port, agg.op, final_output
-            ),
-            "agg.combine",
-        )
-        # Four integer accumulator fields: count / sum / min / max.
-        partial_schema = Schema(
-            [int_attr(n) for n in ("count", "sum", "min", "max")]
-        )
-        ports: list[Destination] = []
-        procs: list[Process] = []
-        for idx, node in enumerate(nodes):
-            port = InputPort(ctx, f"agg.part.{idx}", node)
-            ports.append(Destination(node.name, port))
-            output = self._make_output(
-                node,
-                DestSpec("single", [Destination(combiner_node.name, combine_port)]),
-                partial_schema,
-            )
-            yield from self._initiate(node)
-            procs.append(
-                self._spawn(
-                    node,
-                    partial_aggregate_operator(ctx, node, port, value_pos, output),
-                    f"agg.part.{idx}",
-                )
-            )
-        yield from self._run_subtree(agg.child, DestSpec("rr", ports))
-        yield WaitAll(procs)
-        yield WaitAll([combine_proc])
-
-    # ------------------------------------------------------------------
-    # plumbing
-    # ------------------------------------------------------------------
-    def _estimated_output(self, node: PhysicalNode) -> float:
-        """Optimizer cardinality estimate for a physical subtree."""
-        if isinstance(node, PhysicalScan):
-            return node.estimated_matches
-        if isinstance(node, PhysicalJoin):
-            return min(
-                self._estimated_output(node.build),
-                self._estimated_output(node.probe),
-            )
-        if isinstance(node, PhysicalAggregate):
-            return self._estimated_output(node.child)
-        return 0.0  # pragma: no cover - closed union
-
-    def _make_output(
-        self, node: Node, dest: DestSpec, schema: Schema
-    ) -> OutputPort:
-        ctx = self.ctx
-        costs = ctx.config.costs
-        if dest.kind == "hash":
-            split = SplitTable.by_hash(
-                dest.ports, schema, dest.attr, costs,
-                bit_filter=dest.bit_filter,
-            )
-        elif dest.kind == "fn":
-            split = SplitTable.by_function(
-                dest.ports, schema, dest.attr, dest.route_fn, costs,
-                bit_filter=dest.bit_filter,
-            )
-        elif dest.kind == "record_hash":
-            split = SplitTable.by_record_hash(
-                dest.ports, dest.route_fn, costs
-            )
-        elif dest.kind == "rr":
-            split = SplitTable.round_robin(dest.ports)
-        elif dest.kind == "single":
-            split = SplitTable.single(dest.ports[0])
-        else:  # pragma: no cover - DestSpec kinds are internal
-            raise PlanError(f"unknown destination kind {dest.kind!r}")
-        for destination in dest.ports:
-            destination.port.add_producer()
-        self._label_counter += 1
-        return OutputPort(
-            ctx, node, split, schema.tuple_bytes,
-            f"out.{node.name}.{self._label_counter}",
-        )
-
-    def _initiate(self, node: Node) -> Generator[Any, Any, None]:
-        """The four scheduling messages that activate one operator."""
-        ctx = self.ctx
-        sched = ctx.scheduler_node.name
-        for _ in range(2):
-            yield from ctx.net.transfer(sched, node.name, CONTROL_BYTES)
-            yield from ctx.net.transfer(node.name, sched, REPLY_BYTES)
-        n = ctx.config.sched_messages_per_operator
-        ctx.metrics.add("sched_messages", n)
-        ctx.metrics.node(sched).control_messages += n
-
-    def _spawn(self, node: Node, gen: Any, label: str) -> Process:
-        """Start an operator process; it pays its activation CPU first."""
-        return _spawn_operator(self.ctx, node, gen, label)
+            config: GammaConfig = ctx.config
+            request = Planner(config, catalog).compile_update(request)
+        super().__init__(ctx, catalog, request)
 
 
-class UpdateRun:
-    """Executes one single-tuple update request (Table 3)."""
-
-    def __init__(
-        self, ctx: ExecutionContext, catalog: Catalog, request: UpdateRequest
-    ) -> None:
-        self.ctx = ctx
-        self.catalog = catalog
-        self.request = request
-        self.affected = 0
-        self.txn = ctx.next_txn_id()
-        self._append_site: Optional[int] = None
-
-    def host_process(self) -> Generator[Any, Any, None]:
-        ctx = self.ctx
-        yield Delay(ctx.config.host_startup_s)
-        yield from ctx.net.transfer(
-            ctx.host_node.name, ctx.scheduler_node.name, 512
-        )
-        try:
-            yield from self._acquire_write_locks()
-            yield from self._scheduler()
-        finally:
-            ctx.locks.release_all(self.txn)
-        yield from ctx.net.transfer(
-            ctx.scheduler_node.name, ctx.host_node.name, REPLY_BYTES
-        )
-
-    def _acquire_write_locks(self) -> Generator[Any, Any, None]:
-        """Exclusive locks on every fragment the update may touch.
-
-        A key-attribute modify can relocate the tuple anywhere, so it
-        locks the whole relation; everything else locks its target
-        site(s).  Canonical sorted order keeps the engine deadlock-free;
-        the manager's waits-for detector guards everything else.
-        """
-        from .locks import LockMode
-
-        request = self.request
-        relation = self.catalog.lookup(request.relation)
-        if isinstance(request, AppendTuple):
-            # Decide the home site exactly once (round-robin strategies
-            # advance a cursor on every call).
-            self._append_site = relation.partitioning.site_of(
-                request.record, relation.n_sites
-            )
-            sites = [self._append_site]
-        elif isinstance(request, ModifyTuple):
-            part_attr = getattr(relation.partitioning, "attr", None)
-            if request.attr == part_attr or (
-                request.attr == relation.clustered_on
-            ):
-                sites = list(range(relation.n_sites))
-            else:
-                sites = self._target_sites(relation, request.where)
-        else:
-            sites = self._target_sites(relation, request.where)
-        for site in sorted(set(sites)):
-            yield from self.ctx.locks.acquire(
-                self.txn, (request.relation, site), LockMode.EXCLUSIVE
-            )
-
-    def _scheduler(self) -> Generator[Any, Any, None]:
-        request = self.request
-        if isinstance(request, AppendTuple):
-            yield from self._run_append(request)
-        elif isinstance(request, DeleteTuple):
-            yield from self._run_delete(request)
-        elif isinstance(request, ModifyTuple):
-            yield from self._run_modify(request)
-        else:  # pragma: no cover - UpdateRequest is a closed union
-            raise PlanError(f"unknown update request {request!r}")
-
-    def _target_sites(self, relation: Relation, where: ExactMatch) -> list[int]:
-        part_attr = getattr(relation.partitioning, "attr", None)
-        if where.attr == part_attr:
-            site = relation.partitioning.site_for_key(
-                where.value, relation.n_sites
-            )
-            if site is not None:
-                return [site]
-        return list(range(relation.n_sites))
-
-    def _run_append(self, request: AppendTuple) -> Generator[Any, Any, None]:
-        ctx = self.ctx
-        relation = self.catalog.lookup(request.relation)
-        site = (
-            self._append_site
-            if self._append_site is not None
-            else relation.partitioning.site_of(request.record, relation.n_sites)
-        )
-        node = ctx.disk_nodes[site]
-        yield from self._initiate(node)
-        proc = self._spawn(
-            node,
-            append_operator(ctx, node, relation.fragments[site], request.record),
-            "append",
-        )
-        results = yield WaitAll([proc])
-        self.affected = sum(results)
-
-    def _run_delete(self, request: DeleteTuple) -> Generator[Any, Any, None]:
-        ctx = self.ctx
-        relation = self.catalog.lookup(request.relation)
-        procs = []
-        for site in self._target_sites(relation, request.where):
-            node = ctx.disk_nodes[site]
-            yield from self._initiate(node)
-            procs.append(
-                self._spawn(
-                    node,
-                    delete_operator(
-                        ctx, node, relation.fragments[site], request.where
-                    ),
-                    f"delete.{site}",
-                )
-            )
-        results = yield WaitAll(procs)
-        self.affected = sum(results)
-
-    def _run_modify(self, request: ModifyTuple) -> Generator[Any, Any, None]:
-        ctx = self.ctx
-        relation = self.catalog.lookup(request.relation)
-        part_attr = getattr(relation.partitioning, "attr", None)
-        relocate = request.attr == part_attr or (
-            request.attr == relation.clustered_on
-        )
-        procs = []
-        sites = self._target_sites(relation, request.where)
-        for site in sites:
-            node = ctx.disk_nodes[site]
-            yield from self._initiate(node)
-            procs.append(
-                self._spawn(
-                    node,
-                    modify_operator(
-                        ctx, node, relation.fragments[site], request.where,
-                        request.attr, request.value, relocate,
-                    ),
-                    f"modify.{site}",
-                )
-            )
-        results = yield WaitAll(procs)
-        outcomes = [r for r in results if r is not None]
-        moved = [rec for status, rec in outcomes if status == "relocate"]
-        self.affected = len(outcomes)
-        # Re-insert relocated tuples at their (possibly new) home site.
-        from .operators import reinsert_operator
-
-        for record in moved:
-            new_site = relation.partitioning.site_of(record, relation.n_sites)
-            node = ctx.disk_nodes[new_site]
-            yield from ctx.net.transfer(
-                ctx.scheduler_node.name, node.name,
-                relation.schema.tuple_bytes + 64,
-            )
-            yield from self._initiate(node)
-            proc = self._spawn(
-                node,
-                reinsert_operator(
-                    ctx, node, relation.fragments[new_site], record
-                ),
-                "reinsert",
-            )
-            yield WaitAll([proc])
-
-    def _initiate(self, node: Node) -> Generator[Any, Any, None]:
-        ctx = self.ctx
-        sched = ctx.scheduler_node.name
-        for _ in range(2):
-            yield from ctx.net.transfer(sched, node.name, CONTROL_BYTES)
-            yield from ctx.net.transfer(node.name, sched, REPLY_BYTES)
-        n = ctx.config.sched_messages_per_operator
-        ctx.metrics.add("sched_messages", n)
-        ctx.metrics.node(sched).control_messages += n
-
-    def _spawn(self, node: Node, gen: Any, label: str) -> Process:
-        return _spawn_operator(self.ctx, node, gen, label)
+__all__ = [
+    "CONTROL_BYTES",
+    "REPLY_BYTES",
+    "QueryRun",
+    "UpdateRun",
+    "_spawn_operator",
+]

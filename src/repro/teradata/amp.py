@@ -10,13 +10,12 @@ whole index too (the behaviour behind rows 3-4 of Table 1).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, Iterator, Optional
+from typing import Any, Generator, Iterator, Optional
 
 from ..catalog import gamma_hash
 from ..hardware import DiskDrive, TeradataConfig
 from ..sim import Server, Simulation
 from ..storage import BufferPool, HeapFile, Schema, records_per_page
-from .costs import TeradataCosts
 
 
 def hash_key_order(records: list[tuple], key_pos: int) -> list[tuple]:

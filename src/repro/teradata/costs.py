@@ -56,6 +56,9 @@ class TeradataCosts:
     join_result_tuple: float = 3000.0
     """Materialise one joined output tuple."""
 
+    aggregate_tuple: float = 3000.0
+    """Fold one tuple into an aggregate accumulator (interpreted path)."""
+
     exact_match_cpu: float = 30_000.0
     """AMP work for a hash-addressed single-tuple retrieval."""
 

@@ -1,11 +1,20 @@
 """Query execution on the Teradata DBC/1012 model.
 
+The executor is a driver over the shared physical IR
+(:mod:`repro.engine.ir`): it walks the operator DAG produced by
+:class:`~repro.teradata.planner.TeradataPlanner` and lowers each Exchange
+edge to the DBC/1012's machinery — spool-file redistributions over the
+Y-net (a :class:`~repro.sim.Server` moving 4 KB packages), with
+``LOCAL`` edges consumed in place (the primary-key join shortcut).
+
 Selections scan (or fully scan a dense index over) each AMP's fragment;
 results are redistributed by hashing the result key and stored through the
 single-tuple-optimised ``INSERT INTO`` path (≈3 random I/Os plus heavy CPU
 per tuple — the dominant cost in Tables 1 and 2).  Joins redistribute both
 source relations by hashing the join attribute (skipped when it is the
-primary key), sort the spool files, then sort-merge.
+primary key), sort the spool files, then sort-merge.  Aggregates fold
+accumulators AMP-locally and merge them on one AMP (scalar) or
+redistribute on the grouping attribute first (grouped).
 """
 
 from __future__ import annotations
@@ -14,17 +23,21 @@ from collections import Counter
 from typing import Any, Generator, Optional
 
 from ..catalog import gamma_hash
+from ..engine.ir import (
+    AggregateOp,
+    ExchangeKind,
+    PhysicalIR,
+    ScanOp,
+    SortMergeJoinOp,
+    UpdateIR,
+)
+from ..engine.operators.aggregate import _Accumulator
 from ..engine.plan import (
-    ExactMatch,
-    JoinNode,
-    Query,
-    RangePredicate,
-    ScanNode,
-    TruePredicate,
+    AccessPath,
     AppendTuple,
     DeleteTuple,
+    ExactMatch,
     ModifyTuple,
-    UpdateRequest,
 )
 from ..errors import PlanError
 from ..sim import Delay, Server, Simulation, Use, WaitAll
@@ -38,30 +51,31 @@ class TeradataRun:
     """One retrieval query on the DBC/1012."""
 
     def __init__(
-        self, machine: "Any", sim: Simulation, amps: list[Amp], query: Query
+        self, machine: "Any", sim: Simulation, amps: list[Amp],
+        ir: PhysicalIR,
     ) -> None:
         self.machine = machine
         self.costs = machine.costs
         self.config = machine.config
         self.sim = sim
         self.amps = amps
-        self.query = query
+        self.ir = ir
+        self.into = ir.into
         self.ynet = Server("ynet")
         self.stats: Counter[str] = Counter()
         self.collected: list[tuple] = []
         self.result_count = 0
         self.result_relation: Optional[Any] = None
-        self.plan_description = ""
+        self.plan_description = ir.description
         self._tmp = 0
 
     # ------------------------------------------------------------------
     def coordinator(self) -> Generator[Any, Any, None]:
         yield Delay(self.costs.host_roundtrip_s)
-        root = self.query.root
-        per_amp, schema = yield from self._execute(root)
+        per_amp, schema = yield from self._execute(self.ir.root)
         matches = sum(len(m) for m in per_amp)
         self.result_count = matches
-        if self.query.into is not None:
+        if self.into is not None:
             yield Delay(self.costs.result_table_create_s)
             yield from self._store_phase(per_amp, schema)
         else:
@@ -73,11 +87,14 @@ class TeradataRun:
     def _execute(
         self, node: Any
     ) -> Generator[Any, Any, tuple[list[list[tuple]], Schema]]:
-        if isinstance(node, ScanNode):
+        if isinstance(node, ScanOp):
             result = yield from self._select_phase(node)
             return result
-        if isinstance(node, JoinNode):
+        if isinstance(node, SortMergeJoinOp):
             result = yield from self._join_phase(node)
+            return result
+        if isinstance(node, AggregateOp):
+            result = yield from self._aggregate_phase(node)
             return result
         raise PlanError(f"Teradata model cannot execute {node!r}")
 
@@ -85,20 +102,16 @@ class TeradataRun:
     # selections
     # ------------------------------------------------------------------
     def _select_phase(
-        self, scan: ScanNode
+        self, scan: ScanOp
     ) -> Generator[Any, Any, tuple[list[list[tuple]], Schema]]:
-        relation = self.machine.lookup(scan.relation)
+        relation = scan.relation
         predicate = scan.predicate
-        schema = relation.schema
-        self.plan_description += f"amp-select({scan.relation})"
+        schema = scan.schema
         out: list[list[tuple]] = [[] for _ in self.amps]
 
-        if (
-            isinstance(predicate, ExactMatch)
-            and predicate.attr == relation.key_attr
-        ):
+        if scan.path is AccessPath.CLUSTERED_EXACT:
             # Hash-addressed single-tuple retrieval: one AMP, one access.
-            amp_no = relation.amp_of_key(predicate.value, len(self.amps))
+            amp_no = scan.sites[0]
             proc = self.sim.spawn(
                 self._amp_exact(self.amps[amp_no],
                                 relation.fragments[amp_no], predicate,
@@ -108,9 +121,12 @@ class TeradataRun:
             yield WaitAll([proc])
             return out, schema
 
-        use_index = self._index_wins(relation, predicate)
+        use_index = scan.path in (
+            AccessPath.NONCLUSTERED_EXACT, AccessPath.NONCLUSTERED_INDEX
+        )
         procs = []
-        for i, amp in enumerate(self.amps):
+        for i in scan.sites:
+            amp = self.amps[i]
             fragment = relation.fragments[i]
             if use_index:
                 gen = self._amp_index_select(amp, fragment, predicate, out, i)
@@ -118,37 +134,7 @@ class TeradataRun:
                 gen = self._amp_scan(amp, fragment, predicate, out, i)
             procs.append(self.sim.spawn(gen, name=f"sel.{i}"))
         yield WaitAll(procs)
-        self.plan_description += "/idx" if use_index else "/scan"
         return out, schema
-
-    def _index_wins(self, relation: Any, predicate: Any) -> bool:
-        """Cost comparison between a full dense-index scan plus random
-        fetches and a plain file scan.  Because the index rows are hashed
-        (never key-sorted), the whole index is always read."""
-        attr = getattr(predicate, "attr", None)
-        if attr not in relation.indexed_attrs():
-            return False
-        if isinstance(predicate, ExactMatch):
-            return True
-        if not isinstance(predicate, RangePredicate):
-            return False
-        cpu = self.config.cpu
-        disk = self.config.disk
-        n = relation.num_records
-        per_amp = n / len(self.amps)
-        frag = relation.fragments[0]
-        index = frag.indexes[attr]
-        sel = predicate.selectivity(n)
-        index_cost = (
-            index.num_pages * disk.sequential_access_time(self.config.page_size)
-            + per_amp * cpu.time_for(self.costs.index_entry)
-            + sel * per_amp * disk.random_access_time(self.config.page_size)
-        )
-        scan_cost = (
-            frag.num_pages * disk.sequential_access_time(self.config.page_size)
-            + per_amp * cpu.time_for(self.costs.scan_tuple)
-        )
-        return index_cost < scan_cost
 
     def _amp_exact(
         self, amp: Amp, fragment: AmpFragment, predicate: ExactMatch,
@@ -207,21 +193,20 @@ class TeradataRun:
     # joins
     # ------------------------------------------------------------------
     def _join_phase(
-        self, join: JoinNode
+        self, join: SortMergeJoinOp
     ) -> Generator[Any, Any, tuple[list[list[tuple]], Schema]]:
-        left_per_amp, left_schema = yield from self._execute(join.build)
-        right_per_amp, right_schema = yield from self._execute(join.probe)
-        left_pos = left_schema.position(join.build_attr)
-        right_pos = right_schema.position(join.probe_attr)
-        self.plan_description += "+sort-merge"
+        left_per_amp, left_schema = yield from self._execute(join.left)
+        right_per_amp, right_schema = yield from self._execute(join.right)
+        left_pos = left_schema.position(join.left_attr)
+        right_pos = right_schema.position(join.right_attr)
 
-        left_local = self._already_partitioned(join.build, join.build_attr)
-        right_local = self._already_partitioned(join.probe, join.probe_attr)
         left_spools = yield from self._redistribute(
-            left_per_amp, left_pos, left_schema, local=left_local
+            left_per_amp, left_pos, left_schema,
+            local=join.left_exchange.kind is ExchangeKind.LOCAL,
         )
         right_spools = yield from self._redistribute(
-            right_per_amp, right_pos, right_schema, local=right_local
+            right_per_amp, right_pos, right_schema,
+            local=join.right_exchange.kind is ExchangeKind.LOCAL,
         )
 
         out: list[list[tuple]] = [[] for _ in self.amps]
@@ -238,15 +223,7 @@ class TeradataRun:
                 )
             )
         yield WaitAll(procs)
-        return out, left_schema.concat(right_schema)
-
-    def _already_partitioned(self, node: Any, attr: str) -> bool:
-        """Redistribution is skipped when joining a base relation on its
-        primary (partitioning) key — Table 2 rows 4-6's 25-50 % gain."""
-        if not isinstance(node, ScanNode):
-            return False
-        relation = self.machine.lookup(node.relation)
-        return attr == relation.key_attr
+        return out, join.schema
 
     def _redistribute(
         self,
@@ -346,6 +323,115 @@ class TeradataRun:
         out[i] = matches
 
     # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+    def _aggregate_phase(
+        self, agg: AggregateOp
+    ) -> Generator[Any, Any, tuple[list[list[tuple]], Schema]]:
+        if agg.stage == "grouped":
+            result = yield from self._grouped_aggregate(agg)
+            return result
+        if agg.stage == "combine":
+            result = yield from self._scalar_aggregate(agg)
+            return result
+        raise PlanError(f"Teradata model cannot execute stage {agg.stage!r}")
+
+    def _grouped_aggregate(
+        self, agg: AggregateOp
+    ) -> Generator[Any, Any, tuple[list[list[tuple]], Schema]]:
+        """Redistribute on the grouping attribute, then fold per AMP."""
+        per_amp, child_schema = yield from self._execute(agg.source)
+        group_pos = child_schema.position(agg.group_by)
+        value_pos = (
+            child_schema.position(agg.attr) if agg.attr is not None else None
+        )
+        spools = yield from self._redistribute(
+            per_amp, group_pos, child_schema,
+            local=agg.exchange.kind is ExchangeKind.LOCAL,
+        )
+        out: list[list[tuple]] = [[] for _ in self.amps]
+        procs = []
+        for i, amp in enumerate(self.amps):
+            procs.append(
+                self.sim.spawn(
+                    self._amp_grouped_fold(
+                        amp, spools[i], group_pos, value_pos, agg.op, out, i
+                    ),
+                    name=f"agg.{i}",
+                )
+            )
+        yield WaitAll(procs)
+        return out, agg.schema
+
+    def _amp_grouped_fold(
+        self, amp: Amp, rows: list[tuple], group_pos: int,
+        value_pos: Optional[int], op: str, out: list[list[tuple]], i: int,
+    ) -> Generator[Any, Any, None]:
+        yield from amp.work(self.costs.aggregate_tuple * len(rows))
+        groups: dict[Any, _Accumulator] = {}
+        for record in rows:
+            acc = groups.setdefault(record[group_pos], _Accumulator())
+            acc.fold(record[value_pos] if value_pos is not None else None)
+        out[i] = [(group, acc.result(op)) for group, acc in groups.items()]
+        self.stats["tuples_aggregated"] += len(rows)
+
+    def _scalar_aggregate(
+        self, agg: AggregateOp
+    ) -> Generator[Any, Any, tuple[list[list[tuple]], Schema]]:
+        """Fold a partial accumulator on every AMP, combine on AMP 0."""
+        partial = agg.source
+        assert isinstance(partial, AggregateOp)
+        per_amp, child_schema = yield from self._execute(partial.source)
+        value_pos = (
+            child_schema.position(agg.attr) if agg.attr is not None else None
+        )
+        partials: list[Optional[tuple]] = [None] * len(self.amps)
+        procs = []
+        for i, amp in enumerate(self.amps):
+            procs.append(
+                self.sim.spawn(
+                    self._amp_partial_fold(
+                        amp, per_amp[i], value_pos, partials, i
+                    ),
+                    name=f"agg.{i}",
+                )
+            )
+        yield WaitAll(procs)
+        out: list[list[tuple]] = [[] for _ in self.amps]
+        proc = self.sim.spawn(
+            self._amp_combine(self.amps[0], partials, agg.op, out),
+            name="agg.combine",
+        )
+        yield WaitAll([proc])
+        return out, agg.schema
+
+    def _amp_partial_fold(
+        self, amp: Amp, rows: list[tuple], value_pos: Optional[int],
+        partials: list[Optional[tuple]], i: int,
+    ) -> Generator[Any, Any, None]:
+        yield from amp.work(self.costs.aggregate_tuple * len(rows))
+        acc = _Accumulator()
+        for record in rows:
+            acc.fold(record[value_pos] if value_pos is not None else None)
+        partials[i] = acc.as_tuple()
+        self.stats["tuples_aggregated"] += len(rows)
+        # The four-field accumulator ships to the combiner in one package.
+        yield Use(
+            self.ynet, PACKAGE_BYTES / self.config.network.ring_bandwidth
+        )
+
+    def _amp_combine(
+        self, amp: Amp, partials: list[Optional[tuple]], op: str,
+        out: list[list[tuple]],
+    ) -> Generator[Any, Any, None]:
+        yield from amp.work(self.costs.aggregate_tuple * len(partials))
+        total = _Accumulator()
+        for values in partials:
+            if values is not None:
+                total.merge(_Accumulator.from_tuple(values))
+        out[0] = [(total.result(op),)]
+
+    # ------------------------------------------------------------------
     # storing results
     # ------------------------------------------------------------------
     def _store_phase(
@@ -377,7 +463,7 @@ class TeradataRun:
         yield WaitAll(procs)
         fragments = [
             AmpFragment(
-                f"{self.query.into}.a{i}", schema, schema.names()[0],
+                f"{self.into}.a{i}", schema, schema.names()[0],
                 self.config.page_size, buckets[i],
             )
             for i in range(n_amps)
@@ -385,7 +471,7 @@ class TeradataRun:
         from .machine import TeradataRelation
 
         self.result_relation = TeradataRelation(
-            self.query.into, schema, schema.names()[0], fragments
+            self.into, schema, schema.names()[0], fragments
         )
 
     def _amp_store(
@@ -401,7 +487,7 @@ class TeradataRun:
             )
         # The logged single-tuple INSERT path.
         yield from amp.work(self.costs.insert_tuple_cpu * len(incoming))
-        file_id = f"{self.query.into}.a{i}"
+        file_id = f"{self.into}.a{i}"
         io_count = int(len(incoming) * self.config.insert_ios_per_tuple)
         for k in range(io_count):
             yield from amp.write_page(file_id, k, sequential=False)
@@ -437,18 +523,24 @@ def _merge_join(
 
 
 class TeradataUpdateRun:
-    """One single-tuple update on the DBC/1012 (full logging)."""
+    """One single-tuple update on the DBC/1012 (full logging).
+
+    Consumes a compiled :class:`~repro.engine.ir.UpdateIR`: the target
+    AMPs, the append's home AMP and whether a modify relocates were all
+    decided by the planner; the executor charges the runtime costs.
+    """
 
     def __init__(
         self, machine: "Any", sim: Simulation, amps: list[Amp],
-        request: UpdateRequest,
+        update: UpdateIR,
     ) -> None:
         self.machine = machine
         self.costs = machine.costs
         self.config = machine.config
         self.sim = sim
         self.amps = amps
-        self.request = request
+        self.update = update
+        self.request = update.request
         self.stats: Counter[str] = Counter()
         self.affected = 0
 
@@ -467,14 +559,13 @@ class TeradataUpdateRun:
     def _locate(
         self, relation: Any, where: ExactMatch
     ) -> tuple[int, Optional[int]]:
-        """(amp, ordinal) of the target tuple, or (amp, None)."""
+        """(amp, ordinal) of the target tuple, or (amp, None).
+
+        The candidate AMPs were decided at compile time: the key's home
+        AMP for a hash-addressed match, every AMP otherwise.
+        """
         pos = relation.schema.position(where.attr)
-        if where.attr == relation.key_attr:
-            amp_no = relation.amp_of_key(where.value, len(self.amps))
-            candidates = [amp_no]
-        else:
-            candidates = list(range(len(self.amps)))
-        for amp_no in candidates:
+        for amp_no in self.update.sites:
             fragment = relation.fragments[amp_no]
             for ordinal, record in enumerate(fragment.records):
                 if record is not None and record[pos] == where.value:
@@ -486,11 +577,9 @@ class TeradataUpdateRun:
             yield from amp.write_page(file_id, k, sequential=False)
 
     def _append(self, request: AppendTuple) -> Generator[Any, Any, None]:
-        relation = self.machine.lookup(request.relation)
-        key_pos = relation.schema.position(relation.key_attr)
-        amp_no = relation.amp_of_key(
-            request.record[key_pos], len(self.amps)
-        )
+        relation = self.update.relation
+        amp_no = self.update.append_site
+        assert amp_no is not None
         amp = self.amps[amp_no]
         fragment = relation.fragments[amp_no]
         fragment.append(request.record)
@@ -504,7 +593,7 @@ class TeradataUpdateRun:
         self.affected = 1
 
     def _delete(self, request: DeleteTuple) -> Generator[Any, Any, None]:
-        relation = self.machine.lookup(request.relation)
+        relation = self.update.relation
         amp_no, ordinal = self._locate(relation, request.where)
         amp = self.amps[amp_no]
         fragment = relation.fragments[amp_no]
@@ -530,7 +619,7 @@ class TeradataUpdateRun:
         self.affected = 1
 
     def _modify(self, request: ModifyTuple) -> Generator[Any, Any, None]:
-        relation = self.machine.lookup(request.relation)
+        relation = self.update.relation
         amp_no, ordinal = self._locate(relation, request.where)
         if ordinal is None:
             yield from self.amps[amp_no].work(self.costs.exact_match_cpu)
@@ -542,7 +631,7 @@ class TeradataUpdateRun:
         pos = relation.schema.position(request.attr)
         old = fragment.records[ordinal]
         new_record = old[:pos] + (request.value,) + old[pos + 1:]
-        if request.attr == relation.key_attr:
+        if self.update.relocate:
             # Relocation: delete here, re-hash, insert at the new AMP,
             # and fix every secondary index.
             fragment.remove(ordinal)

@@ -12,16 +12,17 @@ from __future__ import annotations
 from typing import Iterable, Optional, Sequence
 
 from ..catalog import gamma_hash
-from ..errors import CatalogError, PlanError
+from ..engine.plan import Query, UpdateRequest
+from ..engine.results import QueryResult
+from ..errors import CatalogError
 from ..hardware import TeradataConfig
 from ..sim import Simulation
 from ..storage import Schema
-from ..engine.plan import Query, UpdateRequest
-from ..engine.results import QueryResult
 from ..workloads import generate_tuples, wisconsin_schema
 from .amp import Amp, AmpFragment
 from .costs import DEFAULT_TERADATA_COSTS, TeradataCosts
 from .executor import TeradataRun, TeradataUpdateRun
+from .planner import TeradataPlanner
 
 
 def _amp_utilisations(sim, amps, ynet=None) -> dict[str, float]:
@@ -59,6 +60,10 @@ class TeradataRelation:
     @property
     def num_pages(self) -> int:
         return sum(f.num_pages for f in self.fragments)
+
+    @property
+    def n_sites(self) -> int:
+        return len(self.fragments)
 
     def indexed_attrs(self) -> set[str]:
         return set(self.fragments[0].indexes)
@@ -137,7 +142,9 @@ class TeradataMachine:
     ) -> TeradataRelation:
         if seed is None:
             seed = abs(hash(name)) % (2**31)
-        records = list(generate_tuples(n, seed=seed, strings=strings))  # type: ignore[arg-type]
+        records = list(
+            generate_tuples(n, seed=seed, strings=strings)  # type: ignore[arg-type]
+        )
         return self.load_relation(
             name, wisconsin_schema(), records,
             primary_key="unique1", secondary_on=secondary_on,
@@ -160,12 +167,13 @@ class TeradataMachine:
     # execution
     # ------------------------------------------------------------------
     def run(self, query: Query) -> QueryResult:
-        """Execute a retrieval query (selection / join / join-of-join)."""
+        """Execute a retrieval query (selection / join / aggregate)."""
         if query.into is not None and query.into in self.relations:
             raise CatalogError(f"result relation {query.into!r} exists")
+        ir = TeradataPlanner(self.config, self, self.costs).plan(query)
         sim = Simulation()
         amps = [Amp(sim, i, self.config) for i in range(self.config.n_amps)]
-        run = TeradataRun(self, sim, amps, query)
+        run = TeradataRun(self, sim, amps, ir)
         sim.spawn(run.coordinator(), name="ifp")
         response_time = sim.run()
         if query.into is not None and run.result_relation is not None:
@@ -181,9 +189,12 @@ class TeradataMachine:
         )
 
     def update(self, request: UpdateRequest) -> QueryResult:
+        ir = TeradataPlanner(
+            self.config, self, self.costs
+        ).compile_update(request)
         sim = Simulation()
         amps = [Amp(sim, i, self.config) for i in range(self.config.n_amps)]
-        run = TeradataUpdateRun(self, sim, amps, request)
+        run = TeradataUpdateRun(self, sim, amps, ir)
         sim.spawn(run.coordinator(), name="ifp")
         response_time = sim.run()
         return QueryResult(
@@ -191,5 +202,5 @@ class TeradataMachine:
             result_count=run.affected,
             stats=dict(run.stats),
             utilisations=_amp_utilisations(sim, amps),
-            plan=type(request).__name__,
+            plan=ir.description,
         )

@@ -94,3 +94,34 @@ class TestConcurrentExecution:
         ])
         assert conc.response_time == pytest.approx(solo.response_time,
                                                    rel=0.01)
+
+    def test_results_carry_the_same_fields_as_run(self):
+        # run() and run_concurrent() share one result builder: every
+        # result must expose the full stats/metrics surface, not just a
+        # response time.
+        from repro.workloads.queries import update_suite
+
+        m = machine()
+        solo = m.run(Query.select("S", RangePredicate("unique2", 0, 9)))
+        m2 = machine()
+        update = update_suite("A", 4_000)["modify 1 tuple (key attribute)"]
+        results = m2.run_concurrent([
+            Query.select("S", RangePredicate("unique2", 0, 9)),
+            Query.join(ScanNode("Bp"), ScanNode("A"),
+                       on=("unique2", "unique2"), into="jm"),
+            update,
+        ])
+        for r in results:
+            assert r.stats["sim_events"] > 0
+            assert r.node_metrics is not None
+            assert r.operator_metrics is not None
+            assert r.utilisation_report is not None
+            assert r.utilisations
+            assert r.plan
+        sel, join, upd = results
+        # Stats are machine-wide (the batch also ran an update), so the
+        # solo query's counters must all be present.
+        assert solo.stats.keys() <= sel.stats.keys()
+        assert join.overflows_per_node is not None
+        assert upd.result_count == 1
+        assert upd.plan == "ModifyTuple"

@@ -55,6 +55,10 @@ class TestPredicates:
         assert "a" in RangePredicate("a", 0, 1).describe()
         assert "=" in ExactMatch("a", 1).describe()
 
+    def test_describe_round_trips_bounds_and_value(self):
+        assert RangePredicate("a", 5, 9).describe() == "5 <= a <= 9"
+        assert ExactMatch("b", 7).describe() == "b = 7"
+
 
 class TestQueryConstructors:
     def test_select(self):
@@ -82,3 +86,7 @@ class TestQueryConstructors:
         assert len(join.children()) == 2
         assert ScanNode("r").children() == []
         assert len(AggregateNode(ScanNode("r"), "count").children()) == 1
+
+    def test_empty_projection_rejected(self):
+        with pytest.raises(PlanError):
+            Query.select("r", project=[])

@@ -1,0 +1,83 @@
+"""Teradata golden end-time tests: the simulated timeline is a contract.
+
+These response times were recorded from the pre-IR ``teradata/executor.py``
+(the hand-rolled interpreter over logical plan nodes).  The executor now
+drives the shared physical IR, and every refactor of that pipeline must
+keep the timings **bit-identical** — they pin the Table 1/Table 2 retrieval
+shapes and every Table 3 update operation.
+"""
+
+from repro import ExactMatch, Query, RangePredicate, TeradataConfig
+from repro.engine import ScanNode
+from repro.teradata import TeradataMachine
+from repro.workloads.queries import update_suite
+
+#: Exact simulated response times (seconds) from the reference executor.
+GOLDEN_RETRIEVALS = {
+    "select-1pct-scan": 6.861171614035093,
+    "select-10pct-index-reject": 15.018765052631483,
+    "select-1pct-index": 6.112168736842107,
+    "single-tuple-select": 1.0135031228070175,
+    "joinABprime-nonkey": 27.428707719298124,
+    "joinABprime-key": 19.79922115789462,
+    "joinAselB-nonkey": 27.76187982456129,
+}
+
+GOLDEN_UPDATES = {
+    "append 1 tuple (no indices)": 0.9209147368421051,
+    "append 1 tuple (one index)": 0.9209147368421051,
+    "delete 1 tuple": 0.5134857894736842,
+    "modify 1 tuple (key attribute)": 1.354857894736842,
+    "modify 1 tuple (non-indexed attribute)": 0.7639431578947368,
+    "modify 1 tuple (non-clustered index attribute)": 0.9844005263157893,
+}
+
+
+def _machine():
+    m = TeradataMachine(TeradataConfig(n_amps=5))
+    m.load_wisconsin("A", 2_000, seed=1, secondary_on=["unique2"])
+    m.load_wisconsin("B", 2_000, seed=2)
+    m.load_wisconsin("Bprime", 200, seed=3)
+    return m
+
+
+def test_golden_retrieval_end_times_bit_identical():
+    m = _machine()
+    sel = RangePredicate("unique2", 0, 199)
+    measured = {
+        "select-1pct-scan": m.run(
+            Query.select("B", RangePredicate("unique2", 0, 19), into="t1")
+        ),
+        "select-10pct-index-reject": m.run(
+            Query.select("A", RangePredicate("unique2", 0, 199), into="t2")
+        ),
+        "select-1pct-index": m.run(
+            Query.select("A", RangePredicate("unique2", 0, 19), into="t3")
+        ),
+        "single-tuple-select": m.run(
+            Query.select("A", ExactMatch("unique1", 77))
+        ),
+        "joinABprime-nonkey": m.run(
+            Query.join(ScanNode("Bprime"), ScanNode("A"),
+                       on=("unique2", "unique2"), into="j1")
+        ),
+        "joinABprime-key": m.run(
+            Query.join(ScanNode("Bprime"), ScanNode("A"),
+                       on=("unique1", "unique1"), into="j2")
+        ),
+        "joinAselB-nonkey": m.run(
+            Query.join(ScanNode("B", sel), ScanNode("A"),
+                       on=("unique2", "unique2"), into="j3")
+        ),
+    }
+    assert {
+        name: result.response_time for name, result in measured.items()
+    } == GOLDEN_RETRIEVALS
+
+
+def test_golden_update_end_times_bit_identical():
+    measured = {}
+    for name, request in update_suite("A", 2_000).items():
+        m = _machine()
+        measured[name] = m.update(request).response_time
+    assert measured == GOLDEN_UPDATES

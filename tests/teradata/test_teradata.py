@@ -71,13 +71,13 @@ class TestSelections:
     def test_index_selection_correctness(self, machine):
         r = machine.run(Query.select("twok", RangePredicate("unique2", 0, 19)))
         assert sorted(t[1] for t in r.tuples) == list(range(20))
-        assert "/idx" in r.plan
+        assert "nonclustered-index" in r.plan
 
     def test_ten_percent_prefers_scan(self, machine):
         # "In the case of the 10% selection, the optimizer decided
         # (correctly) not to use the index."
         r = machine.run(Query.select("twok", RangePredicate("unique2", 0, 199)))
-        assert "/scan" in r.plan
+        assert "file-scan" in r.plan
         assert r.result_count == 200
 
     def test_single_tuple_select_one_amp(self, machine):
