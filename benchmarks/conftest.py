@@ -7,9 +7,30 @@ same timeline), prints the regenerated paper table, saves it under
 
 Scale: ``GAMMA_BENCH_SIZES=10000,100000[,1000000]`` controls the table
 experiments' relation sizes (default 10000,100000).
+
+``--profile`` attaches the query profiler to the instrumented figure
+runs (fig 1-2, fig 13), writing ``<figure>.profile.json`` next to each
+trace export under ``benchmarks/results/``.
 """
 
+import os
+
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--profile", action="store_true", default=False,
+        help="attach the query profiler to instrumented figure runs and"
+             " write <figure>.profile.json artifacts",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--profile"):
+        # The sweeps fan out through worker processes; an env var is the
+        # picklable way to reach them (same pattern as GAMMA_BENCH_SIZES).
+        os.environ["GAMMA_BENCH_PROFILE"] = "1"
 
 
 def run_report(benchmark, experiment, **kwargs):

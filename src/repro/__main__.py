@@ -1,20 +1,28 @@
-"""Command-line demo: ``python -m repro [n_tuples]``.
+"""Command-line entry points.
 
-Loads a Wisconsin relation on the paper's 8+8-node Gamma configuration
-and a 20-AMP Teradata DBC/1012, runs a miniature Table 1/2 workload on
-both, and prints the comparison.
+``python -m repro [n_tuples]``
+    Loads a Wisconsin relation on the paper's 8+8-node Gamma
+    configuration and a 20-AMP Teradata DBC/1012, runs a miniature
+    Table 1/2 workload on both, and prints the comparison.
+
+``python -m repro profile [query]``
+    EXPLAIN ANALYZE: runs one query with the profiler attached and
+    prints the annotated plan tree, phase timeline, critical path and
+    bottleneck verdict.  ``--json`` / ``--trace`` dump the profile and
+    the Perfetto-loadable execution trace to files.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
+from typing import Optional
 
 from .bench import build_gamma, build_teradata, run_stored
 from .workloads.queries import join_abprime, selection_query
 
 
-def main(argv: list[str]) -> int:
-    n = int(argv[1]) if len(argv) > 1 else 10_000
+def _demo(n: int) -> int:
     print(f"Gamma database machine reproduction — {n:,}-tuple demo")
     print("(times are modeled seconds on the 1988 hardware)\n")
     relations = [("heap", n, "heap"), ("idx", n, "indexed"),
@@ -39,6 +47,84 @@ def main(argv: list[str]) -> int:
     print("\nRun `pytest benchmarks/ --benchmark-only` to regenerate every"
           " table and figure of the paper.")
     return 0
+
+
+def _profile(args: argparse.Namespace) -> int:
+    from .metrics import TraceBuffer, explain_analyze
+
+    n = args.tuples
+    relations = [("A", n, "heap"), ("Bp", n // 10, "heap")]
+    if args.machine == "gamma":
+        machine = build_gamma(relations=relations)
+    else:
+        machine = build_teradata(relations=relations)
+
+    builders = {
+        "joinABprime": lambda into: join_abprime("A", "Bp", key=False,
+                                                 into=into),
+        "select1": lambda into: selection_query("A", n, 0.01, into=into),
+        "select10": lambda into: selection_query("A", n, 0.10, into=into),
+    }
+    query = builders[args.query]("profile_result")
+
+    trace: Optional[TraceBuffer] = None
+    if args.trace is not None:
+        if args.machine != "gamma":
+            print("note: --trace is Gamma-only; ignoring", file=sys.stderr)
+        else:
+            trace = TraceBuffer()
+    if trace is not None:
+        result = machine.run(query, trace=trace, profile=True)
+    else:
+        result = machine.run(query, profile=True)
+    machine.drop_relation("profile_result")
+
+    print(explain_analyze(result))
+    if args.json is not None:
+        with open(args.json, "w") as fh:
+            fh.write(result.profile.to_json())
+        print(f"\nprofile written to {args.json}")
+    if trace is not None:
+        trace.write(args.trace)
+        print(f"trace written to {args.trace}")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Gamma database machine reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    demo = sub.add_parser("demo", help="Gamma vs Teradata comparison demo")
+    demo.add_argument("n_tuples", nargs="?", type=int, default=10_000)
+
+    prof = sub.add_parser(
+        "profile", help="EXPLAIN ANALYZE one query (annotated plan tree, "
+        "phase timeline, critical path, bottleneck verdict)",
+    )
+    prof.add_argument(
+        "query", nargs="?", default="joinABprime",
+        choices=["joinABprime", "select1", "select10"],
+    )
+    prof.add_argument("--machine", choices=["gamma", "teradata"],
+                      default="gamma")
+    prof.add_argument("--tuples", type=int, default=10_000)
+    prof.add_argument("--json", metavar="PATH",
+                      help="write the profile as JSON")
+    prof.add_argument("--trace", metavar="PATH",
+                      help="also record a Perfetto trace (Gamma only)")
+
+    # Bare `python -m repro [n]` keeps its historical meaning.
+    raw = argv[1:]
+    if not raw or (len(raw) == 1 and raw[0].lstrip("-").isdigit()):
+        raw = ["demo", *raw]
+    args = parser.parse_args(raw)
+
+    if args.command == "profile":
+        return _profile(args)
+    return _demo(args.n_tuples)
 
 
 if __name__ == "__main__":

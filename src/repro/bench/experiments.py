@@ -38,6 +38,16 @@ from .reporting import Report, ratio_note, results_dir
 from .sweep import run_sweep
 
 
+def bench_profile_enabled() -> bool:
+    """True when the bench harness should attach the query profiler.
+
+    Set by ``pytest benchmarks/ --profile`` (via ``GAMMA_BENCH_PROFILE``)
+    or directly in the environment; profiled figures then write a
+    ``<figure>.profile.json`` next to their trace export.
+    """
+    return os.environ.get("GAMMA_BENCH_PROFILE", "") not in ("", "0")
+
+
 # ---------------------------------------------------------------------------
 # Table 1 — selections
 # ---------------------------------------------------------------------------
@@ -336,10 +346,10 @@ _FIG01_02_SELECTIVITIES = (0.0, 0.01, 0.10)
 
 
 def _fig01_02_point(
-    args: tuple[int, int, bool],
+    args: tuple[int, int, bool, bool],
 ) -> tuple[int, dict[float, float], dict[float, dict], Optional[float]]:
     """Sweep point: one processor count, all selectivities (picklable)."""
-    n, procs, traced = args
+    n, procs, traced, profiled = args
     machine = build_gamma(
         GammaConfig.paper_default().with_sites(procs),
         relations=[("rel", n, "heap")],
@@ -359,16 +369,23 @@ def _fig01_02_point(
             machine,
             lambda into: selection_query("rel", n, 0.01, into=into),
             trace=(trace := TraceBuffer()),
+            profile=profiled,
         )
         traced_time = traced_run.response_time
         trace.write(os.path.join(
             results_dir(), "fig01_02_select_speedup.trace.json"))
+        if profiled:
+            path = os.path.join(
+                results_dir(), "fig01_02_select_speedup.profile.json")
+            with open(path, "w") as fh:
+                fh.write(traced_run.profile.to_json())
     return procs, times, utils, traced_time
 
 
 def fig01_02_experiment(
     n: int = 100_000,
     processor_counts: Sequence[int] = (1, 2, 4, 8),
+    profile: Optional[bool] = None,
 ) -> Report:
     """Response time and speedup of 0/1/10% selections vs processors.
 
@@ -377,7 +394,12 @@ def fig01_02_experiment(
     selection is re-run under a :class:`~repro.metrics.TraceBuffer` to
     (a) export a Chrome-trace timeline next to the markdown report and
     (b) assert that tracing leaves the simulated timeline bit-identical.
+    With ``profile`` (default: the ``--profile`` bench option), the
+    re-run also attaches the query profiler and writes the
+    EXPLAIN ANALYZE output as ``fig01_02_select_speedup.profile.json``.
     """
+    if profile is None:
+        profile = bench_profile_enabled()
     report = Report(
         name="fig01_02_select_speedup",
         title=f"Figures 1-2 — Non-indexed selections on {n:,} tuples"
@@ -390,7 +412,8 @@ def fig01_02_experiment(
     utils: dict[tuple[float, int], dict[str, float]] = {}
     traced_pair: Optional[tuple[float, float]] = None
     points = [
-        (n, procs, procs == max(processor_counts))
+        (n, procs, procs == max(processor_counts),
+         profile and procs == max(processor_counts))
         for procs in processor_counts
     ]
     for procs, ptimes, putils, traced_time in run_sweep(
@@ -426,8 +449,9 @@ def fig01_02_experiment(
     )
     if traced_pair is not None:
         report.check(
-            "trace collection does not perturb the simulated timeline"
-            " (bit-identical response time with tracing on)",
+            "trace/profile collection does not perturb the simulated"
+            " timeline (bit-identical response time with instrumentation"
+            " on)",
             traced_pair[0] == traced_pair[1],
         )
     for sel in selectivities:
@@ -763,10 +787,10 @@ def fig09_12_experiment(
 # ---------------------------------------------------------------------------
 
 def _fig13_point(
-    args: tuple[int, float],
-) -> tuple[float, dict[JoinMode, tuple[float, int]]]:
+    args: tuple[int, float, bool],
+) -> tuple[float, dict[JoinMode, tuple[float, int]], Optional[float]]:
     """Sweep point: Local + Remote joins at one memory ratio (picklable)."""
-    n, ratio = args
+    n, ratio, profiled = args
     base_config = GammaConfig.paper_default()
     smaller_bytes = (n // 10) * 208 * base_config.hash_table_overhead
     config = base_config.with_join_memory(
@@ -783,20 +807,44 @@ def _fig13_point(
                 "A", "Bp", key=True, mode=md, into=into),
         )
         per_mode[mode] = (result.response_time, result.max_overflows)
-    return ratio, per_mode
+    profiled_time: Optional[float] = None
+    if profiled:
+        # Re-run the overflowing Remote join with the profiler and a
+        # trace attached: the trace carries the hash-table/queue-depth
+        # counter tracks, the profile the per-phase overflow story.
+        result = run_stored(
+            machine,
+            lambda into: join_abprime(
+                "A", "Bp", key=True, mode=JoinMode.REMOTE, into=into),
+            trace=(trace := TraceBuffer()),
+            profile=True,
+        )
+        profiled_time = result.response_time
+        trace.write(os.path.join(results_dir(), "fig13_overflow.trace.json"))
+        with open(os.path.join(
+                results_dir(), "fig13_overflow.profile.json"), "w") as fh:
+            fh.write(result.profile.to_json())
+    return ratio, per_mode, profiled_time
 
 
 def fig13_experiment(
     n: int = 100_000,
     memory_ratios: Sequence[float] = (1.2, 1.0, 0.9, 0.8, 0.6, 0.45, 0.3, 0.2),
+    profile: Optional[bool] = None,
 ) -> Report:
     """joinABprime response vs available-memory/smaller-relation ratio.
 
     Ratio 1.0 means hash-table capacity for exactly the building relation
     ("available memory was initially set to be sufficient to hold the
     total number of tuples required in the building phase"), so the
-    bucket/pointer overhead factor is included in the budget.
+    bucket/pointer overhead factor is included in the budget.  With
+    ``profile`` (default: the ``--profile`` bench option) the deepest
+    overflow point is re-run with the profiler and a trace attached,
+    writing ``fig13_overflow.profile.json`` and a Perfetto trace with
+    hash-table/queue-depth counter tracks.
     """
+    if profile is None:
+        profile = bench_profile_enabled()
     report = Report(
         name="fig13_overflow",
         title=f"Figure 13 — joinABprime ({n:,} x {n // 10:,}) under memory"
@@ -806,12 +854,17 @@ def fig13_experiment(
     )
     times: dict[tuple[JoinMode, float], float] = {}
     overflows: dict[tuple[JoinMode, float], int] = {}
-    for ratio, per_mode in run_sweep(
-        _fig13_point, [(n, ratio) for ratio in memory_ratios]
+    profiled_pair: Optional[tuple[float, float]] = None
+    for ratio, per_mode, profiled_time in run_sweep(
+        _fig13_point,
+        [(n, ratio, profile and ratio == min(memory_ratios))
+         for ratio in memory_ratios],
     ):
         for mode, (t, ovf) in per_mode.items():
             times[(mode, ratio)] = t
             overflows[(mode, ratio)] = ovf
+        if profiled_time is not None:
+            profiled_pair = (per_mode[JoinMode.REMOTE][0], profiled_time)
     for mode in (JoinMode.LOCAL, JoinMode.REMOTE):
         for ratio in memory_ratios:
             report.add_row(mode.value, ratio, times[(mode, ratio)],
@@ -819,6 +872,12 @@ def fig13_experiment(
 
     high = max(memory_ratios)
     low = min(memory_ratios)
+    if profiled_pair is not None:
+        report.check(
+            "profiling does not perturb the simulated timeline"
+            " (bit-identical response time with profiler + trace on)",
+            profiled_pair[0] == profiled_pair[1],
+        )
     report.check(
         "no overflow at the highest memory ratio",
         overflows[(JoinMode.REMOTE, high)] == 0,

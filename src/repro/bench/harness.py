@@ -90,20 +90,23 @@ def build_teradata(
     return machine
 
 
-def run_stored(machine, make_query, trace=None) -> QueryResult:
+def run_stored(machine, make_query, trace=None, profile=False) -> QueryResult:
     """Run a stored-result query, then drop the result relation.
 
     ``make_query(into_name)`` builds the query.  Dropping keeps repeated
     sweeps memory-flat, and mirrors Gamma's cheap recovery story (dropping
     a result relation is just deleting its files).  Pass a
     :class:`~repro.metrics.TraceBuffer` as ``trace`` to record the run's
-    execution timeline (Gamma machines only).
+    execution timeline (Gamma machines only); pass ``profile=True`` to
+    attach a :class:`~repro.metrics.QueryProfile` to the result.
     """
     name = f"bench_result_{next(_result_names)}"
-    if trace is None:
-        result = machine.run(make_query(name))
-    else:
-        result = machine.run(make_query(name), trace=trace)
+    kwargs: dict = {}
+    if trace is not None:
+        kwargs["trace"] = trace
+    if profile:
+        kwargs["profile"] = True
+    result = machine.run(make_query(name), **kwargs)
     machine.drop_relation(name)
     return result
 

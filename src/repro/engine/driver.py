@@ -55,13 +55,21 @@ REPLY_BYTES = 64
 
 
 def _spawn_operator(
-    ctx: ExecutionContext, node: Node, gen: Any, label: str
+    ctx: ExecutionContext,
+    node: Node,
+    gen: Any,
+    label: str,
+    op_id: Optional[str] = None,
+    phase: Optional[str] = None,
 ) -> Process:
     """Spawn an operator process with lifetime metrics and trace events.
 
     The operator pays its activation CPU first; start/finish times land in
     the metrics registry and (when tracing) as a duration event on the
-    node's ``op:<label>`` lane.
+    node's ``op:<label>`` lane.  ``op_id``/``phase`` register the process
+    with the profiler (when one is attached) so every service interval it
+    — or any helper process it spawns — consumes is attributed to that IR
+    node.
     """
 
     def wrapped() -> Generator[Any, Any, Any]:
@@ -78,7 +86,10 @@ def _spawn_operator(
             )
         return result
 
-    return ctx.sim.spawn(wrapped(), name=label)
+    proc = ctx.sim.spawn(wrapped(), name=label)
+    if ctx.profiler is not None and op_id is not None:
+        ctx.profiler.register(proc, op_id, phase)
+    return proc
 
 
 class GammaDriver:
@@ -101,9 +112,16 @@ class GammaDriver:
         ctx.metrics.add("sched_messages", n)
         ctx.metrics.node(sched).control_messages += n
 
-    def _spawn(self, node: Node, gen: Any, label: str) -> Process:
+    def _spawn(
+        self,
+        node: Node,
+        gen: Any,
+        label: str,
+        op_id: Optional[str] = None,
+        phase: Optional[str] = None,
+    ) -> Process:
         """Start an operator process; it pays its activation CPU first."""
-        return _spawn_operator(self.ctx, node, gen, label)
+        return _spawn_operator(self.ctx, node, gen, label, op_id, phase)
 
 
 class QueryDriver(GammaDriver):
@@ -342,6 +360,7 @@ class UpdateDriver(GammaDriver):
             node,
             append_operator(ctx, node, relation.fragments[site], request.record),
             self.update.op_id,
+            op_id=self.update.op_id, phase="update",
         )
         results = yield WaitAll([proc])
         self.affected = sum(results)
@@ -362,6 +381,7 @@ class UpdateDriver(GammaDriver):
                         ctx, node, relation.fragments[site], request.where
                     ),
                     f"{self.update.op_id}.{site}",
+                    op_id=self.update.op_id, phase="update",
                 )
             )
         results = yield WaitAll(procs)
@@ -385,6 +405,7 @@ class UpdateDriver(GammaDriver):
                         request.attr, request.value, relocate,
                     ),
                     f"{self.update.op_id}.{site}",
+                    op_id=self.update.op_id, phase="update",
                 )
             )
         results = yield WaitAll(procs)
@@ -406,6 +427,7 @@ class UpdateDriver(GammaDriver):
                     ctx, node, relation.fragments[new_site], record
                 ),
                 "reinsert",
+                op_id=self.update.op_id, phase="update",
             )
             yield WaitAll([proc])
 

@@ -150,24 +150,34 @@ class GammaMachine:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def run(self, query: Query, trace: Optional["Any"] = None) -> QueryResult:
+    def run(
+        self,
+        query: Query,
+        trace: Optional["Any"] = None,
+        profile: bool = False,
+    ) -> QueryResult:
         """Execute a retrieval query, returning the answer and timings.
 
         Pass a :class:`~repro.metrics.TraceBuffer` as ``trace`` to record
         the execution's service intervals and operator lifetimes for
-        Chrome-trace export; tracing never changes the simulated timeline.
+        Chrome-trace export; set ``profile=True`` to attach an EXPLAIN
+        ANALYZE :class:`~repro.metrics.QueryProfile` to the result.
+        Neither changes the simulated timeline.
         """
         if query.into is not None and query.into in self.catalog:
             raise CatalogError(
                 f"result relation {query.into!r} already exists"
             )
-        ctx = ExecutionContext(self.config, trace=trace)
+        ctx = ExecutionContext(self.config, trace=trace, profile=profile)
         plan = Planner(self.config, self.catalog).plan(query)
         run = QueryDriver(ctx, self.catalog, plan)
         ctx.sim.spawn(run.host_process(), name="host")
         response_time = ctx.sim.run()
         ctx.stats["sim_events"] = ctx.sim.events_processed
-        return self._build_result(ctx, run, query, response_time)
+        result = self._build_result(ctx, run, query, response_time)
+        if ctx.profiler is not None:
+            result.profile = ctx.profiler.finish(plan, response_time)
+        return result
 
     def run_concurrent(
         self, requests: Sequence[Query | UpdateRequest]
@@ -228,16 +238,22 @@ class GammaMachine:
         ]
 
     def update(
-        self, request: UpdateRequest, trace: Optional["Any"] = None
+        self,
+        request: UpdateRequest,
+        trace: Optional["Any"] = None,
+        profile: bool = False,
     ) -> QueryResult:
         """Execute a single-tuple update request (Table 3 operations)."""
-        ctx = ExecutionContext(self.config, trace=trace)
+        ctx = ExecutionContext(self.config, trace=trace, profile=profile)
         update_ir = Planner(self.config, self.catalog).compile_update(request)
         run = UpdateDriver(ctx, self.catalog, update_ir)
         ctx.sim.spawn(run.host_process(), name="host")
         response_time = ctx.sim.run()
         ctx.stats["sim_events"] = ctx.sim.events_processed
-        return self._build_result(ctx, run, request, response_time)
+        result = self._build_result(ctx, run, request, response_time)
+        if ctx.profiler is not None:
+            result.profile = ctx.profiler.finish(update_ir, response_time)
+        return result
 
     def _build_result(
         self,

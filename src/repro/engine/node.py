@@ -14,7 +14,7 @@ from typing import Any, Generator, Optional
 
 from ..errors import ExecutionError
 from ..hardware import DiskDrive, GammaConfig, Interconnect
-from ..metrics import MetricsRegistry, TraceBuffer, UtilisationReport
+from ..metrics import MetricsRegistry, Profiler, TraceBuffer, UtilisationReport
 from ..sim import Server, Simulation, Use
 from ..storage import BufferPool
 
@@ -150,18 +150,25 @@ class ExecutionContext:
 
     ``trace`` (optional) attaches a :class:`~repro.metrics.TraceBuffer`:
     service intervals on every CPU/disk/NIC/ring server and operator
-    lifetimes are recorded into it as the simulation runs.  Tracing and
-    the always-on :class:`~repro.metrics.MetricsRegistry` are passive —
-    they never schedule events, so the simulated timeline is identical
-    whether or not they are inspected.
+    lifetimes are recorded into it as the simulation runs.  ``profile``
+    attaches a :class:`~repro.metrics.Profiler` that attributes every
+    service interval to the IR operator whose process consumed it.
+    Tracing, profiling and the always-on
+    :class:`~repro.metrics.MetricsRegistry` are passive — they never
+    schedule events, so the simulated timeline is identical whether or
+    not they are inspected.
     """
 
     def __init__(
-        self, config: GammaConfig, trace: Optional[TraceBuffer] = None
+        self,
+        config: GammaConfig,
+        trace: Optional[TraceBuffer] = None,
+        profile: bool = False,
     ) -> None:
         self.config = config
         self.metrics = MetricsRegistry()
         self.trace = trace
+        self.profiler: Optional[Profiler] = Profiler() if profile else None
         self.sim = Simulation()
         self.disk_nodes = [
             Node(self.sim, f"disk{i}", config, has_disk=True)
@@ -202,6 +209,8 @@ class ExecutionContext:
         self._temp_ids = itertools.count()
         if trace is not None:
             self._wire_trace(trace)
+        if self.profiler is not None:
+            self._wire_profile(self.profiler)
 
     @property
     def stats(self) -> Counter[str]:
@@ -225,6 +234,17 @@ class ExecutionContext:
         for name, interface in self.net.interfaces.items():
             interface.server.observer = observer(name, "nic")
         self.net.ring.observer = observer("ring", "ring")
+
+    def _wire_profile(self, profiler: Profiler) -> None:
+        """Attach profile hooks, declaring each server's resource class
+        explicitly (cpu/disk/net) — never inferred from server names."""
+        for node in self.nodes.values():
+            profiler.wire_server(node.cpu, "cpu", node.name)
+            if node.drive is not None:
+                profiler.wire_server(node.drive.server, "disk", node.name)
+        for name, interface in self.net.interfaces.items():
+            profiler.wire_server(interface.server, "net", name)
+        profiler.wire_server(self.net.ring, "net", "ring")
 
     # ------------------------------------------------------------------
     # placement helpers

@@ -205,6 +205,7 @@ class AggregateDriver:
                         ctx, node, port, value_pos, group_pos, agg.op, output
                     ),
                     f"{agg.op_id}.{idx}",
+                    op_id=agg.op_id, phase="fold",
                 )
             )
         yield from sched.run_op(
@@ -231,6 +232,7 @@ class AggregateDriver:
                 ctx, combiner_node, combine_port, agg.op, final_output
             ),
             f"{agg.op_id}.combine",
+            op_id=agg.op_id, phase="combine",
         )
         combine_dest = sched.lower_exchange(
             agg.exchange,
@@ -248,6 +250,7 @@ class AggregateDriver:
                     node,
                     partial_aggregate_operator(ctx, node, port, value_pos, output),
                     f"{partial.op_id}.{idx}",
+                    op_id=partial.op_id, phase="fold",
                 )
             )
         yield from sched.run_op(

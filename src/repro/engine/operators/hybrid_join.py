@@ -114,6 +114,12 @@ def hybrid_build_consumer(
             else:
                 spill[p].append(record)
         ctx.metrics.record_hash_table_bytes(state.node.name, state.bytes_used)
+        if ctx.trace is not None:
+            ctx.trace.counter(
+                state.node.name, "hash-table", ctx.sim.now,
+                {"bytes": float(state.bytes_used),
+                 "overflows": float(state.overflow_chunks)},
+            )
         eff = state.node.work_effect(cpu)
         if eff is not None:
             yield eff
@@ -207,6 +213,12 @@ def hybrid_resolve(
             ctx.metrics.record_hash_table_bytes(
                 state.node.name, state.bytes_used
             )
+            if ctx.trace is not None:
+                ctx.trace.counter(
+                    state.node.name, "hash-table", ctx.sim.now,
+                    {"bytes": float(state.bytes_used),
+                     "overflows": float(state.overflow_chunks)},
+                )
             start += consumed
             results: list[tuple] = []
             cpu = 0.0
@@ -278,7 +290,8 @@ class HybridHashJoinDriver:
 
         build_procs = [
             sched._spawn(s.node, hybrid_build_consumer(ctx, s),
-                         f"{join.op_id}.build.{s.index}")
+                         f"{join.op_id}.build.{s.index}",
+                         op_id=join.build_input.op_id, phase="build")
             for s in states
         ]
         yield from sched.run_op(
@@ -300,7 +313,8 @@ class HybridHashJoinDriver:
 
         probe_procs = [
             sched._spawn(s.node, hybrid_probe_consumer(ctx, s),
-                         f"{join.op_id}.probe.{s.index}")
+                         f"{join.op_id}.probe.{s.index}",
+                         op_id=join.op_id, phase="probe")
             for s in states
         ]
         yield from sched.run_op(
@@ -313,13 +327,15 @@ class HybridHashJoinDriver:
 
         resolve_procs = [
             sched._spawn(s.node, hybrid_resolve(ctx, s),
-                         f"{join.op_id}.resolve.{s.index}")
+                         f"{join.op_id}.resolve.{s.index}",
+                         op_id=join.op_id, phase="overflow")
             for s in states
         ]
         yield WaitAll(resolve_procs)
         closers = [
             sched._spawn(s.node, hybrid_close(ctx, s),
-                         f"{join.op_id}.close.{s.index}")
+                         f"{join.op_id}.close.{s.index}",
+                         op_id=join.op_id, phase="probe")
             for s in states
         ]
         yield WaitAll(closers)

@@ -206,6 +206,12 @@ def _insert_batch(
     state.ctx.metrics.record_hash_table_bytes(
         state.node.name, state.bytes_used
     )
+    if state.ctx.trace is not None:
+        state.ctx.trace.counter(
+            state.node.name, "hash-table", state.ctx.sim.now,
+            {"bytes": float(state.bytes_used),
+             "overflows": float(state.overflows)},
+        )
     eff = state.node.work_effect(cpu)
     if eff is not None:
         yield eff
@@ -505,7 +511,8 @@ class SimpleHashJoinDriver:
         # Phase one: build.
         build_procs = [
             sched._spawn(s.node, build_consumer(ctx, s, exchange),
-                         f"{join.op_id}.build.{s.index}")
+                         f"{join.op_id}.build.{s.index}",
+                         op_id=join.build_input.op_id, phase="build")
             for s in states
         ]
         yield from sched.run_op(
@@ -534,7 +541,8 @@ class SimpleHashJoinDriver:
         if any(s.overflows for s in states):
             charges = redistribute_tables_after_overflow(ctx, states, exchange)
             redist_procs = [
-                sched._spawn(s.node, gen, f"{join.op_id}.redist.{s.index}")
+                sched._spawn(s.node, gen, f"{join.op_id}.redist.{s.index}",
+                             op_id=join.op_id, phase="overflow")
                 for s, gen in zip(states, charges)
             ]
             yield WaitAll(redist_procs)
@@ -551,7 +559,8 @@ class SimpleHashJoinDriver:
         # Phase two: probe.
         probe_procs = [
             sched._spawn(s.node, probe_consumer(ctx, s, exchange),
-                         f"{join.op_id}.probe.{s.index}")
+                         f"{join.op_id}.probe.{s.index}",
+                         op_id=join.op_id, phase="probe")
             for s in states
         ]
         yield from sched.run_op(join.probe, probe_dest)
@@ -576,6 +585,7 @@ class SimpleHashJoinDriver:
                         next_exchange,
                     ),
                     f"{join.op_id}.ovfl.{round_no}.{s.index}",
+                    op_id=join.op_id, phase="overflow",
                 )
                 for s in states
             ]
@@ -585,7 +595,8 @@ class SimpleHashJoinDriver:
 
         closers = [
             sched._spawn(s.node, close_output(ctx, s),
-                         f"{join.op_id}.close.{s.index}")
+                         f"{join.op_id}.close.{s.index}",
+                         op_id=join.op_id, phase="probe")
             for s in states
         ]
         yield WaitAll(closers)

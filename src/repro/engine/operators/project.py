@@ -79,6 +79,7 @@ class ProjectDriver:
                     project_operator(ctx, node, port, project.positions,
                                      project.unique, output),
                     f"{project.op_id}.{idx}",
+                    op_id=project.op_id, phase="project",
                 )
             )
         yield from sched.run_op(

@@ -214,6 +214,7 @@ class ScanDriver:
                 sched._spawn(
                     node, gen,
                     f"{scan.op_id}.{scan.relation.name}.{site}",
+                    op_id=scan.op_id, phase="scan",
                 )
             )
         yield WaitAll(procs)

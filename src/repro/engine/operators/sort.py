@@ -125,6 +125,7 @@ class SortDriver:
                         successor,
                     ),
                     f"{sort.op_id}.{idx}",
+                    op_id=sort.op_id, phase="sort",
                 )
             )
         yield from sched.run_op(

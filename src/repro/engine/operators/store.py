@@ -102,7 +102,8 @@ class StoreDriver:
             yield from sched._initiate(node)
             procs.append(
                 sched._spawn(node, store_operator(ctx, node, port, fragment),
-                             f"{store.op_id}.{site}")
+                             f"{store.op_id}.{site}",
+                             op_id=store.op_id, phase="store")
             )
         return procs, sched.lower_exchange(store.exchange, ports)
 
@@ -119,6 +120,8 @@ class HostSinkDriver:
         proc = ctx.sim.spawn(
             host_sink_operator(ctx, port, sched.collected), name=sink.op_id
         )
+        if ctx.profiler is not None:
+            ctx.profiler.register(proc, sink.op_id, "sink")
         dest = sched.lower_exchange(
             sink.exchange, [Destination(host.name, port)]
         )

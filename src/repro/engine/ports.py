@@ -81,12 +81,21 @@ class InputPort:
             self.ctx.metrics.record_operator_tuples(
                 self.name, self.node.name, tuples_in=len(message.records)
             )
+            if self.ctx.profiler is not None:
+                # next_packet runs inside the consumer operator's process.
+                self.ctx.profiler.record_tuples(
+                    self.ctx.sim._current, tuples_in=len(message.records)
+                )
             if self.ctx.trace is not None:
                 self.ctx.trace.instant(
                     self.node.name, "net", f"recv:{self.name}",
                     self.ctx.sim.now, cat="packet",
                     args={"tuples": len(message.records),
                           "from": message.src_node},
+                )
+                self.ctx.trace.counter(
+                    self.node.name, f"queue:{self.name}", self.ctx.sim.now,
+                    {"depth": float(len(self.store))},
                 )
             return message
         return None
@@ -217,6 +226,11 @@ class OutputPort:
         self.ctx.metrics.record_operator_tuples(
             self.label, self.node.name, tuples_out=len(records)
         )
+        if self.ctx.profiler is not None:
+            # _flush runs inside the producer operator's process.
+            self.ctx.profiler.record_tuples(
+                self.ctx.sim._current, tuples_out=len(records)
+            )
         if self.ctx.trace is not None:
             self.ctx.trace.instant(
                 self.node.name, "net", f"send:{self.label}",

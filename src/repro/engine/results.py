@@ -27,6 +27,10 @@ class QueryResult:
             :class:`~repro.metrics.UtilisationReport`, when the machine
             built one (Gamma runs).
         plan: Text description of the physical plan executed.
+        profile: The :class:`~repro.metrics.QueryProfile` (spans,
+            timeline, critical path, verdict) when the query ran with
+            ``profile=True``; render it with
+            :func:`~repro.metrics.explain_analyze`.
     """
 
     response_time: float
@@ -40,6 +44,7 @@ class QueryResult:
     operator_metrics: dict[str, dict] = field(default_factory=dict)
     utilisation_report: Optional[Any] = None
     plan: str = ""
+    profile: Optional[Any] = None
 
     @property
     def max_overflows(self) -> int:

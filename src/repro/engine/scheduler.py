@@ -14,6 +14,7 @@ names; ``UpdateRun`` still accepts a raw
 
 from __future__ import annotations
 
+import warnings
 from typing import Union
 
 from ..catalog import Catalog
@@ -28,6 +29,13 @@ from .driver import (
 from .ir import UpdateIR
 from .node import ExecutionContext
 from .plan import UpdateRequest
+
+warnings.warn(
+    "repro.engine.scheduler is deprecated; import QueryDriver/UpdateDriver "
+    "from repro.engine.driver instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 QueryRun = QueryDriver
 

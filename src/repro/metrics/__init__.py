@@ -1,21 +1,27 @@
 """Observability layer for the simulated machines.
 
-Three pieces, all passive (they never schedule simulation events, so the
+Four pieces, all passive (they never schedule simulation events, so the
 simulated timeline is bit-identical with metrics enabled or disabled):
 
 * :class:`MetricsRegistry` — typed per-node and per-operator counters
   (tuples, packets, spool I/O, control messages, hash-table bytes,
   overflow chunks), threaded through every execution context.
 * :class:`TraceBuffer` — a structured trace-event stream (operator
-  start/stop, packet send/receive, disk/CPU/network service intervals)
-  with a Chrome-trace-format exporter for ``chrome://tracing`` /
-  Perfetto.
+  start/stop, packet send/receive, disk/CPU/network service intervals,
+  counter tracks) with a Chrome-trace-format exporter for
+  ``chrome://tracing`` / Perfetto.
 * :class:`UtilisationReport` — the post-run per-node CPU/disk/network
   busy fractions the paper's Figures 1-8 arguments are built on.
+* :class:`Profiler` / :class:`QueryProfile` — EXPLAIN ANALYZE over the
+  physical IR: per-operator spans split by resource class, bucketed
+  phase timelines, critical-path extraction and a bottleneck verdict,
+  rendered by :func:`explain_analyze`.
 """
 
+from .profile import OperatorSpan, Profiler, QueryProfile, explain_analyze
 from .registry import MetricsRegistry, NodeMetrics, OperatorMetrics
 from .report import NodeUtilisation, UtilisationReport, peak_utilisation
+from .timeline import PhaseTimeline
 from .trace import TraceBuffer
 
 __all__ = [
@@ -23,7 +29,12 @@ __all__ = [
     "NodeMetrics",
     "NodeUtilisation",
     "OperatorMetrics",
+    "OperatorSpan",
+    "PhaseTimeline",
+    "Profiler",
+    "QueryProfile",
     "TraceBuffer",
     "UtilisationReport",
+    "explain_analyze",
     "peak_utilisation",
 ]

@@ -10,6 +10,7 @@ busy fractions for one finished execution.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Any, Mapping, Optional
 
@@ -19,13 +20,21 @@ def peak_utilisation(
 ) -> float:
     """Busiest node's busy fraction for one resource class.
 
-    Operates on the flat ``{"node.resource": fraction}`` mapping carried by
-    ``QueryResult.utilisations`` (bare keys like ``"ring"`` match whole).
+    Operates on the flat ``{"node.resource": fraction}`` mapping carried
+    by ``QueryResult.utilisations``.  Matching is strict: either the bare
+    key equals ``resource`` (``"ring"``, ``"ynet"``) or the key's final
+    dot-separated component does — so resource ``"nic"`` matches
+    ``"host.nic"`` but never a *node* that merely contains ``nic``
+    (``"nic0.cpu"``, ``"mechanic.disk"``).  Non-finite values (an empty
+    run reported as NaN upstream) are ignored; an empty mapping yields
+    ``0.0``.
     """
+    suffix = f".{resource}"
     return max(
         (
             value for key, value in utilisations.items()
-            if key == resource or key.endswith(f".{resource}")
+            if (key == resource or key.endswith(suffix))
+            and math.isfinite(value)
         ),
         default=0.0,
     )
@@ -115,6 +124,7 @@ class UtilisationReport:
             getattr(row, resource)
             for row in self.rows
             if getattr(row, resource) is not None
+            and math.isfinite(getattr(row, resource))
         ]
         return max(values, default=0.0)
 
@@ -132,6 +142,15 @@ class UtilisationReport:
         return out
 
     # -- rendering --------------------------------------------------------
+    @staticmethod
+    def _fmt(value: Optional[float], missing: str) -> str:
+        """``0.00`` for non-finite fractions (zero-elapsed runs), never NaN."""
+        if value is None:
+            return missing
+        if not math.isfinite(value):
+            value = 0.0
+        return f"{value:.2f}"
+
     def to_markdown(self) -> str:
         lines = [
             f"### Utilisation over {self.elapsed:.3f} simulated seconds",
@@ -140,10 +159,10 @@ class UtilisationReport:
             "|---|---|---|---|---|---|",
         ]
         for row in self.rows:
-            disk = f"{row.disk:.2f}" if row.disk is not None else "—"
-            nic = f"{row.nic:.2f}" if row.nic is not None else "—"
+            disk = self._fmt(row.disk, "—")
+            nic = self._fmt(row.nic, "—")
             lines.append(
-                f"| {row.name} | {row.cpu:.2f} | {disk} | {nic}"
+                f"| {row.name} | {self._fmt(row.cpu, '—')} | {disk} | {nic}"
                 f" | {row.pages_read}/{row.pages_written}"
                 f" | {row.tuples_in}/{row.tuples_out} |"
             )
@@ -163,10 +182,11 @@ class UtilisationReport:
             f"utilisation over {self.elapsed:.3f}s simulated", header,
         ]
         for row in self.rows:
-            disk = f"{row.disk:.2f}" if row.disk is not None else "-"
-            nic = f"{row.nic:.2f}" if row.nic is not None else "-"
+            disk = self._fmt(row.disk, "-")
+            nic = self._fmt(row.nic, "-")
             lines.append(
-                f"{row.name:>10} {row.cpu:>6.2f} {disk:>6} {nic:>6}"
+                f"{row.name:>10} {self._fmt(row.cpu, '-'):>6} {disk:>6}"
+                f" {nic:>6}"
                 f" {f'{row.pages_read}/{row.pages_written}':>12}"
                 f" {f'{row.tuples_in}/{row.tuples_out}':>16}"
             )

@@ -1,0 +1,133 @@
+"""Phase timelines: bucketed busy-time series over simulated time.
+
+The profiler records every service interval it attributes (operator,
+phase, resource class, node, start, duration).  A :class:`PhaseTimeline`
+folds those intervals into fixed-width buckets so the *shape* of a run is
+visible — join build vs. probe vs. overflow phases, and the Figure 5-8
+CPU <-> disk crossover — not just whole-run totals.
+
+Everything here is post-hoc arithmetic over recorded intervals; nothing
+touches the simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+#: One attributed service interval:
+#: (op_id, phase, resource_class, node, start, duration).
+Interval = tuple[str, Optional[str], str, str, float, float]
+
+#: Density ramp used by the ASCII strip renderer (space = idle).
+_RAMP = " .:-=*#%@"
+
+
+def _spread(
+    series: list[float], start: float, dur: float, width: float
+) -> None:
+    """Add ``dur`` seconds beginning at ``start`` into fixed-width buckets,
+    clipping each interval to the bucket boundaries it overlaps."""
+    if dur <= 0.0 or width <= 0.0:
+        return
+    end = start + dur
+    n = len(series)
+    first = min(n - 1, max(0, int(start / width)))
+    last = min(n - 1, max(0, int((end / width) - 1e-12)))
+    for i in range(first, last + 1):
+        lo = max(start, i * width)
+        hi = min(end, (i + 1) * width)
+        if hi > lo:
+            series[i] += hi - lo
+
+
+class PhaseTimeline:
+    """Busy seconds per bucket, split by resource class and by op/phase.
+
+    ``resource_busy[cls][i]`` is the total busy slot-seconds of resource
+    class ``cls`` (cpu/disk/net) inside bucket ``i``;
+    ``phase_busy["op/phase"][i]`` is the same for one operator phase.
+    :meth:`utilisation` normalises a class series by bucket width times
+    the number of servers in the class, giving a 0..1 time series.
+    """
+
+    def __init__(
+        self,
+        elapsed: float,
+        n_buckets: int,
+        resource_busy: dict[str, list[float]],
+        phase_busy: dict[str, list[float]],
+        class_counts: Mapping[str, int],
+    ) -> None:
+        self.elapsed = elapsed
+        self.n_buckets = n_buckets
+        self.width = elapsed / n_buckets if n_buckets and elapsed > 0 else 0.0
+        self.resource_busy = resource_busy
+        self.phase_busy = phase_busy
+        self.class_counts = dict(class_counts)
+
+    @classmethod
+    def from_intervals(
+        cls,
+        intervals: Iterable[Interval],
+        elapsed: float,
+        class_counts: Mapping[str, int],
+        n_buckets: int = 48,
+    ) -> "PhaseTimeline":
+        n_buckets = max(1, n_buckets)
+        resource_busy: dict[str, list[float]] = {}
+        phase_busy: dict[str, list[float]] = {}
+        width = elapsed / n_buckets if elapsed > 0 else 0.0
+        for op_id, phase, resource, _node, start, dur in intervals:
+            if width <= 0.0:
+                break
+            series = resource_busy.get(resource)
+            if series is None:
+                series = resource_busy[resource] = [0.0] * n_buckets
+            _spread(series, start, dur, width)
+            key = f"{op_id}/{phase}" if phase else op_id
+            series = phase_busy.get(key)
+            if series is None:
+                series = phase_busy[key] = [0.0] * n_buckets
+            _spread(series, start, dur, width)
+        return cls(elapsed, n_buckets, resource_busy, phase_busy, class_counts)
+
+    def utilisation(self, resource: str) -> list[float]:
+        """Per-bucket busy fraction (0..1) for one resource class."""
+        series = self.resource_busy.get(resource)
+        if series is None or self.width <= 0.0:
+            return [0.0] * self.n_buckets
+        denom = self.width * max(1, self.class_counts.get(resource, 1))
+        return [min(1.0, v / denom) for v in series]
+
+    def strip(self, values: Sequence[float]) -> str:
+        """Render a 0..1 series as a one-line ASCII density strip."""
+        out = []
+        top = len(_RAMP) - 1
+        for v in values:
+            v = 0.0 if v < 0.0 else (1.0 if v > 1.0 else v)
+            out.append(_RAMP[round(v * top)])
+        return "".join(out)
+
+    def phase_strip(self, key: str) -> str:
+        """ASCII strip for one op/phase, normalised to its own peak."""
+        series = self.phase_busy.get(key)
+        if not series:
+            return " " * self.n_buckets
+        peak = max(series)
+        if peak <= 0.0:
+            return " " * self.n_buckets
+        return self.strip([v / peak for v in series])
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "elapsed": self.elapsed,
+            "n_buckets": self.n_buckets,
+            "bucket_width": self.width,
+            "class_counts": dict(self.class_counts),
+            "resource_busy": {
+                k: list(v) for k, v in sorted(self.resource_busy.items())
+            },
+            "phase_busy": {
+                k: list(v) for k, v in sorted(self.phase_busy.items())
+            },
+        }

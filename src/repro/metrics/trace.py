@@ -99,6 +99,26 @@ class TraceBuffer:
             event["args"] = args
         self.events.append(event)
 
+    def counter(
+        self,
+        node: str,
+        name: str,
+        ts: float,
+        values: dict[str, float],
+    ) -> None:
+        """A counter-track sample (``ph: "C"``).
+
+        Perfetto renders one stacked counter track per (process, name),
+        one series per key in ``values`` — used for hash-table bytes,
+        port queue depth and overflow chunks so the Figure 13 traces show
+        memory pressure over time, not just duration swim-lanes.
+        """
+        self.events.append({
+            "name": name, "cat": "counter", "ph": "C", "ts": ts * _US,
+            "pid": self._pid(node), "tid": 0,
+            "args": dict(values),
+        })
+
     # -- export -----------------------------------------------------------
     def to_chrome(self) -> dict[str, Any]:
         """The Trace Event Format document (JSON-serialisable dict)."""

@@ -48,11 +48,15 @@ class Process:
         value: The generator's return value (valid when ``finished``).
         blocked_on: The effect this process is currently suspended on
             (diagnostics; ``None`` while runnable or finished).
+        parent: The process that was running when this one was spawned
+            (``None`` for externally spawned roots).  Attribution metadata
+            only — helper processes (couriers, page feeders) resolve to
+            the operator that created them by walking this chain.
     """
 
     __slots__ = (
         "_gen", "name", "finished", "value", "failure", "_waiters",
-        "blocked_on", "_resume",
+        "blocked_on", "_resume", "parent",
     )
 
     def __init__(self, gen: ProcessGen, name: str = "proc") -> None:
@@ -64,6 +68,7 @@ class Process:
         self._waiters: list[Callable[[Any], None]] = []
         self.blocked_on: Any = None
         self._resume: Callable[..., None] = _unspawned
+        self.parent: Optional["Process"] = None
 
     def __repr__(self) -> str:  # pragma: no cover - diagnostics only
         state = "done" if self.finished else "running"
@@ -99,6 +104,10 @@ class Simulation:
         self._active = 0
         self._procs: list[Process] = []
         self.events_processed = 0
+        #: The process whose generator is currently executing (None between
+        #: steps).  Purely observational: profilers read it to attribute
+        #: resource usage; spawn() reads it to record parentage.
+        self._current: Optional[Process] = None
 
     @property
     def now(self) -> float:
@@ -139,6 +148,7 @@ class Simulation:
     def spawn(self, gen: ProcessGen, name: str = "proc") -> Process:
         """Start a new process immediately (at the current time)."""
         proc = Process(gen, name)
+        proc.parent = self._current
         step = self._step
 
         def resume(value: Any = None, _proc: Process = proc) -> None:
@@ -153,6 +163,7 @@ class Simulation:
     def _step(self, proc: Process, value: Any) -> None:
         """Resume ``proc`` with ``value`` and perform its next effect."""
         proc.blocked_on = None
+        self._current = proc
         try:
             effect = proc._gen.send(value)
         except StopIteration as stop:
@@ -283,7 +294,7 @@ def _do_delay(sim: Simulation, proc: Process, effect: Delay) -> None:
 
 
 def _do_use(sim: Simulation, proc: Process, effect: Use) -> None:
-    effect.server._use(sim, effect.duration, proc._resume)
+    effect.server._use(sim, effect.duration, proc._resume, proc)
 
 
 def _do_acquire(sim: Simulation, proc: Process, effect: Acquire) -> None:

@@ -25,12 +25,18 @@ from typing import TYPE_CHECKING, Any, Callable, Optional
 from ..errors import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from .kernel import Simulation
+    from .kernel import Process, Simulation
 
 Resume = Callable[..., None]
 
 #: ``server.observer`` signature: (server_name, start_time, duration).
 ServiceObserver = Callable[[str, float, float], None]
+
+#: ``server.profile_hook`` signature: (server, process, start, duration).
+#: The process is the one whose ``Use`` is being serviced (None for
+#: Acquire/Release brackets); profilers attribute the interval to an
+#: operator by walking ``process.parent``.
+ProfileHook = Callable[["Server", Optional["Process"], float, float], None]
 
 
 class IntervalStats:
@@ -106,6 +112,7 @@ class Server:
         "_qlen_accrued",
         "wait_stats",
         "observer",
+        "profile_hook",
     )
 
     def __init__(self, name: str, capacity: int = 1) -> None:
@@ -114,8 +121,10 @@ class Server:
         self.name = name
         self.capacity = capacity
         self._in_service = 0
-        # Queue entries: (duration | None, resume, enqueue_time).
-        self._queue: deque[tuple[Optional[float], Resume, float]] = deque()
+        # Queue entries: (duration | None, resume, enqueue_time, process).
+        self._queue: deque[
+            tuple[Optional[float], Resume, float, Optional["Process"]]
+        ] = deque()
         self.requests = 0
         self._last_change = 0.0
         self._busy_accrued = 0.0  # seconds with >= 1 slot busy
@@ -123,6 +132,7 @@ class Server:
         self._qlen_accrued = 0.0  # queue-length-seconds
         self.wait_stats = IntervalStats()
         self.observer: Optional[ServiceObserver] = None
+        self.profile_hook: Optional[ProfileHook] = None
 
     def __repr__(self) -> str:  # pragma: no cover - diagnostics only
         return f"<Server {self.name} {self._in_service}/{self.capacity}>"
@@ -187,16 +197,22 @@ class Server:
         return qlen / now
 
     # -- kernel-facing API ------------------------------------------------
-    def _use(self, sim: "Simulation", duration: float, resume: Resume) -> None:
+    def _use(
+        self,
+        sim: "Simulation",
+        duration: float,
+        resume: Resume,
+        proc: Optional["Process"] = None,
+    ) -> None:
         if duration < 0:
             raise SimulationError(f"negative service time on {self.name!r}")
         self.requests += 1
         self._advance(sim.now)
         if self._in_service < self.capacity:
             self.wait_stats.record(0.0)
-            self._start(sim, duration, resume)
+            self._start(sim, duration, resume, proc)
         else:
-            self._queue.append((duration, resume, sim.now))
+            self._queue.append((duration, resume, sim.now, proc))
 
     def _acquire(self, sim: "Simulation", resume: Resume) -> None:
         self.requests += 1
@@ -206,7 +222,7 @@ class Server:
             self._in_service += 1
             sim._schedule_now(resume)
         else:
-            self._queue.append((None, resume, sim.now))
+            self._queue.append((None, resume, sim.now, None))
 
     def _release(self, sim: "Simulation") -> None:
         if self._in_service <= 0:
@@ -215,11 +231,19 @@ class Server:
         self._in_service -= 1
         self._dispatch(sim)
 
-    def _start(self, sim: "Simulation", duration: float, resume: Resume) -> None:
+    def _start(
+        self,
+        sim: "Simulation",
+        duration: float,
+        resume: Resume,
+        proc: Optional["Process"] = None,
+    ) -> None:
         # _advance(sim.now) has already run on every path into here.
         self._in_service += 1
         if self.observer is not None:
             self.observer(self.name, sim.now, duration)
+        if self.profile_hook is not None:
+            self.profile_hook(self, proc, sim.now, duration)
 
         def complete() -> None:
             self._advance(sim.now)
@@ -231,13 +255,13 @@ class Server:
 
     def _dispatch(self, sim: "Simulation") -> None:
         while self._queue and self._in_service < self.capacity:
-            duration, resume, enqueued = self._queue.popleft()
+            duration, resume, enqueued, proc = self._queue.popleft()
             self.wait_stats.record(sim.now - enqueued)
             if duration is None:
                 self._in_service += 1
                 sim._schedule_now(resume)
             else:
-                self._start(sim, duration, resume)
+                self._start(sim, duration, resume, proc)
 
 
 class Store:

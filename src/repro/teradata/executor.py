@@ -40,7 +40,8 @@ from ..engine.plan import (
     ModifyTuple,
 )
 from ..errors import PlanError
-from ..sim import Delay, Server, Simulation, Use, WaitAll
+from ..metrics import Profiler
+from ..sim import Delay, Process, Server, Simulation, Use, WaitAll
 from ..storage import Schema, external_sort, records_per_page
 from .amp import Amp, AmpFragment
 
@@ -52,7 +53,7 @@ class TeradataRun:
 
     def __init__(
         self, machine: "Any", sim: Simulation, amps: list[Amp],
-        ir: PhysicalIR,
+        ir: PhysicalIR, profiler: Optional[Profiler] = None,
     ) -> None:
         self.machine = machine
         self.costs = machine.costs
@@ -62,12 +63,29 @@ class TeradataRun:
         self.ir = ir
         self.into = ir.into
         self.ynet = Server("ynet")
+        self.profiler = profiler
         self.stats: Counter[str] = Counter()
         self.collected: list[tuple] = []
         self.result_count = 0
         self.result_relation: Optional[Any] = None
         self.plan_description = ir.description
         self._tmp = 0
+
+    def _register(
+        self, proc: Process, op_id: str, phase: Optional[str]
+    ) -> Process:
+        """Attribute a spawned AMP process to an IR node (profiling only)."""
+        if self.profiler is not None:
+            self.profiler.register(proc, op_id, phase)
+        return proc
+
+    def _count_tuples(
+        self, op_id: str, tuples_in: int = 0, tuples_out: int = 0
+    ) -> None:
+        if self.profiler is not None:
+            self.profiler.add_tuples(
+                op_id, tuples_in=tuples_in, tuples_out=tuples_out
+            )
 
     # ------------------------------------------------------------------
     def coordinator(self) -> Generator[Any, Any, None]:
@@ -112,13 +130,17 @@ class TeradataRun:
         if scan.path is AccessPath.CLUSTERED_EXACT:
             # Hash-addressed single-tuple retrieval: one AMP, one access.
             amp_no = scan.sites[0]
-            proc = self.sim.spawn(
-                self._amp_exact(self.amps[amp_no],
-                                relation.fragments[amp_no], predicate,
-                                out, amp_no),
-                name=f"exact.{amp_no}",
+            proc = self._register(
+                self.sim.spawn(
+                    self._amp_exact(self.amps[amp_no],
+                                    relation.fragments[amp_no], predicate,
+                                    out, amp_no),
+                    name=f"exact.{amp_no}",
+                ),
+                scan.op_id, "scan",
             )
             yield WaitAll([proc])
+            self._count_tuples(scan.op_id, tuples_out=len(out[amp_no]))
             return out, schema
 
         use_index = scan.path in (
@@ -132,8 +154,19 @@ class TeradataRun:
                 gen = self._amp_index_select(amp, fragment, predicate, out, i)
             else:
                 gen = self._amp_scan(amp, fragment, predicate, out, i)
-            procs.append(self.sim.spawn(gen, name=f"sel.{i}"))
+            procs.append(
+                self._register(
+                    self.sim.spawn(gen, name=f"sel.{i}"), scan.op_id, "scan"
+                )
+            )
         yield WaitAll(procs)
+        self._count_tuples(
+            scan.op_id,
+            tuples_in=sum(
+                relation.fragments[i].num_records for i in scan.sites
+            ),
+            tuples_out=sum(len(bucket) for bucket in out),
+        )
         return out, schema
 
     def _amp_exact(
@@ -203,26 +236,37 @@ class TeradataRun:
         left_spools = yield from self._redistribute(
             left_per_amp, left_pos, left_schema,
             local=join.left_exchange.kind is ExchangeKind.LOCAL,
+            op_id=join.op_id,
         )
         right_spools = yield from self._redistribute(
             right_per_amp, right_pos, right_schema,
             local=join.right_exchange.kind is ExchangeKind.LOCAL,
+            op_id=join.op_id,
         )
 
         out: list[list[tuple]] = [[] for _ in self.amps]
         procs = []
         for i, amp in enumerate(self.amps):
             procs.append(
-                self.sim.spawn(
-                    self._amp_sort_merge(
-                        amp, left_spools[i], right_spools[i],
-                        left_pos, right_pos, left_schema, right_schema,
-                        out, i,
+                self._register(
+                    self.sim.spawn(
+                        self._amp_sort_merge(
+                            amp, left_spools[i], right_spools[i],
+                            left_pos, right_pos, left_schema, right_schema,
+                            out, i,
+                        ),
+                        name=f"smj.{i}",
                     ),
-                    name=f"smj.{i}",
+                    join.op_id, "merge",
                 )
             )
         yield WaitAll(procs)
+        self._count_tuples(
+            join.op_id,
+            tuples_in=sum(len(s) for s in left_spools)
+            + sum(len(s) for s in right_spools),
+            tuples_out=sum(len(bucket) for bucket in out),
+        )
         return out, join.schema
 
     def _redistribute(
@@ -231,6 +275,7 @@ class TeradataRun:
         pos: int,
         schema: Schema,
         local: bool,
+        op_id: str = "",
     ) -> Generator[Any, Any, list[list[tuple]]]:
         n_amps = len(self.amps)
         if local:
@@ -244,15 +289,16 @@ class TeradataRun:
                                            schema.tuple_bytes))
         procs = []
         for i, amp in enumerate(self.amps):
-            procs.append(
-                self.sim.spawn(
-                    self._amp_redistribute(
-                        amp, len(per_amp[i]), len(buckets[i]),
-                        schema.tuple_bytes, per_page, i,
-                    ),
-                    name=f"redist.{i}",
-                )
+            proc = self.sim.spawn(
+                self._amp_redistribute(
+                    amp, len(per_amp[i]), len(buckets[i]),
+                    schema.tuple_bytes, per_page, i,
+                ),
+                name=f"redist.{i}",
             )
+            if op_id:
+                self._register(proc, op_id, "redistribute")
+            procs.append(proc)
         yield WaitAll(procs)
         self.stats["tuples_redistributed"] += sum(len(b) for b in buckets)
         return buckets
@@ -348,19 +394,29 @@ class TeradataRun:
         spools = yield from self._redistribute(
             per_amp, group_pos, child_schema,
             local=agg.exchange.kind is ExchangeKind.LOCAL,
+            op_id=agg.op_id,
         )
         out: list[list[tuple]] = [[] for _ in self.amps]
         procs = []
         for i, amp in enumerate(self.amps):
             procs.append(
-                self.sim.spawn(
-                    self._amp_grouped_fold(
-                        amp, spools[i], group_pos, value_pos, agg.op, out, i
+                self._register(
+                    self.sim.spawn(
+                        self._amp_grouped_fold(
+                            amp, spools[i], group_pos, value_pos, agg.op,
+                            out, i,
+                        ),
+                        name=f"agg.{i}",
                     ),
-                    name=f"agg.{i}",
+                    agg.op_id, "fold",
                 )
             )
         yield WaitAll(procs)
+        self._count_tuples(
+            agg.op_id,
+            tuples_in=sum(len(s) for s in spools),
+            tuples_out=sum(len(bucket) for bucket in out),
+        )
         return out, agg.schema
 
     def _amp_grouped_fold(
@@ -389,20 +445,31 @@ class TeradataRun:
         procs = []
         for i, amp in enumerate(self.amps):
             procs.append(
-                self.sim.spawn(
-                    self._amp_partial_fold(
-                        amp, per_amp[i], value_pos, partials, i
+                self._register(
+                    self.sim.spawn(
+                        self._amp_partial_fold(
+                            amp, per_amp[i], value_pos, partials, i
+                        ),
+                        name=f"agg.{i}",
                     ),
-                    name=f"agg.{i}",
+                    partial.op_id, "fold",
                 )
             )
         yield WaitAll(procs)
         out: list[list[tuple]] = [[] for _ in self.amps]
-        proc = self.sim.spawn(
-            self._amp_combine(self.amps[0], partials, agg.op, out),
-            name="agg.combine",
+        proc = self._register(
+            self.sim.spawn(
+                self._amp_combine(self.amps[0], partials, agg.op, out),
+                name="agg.combine",
+            ),
+            agg.op_id, "combine",
         )
         yield WaitAll([proc])
+        self._count_tuples(
+            agg.op_id,
+            tuples_in=sum(len(bucket) for bucket in per_amp),
+            tuples_out=1,
+        )
         return out, agg.schema
 
     def _amp_partial_fold(
@@ -454,13 +521,20 @@ class TeradataRun:
         procs = []
         for i, amp in enumerate(self.amps):
             procs.append(
-                self.sim.spawn(
-                    self._amp_store(amp, per_amp[i], buckets[i],
-                                    schema, per_page, i),
-                    name=f"store.{i}",
+                self._register(
+                    self.sim.spawn(
+                        self._amp_store(amp, per_amp[i], buckets[i],
+                                        schema, per_page, i),
+                        name=f"store.{i}",
+                    ),
+                    self.ir.sink.op_id, "store",
                 )
             )
         yield WaitAll(procs)
+        self._count_tuples(
+            self.ir.sink.op_id,
+            tuples_in=sum(len(bucket) for bucket in buckets),
+        )
         fragments = [
             AmpFragment(
                 f"{self.into}.a{i}", schema, schema.names()[0],

@@ -16,6 +16,7 @@ from ..engine.plan import Query, UpdateRequest
 from ..engine.results import QueryResult
 from ..errors import CatalogError
 from ..hardware import TeradataConfig
+from ..metrics import Profiler
 from ..sim import Simulation
 from ..storage import Schema
 from ..workloads import generate_tuples, wisconsin_schema
@@ -23,6 +24,16 @@ from .amp import Amp, AmpFragment
 from .costs import DEFAULT_TERADATA_COSTS, TeradataCosts
 from .executor import TeradataRun, TeradataUpdateRun
 from .planner import TeradataPlanner
+
+
+def _wire_profiler(profiler, amps, ynet=None) -> None:
+    """Classify every hardware server so spans split busy time correctly."""
+    for amp in amps:
+        profiler.wire_server(amp.cpu, "cpu", amp.name)
+        for drive in amp.drives:
+            profiler.wire_server(drive.server, "disk", amp.name)
+    if ynet is not None:
+        profiler.wire_server(ynet, "net", "ynet")
 
 
 def _amp_utilisations(sim, amps, ynet=None) -> dict[str, float]:
@@ -166,19 +177,22 @@ class TeradataMachine:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def run(self, query: Query) -> QueryResult:
+    def run(self, query: Query, profile: bool = False) -> QueryResult:
         """Execute a retrieval query (selection / join / aggregate)."""
         if query.into is not None and query.into in self.relations:
             raise CatalogError(f"result relation {query.into!r} exists")
         ir = TeradataPlanner(self.config, self, self.costs).plan(query)
         sim = Simulation()
         amps = [Amp(sim, i, self.config) for i in range(self.config.n_amps)]
-        run = TeradataRun(self, sim, amps, ir)
+        profiler = Profiler() if profile else None
+        run = TeradataRun(self, sim, amps, ir, profiler=profiler)
+        if profiler is not None:
+            _wire_profiler(profiler, amps, run.ynet)
         sim.spawn(run.coordinator(), name="ifp")
         response_time = sim.run()
         if query.into is not None and run.result_relation is not None:
             self.relations[query.into] = run.result_relation
-        return QueryResult(
+        result = QueryResult(
             response_time=response_time,
             tuples=run.collected if query.into is None else None,
             result_relation=query.into,
@@ -187,20 +201,34 @@ class TeradataMachine:
             utilisations=_amp_utilisations(sim, amps, run.ynet),
             plan=run.plan_description,
         )
+        if profiler is not None:
+            result.profile = profiler.finish(ir, response_time)
+        return result
 
-    def update(self, request: UpdateRequest) -> QueryResult:
+    def update(
+        self, request: UpdateRequest, profile: bool = False
+    ) -> QueryResult:
         ir = TeradataPlanner(
             self.config, self, self.costs
         ).compile_update(request)
         sim = Simulation()
         amps = [Amp(sim, i, self.config) for i in range(self.config.n_amps)]
         run = TeradataUpdateRun(self, sim, amps, ir)
-        sim.spawn(run.coordinator(), name="ifp")
+        proc = sim.spawn(run.coordinator(), name="ifp")
+        profiler: Optional[Profiler] = None
+        if profile:
+            profiler = Profiler()
+            _wire_profiler(profiler, amps)
+            # Updates execute inline in the coordinator process.
+            profiler.register(proc, ir.op_id, "update")
         response_time = sim.run()
-        return QueryResult(
+        result = QueryResult(
             response_time=response_time,
             result_count=run.affected,
             stats=dict(run.stats),
             utilisations=_amp_utilisations(sim, amps),
             plan=ir.description,
         )
+        if profiler is not None:
+            result.profile = profiler.finish(ir, response_time)
+        return result

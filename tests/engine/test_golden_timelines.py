@@ -57,3 +57,40 @@ def test_golden_end_times_bit_identical():
     assert join.response_time == GOLDEN["join"]
     assert agg.response_time == GOLDEN["aggregate"]
     assert upd.response_time == GOLDEN["update"]
+
+
+def test_golden_end_times_with_profiling():
+    """The profiler is passive: clocks stay bit-identical with it on."""
+    machine = _machine()
+    scan = run_stored(
+        machine,
+        lambda into: selection_query("golden", N, 0.01, into=into),
+        profile=True,
+    )
+    join = run_stored(
+        machine,
+        lambda into: join_abprime("golden", "goldenB", key=False, into=into),
+        profile=True,
+    )
+    agg = machine.run(
+        Query.aggregate("golden", op="sum", attr="unique1", group_by="ten"),
+        profile=True,
+    )
+    upd = machine.update(
+        update_suite("goldenIdx", N)["modify 1 tuple (key attribute)"],
+        profile=True,
+    )
+    assert scan.response_time == GOLDEN["scan"]
+    assert join.response_time == GOLDEN["join"]
+    assert agg.response_time == GOLDEN["aggregate"]
+    assert upd.response_time == GOLDEN["update"]
+    for result in (scan, join, agg, upd):
+        assert result.profile is not None
+        assert result.profile.elapsed == result.response_time
+    # The join profile separates the build and probe phases.
+    phases = {
+        phase
+        for span in join.profile.spans.values()
+        for phase in span.by_phase
+    }
+    assert "build" in phases and "probe" in phases

@@ -81,3 +81,30 @@ def test_golden_update_end_times_bit_identical():
         m = _machine()
         measured[name] = m.update(request).response_time
     assert measured == GOLDEN_UPDATES
+
+
+def test_golden_end_times_with_profiling():
+    """The profiler is passive on the Teradata path too."""
+    m = _machine()
+    join = m.run(
+        Query.join(ScanNode("Bprime"), ScanNode("A"),
+                   on=("unique2", "unique2"), into="j1"),
+        profile=True,
+    )
+    assert join.response_time == GOLDEN_RETRIEVALS["joinABprime-nonkey"]
+    assert join.profile is not None
+    phases = {
+        phase
+        for span in join.profile.spans.values()
+        for phase in span.by_phase
+    }
+    assert {"scan", "redistribute", "merge", "store"} <= phases
+
+    m2 = _machine()
+    request = update_suite("A", 2_000)["modify 1 tuple (key attribute)"]
+    upd = m2.update(request, profile=True)
+    assert (
+        upd.response_time
+        == GOLDEN_UPDATES["modify 1 tuple (key attribute)"]
+    )
+    assert upd.profile is not None and upd.profile.spans
