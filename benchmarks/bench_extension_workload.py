@@ -1,0 +1,18 @@
+"""Extension E3 — the full multiuser workload experiment: closed-loop
+terminals behind admission control, MPL swept 1→16 on both machines.
+
+Writes the markdown table (``workload_mpl.md``) and the raw sweep
+profile (``workload_mpl.json``) under ``benchmarks/results/``.
+"""
+
+from repro.bench import save_workload_profile, workload_mpl_experiment
+
+
+def _experiment():
+    report, profile = workload_mpl_experiment()
+    save_workload_profile(profile)
+    return report
+
+
+def test_extension_workload_mpl(report_runner):
+    report_runner(_experiment)

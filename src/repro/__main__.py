@@ -10,6 +10,13 @@
     prints the annotated plan tree, phase timeline, critical path and
     bottleneck verdict.  ``--json`` / ``--trace`` dump the profile and
     the Perfetto-loadable execution trace to files.
+
+``python -m repro workload``
+    Multiuser workload: N terminals (or an open-loop Poisson stream)
+    submit a query mix against one live simulation behind admission
+    control; prints per-query latency percentiles and throughput.
+    ``--sweep`` runs the MPL 1→16 throughput–latency sweep instead;
+    ``--json`` dumps the result (or sweep profile) to a file.
 """
 
 from __future__ import annotations
@@ -90,6 +97,77 @@ def _profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _workload(args: argparse.Namespace) -> int:
+    import json
+
+    from .bench.workload import (
+        machine_builder,
+        make_mix,
+        workload_mpl_experiment,
+    )
+    from .workloads import WorkloadSpec
+
+    if args.sweep:
+        report, profile = workload_mpl_experiment(
+            n=args.tuples, queries=args.queries, clients=args.clients,
+            mix=args.mix, think_time=args.think_time, policy=args.policy,
+            timeout=args.timeout, seed=args.seed,
+            machines=(
+                ("gamma", "teradata") if args.machine == "both"
+                else (args.machine,)
+            ),
+        )
+        print(report.to_markdown())
+        if args.json is not None:
+            with open(args.json, "w") as fh:
+                json.dump(profile, fh, indent=2)
+            print(f"sweep profile written to {args.json}")
+        return 0 if report.all_checks_pass else 1
+
+    spec = WorkloadSpec(
+        queries=args.queries, clients=args.clients, arrival=args.arrival,
+        think_time=args.think_time, arrival_rate=args.rate, mpl=args.mpl,
+        policy=args.policy, timeout=args.timeout, seed=args.seed,
+    )
+    machines = (
+        ["gamma", "teradata"] if args.machine == "both" else [args.machine]
+    )
+    payload = []
+    for name in machines:
+        machine = machine_builder(name, args.tuples)()
+        result = machine.run_workload(make_mix(args.mix, args.tuples), spec)
+        payload.append(result.to_dict())
+        latency = result.latency
+        print(
+            f"{name}: {result.completed}/{result.submitted} ok"
+            f" ({result.failed} failed), {result.throughput:.3f} q/s over"
+            f" {result.elapsed:.2f}s simulated"
+        )
+        print(
+            f"  latency  p50={latency.p50:.3f}s p95={latency.p95:.3f}s"
+            f" p99={latency.p99:.3f}s mean={latency.mean:.3f}s"
+            f" max={latency.max:.3f}s"
+        )
+        print(
+            f"  queueing mean={result.queue_wait.mean:.3f}s"
+            f" peak_queue={result.admission['peak_queue']}"
+            f" timeouts={result.admission['timeouts']}"
+        )
+        for kind, stats in result.by_kind().items():
+            print(
+                f"    {kind:<24} n={stats.count:<4} mean={stats.mean:.3f}s"
+                f" p95={stats.p95:.3f}s"
+            )
+        if result.errors_by_type():
+            print(f"  errors: {result.errors_by_type()}")
+    if args.json is not None:
+        with open(args.json, "w") as fh:
+            json.dump(payload if len(payload) > 1 else payload[0], fh,
+                      indent=2)
+        print(f"result written to {args.json}")
+    return 0
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -116,6 +194,38 @@ def main(argv: list[str]) -> int:
     prof.add_argument("--trace", metavar="PATH",
                       help="also record a Perfetto trace (Gamma only)")
 
+    wl = sub.add_parser(
+        "workload", help="multiuser workload: terminals submitting a query"
+        " mix behind admission control (--sweep for the MPL 1→16 curve)",
+    )
+    wl.add_argument("--machine", choices=["gamma", "teradata", "both"],
+                    default="gamma")
+    wl.add_argument("--mix", choices=["selection", "update", "mixed"],
+                    default="mixed")
+    wl.add_argument("--tuples", type=int, default=1_000,
+                    help="size of the A relation (Bprime is a tenth)")
+    wl.add_argument("--queries", type=int, default=32,
+                    help="total requests submitted over the run")
+    wl.add_argument("--clients", type=int, default=4,
+                    help="closed-loop terminals")
+    wl.add_argument("--arrival", choices=["closed", "open"],
+                    default="closed")
+    wl.add_argument("--think-time", type=float, default=0.2,
+                    help="mean terminal think time (simulated seconds)")
+    wl.add_argument("--rate", type=float, default=2.0,
+                    help="open-loop arrival rate (queries/second)")
+    wl.add_argument("--mpl", type=int, default=None,
+                    help="multiprogramming level (default: #clients)")
+    wl.add_argument("--policy", choices=["fifo", "priority"],
+                    default="fifo")
+    wl.add_argument("--timeout", type=float, default=None,
+                    help="admission-queue + lock-wait timeout (seconds)")
+    wl.add_argument("--seed", type=int, default=1988)
+    wl.add_argument("--sweep", action="store_true",
+                    help="run the MPL 1→16 throughput-latency sweep")
+    wl.add_argument("--json", metavar="PATH",
+                    help="write the result (or sweep profile) as JSON")
+
     # Bare `python -m repro [n]` keeps its historical meaning.
     raw = argv[1:]
     if not raw or (len(raw) == 1 and raw[0].lstrip("-").isdigit()):
@@ -124,6 +234,8 @@ def main(argv: list[str]) -> int:
 
     if args.command == "profile":
         return _profile(args)
+    if args.command == "workload":
+        return _workload(args)
     return _demo(args.n_tuples)
 
 

@@ -36,6 +36,12 @@ from .recorded import (
 )
 from .reporting import Report, ratio_note
 from .sweep import bench_jobs, run_sweep
+from .workload import (
+    make_mix,
+    machine_builder,
+    save_workload_profile,
+    workload_mpl_experiment,
+)
 
 __all__ = [
     "FIGURE_CLAIMS",
@@ -60,7 +66,10 @@ __all__ = [
     "fig09_12_experiment",
     "fig13_experiment",
     "fig14_15_experiment",
+    "machine_builder",
+    "make_mix",
     "ratio_note",
+    "save_workload_profile",
     "run_stored",
     "run_sweep",
     "run_to_host",
@@ -68,4 +77,5 @@ __all__ = [
     "table1_selection_experiment",
     "table2_join_experiment",
     "table3_update_experiment",
+    "workload_mpl_experiment",
 ]

@@ -1,0 +1,163 @@
+"""The multiuser experiment the paper left open (Section 6.2.1).
+
+Sweeps the admission multiprogramming level on both machines under the
+same terminal workload and reports the throughput–latency trade-off:
+throughput climbs with MPL until the hardware saturates, queue waits
+shrink (more slots), and per-query service times stretch (more
+contention inside the machine).  Everything is seeded, so a sweep is
+reproducible bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Callable, Optional
+
+from ..metrics import WorkloadResult
+from ..workloads import (
+    QueryMix,
+    WorkloadSpec,
+    mixed_mix,
+    mpl_sweep,
+    selection_mix,
+    update_mix,
+)
+from .harness import build_gamma, build_teradata
+from .reporting import Report, results_dir
+
+DEFAULT_MPLS = (1, 2, 4, 8, 16)
+
+#: Relation names used by every workload experiment.
+A_RELATION = "wl_a"
+BPRIME_RELATION = "wl_bprime"
+
+
+def make_mix(name: str, n: int) -> QueryMix:
+    """A canonical mix by name over the experiment's relations."""
+    if name == "selection":
+        return selection_mix(A_RELATION, n)
+    if name == "update":
+        return update_mix(A_RELATION, n)
+    if name == "mixed":
+        return mixed_mix(A_RELATION, BPRIME_RELATION, n)
+    raise ValueError(f"unknown mix {name!r}; expected selection/update/mixed")
+
+
+def workload_relations(n: int) -> list[tuple[str, int, str]]:
+    return [(A_RELATION, n, "heap"), (BPRIME_RELATION, max(1, n // 10), "heap")]
+
+
+def machine_builder(machine: str, n: int) -> Callable[[], Any]:
+    """A zero-argument builder for a freshly loaded machine.
+
+    Fresh per sweep point: the update mixes mutate relations, so reusing
+    one machine would couple the points and break per-point determinism.
+    """
+    relations = workload_relations(n)
+    if machine == "gamma":
+        return lambda: build_gamma(relations=relations)
+    if machine == "teradata":
+        return lambda: build_teradata(relations=relations)
+    raise ValueError(f"unknown machine {machine!r}")
+
+
+def workload_mpl_experiment(
+    n: int = 1_000,
+    queries: int = 32,
+    clients: int = 16,
+    mix: str = "mixed",
+    mpls: tuple[int, ...] = DEFAULT_MPLS,
+    think_time: float = 0.2,
+    policy: str = "fifo",
+    timeout: Optional[float] = None,
+    seed: int = 1988,
+    machines: tuple[str, ...] = ("gamma", "teradata"),
+) -> tuple[Report, dict[str, Any]]:
+    """MPL 1→16 sweep of a closed-loop terminal workload on both machines.
+
+    Returns the shape-checked :class:`Report` plus a JSON-serialisable
+    profile of every sweep point (the raw :class:`WorkloadResult`
+    dictionaries, per-query records included).
+    """
+    spec = WorkloadSpec(
+        queries=queries, clients=clients, arrival="closed",
+        think_time=think_time, policy=policy, timeout=timeout, seed=seed,
+    )
+    report = Report(
+        name="workload_mpl",
+        title=(
+            f"Multiuser {mix} workload: MPL sweep"
+            f" ({clients} terminals, {queries} queries, {n:,}-tuple"
+            f" relations)"
+        ),
+        columns=[
+            "machine", "MPL", "ok/submitted", "throughput (q/s)",
+            "latency p50 (s)", "latency p95 (s)", "queue wait mean (s)",
+            "service mean (s)",
+        ],
+    )
+    profile: dict[str, Any] = {
+        "experiment": "workload_mpl",
+        "mix": mix,
+        "relations": {"a": n, "bprime": max(1, n // 10)},
+        "spec": {
+            "queries": queries, "clients": clients, "arrival": "closed",
+            "think_time": think_time, "policy": policy, "timeout": timeout,
+            "seed": seed,
+        },
+        "mpls": list(mpls),
+        "points": [],
+    }
+    curves: dict[str, list[WorkloadResult]] = {}
+    for machine in machines:
+        results = mpl_sweep(
+            machine_builder(machine, n), lambda: make_mix(mix, n),
+            spec, mpls=mpls,
+        )
+        curves[machine] = results
+        for result in results:
+            report.add_row(
+                machine, result.mpl,
+                f"{result.completed}/{result.submitted}",
+                result.throughput,
+                result.latency.p50, result.latency.p95,
+                result.queue_wait.mean, result.service.mean,
+            )
+            profile["points"].append(result.to_dict())
+
+    for machine, results in curves.items():
+        first, last = results[0], results[-1]
+        report.check(
+            f"{machine}: raising MPL {first.mpl}→{last.mpl} raises"
+            " throughput",
+            last.throughput > first.throughput,
+        )
+        report.check(
+            f"{machine}: queue waits shrink as slots are added",
+            last.queue_wait.mean < first.queue_wait.mean
+            or first.queue_wait.mean == 0.0,
+        )
+        report.check(
+            f"{machine}: per-query service stretches under contention",
+            last.service.mean > first.service.mean,
+        )
+        report.check(
+            f"{machine}: every submitted query completed",
+            all(r.failed == 0 for r in results),
+        )
+    report.notes.append(
+        "Closed-loop terminals with exponential think times; seeded, so"
+        " every number is reproducible bit for bit."
+    )
+    return report, profile
+
+
+def save_workload_profile(
+    profile: dict[str, Any], directory: Optional[str] = None
+) -> str:
+    """Write the sweep profile JSON next to the markdown report."""
+    path = os.path.join(results_dir(directory), "workload_mpl.json")
+    with open(path, "w") as fh:
+        json.dump(profile, fh, indent=2, sort_keys=False)
+    return path

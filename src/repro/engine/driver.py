@@ -182,7 +182,10 @@ class QueryDriver(GammaDriver):
 
         visit(self.plan.root)
         for name in sorted(names):
-            yield from self.ctx.locks.acquire(self.txn, name, LockMode.SHARED)
+            yield from self.ctx.locks.acquire(
+                self.txn, name, LockMode.SHARED,
+                timeout=self.ctx.lock_timeout,
+            )
 
     def _scheduler(self) -> Generator[Any, Any, None]:
         ctx = self.ctx
@@ -333,7 +336,8 @@ class UpdateDriver(GammaDriver):
         relation = self.update.relation
         for site in sorted(set(self.update.lock_sites)):
             yield from self.ctx.locks.acquire(
-                self.txn, (relation.name, site), LockMode.EXCLUSIVE
+                self.txn, (relation.name, site), LockMode.EXCLUSIVE,
+                timeout=self.ctx.lock_timeout,
             )
 
     def _scheduler(self) -> Generator[Any, Any, None]:

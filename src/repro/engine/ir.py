@@ -398,6 +398,27 @@ class PhysicalIR:
         return self.sink.describe()
 
 
+def ir_op_ids(ir: Any) -> set[str]:
+    """Every operator id of one compiled plan (PhysicalIR or UpdateIR).
+
+    Concurrent entry points use this to filter a shared profiler's spans
+    down to the nodes one request owns.
+    """
+    sink = getattr(ir, "sink", None)
+    if sink is None:
+        return {ir.op_id}
+    ids: set[str] = set()
+    stack: list[Any] = [sink]
+    while stack:
+        node = stack.pop()
+        ids.add(node.op_id)
+        for attr in ("build_input", "source", "left", "right"):
+            child = getattr(node, attr, None)
+            if child is not None and hasattr(child, "op_id"):
+                stack.append(child)
+    return ids
+
+
 @dataclass
 class UpdateIR:
     """A compiled single-tuple update (Table 3 operations).
@@ -482,8 +503,14 @@ class PlanCompiler:
             op_id=self.next_id("delete"),
         )
 
+    #: Prepended to every generated operator id.  Concurrent entry points
+    #: set a per-request prefix (``"q3."``) so one shared profiler can
+    #: attribute spans to the request that owns them; single-query plans
+    #: keep the bare historical ids ("scan0", "join2", ...).
+    id_prefix: str = ""
+
     def next_id(self, kind: str) -> str:
-        return f"{kind}{next(self._op_seq)}"
+        return f"{self.id_prefix}{kind}{next(self._op_seq)}"
 
     # -- the generic walk ----------------------------------------------
     def compile_node(self, node: PlanNode) -> IRNode:

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections import deque
 from enum import Enum
-from typing import Any, Generator, Hashable
+from typing import Any, Generator, Hashable, Optional
 
 from ..errors import ExecutionError
 from ..sim import Get, Simulation, Store
@@ -27,6 +27,19 @@ from ..sim import Get, Simulation, Store
 
 class DeadlockError(ExecutionError):
     """Raised inside the requesting process chosen as the deadlock victim."""
+
+
+class LockTimeoutError(ExecutionError):
+    """Raised inside a requester whose lock wait exceeded its timeout."""
+
+
+#: Sentinel delivered through a waiter's wakeup store when its wait expires
+#: (a normal grant delivers ``None``).
+_TIMED_OUT = object()
+
+
+def _noop(*_args: Any) -> None:
+    return None
 
 
 class LockMode(Enum):
@@ -62,16 +75,28 @@ class LockManager:
         self.grants = 0
         self.blocks = 0
         self.deadlocks = 0
+        self.timeouts = 0
 
     # ------------------------------------------------------------------
     def acquire(
-        self, txn: Hashable, name: Hashable, mode: LockMode
+        self,
+        txn: Hashable,
+        name: Hashable,
+        mode: LockMode,
+        timeout: Optional[float] = None,
     ) -> Generator[Any, Any, None]:
         """Block until ``txn`` holds ``name`` in ``mode``.
+
+        ``timeout`` bounds the wait: when it expires the request is
+        withdrawn — the queue entry is removed, the requester's waits-for
+        edges are dropped (so the deadlock detector never sees a stale
+        edge from a departed transaction), and waiters behind it are
+        re-examined for grants.
 
         Raises:
             DeadlockError: if waiting would close a waits-for cycle (the
                 requester is the victim, per Gamma's global detector).
+            LockTimeoutError: if the wait exceeded ``timeout`` seconds.
         """
         state = self._locks.setdefault(name, _LockState())
         current = state.holders.get(txn)
@@ -97,9 +122,19 @@ class LockManager:
                 f"transaction {txn!r} would deadlock waiting for {name!r}"
             )
         wakeup = Store(f"lock.{name}.{txn}")
-        state.queue.append((txn, mode, wakeup))
-        yield Get(wakeup)
+        entry = (txn, mode, wakeup)
+        state.queue.append(entry)
+        if timeout is not None:
+            self.sim.call_after(
+                timeout, lambda: self._expire(name, state, entry)
+            )
+        got = yield Get(wakeup)
         self._waits_for.pop(txn, None)
+        if got is _TIMED_OUT:
+            raise LockTimeoutError(
+                f"transaction {txn!r} timed out after {timeout}s"
+                f" waiting for {name!r}"
+            )
 
     def release_all(self, txn: Hashable) -> None:
         """End of transaction: drop every lock ``txn`` holds (strict 2PL)."""
@@ -141,6 +176,28 @@ class LockManager:
             self.sim.call_after(0.0, lambda w=wakeup: w._put(
                 self.sim, None, lambda *_: None
             ))
+
+    def _expire(
+        self,
+        name: Hashable,
+        state: _LockState,
+        entry: tuple[Hashable, LockMode, Store],
+    ) -> None:
+        """Withdraw a still-queued request whose wait timer fired.
+
+        A no-op when the request was granted (dispatch removed it from the
+        queue) before the timer fired at the same timestamp.
+        """
+        try:
+            state.queue.remove(entry)
+        except ValueError:
+            return
+        txn, _mode, wakeup = entry
+        self._waits_for.pop(txn, None)
+        self.timeouts += 1
+        # The withdrawn entry may have been gating grantable waiters.
+        self._dispatch(name, state)
+        wakeup._put(self.sim, _TIMED_OUT, _noop)
 
     def _closes_cycle(self, start: Hashable) -> bool:
         """DFS over the waits-for graph looking for a path back to start."""

@@ -18,15 +18,28 @@ from __future__ import annotations
 from typing import Any, Iterable, Optional, Sequence
 
 from ..catalog import Catalog, Hashed, PartitioningStrategy, Relation, RoundRobin
-from ..errors import CatalogError
+from ..errors import CatalogError, ReproError
 from ..hardware import GammaConfig
 from ..storage import Schema
 from ..workloads import generate_tuples, wisconsin_schema
 from .driver import QueryDriver, UpdateDriver
+from .ir import ir_op_ids
 from .node import ExecutionContext
-from .plan import Query, UpdateRequest
+from .plan import PlanNode, Query, ScanNode, UpdateRequest
 from .planner import Planner
 from .results import QueryResult
+
+
+def _scanned_relations(node: PlanNode) -> set[str]:
+    """Names of every relation a plan tree reads."""
+    names: set[str] = set()
+    stack: list[PlanNode] = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, ScanNode):
+            names.add(current.relation)
+        stack.extend(current.children())
+    return names
 
 
 class GammaMachine:
@@ -180,7 +193,10 @@ class GammaMachine:
         return result
 
     def run_concurrent(
-        self, requests: Sequence[Query | UpdateRequest]
+        self,
+        requests: Sequence[Query | UpdateRequest],
+        trace: Optional["Any"] = None,
+        profile: bool = False,
     ) -> list[QueryResult]:
         """Execute several queries/updates in one simulation.
 
@@ -188,15 +204,25 @@ class GammaMachine:
         determined in future multiuser benchmarks of the Gamma database
         machine."  All requests are submitted at t=0 and contend for the
         same CPUs, disks, network interfaces and locks; each result's
-        ``response_time`` is its own completion time.  This is how the
-        Remote-join off-loading claim (Section 6.2.1) can be tested: with
-        joins on the diskless processors, the disk sites keep capacity for
-        concurrent selections.
+        ``response_time`` is its own completion (or abort) time.  This is
+        how the Remote-join off-loading claim (Section 6.2.1) can be
+        tested: with joins on the diskless processors, the disk sites
+        keep capacity for concurrent selections.
 
-        Every result carries the same stats/metrics fields as
-        :meth:`run`; because all requests share one simulation, the
-        metrics snapshots and utilisation report describe the whole
-        machine over the whole run, not any single request.
+        Per-request failures (a deadlock victim, a lock timeout) do not
+        fail the batch: the victim's locks are released, its result
+        carries the exception in :attr:`QueryResult.error` with
+        ``response_time`` at the abort point, and its result relation
+        (if any) is not registered.
+
+        ``trace``/``profile`` work as in :meth:`run`: one shared
+        :class:`~repro.metrics.TraceBuffer`/:class:`~repro.metrics.Profiler`
+        observes the whole run, and with ``profile=True`` each result's
+        ``profile`` is that request's own EXPLAIN ANALYZE — operator
+        spans filtered to its plan's operators.  Because all requests
+        share one simulation, the metrics snapshots and utilisation
+        report describe the whole machine over the whole run, not any
+        single request.
         """
         queries = [r for r in requests if isinstance(r, Query)]
         for query in queries:
@@ -207,35 +233,101 @@ class GammaMachine:
         names = [q.into for q in queries if q.into is not None]
         if len(names) != len(set(names)):
             raise CatalogError("concurrent queries need distinct result names")
-        ctx = ExecutionContext(self.config)
+        into_names = set(names)
+        for query in queries:
+            for relation in sorted(_scanned_relations(query.root)):
+                if relation in into_names and relation not in self.catalog:
+                    raise CatalogError(
+                        f"concurrent request reads {relation!r}, which"
+                        " another request in the same batch creates (via"
+                        " into=); results only exist after the batch"
+                        " completes — submit the reader in a later batch"
+                    )
+        ctx = ExecutionContext(self.config, trace=trace, profile=profile)
         planner = Planner(self.config, self.catalog)
-        runs: list[tuple[Any, Any, list[float]]] = []
+        runs: list[tuple[Any, Any, Any, list[float], list[BaseException]]] = []
         for i, request in enumerate(requests):
+            # Distinct op_id namespaces keep per-request profiles (and the
+            # profiler's span keying) from colliding across plans.
+            planner.id_prefix = f"q{i}."
             if isinstance(request, Query):
-                run: Any = QueryDriver(
-                    ctx, self.catalog, planner.plan(request)
-                )
+                ir: Any = planner.plan(request)
+                run: Any = QueryDriver(ctx, self.catalog, ir)
             else:
-                run = UpdateDriver(
-                    ctx, self.catalog, planner.compile_update(request)
-                )
+                ir = planner.compile_update(request)
+                run = UpdateDriver(ctx, self.catalog, ir)
             finished: list[float] = []
+            failure: list[BaseException] = []
 
-            def host(run=run, finished=finished):
-                yield from run.host_process()
-                finished.append(ctx.sim.now)
+            def host(run=run, finished=finished, failure=failure):
+                try:
+                    yield from run.host_process()
+                except ReproError as exc:
+                    failure.append(exc)
+                finally:
+                    finished.append(ctx.sim.now)
 
             ctx.sim.spawn(host(), name=f"host.q{i}")
-            runs.append((request, run, finished))
+            runs.append((request, run, ir, finished, failure))
         ctx.sim.run()
         ctx.stats["sim_events"] = ctx.sim.events_processed
-        return [
-            self._build_result(
-                ctx, run, request,
-                finished[0] if finished else ctx.sim.now,
+        results = []
+        for request, run, ir, finished, failure in runs:
+            error = failure[0] if failure else None
+            response_time = finished[0] if finished else ctx.sim.now
+            result = self._build_result(
+                ctx, run, request, response_time, error=error
             )
-            for request, run, finished in runs
-        ]
+            if ctx.profiler is not None:
+                result.profile = ctx.profiler.finish(
+                    ir, response_time, op_ids=ir_op_ids(ir)
+                )
+            results.append(result)
+        return results
+
+    def run_workload(self, mix: "Any", spec: "Any") -> "Any":
+        """Run a multiuser workload: terminals submitting a query mix
+        against one live simulation, behind admission control.
+
+        ``mix`` is a :class:`~repro.workloads.multiuser.QueryMix` whose
+        queries are host-bound (``into=None``); ``spec`` is the
+        :class:`~repro.workloads.multiuser.WorkloadSpec` (clients,
+        arrival process, MPL, admission policy, timeout, seed).  Returns
+        the :class:`~repro.metrics.WorkloadResult` with per-query
+        latency records and percentile/throughput summaries.  The same
+        spec and mix on the same machine reproduce the result bit for
+        bit.
+        """
+        from ..workloads.multiuser import drive_workload
+
+        ctx = ExecutionContext(self.config)
+        ctx.lock_timeout = spec.timeout
+        machine = self
+
+        class _Session:
+            sim = ctx.sim
+            label = "gamma"
+
+            @staticmethod
+            def execute(index: int, request: Query | UpdateRequest) -> Any:
+                planner = Planner(machine.config, machine.catalog)
+                planner.id_prefix = f"q{index}."
+                if isinstance(request, Query):
+                    if request.into is not None:
+                        raise CatalogError(
+                            "workload queries must stream to the host"
+                            f" (into=None), got into={request.into!r}"
+                        )
+                    run: Any = QueryDriver(
+                        ctx, machine.catalog, planner.plan(request)
+                    )
+                else:
+                    run = UpdateDriver(
+                        ctx, machine.catalog, planner.compile_update(request)
+                    )
+                yield from run.host_process()
+
+        return drive_workload(_Session, spec, mix)
 
     def update(
         self,
@@ -261,25 +353,35 @@ class GammaMachine:
         run: Any,
         request: Query | UpdateRequest,
         response_time: float,
+        error: Optional[BaseException] = None,
     ) -> QueryResult:
         """The one result assembler behind ``run``/``run_concurrent``/
         ``update``: registers any result relation and snapshots the
-        context's metrics into a :class:`QueryResult`."""
+        context's metrics into a :class:`QueryResult`.
+
+        A failed request (``error`` set) never registers its result
+        relation — an aborted ``retrieve into`` must not leave a
+        half-written relation in the catalog — and reports no tuples.
+        """
         snapshot = ctx.metrics.snapshot()
         utilisation_report = ctx.utilisation_report()
         if isinstance(request, Query):
             result_relation = None
-            if request.into is not None:
+            if request.into is not None and error is None:
                 self.catalog.register(
                     Relation(request.into, run.plan.schema, RoundRobin(),
                              run.result_fragments)
                 )
                 result_relation = request.into
+            if error is None:
+                tuples = run.collected if request.into is None else None
+            else:
+                tuples = None
             return QueryResult(
                 response_time=response_time,
-                tuples=run.collected if request.into is None else None,
+                tuples=tuples,
                 result_relation=result_relation,
-                result_count=run.result_count,
+                result_count=run.result_count if error is None else 0,
                 stats=dict(ctx.stats),
                 overflows_per_node=run.overflows_per_node,
                 utilisations=utilisation_report.as_dict(),
@@ -287,14 +389,16 @@ class GammaMachine:
                 operator_metrics=snapshot["operators"],
                 utilisation_report=utilisation_report,
                 plan=run.plan.description,
+                error=error,
             )
         return QueryResult(
             response_time=response_time,
-            result_count=run.affected,
+            result_count=run.affected if error is None else 0,
             stats=dict(ctx.stats),
             utilisations=utilisation_report.as_dict(),
             node_metrics=snapshot["nodes"],
             operator_metrics=snapshot["operators"],
             utilisation_report=utilisation_report,
             plan=run.plan.description,
+            error=error,
         )

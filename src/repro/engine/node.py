@@ -204,6 +204,11 @@ class ExecutionContext:
         from .locks import LockManager
 
         self.locks = LockManager(self.sim)
+        #: Per-request bound (seconds) on any single lock wait; ``None``
+        #: means wait forever.  The workload subsystem sets this so a
+        #: query stuck behind a long writer aborts-and-releases instead
+        #: of wedging a multiuser run.
+        self.lock_timeout: Optional[float] = None
         self._txn_ids = itertools.count(1)
         self._spool_rr = itertools.cycle(range(len(self.disk_nodes)))
         self._temp_ids = itertools.count()

@@ -31,6 +31,12 @@ class QueryResult:
             timeline, critical path, verdict) when the query ran with
             ``profile=True``; render it with
             :func:`~repro.metrics.explain_analyze`.
+        error: The exception that aborted this request, or ``None`` on
+            success.  Only concurrent/workload entry points produce
+            failed results (a deadlock victim, a timed-out admission
+            queue entry, ...); single-query ``run()``/``update()`` raise
+            instead.  For a failed request ``response_time`` is the
+            abort time, not the batch's end time.
     """
 
     response_time: float
@@ -45,6 +51,12 @@ class QueryResult:
     utilisation_report: Optional[Any] = None
     plan: str = ""
     profile: Optional[Any] = None
+    error: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the request completed (no per-request error)."""
+        return self.error is None
 
     @property
     def max_overflows(self) -> int:
@@ -52,6 +64,11 @@ class QueryResult:
         return max(self.overflows_per_node, default=0)
 
     def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        if self.error is not None:
+            return (
+                f"<QueryResult FAILED at {self.response_time:.3f}s"
+                f" error={type(self.error).__name__} plan={self.plan!r}>"
+            )
         return (
             f"<QueryResult {self.response_time:.3f}s"
             f" n={self.result_count} plan={self.plan!r}>"

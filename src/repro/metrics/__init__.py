@@ -16,6 +16,9 @@ simulated timeline is bit-identical with metrics enabled or disabled):
   physical IR: per-operator spans split by resource class, bucketed
   phase timelines, critical-path extraction and a bottleneck verdict,
   rendered by :func:`explain_analyze`.
+* :class:`QueryRecord` / :class:`LatencyStats` / :class:`WorkloadResult`
+  — per-query latency records and their percentile/throughput summary
+  for multiuser workload runs.
 """
 
 from .profile import OperatorSpan, Profiler, QueryProfile, explain_analyze
@@ -23,8 +26,10 @@ from .registry import MetricsRegistry, NodeMetrics, OperatorMetrics
 from .report import NodeUtilisation, UtilisationReport, peak_utilisation
 from .timeline import PhaseTimeline
 from .trace import TraceBuffer
+from .workload import LatencyStats, QueryRecord, WorkloadResult, percentile
 
 __all__ = [
+    "LatencyStats",
     "MetricsRegistry",
     "NodeMetrics",
     "NodeUtilisation",
@@ -33,8 +38,11 @@ __all__ = [
     "PhaseTimeline",
     "Profiler",
     "QueryProfile",
+    "QueryRecord",
     "TraceBuffer",
     "UtilisationReport",
+    "WorkloadResult",
     "explain_analyze",
     "peak_utilisation",
+    "percentile",
 ]

@@ -191,26 +191,45 @@ class Profiler:
         ir: Optional[Any],
         elapsed: float,
         n_buckets: int = 48,
+        op_ids: Optional[set[str]] = None,
     ) -> "QueryProfile":
         """Fold the recording into a :class:`QueryProfile`.
 
         ``ir`` may be a PhysicalIR (tree + critical path are derived from
         its operator DAG), an UpdateIR (single-node tree), or ``None``.
+
+        ``op_ids`` restricts the profile to one request's IR nodes: when
+        several concurrent requests share a profiler, each request's
+        profile contains only the spans/intervals its own operators
+        caused (shared unattributed time — scheduler control traffic,
+        lock wakeups — is excluded rather than multiply counted).
         """
+        intervals = self.intervals
+        spans = self.spans
+        if op_ids is not None:
+            wanted = set(op_ids)
+            intervals = [iv for iv in self.intervals if iv[0] in wanted]
+            spans = {
+                op_id: span for op_id, span in self.spans.items()
+                if op_id in wanted
+            }
         timeline = PhaseTimeline.from_intervals(
-            self.intervals, elapsed, self.class_counts, n_buckets
+            intervals, elapsed, self.class_counts, n_buckets
         )
         root = getattr(ir, "root", None)
         tree = _plan_tree(root) if root is not None else _update_tree(ir)
-        path = _critical_path(root, self.spans) if root is not None else []
+        path = _critical_path(root, spans) if root is not None else []
         if not path and ir is not None and hasattr(ir, "op_id"):
-            span = self.spans.get(ir.op_id)
+            span = spans.get(ir.op_id)
             if span is not None:
                 path = [_path_entry(span, wait=0.0)]
-        verdict = self._verdict(elapsed)
+        if op_ids is None:
+            verdict = self._verdict(elapsed)
+        else:
+            verdict = self._subset_verdict(intervals, spans, elapsed)
         return QueryProfile(
             elapsed=elapsed,
-            spans=dict(self.spans),
+            spans=dict(spans),
             timeline=timeline,
             critical_path=path,
             verdict=verdict,
@@ -230,9 +249,42 @@ class Profiler:
                 peak[resource] = fraction
         if not peak:
             return "idle"
+        return self._classify(peak, self.spans, self.intervals)
+
+    def _subset_verdict(
+        self,
+        intervals: list[Interval],
+        spans: dict[str, OperatorSpan],
+        elapsed: float,
+    ) -> str:
+        """The verdict over one request's share of a shared recording.
+
+        Peak busy fractions come from the filtered intervals grouped by
+        (resource, node) — each node carries at most one server per
+        resource class, so this matches the per-server accounting the
+        full-run verdict uses.
+        """
+        if elapsed <= 0.0 or not intervals:
+            return "idle"
+        busy_by: Counter[tuple[str, str]] = Counter()
+        for _op_id, _phase, resource, node, _start, dur in intervals:
+            busy_by[(resource, node)] += dur
+        peak: dict[str, float] = {}
+        for (resource, _node), busy in busy_by.items():
+            fraction = busy / elapsed
+            if fraction > peak.get(resource, 0.0):
+                peak[resource] = fraction
+        return self._classify(peak, spans, intervals)
+
+    def _classify(
+        self,
+        peak: dict[str, float],
+        spans: dict[str, OperatorSpan],
+        intervals: list[Interval],
+    ) -> str:
         dominant = max(peak, key=lambda r: peak[r])
         busiest = max(
-            (s for s in self.spans.values() if s.op_id != OTHER),
+            (s for s in spans.values() if s.op_id != OTHER),
             key=lambda s: s.total_busy,
             default=None,
         )
@@ -242,7 +294,7 @@ class Profiler:
             # time on other nodes would flag uniform plans as skewed.
             span_cls = max(busiest.busy, key=lambda c: busiest.busy[c])
             per_node: Counter[str] = Counter()
-            for op_id, _phase, cls, node, _start, dur in self.intervals:
+            for op_id, _phase, cls, node, _start, dur in intervals:
                 if op_id == busiest.op_id and cls == span_cls:
                     per_node[node] += dur
             if len(per_node) >= 2:

@@ -1,0 +1,239 @@
+"""Workload-level metrics: per-query latency records and their summary.
+
+The paper reports single-query response times; a multiuser benchmark
+needs the distributional view — per-query latency percentiles, queue
+waits, and throughput in queries per second of *simulated* time.  All
+numbers here are derived from simulated timestamps recorded by the
+workload runner, so a seeded workload reproduces them bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation).
+
+    ``q`` in (0, 100].  Empty input returns 0.0.
+    """
+    if not values:
+        return 0.0
+    if not 0.0 < q <= 100.0:
+        raise ValueError(f"percentile {q} outside (0, 100]")
+    ordered = sorted(values)
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of a latency (or wait-time) sample: percentiles and moments."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "LatencyStats":
+        if not values:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return cls(
+            count=len(values),
+            mean=sum(values) / len(values),
+            p50=percentile(values, 50.0),
+            p95=percentile(values, 95.0),
+            p99=percentile(values, 99.0),
+            max=max(values),
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.max,
+        }
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One request's lifecycle timestamps inside a workload run.
+
+    Attributes:
+        index: Global submission index (0-based, submission order).
+        client: Terminal number (closed loop) or -1 (open-loop arrivals).
+        kind: The mix entry's label ("10% selection", "joinABprime", ...).
+        submitted: Simulated time the request entered the admission queue.
+        admitted: Time it won an execution slot (None if it timed out
+            while still queued).
+        finished: Completion (or abort) time.
+        error: ``"ExceptionName: message"`` when the request failed;
+            ``None`` on success.
+    """
+
+    index: int
+    client: int
+    kind: str
+    submitted: float
+    admitted: Optional[float]
+    finished: float
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def latency(self) -> float:
+        """Submission to completion — what a terminal user experiences."""
+        return self.finished - self.submitted
+
+    @property
+    def queue_wait(self) -> float:
+        """Time spent in the admission queue before execution (or abort)."""
+        start = self.admitted if self.admitted is not None else self.finished
+        return start - self.submitted
+
+    @property
+    def service_time(self) -> float:
+        """Admission to completion — execution under contention."""
+        if self.admitted is None:
+            return 0.0
+        return self.finished - self.admitted
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "client": self.client,
+            "kind": self.kind,
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "finished": self.finished,
+            "latency": self.latency,
+            "queue_wait": self.queue_wait,
+            "service_time": self.service_time,
+            "error": self.error,
+        }
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of one multiuser workload run on one machine.
+
+    ``latency``/``queue_wait``/``service`` summarise completed requests;
+    failed ones (deadlock victims, admission timeouts, lock timeouts)
+    are counted separately and never pollute the percentiles.
+    """
+
+    machine: str
+    mix: str
+    arrival: str
+    clients: int
+    mpl: int
+    policy: str
+    seed: int
+    elapsed: float
+    records: list[QueryRecord] = field(default_factory=list)
+    admission: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def submitted(self) -> int:
+        return len(self.records)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for r in self.records if r.ok)
+
+    @property
+    def failed(self) -> int:
+        return self.submitted - self.completed
+
+    @property
+    def throughput(self) -> float:
+        """Completed queries per second of simulated time."""
+        if self.elapsed <= 0.0:
+            return 0.0
+        return self.completed / self.elapsed
+
+    @property
+    def latency(self) -> LatencyStats:
+        return LatencyStats.from_values(
+            [r.latency for r in self.records if r.ok]
+        )
+
+    @property
+    def queue_wait(self) -> LatencyStats:
+        return LatencyStats.from_values(
+            [r.queue_wait for r in self.records if r.ok]
+        )
+
+    @property
+    def service(self) -> LatencyStats:
+        return LatencyStats.from_values(
+            [r.service_time for r in self.records if r.ok]
+        )
+
+    def by_kind(self) -> dict[str, LatencyStats]:
+        """Completed-request latency summaries per mix entry."""
+        buckets: dict[str, list[float]] = {}
+        for record in self.records:
+            if record.ok:
+                buckets.setdefault(record.kind, []).append(record.latency)
+        return {
+            kind: LatencyStats.from_values(values)
+            for kind, values in sorted(buckets.items())
+        }
+
+    def errors_by_type(self) -> dict[str, int]:
+        """Failure counts keyed by exception name."""
+        counts: dict[str, int] = {}
+        for record in self.records:
+            if record.error is not None:
+                name = record.error.split(":", 1)[0]
+                counts[name] = counts.get(name, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "machine": self.machine,
+            "mix": self.mix,
+            "arrival": self.arrival,
+            "clients": self.clients,
+            "mpl": self.mpl,
+            "policy": self.policy,
+            "seed": self.seed,
+            "elapsed": self.elapsed,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "errors": self.errors_by_type(),
+            "throughput": self.throughput,
+            "latency": self.latency.as_dict(),
+            "queue_wait": self.queue_wait.as_dict(),
+            "service": self.service.as_dict(),
+            "by_kind": {
+                kind: stats.as_dict()
+                for kind, stats in self.by_kind().items()
+            },
+            "admission": dict(self.admission),
+            "records": [r.as_dict() for r in self.records],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (
+            f"<WorkloadResult {self.machine}/{self.mix} mpl={self.mpl}"
+            f" {self.completed}/{self.submitted} ok"
+            f" {self.throughput:.3f} q/s p95={self.latency.p95:.3f}s>"
+        )

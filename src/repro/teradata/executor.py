@@ -54,6 +54,7 @@ class TeradataRun:
     def __init__(
         self, machine: "Any", sim: Simulation, amps: list[Amp],
         ir: PhysicalIR, profiler: Optional[Profiler] = None,
+        ynet: Optional[Server] = None, tag: str = "",
     ) -> None:
         self.machine = machine
         self.costs = machine.costs
@@ -62,7 +63,11 @@ class TeradataRun:
         self.amps = amps
         self.ir = ir
         self.into = ir.into
-        self.ynet = Server("ynet")
+        # Concurrent runs in one simulation share the single physical
+        # Y-net (pass ``ynet``) and need distinct spool-file namespaces
+        # (pass a per-request ``tag``); a standalone run owns both.
+        self.ynet = Server("ynet") if ynet is None else ynet
+        self.tag = tag
         self.profiler = profiler
         self.stats: Counter[str] = Counter()
         self.collected: list[tuple] = []
@@ -318,7 +323,7 @@ class TeradataRun:
         # Receiving side: append to a local spool file.
         yield from amp.work(self.costs.receive_tuple * n_received)
         spool_pages = (n_received + per_page - 1) // per_page
-        spool = f"spool.{i}.{self._tmp}"
+        spool = f"spool.{i}.{self.tag}{self._tmp}"
         for page_no in range(spool_pages):
             yield from amp.write_page(spool, page_no)
         self.stats["spool_pages"] += spool_pages
@@ -354,7 +359,7 @@ class TeradataRun:
         yield from amp.work(self.costs.sort_tuple_pass * sort_pass_tuples)
         io_pages = lstats.total_page_ios + rstats.total_page_ios
         for spool_no, stats in (("l", lstats), ("r", rstats)):
-            file_id = f"sort.{i}.{spool_no}.{self._tmp}"
+            file_id = f"sort.{i}.{spool_no}.{self.tag}{self._tmp}"
             for page_no in range(stats.pages_written):
                 yield from amp.write_page(file_id, page_no)
             for page_no in range(stats.pages_read):

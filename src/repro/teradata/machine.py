@@ -9,7 +9,7 @@ machines.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Any, Iterable, Optional, Sequence
 
 from ..catalog import gamma_hash
 from ..engine.plan import Query, UpdateRequest
@@ -204,6 +204,55 @@ class TeradataMachine:
         if profiler is not None:
             result.profile = profiler.finish(ir, response_time)
         return result
+
+    def run_workload(self, mix: "Any", spec: "Any") -> "Any":
+        """Run a multiuser workload on the DBC/1012: terminals submitting
+        a query mix into one live simulation, behind admission control.
+
+        The counterpart of
+        :meth:`~repro.engine.machine.GammaMachine.run_workload` — the
+        same :class:`~repro.workloads.multiuser.QueryMix` and
+        :class:`~repro.workloads.multiuser.WorkloadSpec` drive both
+        machines, so MPL sweeps compare them on identical workloads.
+        All requests share one simulation, one set of AMPs and the
+        single physical Y-net (the DBC/1012's broadcast network is the
+        shared resource multiuser contention exposes first).
+        """
+        from ..sim import Server
+        from ..workloads.multiuser import drive_workload
+
+        sim = Simulation()
+        amps = [Amp(sim, i, self.config) for i in range(self.config.n_amps)]
+        ynet = Server("ynet")
+        machine = self
+
+        class _Session:
+            label = "teradata"
+
+            @staticmethod
+            def execute(index: int, request: Query | UpdateRequest) -> "Any":
+                planner = TeradataPlanner(
+                    machine.config, machine, machine.costs
+                )
+                planner.id_prefix = f"q{index}."
+                if isinstance(request, Query):
+                    if request.into is not None:
+                        raise CatalogError(
+                            "workload queries must stream to the host"
+                            f" (into=None), got into={request.into!r}"
+                        )
+                    run: Any = TeradataRun(
+                        machine, sim, amps, planner.plan(request),
+                        ynet=ynet, tag=f"q{index}.",
+                    )
+                else:
+                    run = TeradataUpdateRun(
+                        machine, sim, amps, planner.compile_update(request)
+                    )
+                yield from run.coordinator()
+
+        _Session.sim = sim
+        return drive_workload(_Session, spec, mix)
 
     def update(
         self, request: UpdateRequest, profile: bool = False

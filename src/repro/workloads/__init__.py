@@ -1,5 +1,10 @@
-"""Workloads: the Wisconsin benchmark generator and the paper's queries."""
+"""Workloads: the Wisconsin benchmark generator, the paper's queries, and
+the multiuser workload subsystem (terminals, arrivals, query mixes)."""
 
+# The Wisconsin names must bind before the multiuser import below: that
+# import pulls in the engine package, whose machine module imports
+# ``generate_tuples``/``wisconsin_schema`` back out of this (then still
+# partially initialised) package.
 from .wisconsin import (
     INT_ATTRS,
     STRING_ATTRS,
@@ -10,12 +15,31 @@ from .wisconsin import (
     wisconsin_schema,
 )
 
+from .multiuser import (  # noqa: E402
+    MixEntry,
+    QueryMix,
+    WorkloadSpec,
+    drive_workload,
+    mixed_mix,
+    mpl_sweep,
+    selection_mix,
+    update_mix,
+)
+
 __all__ = [
     "INT_ATTRS",
+    "MixEntry",
+    "QueryMix",
     "STRING_ATTRS",
     "SelectivityRange",
     "TUPLE_BYTES",
+    "WorkloadSpec",
+    "drive_workload",
     "generate_tuples",
+    "mixed_mix",
+    "mpl_sweep",
+    "selection_mix",
     "selection_range",
+    "update_mix",
     "wisconsin_schema",
 ]

@@ -1,0 +1,163 @@
+"""Tests for the admission controller (MPL, queueing policy, timeout)."""
+
+import pytest
+
+from repro.engine.admission import (
+    AdmissionController,
+    AdmissionError,
+    AdmissionTimeout,
+)
+from repro.sim import Delay, Simulation
+
+
+def drive(mpl=2, policy="fifo", timeout=None, procs=()):
+    """Run processes against one controller; returns the controller."""
+    sim = Simulation()
+    controller = AdmissionController(
+        sim, mpl=mpl, policy=policy, timeout=timeout
+    )
+    for i, proc in enumerate(procs):
+        sim.spawn(proc(sim, controller), name=f"client{i}")
+    sim.run()
+    return controller
+
+
+def worker(token, start, service, priority=0, log=None, outcomes=None):
+    """A client: arrive at ``start``, hold a slot for ``service``."""
+
+    def proc(sim, controller):
+        yield Delay(start)
+        try:
+            yield from controller.admit(token, priority=priority)
+        except AdmissionTimeout:
+            if outcomes is not None:
+                outcomes.append((token, "timeout", sim.now))
+            return
+        if log is not None:
+            log.append((token, sim.now))
+        yield Delay(service)
+        controller.release(token)
+        if outcomes is not None:
+            outcomes.append((token, "done", sim.now))
+
+    return proc
+
+
+class TestAdmissionController:
+    def test_mpl_bounds_concurrency(self):
+        log = []
+        controller = drive(mpl=2, procs=[
+            worker("a", 0.0, 1.0, log=log),
+            worker("b", 0.0, 1.0, log=log),
+            worker("c", 0.0, 1.0, log=log),
+        ])
+        # a and b start immediately; c waits for a slot.
+        assert [t for t, _ in log] == ["a", "b", "c"]
+        assert log[0][1] == 0.0 and log[1][1] == 0.0
+        assert log[2][1] == pytest.approx(1.0)
+        assert controller.peak_running == 2
+        assert controller.peak_queue == 1
+        assert controller.admitted == 3
+
+    def test_fifo_ignores_priority(self):
+        log = []
+        drive(mpl=1, policy="fifo", procs=[
+            worker("slow", 0.0, 1.0, log=log),
+            worker("low", 0.1, 0.1, priority=5, log=log),
+            worker("high", 0.2, 0.1, priority=0, log=log),
+        ])
+        assert [t for t, _ in log] == ["slow", "low", "high"]
+
+    def test_priority_reorders_queue(self):
+        log = []
+        drive(mpl=1, policy="priority", procs=[
+            worker("slow", 0.0, 1.0, log=log),
+            worker("low", 0.1, 0.1, priority=5, log=log),
+            worker("high", 0.2, 0.1, priority=0, log=log),
+        ])
+        # Both queue behind "slow"; the priority-0 entry is served first.
+        assert [t for t, _ in log] == ["slow", "high", "low"]
+
+    def test_fifo_within_priority_class(self):
+        log = []
+        drive(mpl=1, policy="priority", procs=[
+            worker("slow", 0.0, 1.0, log=log),
+            worker("first", 0.1, 0.1, priority=1, log=log),
+            worker("second", 0.2, 0.1, priority=1, log=log),
+        ])
+        assert [t for t, _ in log] == ["slow", "first", "second"]
+
+    def test_timeout_withdraws_queued_entry(self):
+        outcomes = []
+        controller = drive(mpl=1, timeout=0.5, procs=[
+            worker("holder", 0.0, 2.0, outcomes=outcomes),
+            worker("victim", 0.1, 0.1, outcomes=outcomes),
+            worker("later", 1.9, 0.1, outcomes=outcomes),
+        ])
+        by_token = {t: kind for t, kind, _ in outcomes}
+        assert by_token == {
+            "holder": "done", "victim": "timeout", "later": "done"
+        }
+        # The victim left the queue cleanly: nothing queued at the end,
+        # no slot leaked, and the timeout is counted.
+        assert controller.timeouts == 1
+        assert controller.queue_length == 0
+        assert controller.running == 0
+        # The victim timed out at exactly arrival + timeout.
+        victim_time = next(t for tok, _k, t in outcomes if tok == "victim")
+        assert victim_time == pytest.approx(0.6)
+
+    def test_slot_freed_by_timeout_goes_to_next_waiter(self):
+        # holder keeps the slot; v1 times out while queued ahead of v2;
+        # v2 must then be granted when the holder releases.
+        log = []
+        outcomes = []
+        drive(mpl=1, timeout=0.5, procs=[
+            worker("holder", 0.0, 0.7, log=log, outcomes=outcomes),
+            worker("v1", 0.1, 0.1, log=log, outcomes=outcomes),
+            worker("v2", 0.3, 0.1, log=log, outcomes=outcomes),
+        ])
+        assert ("v1", "timeout", pytest.approx(0.6)) in [
+            (t, k, v) for t, k, v in outcomes
+        ]
+        assert [t for t, _ in log] == ["holder", "v2"]
+
+    def test_double_admit_rejected(self):
+        sim = Simulation()
+        controller = AdmissionController(sim, mpl=2)
+
+        def proc():
+            yield from controller.admit("t")
+            with pytest.raises(AdmissionError):
+                yield from controller.admit("t")
+            controller.release("t")
+
+        sim.spawn(proc(), name="p")
+        sim.run()
+
+    def test_release_unadmitted_rejected(self):
+        sim = Simulation()
+        controller = AdmissionController(sim, mpl=2)
+        with pytest.raises(AdmissionError):
+            controller.release("ghost")
+
+    def test_invalid_configuration_rejected(self):
+        sim = Simulation()
+        with pytest.raises(AdmissionError):
+            AdmissionController(sim, mpl=0)
+        with pytest.raises(AdmissionError):
+            AdmissionController(sim, policy="lifo")
+        with pytest.raises(AdmissionError):
+            AdmissionController(sim, timeout=0.0)
+
+    def test_summary_dict(self):
+        controller = drive(mpl=1, procs=[
+            worker("a", 0.0, 1.0),
+            worker("b", 0.0, 1.0),
+        ])
+        summary = controller.as_dict()
+        assert summary["mpl"] == 1
+        assert summary["admitted"] == 2
+        assert summary["peak_queue"] == 1
+        assert summary["queue_wait"]["count"] == 2
+        assert summary["queue_wait"]["max"] == pytest.approx(1.0)

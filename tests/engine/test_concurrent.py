@@ -4,7 +4,9 @@ import pytest
 
 from repro import GammaConfig, GammaMachine, JoinMode, Query, RangePredicate
 from repro.engine import ScanNode
+from repro.engine.locks import DeadlockError, LockMode
 from repro.errors import CatalogError
+from repro.sim import Delay
 
 
 def machine():
@@ -94,6 +96,145 @@ class TestConcurrentExecution:
         ])
         assert conc.response_time == pytest.approx(solo.response_time,
                                                    rel=0.01)
+
+    def test_failed_request_carries_error_not_run_end(self, monkeypatch):
+        # Regression: a per-request failure used to escape sim.run() and
+        # kill the whole batch; and a wedged request's "response time"
+        # was silently reported as the run end.  Force a deadlock with
+        # opposite lock orders: the victim's result must carry the error
+        # and its abort timestamp, while the survivor completes.
+        from repro.engine.driver import UpdateDriver
+        from repro.engine.plan import ExactMatch, ModifyTuple
+
+        def conflicting(self):
+            relation = self.update.relation
+            sites = sorted(set(self.update.lock_sites))
+            if self.txn % 2 == 0:
+                sites = list(reversed(sites))
+            for site in sites:
+                yield from self.ctx.locks.acquire(
+                    self.txn, (relation.name, site), LockMode.EXCLUSIVE,
+                    timeout=self.ctx.lock_timeout,
+                )
+                yield Delay(0.05)
+
+        monkeypatch.setattr(
+            UpdateDriver, "_acquire_write_locks", conflicting
+        )
+        m = machine()
+        # Key-attribute modifies lock every fragment of A.
+        survivor, victim = m.run_concurrent([
+            ModifyTuple("A", ExactMatch("unique1", 10), "unique1", 95_000),
+            ModifyTuple("A", ExactMatch("unique1", 20), "unique1", 96_000),
+        ])
+        assert survivor.ok and survivor.error is None
+        assert survivor.result_count == 1
+        assert not victim.ok
+        assert isinstance(victim.error, DeadlockError)
+        assert victim.result_count == 0
+        # The victim aborted before the survivor finished — its response
+        # time is the abort point, not the end of the run.
+        assert victim.response_time < survivor.response_time
+        # The victim's modify never touched the data.
+        check = m.run(Query.select("A", ExactMatch("unique1", 20)))
+        assert check.result_count == 1
+
+    def test_failed_into_query_not_registered(self, monkeypatch):
+        # An aborted `retrieve into` must not leave a half-written
+        # result relation in the catalog.
+        from repro.engine.driver import QueryDriver, UpdateDriver
+        from repro.engine.plan import ExactMatch, ModifyTuple
+
+        def update_locks(self):
+            relation = self.update.relation
+            for site in sorted(set(self.update.lock_sites)):
+                yield from self.ctx.locks.acquire(
+                    self.txn, (relation.name, site), LockMode.EXCLUSIVE,
+                )
+                yield Delay(0.05)
+
+        def query_locks(self):
+            for site in reversed(range(4)):
+                yield from self.ctx.locks.acquire(
+                    self.txn, ("A", site), LockMode.SHARED,
+                )
+                yield Delay(0.05)
+
+        monkeypatch.setattr(
+            UpdateDriver, "_acquire_write_locks", update_locks
+        )
+        monkeypatch.setattr(
+            QueryDriver, "_acquire_read_locks", query_locks
+        )
+        m = machine()
+        upd, sel = m.run_concurrent([
+            ModifyTuple("A", ExactMatch("unique1", 10), "unique1", 95_000),
+            Query.select("A", RangePredicate("unique2", 0, 9),
+                         into="doomed"),
+        ])
+        assert upd.ok and upd.result_count == 1
+        assert isinstance(sel.error, DeadlockError)
+        assert sel.result_relation is None
+        assert "doomed" not in m.catalog
+
+    def test_read_after_create_dependency_rejected(self):
+        # Regression: a query scanning a relation another request in the
+        # same batch creates (via into=) used to fail deep inside the
+        # planner with "unknown relation"; the dependency must be
+        # diagnosed up front.
+        m = machine()
+        with pytest.raises(CatalogError, match="same batch creates"):
+            m.run_concurrent([
+                Query.select("S", RangePredicate("unique2", 0, 9),
+                             into="tmp_sel"),
+                Query.select("tmp_sel"),
+            ])
+        # Nothing was registered by the rejected batch.
+        assert "tmp_sel" not in m.catalog
+
+    def test_read_after_create_seen_through_join_inputs(self):
+        m = machine()
+        with pytest.raises(CatalogError, match="same batch creates"):
+            m.run_concurrent([
+                Query.select("S", RangePredicate("unique2", 0, 9),
+                             into="tmp_join_in"),
+                Query.join(ScanNode("tmp_join_in"), ScanNode("A"),
+                           on=("unique2", "unique2")),
+            ])
+
+    def test_trace_and_profile_parity_with_run(self):
+        # Regression: run_concurrent() lacked the trace=/profile=
+        # observability parameters run() has.  Both must attach, stay
+        # timeline-neutral, and each result's profile must cover only
+        # that request's own operators.
+        from repro.metrics import TraceBuffer
+
+        def requests():
+            return [
+                Query.select("S", RangePredicate("unique2", 0, 99)),
+                Query.join(ScanNode("Bp"), ScanNode("A"),
+                           on=("unique2", "unique2")),
+            ]
+
+        base = machine().run_concurrent(requests())
+        trace = TraceBuffer()
+        observed = machine().run_concurrent(
+            requests(), trace=trace, profile=True
+        )
+        for solo, prof in zip(base, observed):
+            assert prof.profile is not None
+            # Observability is passive: identical simulated timeline.
+            assert prof.response_time == solo.response_time
+        assert len(trace) > 0
+        ops = [set(r.profile.spans) for r in observed]
+        assert ops[0] and all(op.startswith("q0.") for op in ops[0])
+        assert ops[1] and all(op.startswith("q1.") for op in ops[1])
+        assert not ops[0] & ops[1]
+        # Each per-request profile carries real attributed busy time.
+        for r in observed:
+            assert sum(
+                s.total_busy for s in r.profile.spans.values()
+            ) > 0.0
 
     def test_results_carry_the_same_fields_as_run(self):
         # run() and run_concurrent() share one result builder: every

@@ -12,7 +12,12 @@ from repro import (
     Query,
     RangePredicate,
 )
-from repro.engine.locks import DeadlockError, LockManager, LockMode
+from repro.engine.locks import (
+    DeadlockError,
+    LockManager,
+    LockMode,
+    LockTimeoutError,
+)
 from repro.sim import Delay, Simulation
 from repro.workloads import generate_tuples
 
@@ -144,6 +149,114 @@ class TestLockManager:
 
         run_lock_procs(writer, reader("r1"), reader("r2"))
         assert sorted(got) == ["r1", "r2"]
+
+
+class TestLockTimeout:
+    def test_timed_out_wait_raises_and_withdraws(self):
+        events = []
+
+        def holder(manager):
+            yield from manager.acquire("h", "frag", LockMode.EXCLUSIVE)
+            yield Delay(5.0)
+            manager.release_all("h")
+
+        def impatient(manager):
+            yield Delay(0.5)
+            try:
+                yield from manager.acquire(
+                    "i", "frag", LockMode.EXCLUSIVE, timeout=1.0
+                )
+                events.append("i-got")
+            except LockTimeoutError:
+                events.append("i-timeout")
+                manager.release_all("i")
+
+        manager, _ = run_lock_procs(holder, impatient)
+        assert events == ["i-timeout"]
+        assert manager.timeouts == 1
+        # The withdrawn request holds nothing and queues nowhere.
+        assert "i" not in manager.holders_of("frag")
+        assert not manager._locks["frag"].queue
+
+    def test_timeout_leaves_no_dangling_waits_for_edge(self):
+        # Regression: a timed-out waiter whose waits-for edges survived
+        # would make a later blocker look like a deadlock cycle.
+        def holder(manager):
+            yield from manager.acquire("h", "frag", LockMode.EXCLUSIVE)
+            yield Delay(5.0)
+            manager.release_all("h")
+
+        def impatient(manager):
+            yield Delay(0.5)
+            with pytest.raises(LockTimeoutError):
+                yield from manager.acquire(
+                    "i", "frag", LockMode.EXCLUSIVE, timeout=1.0
+                )
+            manager.release_all("i")
+
+        got = []
+
+        def patient(manager):
+            yield Delay(2.0)
+            # Blocks behind the holder; must NOT be misdiagnosed as a
+            # deadlock via a stale edge from the departed "i".
+            yield from manager.acquire("p", "frag", LockMode.EXCLUSIVE)
+            got.append("p")
+            manager.release_all("p")
+
+        manager, _ = run_lock_procs(holder, impatient, patient)
+        assert got == ["p"]
+        assert manager.deadlocks == 0
+        assert manager._waits_for == {}
+
+    def test_timeout_withdrawal_unblocks_compatible_waiters(self):
+        # An X request queued between two S groups gates the second; its
+        # withdrawal must re-dispatch the now-compatible readers.
+        got = []
+
+        def reader1(manager):
+            yield from manager.acquire("r1", "frag", LockMode.SHARED)
+            yield Delay(3.0)
+            manager.release_all("r1")
+
+        def writer(manager):
+            yield Delay(0.5)
+            with pytest.raises(LockTimeoutError):
+                yield from manager.acquire(
+                    "w", "frag", LockMode.EXCLUSIVE, timeout=1.0
+                )
+            manager.release_all("w")
+
+        def reader2(manager):
+            yield Delay(1.0)
+            yield from manager.acquire("r2", "frag", LockMode.SHARED)
+            got.append((("r2-got"), manager.sim.now))
+            manager.release_all("r2")
+
+        manager, _ = run_lock_procs(reader1, writer, reader2)
+        # r2 is granted the moment the writer withdraws (t=1.5), not when
+        # r1 finally releases at t=3.
+        assert got == [("r2-got", pytest.approx(1.5))]
+
+    def test_granted_wait_under_timeout_is_normal(self):
+        events = []
+
+        def holder(manager):
+            yield from manager.acquire("h", "frag", LockMode.EXCLUSIVE)
+            yield Delay(0.5)
+            manager.release_all("h")
+
+        def waiter(manager):
+            yield Delay(0.1)
+            yield from manager.acquire(
+                "w", "frag", LockMode.EXCLUSIVE, timeout=10.0
+            )
+            events.append("w-got")
+            manager.release_all("w")
+
+        manager, _ = run_lock_procs(holder, waiter)
+        assert events == ["w-got"]
+        assert manager.timeouts == 0
 
 
 class TestEngineLocking:
