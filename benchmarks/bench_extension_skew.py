@@ -1,0 +1,20 @@
+"""Extension E4 — data skew as a swept axis: joinABprime with a
+Zipf-distributed join attribute under each redistribution strategy
+(plain hash, histogram ranges, virtual-processor hashing,
+fragment-replicate hot-broadcast).
+
+Writes the markdown table (``extension_e4_skew.md``) and the raw sweep
+profile (``extension_e4_skew.json``) under ``benchmarks/results/``.
+"""
+
+from repro.bench import save_skew_profile, skew_join_experiment
+
+
+def _experiment():
+    report, profile = skew_join_experiment()
+    save_skew_profile(profile)
+    return report
+
+
+def test_extension_skew(report_runner):
+    report_runner(_experiment)

@@ -17,6 +17,12 @@
     control; prints per-query latency percentiles and throughput.
     ``--sweep`` runs the MPL 1→16 throughput–latency sweep instead;
     ``--json`` dumps the result (or sweep profile) to a file.
+
+``python -m repro skew``
+    Skew sweep: joinABprime with a Zipf-distributed join attribute
+    under every redistribution strategy (hash / range / vhash /
+    hot-broadcast), reporting per-strategy speedup and per-node
+    utilisation spread; ``--json`` dumps the sweep profile.
 """
 
 from __future__ import annotations
@@ -168,6 +174,26 @@ def _workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _skew(args: argparse.Namespace) -> int:
+    import json
+
+    from .bench.skew import skew_join_experiment
+
+    report, profile = skew_join_experiment(
+        n=args.tuples,
+        skews=tuple(args.skews),
+        strategies=tuple(args.strategies),
+        site_counts=(args.min_sites, args.max_sites),
+        seed=args.seed,
+    )
+    print(report.to_markdown())
+    if args.json is not None:
+        with open(args.json, "w") as fh:
+            json.dump(profile, fh, indent=2)
+        print(f"sweep profile written to {args.json}")
+    return 0 if report.all_checks_pass else 1
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -226,6 +252,27 @@ def main(argv: list[str]) -> int:
     wl.add_argument("--json", metavar="PATH",
                     help="write the result (or sweep profile) as JSON")
 
+    sk = sub.add_parser(
+        "skew", help="skew sweep: joinABprime with a Zipf join attribute"
+        " under each redistribution strategy",
+    )
+    sk.add_argument("--tuples", type=int, default=10_000,
+                    help="size of the probe relation (build is a tenth)")
+    sk.add_argument("--skews", type=float, nargs="+",
+                    default=[0.0, 0.75, 1.5],
+                    help="Zipf exponents to sweep (0 = uniform)")
+    sk.add_argument("--strategies", nargs="+",
+                    default=["hash", "range", "vhash", "hot-broadcast"],
+                    choices=["hash", "range", "vhash", "hot-broadcast"],
+                    help="redistribution strategies to compare")
+    sk.add_argument("--min-sites", type=int, default=1,
+                    help="speedup reference configuration")
+    sk.add_argument("--max-sites", type=int, default=8,
+                    help="widest configuration (profiled for spread)")
+    sk.add_argument("--seed", type=int, default=1988)
+    sk.add_argument("--json", metavar="PATH",
+                    help="write the sweep profile as JSON")
+
     # Bare `python -m repro [n]` keeps its historical meaning.
     raw = argv[1:]
     if not raw or (len(raw) == 1 and raw[0].lstrip("-").isdigit()):
@@ -236,6 +283,8 @@ def main(argv: list[str]) -> int:
         return _profile(args)
     if args.command == "workload":
         return _workload(args)
+    if args.command == "skew":
+        return _skew(args)
     return _demo(args.n_tuples)
 
 

@@ -35,6 +35,11 @@ from .recorded import (
     TABLE3_UPDATES,
 )
 from .reporting import Report, ratio_note
+from .skew import (
+    load_skew_machine,
+    save_skew_profile,
+    skew_join_experiment,
+)
 from .sweep import bench_jobs, run_sweep
 from .workload import (
     make_mix,
@@ -66,10 +71,13 @@ __all__ = [
     "fig09_12_experiment",
     "fig13_experiment",
     "fig14_15_experiment",
+    "load_skew_machine",
     "machine_builder",
     "make_mix",
     "ratio_note",
+    "save_skew_profile",
     "save_workload_profile",
+    "skew_join_experiment",
     "run_stored",
     "run_sweep",
     "run_to_host",

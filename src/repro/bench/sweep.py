@@ -25,6 +25,8 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Optional, Sequence, TypeVar
 
+from ..errors import BenchmarkError
+
 P = TypeVar("P")
 R = TypeVar("R")
 
@@ -33,7 +35,13 @@ def bench_jobs() -> int:
     """Worker-process count for sweeps (``GAMMA_BENCH_JOBS``-tunable)."""
     raw = os.environ.get("GAMMA_BENCH_JOBS", "").strip()
     if raw:
-        return max(1, int(raw))
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            raise BenchmarkError(
+                f"GAMMA_BENCH_JOBS must be an integer (worker-process"
+                f" count), got {raw!r}"
+            ) from None
     return os.cpu_count() or 1
 
 

@@ -8,6 +8,7 @@ from .partitioning import (
     RoundRobin,
     UniformRange,
     gamma_hash,
+    stable_hash,
 )
 from .relation import AttrStats, Relation, collect_statistics
 
@@ -22,4 +23,5 @@ __all__ = [
     "RoundRobin",
     "UniformRange",
     "gamma_hash",
+    "stable_hash",
 ]

@@ -13,21 +13,42 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from bisect import bisect_left
 from typing import Any, Optional, Sequence
+from zlib import crc32
 
 from ..errors import CatalogError
 from ..storage import Schema
 
 
+def stable_hash(value: Any) -> int:
+    """A process-stable replacement for builtin ``hash``.
+
+    Python salts ``str``/``bytes`` hashing per process (``PYTHONHASHSEED``),
+    so any partitioning decision derived from ``hash("...")`` differs
+    between the parent and the ``run_sweep`` worker processes — and between
+    runs.  Integers (and tuples of integers) hash identically everywhere,
+    so they keep the builtin path bit-for-bit; salted types are routed
+    through crc32 of their UTF-8 bytes instead.
+    """
+    if isinstance(value, str):
+        return crc32(value.encode("utf-8"))
+    if isinstance(value, (bytes, bytearray)):
+        return crc32(bytes(value))
+    if isinstance(value, tuple):
+        return hash(tuple(stable_hash(v) for v in value))
+    return hash(value)
+
+
 def gamma_hash(value: Any, n_buckets: int) -> int:
     """The randomising function applied to partitioning/join attributes.
 
-    A deterministic multiplicative hash (Knuth) — stable across runs, well
-    mixed for the Wisconsin integer attributes, and shared by the load
-    path, the split tables and the join operators.
+    A deterministic multiplicative hash (Knuth) — stable across runs and
+    across processes (see :func:`stable_hash`), well mixed for the
+    Wisconsin integer attributes, and shared by the load path, the split
+    tables and the join operators.
     """
     if n_buckets <= 0:
         raise CatalogError("hash needs at least one bucket")
-    h = (hash(value) * 2654435761) & 0xFFFFFFFF
+    h = (stable_hash(value) * 2654435761) & 0xFFFFFFFF
     # Fold the high bits down so that regular key patterns (multiples of
     # 100, say) cannot alias with small bucket counts.
     h ^= h >> 17

@@ -11,12 +11,17 @@ from __future__ import annotations
 
 from typing import Any
 
+from ..catalog.partitioning import stable_hash
 from ..errors import ConfigError
 
 
 def _mix(value: Any, seed: int) -> int:
-    """A second, independent hash family (distinct from gamma_hash)."""
-    h = hash((seed, value))
+    """A second, independent hash family (distinct from gamma_hash).
+
+    Routed through :func:`stable_hash` so string join keys set/test the
+    same bits in every process (integers keep the builtin hash exactly).
+    """
+    h = hash((seed, stable_hash(value)))
     h ^= (h >> 16)
     return h & 0x7FFFFFFF
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 from bisect import bisect_right
 from typing import Any, Generator, Optional
 
-from ..catalog import Catalog
+from ..catalog import Catalog, gamma_hash
 from ..errors import PlanError
 from ..sim import Delay, Process, WaitAll
 from ..storage import Schema, StoredFile
@@ -88,7 +88,7 @@ def _spawn_operator(
 
     proc = ctx.sim.spawn(wrapped(), name=label)
     if ctx.profiler is not None and op_id is not None:
-        ctx.profiler.register(proc, op_id, phase)
+        ctx.profiler.register(proc, op_id, phase, node=node.name)
     return proc
 
 
@@ -256,6 +256,50 @@ class QueryDriver(GammaDriver):
             return DestSpec("rr", ports)
         if kind is ExchangeKind.MERGE:
             return DestSpec("single", ports)
+        if kind is ExchangeKind.VHASH:
+            vmap = tuple(exchange.virtual_map or ())
+            if not vmap:
+                raise PlanError("vhash exchange needs a virtual_map")
+            v = len(vmap)
+            n = len(ports)
+
+            def route(value: Any) -> int:
+                return vmap[gamma_hash(value, v)] % n
+
+            return DestSpec(
+                "fn", ports, attr=exchange.attr, route_fn=route,
+                bit_filter=bit_filter,
+            )
+        if kind is ExchangeKind.HOT_BROADCAST:
+            hot = exchange.hot_keys or frozenset()
+            n = len(ports)
+            everywhere = tuple(range(n))
+
+            def route(value: Any) -> Any:
+                if value in hot:
+                    return everywhere
+                return gamma_hash(value, n)
+
+            return DestSpec(
+                "fn", ports, attr=exchange.attr, route_fn=route,
+                bit_filter=bit_filter,
+            )
+        if kind is ExchangeKind.HOT_SPRAY:
+            hot = exchange.hot_keys or frozenset()
+            n = len(ports)
+            state = {"next": 0}
+
+            def route(value: Any) -> int:
+                if value in hot:
+                    idx = state["next"]
+                    state["next"] = (idx + 1) % n
+                    return idx
+                return gamma_hash(value, n)
+
+            return DestSpec(
+                "fn", ports, attr=exchange.attr, route_fn=route,
+                bit_filter=bit_filter,
+            )
         raise PlanError(f"Gamma cannot lower exchange {exchange.describe()}")
 
     def _make_output(

@@ -62,6 +62,16 @@ class ExchangeKind(Enum):
     MERGE = "merge"        #: all producers feed one consumer (merge-to-host)
     LOCAL = "local"        #: no redistribution: producer and consumer are
     #: co-partitioned (Teradata's primary-key join shortcut)
+    # Skew-aware redistributions.  A plain hash split collapses under hot
+    # keys (a handful of attribute values carry most of the stream and
+    # all land on one consumer); these three kinds carry the optimizer's
+    # histogram knowledge down to the drivers.
+    VHASH = "vhash"        #: virtual-processor hash: over-partition into
+    #: ``len(virtual_map)`` virtual buckets, then map each to a consumer
+    HOT_BROADCAST = "hot-broadcast"  #: fragment-replicate, build side:
+    #: tuples with a ``hot_keys`` value go to *every* consumer
+    HOT_SPRAY = "hot-spray"  #: fragment-replicate, probe side: tuples
+    #: with a ``hot_keys`` value are round-robined, the rest hash-split
 
 
 @dataclass(frozen=True)
@@ -72,6 +82,10 @@ class Exchange:
     attr: Optional[str] = None
     boundaries: Optional[list] = None    # RANGE: n-1 split points
     positions: Optional[list[int]] = None  # RECORD_HASH: projected columns
+    #: VHASH: virtual bucket -> consumer index, length = V (> consumers).
+    virtual_map: Optional[tuple[int, ...]] = None
+    #: HOT_BROADCAST / HOT_SPRAY: the attribute values detected as hot.
+    hot_keys: Optional[frozenset] = None
 
     def describe(self) -> str:
         if self.kind is ExchangeKind.HASH:
@@ -81,6 +95,12 @@ class Exchange:
             return f"range({self.attr} x{width})"
         if self.kind is ExchangeKind.RECORD_HASH:
             return f"record-hash({self.positions})"
+        if self.kind is ExchangeKind.VHASH:
+            vmap = self.virtual_map or ()
+            width = (max(vmap) + 1) if vmap else 0
+            return f"vhash({self.attr} {len(vmap)}->{width})"
+        if self.kind in (ExchangeKind.HOT_BROADCAST, ExchangeKind.HOT_SPRAY):
+            return f"{self.kind.value}({self.attr} {len(self.hot_keys or ())} hot)"
         return self.kind.value
 
 

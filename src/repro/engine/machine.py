@@ -16,6 +16,7 @@ Typical use::
 from __future__ import annotations
 
 from typing import Any, Iterable, Optional, Sequence
+from zlib import crc32
 
 from ..catalog import Catalog, Hashed, PartitioningStrategy, Relation, RoundRobin
 from ..errors import CatalogError, ReproError
@@ -45,9 +46,21 @@ def _scanned_relations(node: PlanNode) -> set[str]:
 class GammaMachine:
     """A configured Gamma instance holding a catalog of loaded relations."""
 
-    def __init__(self, config: Optional[GammaConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[GammaConfig] = None,
+        skew_strategy: str = "hash",
+    ) -> None:
         self.config = config or GammaConfig.paper_default()
         self.catalog = Catalog()
+        #: Join redistribution strategy handed to every Planner this
+        #: machine constructs (see :data:`repro.engine.planner.SKEW_STRATEGIES`).
+        self.skew_strategy = skew_strategy
+
+    def _planner(self) -> Planner:
+        return Planner(
+            self.config, self.catalog, skew_strategy=self.skew_strategy
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - diagnostics only
         return (
@@ -98,7 +111,9 @@ class GammaMachine:
         cases."
         """
         if seed is None:
-            seed = abs(hash(name)) % (2**31)
+            # crc32, not builtin hash: string hashing is salted per process,
+            # and a per-run default seed would defeat reproducibility.
+            seed = crc32(name.encode("utf-8")) % (2**31)
         records = list(
             generate_tuples(n, seed=seed, strings=strings)  # type: ignore[arg-type]
         )
@@ -182,7 +197,7 @@ class GammaMachine:
                 f"result relation {query.into!r} already exists"
             )
         ctx = ExecutionContext(self.config, trace=trace, profile=profile)
-        plan = Planner(self.config, self.catalog).plan(query)
+        plan = self._planner().plan(query)
         run = QueryDriver(ctx, self.catalog, plan)
         ctx.sim.spawn(run.host_process(), name="host")
         response_time = ctx.sim.run()
@@ -244,7 +259,7 @@ class GammaMachine:
                         " completes — submit the reader in a later batch"
                     )
         ctx = ExecutionContext(self.config, trace=trace, profile=profile)
-        planner = Planner(self.config, self.catalog)
+        planner = self._planner()
         runs: list[tuple[Any, Any, Any, list[float], list[BaseException]]] = []
         for i, request in enumerate(requests):
             # Distinct op_id namespaces keep per-request profiles (and the
@@ -310,7 +325,7 @@ class GammaMachine:
 
             @staticmethod
             def execute(index: int, request: Query | UpdateRequest) -> Any:
-                planner = Planner(machine.config, machine.catalog)
+                planner = machine._planner()
                 planner.id_prefix = f"q{index}."
                 if isinstance(request, Query):
                     if request.into is not None:
@@ -337,7 +352,7 @@ class GammaMachine:
     ) -> QueryResult:
         """Execute a single-tuple update request (Table 3 operations)."""
         ctx = ExecutionContext(self.config, trace=trace, profile=profile)
-        update_ir = Planner(self.config, self.catalog).compile_update(request)
+        update_ir = self._planner().compile_update(request)
         run = UpdateDriver(ctx, self.catalog, update_ir)
         ctx.sim.spawn(run.host_process(), name="host")
         response_time = ctx.sim.run()

@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Any, Generator, Optional
 
+from ...catalog.partitioning import stable_hash
 from ...errors import ExecutionError
 from ..bitfilter import BitVectorFilter
 from ..node import ExecutionContext, Node
@@ -40,9 +41,10 @@ def _h2(value: Any, seed: int) -> float:
     first overflow really does "switch hash functions".  A splitmix64
     finalizer makes different seeds mutually independent (Python's tuple
     hash is *not*, and correlated families would skew the overflow
-    exchange).
+    exchange).  Built on :func:`stable_hash` so string join keys route
+    identically regardless of ``PYTHONHASHSEED``.
     """
-    h = (hash(value) ^ (seed * 0x9E3779B97F4A7C15)) & _M64
+    h = (stable_hash(value) ^ (seed * 0x9E3779B97F4A7C15)) & _M64
     h ^= h >> 30
     h = (h * 0xBF58476D1CE4E5B9) & _M64
     h ^= h >> 27

@@ -46,12 +46,21 @@ from .plan import (
     AccessPath,
     AppendTuple,
     ExactMatch,
+    JoinMode,
     JoinNode,
     ModifyTuple,
     PlanNode,
     RangePredicate,
     ScanNode,
     TruePredicate,
+)
+
+from .skew import (
+    SKEW_SAMPLE,
+    SKEW_STRATEGIES,
+    histogram_boundaries,
+    hot_keys,
+    virtual_map,
 )
 
 # The IR operator classes under their pre-refactor names: the physical
@@ -68,10 +77,31 @@ PhysicalNode = IRNode
 
 class Planner(PlanCompiler):
     """Compiles logical :class:`~repro.engine.plan.Query` trees into
-    Gamma-convention physical IR."""
+    Gamma-convention physical IR.
 
-    def __init__(self, config: GammaConfig, catalog: Catalog) -> None:
+    ``skew_strategy`` selects the join redistribution: ``"hash"`` (the
+    paper's plain split table), ``"range"`` (histogram-driven range
+    splits), ``"vhash"`` (virtual-processor hashing: over-partition into
+    V buckets and bin-pack the V buckets onto the join sites by sampled
+    load), or ``"hot-broadcast"`` (fragment-replicate: detected hot keys
+    are broadcast on the build side and round-robined on the probe side).
+    Everything except ``"hash"`` samples the probe side's base relation
+    at plan time, the same way :meth:`sort_boundaries` does.
+    """
+
+    def __init__(
+        self,
+        config: GammaConfig,
+        catalog: Catalog,
+        skew_strategy: str = "hash",
+    ) -> None:
         super().__init__(config, catalog)
+        if skew_strategy not in SKEW_STRATEGIES:
+            raise PlanError(
+                f"unknown skew_strategy {skew_strategy!r};"
+                f" expected one of {SKEW_STRATEGIES}"
+            )
+        self.skew_strategy = skew_strategy
 
     # ------------------------------------------------------------------
     # scans
@@ -202,6 +232,85 @@ class Planner(PlanCompiler):
             return JoinNode(new_build, node.probe, node.build_attr,
                             node.probe_attr, node.mode)
         return node
+
+    def lower_join(
+        self, node: JoinNode, build: IRNode, probe: IRNode
+    ) -> IRNode:
+        """The default partitioned hash join, with the skew-aware
+        redistribution installed on both exchange edges when a non-hash
+        strategy is selected (and its statistics are derivable)."""
+        joined = super().lower_join(node, build, probe)
+        if self.skew_strategy == "hash":
+            return joined
+        assert isinstance(joined, HashJoinProbeOp)
+        exchanges = self._skew_exchanges(node, probe)
+        if exchanges is not None:
+            joined.build_input.exchange, joined.exchange = exchanges
+        return joined
+
+    def _join_fragments(self, mode: JoinMode) -> int:
+        """How many fragments a join of this mode runs on (mirrors
+        ``ExecutionContext.join_nodes``)."""
+        if mode is JoinMode.LOCAL or not self.config.n_diskless:
+            return self.config.n_disk_sites
+        if mode is JoinMode.REMOTE:
+            return self.config.n_diskless
+        return self.config.n_disk_sites + self.config.n_diskless
+
+    def _skew_exchanges(
+        self, node: JoinNode, probe: IRNode
+    ) -> Optional[tuple[Exchange, Exchange]]:
+        """(build exchange, probe exchange) for the selected strategy.
+
+        Returns None — keep the plain hash split — when the probe side
+        has no sampleable base relation, when a fragment count of one
+        makes redistribution moot, or when ``hot-broadcast`` detects no
+        hot key (plain hashing is then already balanced).
+        """
+        import itertools
+
+        n_frag = max(1, self._join_fragments(node.mode))
+        if n_frag == 1:
+            return None
+        relation = self._base_relation_with(node.probe_attr, probe)
+        if relation is None:
+            return None
+        pos = relation.schema.position(node.probe_attr)
+        sample = [
+            record[pos]
+            for record in itertools.islice(
+                relation.records(), SKEW_SAMPLE
+            )
+        ]
+        if not sample:
+            return None
+        if self.skew_strategy == "range":
+            boundaries = histogram_boundaries(sample, n_frag)
+            if boundaries is None:
+                return None
+            return (
+                Exchange(ExchangeKind.RANGE, attr=node.build_attr,
+                         boundaries=boundaries),
+                Exchange(ExchangeKind.RANGE, attr=node.probe_attr,
+                         boundaries=boundaries),
+            )
+        if self.skew_strategy == "vhash":
+            vmap = virtual_map(sample, n_frag)
+            return (
+                Exchange(ExchangeKind.VHASH, attr=node.build_attr,
+                         virtual_map=vmap),
+                Exchange(ExchangeKind.VHASH, attr=node.probe_attr,
+                         virtual_map=vmap),
+            )
+        hot = hot_keys(sample, n_frag)
+        if not hot:
+            return None
+        return (
+            Exchange(ExchangeKind.HOT_BROADCAST, attr=node.build_attr,
+                     hot_keys=hot),
+            Exchange(ExchangeKind.HOT_SPRAY, attr=node.probe_attr,
+                     hot_keys=hot),
+        )
 
     # ------------------------------------------------------------------
     # sorts

@@ -169,6 +169,20 @@ class OutputPort:
                 self.tuples_filtered += 1
                 cpu += bitfilter_cost
                 continue
+            if type(dest_idx) is not int:
+                # A multi-destination route (fragment-replicate broadcast
+                # of a hot key): a copy — and its CPU cost — per target.
+                for idx in dest_idx:
+                    cpu += local_cost if local_flags[idx] else remote_cost
+                    buffer = buffers[idx]
+                    buffer.append(record)
+                    if len(buffer) >= capacity:
+                        eff = self.node.work_effect(cpu)
+                        if eff is not None:
+                            yield eff
+                        cpu = 0.0
+                        yield from self._flush(idx)
+                continue
             cpu += local_cost if local_flags[dest_idx] else remote_cost
             buffer = buffers[dest_idx]
             buffer.append(record)

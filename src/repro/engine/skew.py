@@ -1,0 +1,111 @@
+"""Skew-aware redistribution statistics, shared by both planners.
+
+Plain hash partitioning sends every tuple with join-attribute value *v*
+to fragment ``gamma_hash(v, N)``.  Under a skewed value distribution one
+fragment receives the hot values' entire weight and the join runs at the
+speed of its slowest site.  These helpers turn a plan-time sample of the
+join attribute into the three classic mitigations:
+
+* :func:`histogram_boundaries` — equal-depth range cut points, so each
+  fragment covers the same sampled tuple count rather than the same
+  key-space width;
+* :func:`virtual_map` — virtual-processor hashing: over-partition into
+  ``V = factor × N`` buckets, then bin-pack the buckets onto the N
+  fragments by sampled load (longest-processing-time-first);
+* :func:`hot_keys` — fragment-replicate: identify the values heavy
+  enough that no *partitioning* scheme can balance them, so the build
+  side broadcasts them and the probe side sprays them round-robin.
+
+All three are pure functions of the sample — deterministic, and shared
+by the Gamma :class:`~repro.engine.planner.Planner` and the
+:class:`~repro.teradata.planner.TeradataPlanner`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional, Sequence
+
+from ..catalog import gamma_hash
+
+#: Valid values for the planners' ``skew_strategy`` knob.
+SKEW_STRATEGIES = ("hash", "range", "vhash", "hot-broadcast")
+
+#: Records sampled from the probe-side base relation per join.
+SKEW_SAMPLE = 2000
+
+#: Virtual buckets per join fragment for ``vhash``.
+VIRTUAL_FACTOR = 8
+
+#: ``hot-broadcast``: a key is hot when its sampled share of the stream
+#: is at least this fraction of one fragment's fair share.
+HOT_KEY_SHARE = 0.5
+
+
+def histogram_boundaries(
+    sample: Sequence, n_frag: int
+) -> Optional[list]:
+    """Equal-depth quantile cut points from the sampled histogram.
+
+    Tuples route by ``bisect_right(boundaries, value)``, so the cut
+    points are the *sorted sample's* quantiles — with a skewed
+    distribution the slices are narrow around the hot values and wide
+    over the cold tail.  Returns None when the sample is too small to
+    cut, or so concentrated that ranges cannot split it (a single
+    dominant key would send everything to fragment 0 anyway).
+    """
+    ordered = sorted(sample)
+    if len(ordered) < n_frag:
+        return None
+    boundaries = [
+        ordered[(len(ordered) * i) // n_frag - 1]
+        for i in range(1, n_frag)
+    ]
+    if boundaries[0] == ordered[-1]:
+        return None
+    return boundaries
+
+
+def virtual_map(
+    sample: Sequence, n_frag: int, factor: int = VIRTUAL_FACTOR
+) -> tuple[int, ...]:
+    """Virtual-processor hash map: ``map[gamma_hash(v, V)]`` is the
+    fragment for value ``v``, with the V virtual buckets bin-packed onto
+    the fragments by sampled load (heaviest first — the LPT heuristic).
+    Ties break on the lower bucket / fragment index, so the map is a
+    deterministic function of the sample."""
+    v = n_frag * factor
+    load = [0] * v
+    for value in sample:
+        load[gamma_hash(value, v)] += 1
+    assignment = [0] * v
+    fragment_load = [0] * n_frag
+    for bucket in sorted(range(v), key=lambda b: (-load[b], b)):
+        target = min(range(n_frag), key=lambda f: (fragment_load[f], f))
+        assignment[bucket] = target
+        fragment_load[target] += load[bucket]
+    return tuple(assignment)
+
+
+def hot_keys(
+    sample: Sequence, n_frag: int, share: float = HOT_KEY_SHARE
+) -> frozenset:
+    """Values whose sampled frequency reaches ``share`` of one
+    fragment's fair share of the stream.  Empty when the sample is
+    balanced — the caller should then fall back to plain hashing."""
+    counts = Counter(sample)
+    threshold = share * len(sample) / n_frag
+    return frozenset(
+        value for value, count in counts.items() if count >= threshold
+    )
+
+
+__all__ = [
+    "HOT_KEY_SHARE",
+    "SKEW_SAMPLE",
+    "SKEW_STRATEGIES",
+    "VIRTUAL_FACTOR",
+    "histogram_boundaries",
+    "hot_keys",
+    "virtual_map",
+]

@@ -93,6 +93,10 @@ class Profiler:
         self.class_counts: Counter[str] = Counter()
         self.server_busy: dict[str, float] = {}
         self._server_class: dict[str, str] = {}
+        #: Nodes each operator was *placed* on, whether or not they ever
+        #: logged an interval — the skew verdict must count a node that
+        #: did zero work.
+        self.placements: dict[str, set[str]] = {}
 
     # -- wiring ------------------------------------------------------------
     def wire_server(
@@ -106,11 +110,22 @@ class Profiler:
         server.profile_hook = self._on_service
 
     def register(
-        self, proc: "Process", op_id: str, phase: Optional[str] = None
+        self,
+        proc: "Process",
+        op_id: str,
+        phase: Optional[str] = None,
+        node: Optional[str] = None,
     ) -> None:
-        """Bind a spawned operator process to an IR node id and phase."""
+        """Bind a spawned operator process to an IR node id and phase.
+
+        ``node`` declares the processor the fragment was placed on, so
+        the operator's per-node accounting includes sites that end up
+        doing no work at all (the most extreme skew).
+        """
         self._registered[proc] = (op_id, phase)
         self._resolved[proc] = (op_id, phase)
+        if node is not None:
+            self.placements.setdefault(op_id, set()).add(node)
 
     # -- recording (hot path, must stay passive) ---------------------------
     def _resolve(self, proc: Optional["Process"]) -> tuple[str, Optional[str]]:
@@ -235,6 +250,10 @@ class Profiler:
             verdict=verdict,
             tree=tree,
             plan=str(getattr(ir, "description", "") or ""),
+            placements={
+                op_id: tuple(sorted(nodes))
+                for op_id, nodes in self.placements.items()
+            },
         )
 
     def _verdict(self, elapsed: float) -> str:
@@ -294,6 +313,11 @@ class Profiler:
             # time on other nodes would flag uniform plans as skewed.
             span_cls = max(busiest.busy, key=lambda c: busiest.busy[c])
             per_node: Counter[str] = Counter()
+            # Every placed node participates in the mean, at zero if it
+            # never logged an interval — a fragment doing no work at all
+            # is the most extreme skew, not evidence of uniformity.
+            for node in self.placements.get(busiest.op_id, ()):
+                per_node[node] = 0
             for op_id, _phase, cls, node, _start, dur in intervals:
                 if op_id == busiest.op_id and cls == span_cls:
                     per_node[node] += dur
@@ -414,6 +438,29 @@ class QueryProfile:
     verdict: str
     tree: Optional[dict[str, Any]]
     plan: str = ""
+    #: Placed nodes per operator (includes nodes that logged no work).
+    placements: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    def node_busy(self, op_id: str) -> dict[str, float]:
+        """Per-node busy seconds for one operator, with every *placed*
+        node present (at 0.0 when it never logged an interval)."""
+        span = self.spans.get(op_id)
+        per_node = {node: 0.0 for node in self.placements.get(op_id, ())}
+        if span is not None:
+            for node, busy in span.by_node.items():
+                per_node[node] = per_node.get(node, 0.0) + busy
+        return per_node
+
+    def utilisation_spread(self, op_id: str) -> float:
+        """max/mean per-node busy for one operator — 1.0 is perfectly
+        uniform; large values mean a few sites carried the work."""
+        per_node = self.node_busy(op_id)
+        if not per_node:
+            return 1.0
+        mean = sum(per_node.values()) / len(per_node)
+        if mean <= 0.0:
+            return 1.0
+        return max(per_node.values()) / mean
 
     def to_dict(self) -> dict[str, Any]:
         return {

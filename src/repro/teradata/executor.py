@@ -25,6 +25,7 @@ from typing import Any, Generator, Optional
 from ..catalog import gamma_hash
 from ..engine.ir import (
     AggregateOp,
+    Exchange,
     ExchangeKind,
     PhysicalIR,
     ScanOp,
@@ -77,11 +78,12 @@ class TeradataRun:
         self._tmp = 0
 
     def _register(
-        self, proc: Process, op_id: str, phase: Optional[str]
+        self, proc: Process, op_id: str, phase: Optional[str],
+        node: Optional[str] = None,
     ) -> Process:
         """Attribute a spawned AMP process to an IR node (profiling only)."""
         if self.profiler is not None:
-            self.profiler.register(proc, op_id, phase)
+            self.profiler.register(proc, op_id, phase, node=node)
         return proc
 
     def _count_tuples(
@@ -142,7 +144,7 @@ class TeradataRun:
                                     out, amp_no),
                     name=f"exact.{amp_no}",
                 ),
-                scan.op_id, "scan",
+                scan.op_id, "scan", node=self.amps[amp_no].name,
             )
             yield WaitAll([proc])
             self._count_tuples(scan.op_id, tuples_out=len(out[amp_no]))
@@ -161,7 +163,8 @@ class TeradataRun:
                 gen = self._amp_scan(amp, fragment, predicate, out, i)
             procs.append(
                 self._register(
-                    self.sim.spawn(gen, name=f"sel.{i}"), scan.op_id, "scan"
+                    self.sim.spawn(gen, name=f"sel.{i}"), scan.op_id, "scan",
+                    node=amp.name,
                 )
             )
         yield WaitAll(procs)
@@ -240,12 +243,12 @@ class TeradataRun:
 
         left_spools = yield from self._redistribute(
             left_per_amp, left_pos, left_schema,
-            local=join.left_exchange.kind is ExchangeKind.LOCAL,
+            exchange=join.left_exchange,
             op_id=join.op_id,
         )
         right_spools = yield from self._redistribute(
             right_per_amp, right_pos, right_schema,
-            local=join.right_exchange.kind is ExchangeKind.LOCAL,
+            exchange=join.right_exchange,
             op_id=join.op_id,
         )
 
@@ -262,7 +265,7 @@ class TeradataRun:
                         ),
                         name=f"smj.{i}",
                     ),
-                    join.op_id, "merge",
+                    join.op_id, "merge", node=amp.name,
                 )
             )
         yield WaitAll(procs)
@@ -279,17 +282,25 @@ class TeradataRun:
         per_amp: list[list[tuple]],
         pos: int,
         schema: Schema,
-        local: bool,
+        exchange: Exchange,
         op_id: str = "",
     ) -> Generator[Any, Any, list[list[tuple]]]:
         n_amps = len(self.amps)
-        if local:
+        if exchange.kind is ExchangeKind.LOCAL:
             self.stats["redistributions_skipped"] += 1
             return per_amp
+        route = self._bucket_route(exchange, n_amps)
         buckets: list[list[tuple]] = [[] for _ in range(n_amps)]
         for source in per_amp:
             for record in source:
-                buckets[gamma_hash(record[pos], n_amps)].append(record)
+                dest = route(record[pos])
+                if type(dest) is int:
+                    buckets[dest].append(record)
+                else:
+                    # Fragment-replicate broadcast of a hot key: one
+                    # spool copy per AMP.
+                    for amp_no in dest:
+                        buckets[amp_no].append(record)
         per_page = max(1, records_per_page(self.config.page_size,
                                            schema.tuple_bytes))
         procs = []
@@ -302,11 +313,57 @@ class TeradataRun:
                 name=f"redist.{i}",
             )
             if op_id:
-                self._register(proc, op_id, "redistribute")
+                self._register(proc, op_id, "redistribute", node=amp.name)
             procs.append(proc)
         yield WaitAll(procs)
         self.stats["tuples_redistributed"] += sum(len(b) for b in buckets)
         return buckets
+
+    def _bucket_route(self, exchange: Exchange, n_amps: int) -> Any:
+        """Value → AMP number (or a tuple of AMP numbers for a
+        hot-broadcast), mirroring the Gamma driver's ``lower_exchange``
+        so both machines split identically under each strategy."""
+        kind = exchange.kind
+        if kind is ExchangeKind.RANGE:
+            from bisect import bisect_right
+
+            boundaries = list(exchange.boundaries or ())
+            return lambda value: min(
+                bisect_right(boundaries, value), n_amps - 1
+            )
+        if kind is ExchangeKind.VHASH:
+            vmap = tuple(exchange.virtual_map or ())
+            if not vmap:
+                raise PlanError("vhash exchange needs a virtual_map")
+            v = len(vmap)
+            return lambda value: vmap[gamma_hash(value, v)] % n_amps
+        if kind is ExchangeKind.HOT_BROADCAST:
+            hot = exchange.hot_keys or frozenset()
+            everywhere = tuple(range(n_amps))
+
+            def broadcast_route(value: Any) -> Any:
+                if value in hot:
+                    return everywhere
+                return gamma_hash(value, n_amps)
+
+            return broadcast_route
+        if kind is ExchangeKind.HOT_SPRAY:
+            hot = exchange.hot_keys or frozenset()
+            state = {"next": 0}
+
+            def spray_route(value: Any) -> int:
+                if value in hot:
+                    amp_no = state["next"]
+                    state["next"] = (amp_no + 1) % n_amps
+                    return amp_no
+                return gamma_hash(value, n_amps)
+
+            return spray_route
+        if kind is ExchangeKind.HASH:
+            return lambda value: gamma_hash(value, n_amps)
+        raise PlanError(
+            f"Teradata model cannot redistribute a {kind.value} exchange"
+        )
 
     def _amp_redistribute(
         self, amp: Amp, n_sent: int, n_received: int,
@@ -398,7 +455,7 @@ class TeradataRun:
         )
         spools = yield from self._redistribute(
             per_amp, group_pos, child_schema,
-            local=agg.exchange.kind is ExchangeKind.LOCAL,
+            exchange=agg.exchange,
             op_id=agg.op_id,
         )
         out: list[list[tuple]] = [[] for _ in self.amps]
@@ -413,7 +470,7 @@ class TeradataRun:
                         ),
                         name=f"agg.{i}",
                     ),
-                    agg.op_id, "fold",
+                    agg.op_id, "fold", node=amp.name,
                 )
             )
         yield WaitAll(procs)
@@ -457,7 +514,7 @@ class TeradataRun:
                         ),
                         name=f"agg.{i}",
                     ),
-                    partial.op_id, "fold",
+                    partial.op_id, "fold", node=amp.name,
                 )
             )
         yield WaitAll(procs)
@@ -467,7 +524,7 @@ class TeradataRun:
                 self._amp_combine(self.amps[0], partials, agg.op, out),
                 name="agg.combine",
             ),
-            agg.op_id, "combine",
+            agg.op_id, "combine", node=self.amps[0].name,
         )
         yield WaitAll([proc])
         self._count_tuples(
@@ -532,7 +589,7 @@ class TeradataRun:
                                         schema, per_page, i),
                         name=f"store.{i}",
                     ),
-                    self.ir.sink.op_id, "store",
+                    self.ir.sink.op_id, "store", node=amp.name,
                 )
             )
         yield WaitAll(procs)

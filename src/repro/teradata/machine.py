@@ -10,6 +10,7 @@ machines.
 from __future__ import annotations
 
 from typing import Any, Iterable, Optional, Sequence
+from zlib import crc32
 
 from ..catalog import gamma_hash
 from ..engine.plan import Query, UpdateRequest
@@ -94,10 +95,19 @@ class TeradataMachine:
         self,
         config: Optional[TeradataConfig] = None,
         costs: TeradataCosts = DEFAULT_TERADATA_COSTS,
+        skew_strategy: str = "hash",
     ) -> None:
         self.config = config or TeradataConfig.paper_default()
         self.costs = costs
         self.relations: dict[str, TeradataRelation] = {}
+        #: Join redistribution strategy handed to every planner this
+        #: machine constructs (see :mod:`repro.engine.skew`).
+        self.skew_strategy = skew_strategy
+
+    def _planner(self) -> TeradataPlanner:
+        return TeradataPlanner(
+            self.config, self, self.costs, skew_strategy=self.skew_strategy
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - diagnostics only
         return (
@@ -152,7 +162,9 @@ class TeradataMachine:
         strings: str = "cheap",
     ) -> TeradataRelation:
         if seed is None:
-            seed = abs(hash(name)) % (2**31)
+            # crc32, not builtin hash: string hashing is salted per process,
+            # and a per-run default seed would defeat reproducibility.
+            seed = crc32(name.encode("utf-8")) % (2**31)
         records = list(
             generate_tuples(n, seed=seed, strings=strings)  # type: ignore[arg-type]
         )
@@ -181,7 +193,7 @@ class TeradataMachine:
         """Execute a retrieval query (selection / join / aggregate)."""
         if query.into is not None and query.into in self.relations:
             raise CatalogError(f"result relation {query.into!r} exists")
-        ir = TeradataPlanner(self.config, self, self.costs).plan(query)
+        ir = self._planner().plan(query)
         sim = Simulation()
         amps = [Amp(sim, i, self.config) for i in range(self.config.n_amps)]
         profiler = Profiler() if profile else None
@@ -231,9 +243,7 @@ class TeradataMachine:
 
             @staticmethod
             def execute(index: int, request: Query | UpdateRequest) -> "Any":
-                planner = TeradataPlanner(
-                    machine.config, machine, machine.costs
-                )
+                planner = machine._planner()
                 planner.id_prefix = f"q{index}."
                 if isinstance(request, Query):
                     if request.into is not None:
@@ -257,9 +267,7 @@ class TeradataMachine:
     def update(
         self, request: UpdateRequest, profile: bool = False
     ) -> QueryResult:
-        ir = TeradataPlanner(
-            self.config, self, self.costs
-        ).compile_update(request)
+        ir = self._planner().compile_update(request)
         sim = Simulation()
         amps = [Amp(sim, i, self.config) for i in range(self.config.n_amps)]
         run = TeradataUpdateRun(self, sim, amps, ir)

@@ -43,16 +43,45 @@ from ..engine.plan import (
     RangePredicate,
     SortNode,
 )
+from ..engine.skew import (
+    SKEW_SAMPLE,
+    SKEW_STRATEGIES,
+    histogram_boundaries,
+    hot_keys,
+    virtual_map,
+)
 from ..errors import PlanError
 from .costs import TeradataCosts
 
 
 class TeradataPlanner(PlanCompiler):
-    """Compiles logical plans into DBC/1012-convention physical IR."""
+    """Compiles logical plans into DBC/1012-convention physical IR.
 
-    def __init__(self, config: Any, catalog: Any, costs: TeradataCosts) -> None:
+    ``skew_strategy`` selects the spool redistribution for joins where
+    *both* sides must cross the Y-net: ``"hash"`` (the default
+    hash-the-join-attribute), ``"range"``, ``"vhash"`` or
+    ``"hot-broadcast"`` — the same statistics as the Gamma planner (see
+    :mod:`repro.engine.skew`).  A side consumed in place (``LOCAL``, the
+    primary-key shortcut) pins the other side to plain hashing: the
+    stored fragments are already hash-partitioned, so any other split of
+    the shipped side would misalign the merge.
+    """
+
+    def __init__(
+        self,
+        config: Any,
+        catalog: Any,
+        costs: TeradataCosts,
+        skew_strategy: str = "hash",
+    ) -> None:
         super().__init__(config, catalog)
         self.costs = costs
+        if skew_strategy not in SKEW_STRATEGIES:
+            raise PlanError(
+                f"unknown skew_strategy {skew_strategy!r};"
+                f" expected one of {SKEW_STRATEGIES}"
+            )
+        self.skew_strategy = skew_strategy
 
     # ------------------------------------------------------------------
     # scans
@@ -116,11 +145,21 @@ class TeradataPlanner(PlanCompiler):
         """A sort-merge join over two spool-file streams, each either
         redistributed by hashing the join attribute or (for a base
         relation joined on its primary key) consumed in place."""
+        left_exchange = self._join_exchange(build, node.build_attr)
+        right_exchange = self._join_exchange(probe, node.probe_attr)
+        if (
+            self.skew_strategy != "hash"
+            and left_exchange.kind is ExchangeKind.HASH
+            and right_exchange.kind is ExchangeKind.HASH
+        ):
+            exchanges = self._skew_exchanges(node, probe)
+            if exchanges is not None:
+                left_exchange, right_exchange = exchanges
         return SortMergeJoinOp(
             left=build,
             right=probe,
-            left_exchange=self._join_exchange(build, node.build_attr),
-            right_exchange=self._join_exchange(probe, node.probe_attr),
+            left_exchange=left_exchange,
+            right_exchange=right_exchange,
             left_attr=node.build_attr,
             right_attr=node.probe_attr,
             mode=node.mode,
@@ -136,6 +175,66 @@ class TeradataPlanner(PlanCompiler):
         ):
             return Exchange(ExchangeKind.LOCAL, attr=attr)
         return Exchange(ExchangeKind.HASH, attr=attr)
+
+    def _skew_exchanges(
+        self, node: JoinNode, probe: IRNode
+    ) -> Optional[tuple[Exchange, Exchange]]:
+        """(left, right) exchanges for the selected strategy, or None to
+        keep plain hashing (no sampleable probe relation, one AMP, or no
+        hot key detected)."""
+        import itertools
+
+        n_amps = self.config.n_amps
+        if n_amps <= 1:
+            return None
+        relation = self._probe_relation(node.probe_attr, probe)
+        if relation is None:
+            return None
+        pos = relation.schema.position(node.probe_attr)
+        sample = [
+            record[pos]
+            for record in itertools.islice(relation.records(), SKEW_SAMPLE)
+        ]
+        if not sample:
+            return None
+        if self.skew_strategy == "range":
+            boundaries = histogram_boundaries(sample, n_amps)
+            if boundaries is None:
+                return None
+            return (
+                Exchange(ExchangeKind.RANGE, attr=node.build_attr,
+                         boundaries=boundaries),
+                Exchange(ExchangeKind.RANGE, attr=node.probe_attr,
+                         boundaries=boundaries),
+            )
+        if self.skew_strategy == "vhash":
+            vmap = virtual_map(sample, n_amps)
+            return (
+                Exchange(ExchangeKind.VHASH, attr=node.build_attr,
+                         virtual_map=vmap),
+                Exchange(ExchangeKind.VHASH, attr=node.probe_attr,
+                         virtual_map=vmap),
+            )
+        hot = hot_keys(sample, n_amps)
+        if not hot:
+            return None
+        return (
+            Exchange(ExchangeKind.HOT_BROADCAST, attr=node.build_attr,
+                     hot_keys=hot),
+            Exchange(ExchangeKind.HOT_SPRAY, attr=node.probe_attr,
+                     hot_keys=hot),
+        )
+
+    def _probe_relation(self, attr: str, node: IRNode) -> Optional[Any]:
+        """The base relation the probe-attribute sample is drawn from."""
+        if isinstance(node, ScanOp):
+            return node.relation if attr in node.relation.schema else None
+        if isinstance(node, SortMergeJoinOp):
+            return (
+                self._probe_relation(attr, node.left)
+                or self._probe_relation(attr, node.right)
+            )
+        return None
 
     # ------------------------------------------------------------------
     # aggregates / unsupported shapes

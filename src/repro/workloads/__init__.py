@@ -10,6 +10,8 @@ from .wisconsin import (
     STRING_ATTRS,
     TUPLE_BYTES,
     SelectivityRange,
+    generate_hot_key_tuples,
+    generate_skewed_tuples,
     generate_tuples,
     selection_range,
     wisconsin_schema,
@@ -35,6 +37,8 @@ __all__ = [
     "TUPLE_BYTES",
     "WorkloadSpec",
     "drive_workload",
+    "generate_hot_key_tuples",
+    "generate_skewed_tuples",
     "generate_tuples",
     "mixed_mix",
     "mpl_sweep",

@@ -20,7 +20,9 @@ classic unique 52-character values.
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
 from dataclasses import dataclass
+from itertools import accumulate
 from typing import Iterator, Literal
 
 from ..errors import BenchmarkError
@@ -119,6 +121,148 @@ def generate_tuples(
             s2,
             _STRING4_CYCLE[i % 4],
         )
+
+
+#: Largest accepted value for the ``skew`` knob (a Zipf exponent much
+#: beyond this concentrates nearly the whole relation on a handful of
+#: keys, which the ``hot_fraction`` generator models more directly).
+MAX_SKEW = 1.5
+
+
+def _zipf_sampler(domain: int, skew: float, rng: random.Random):
+    """Value → ``0..domain-1`` sampler with Zipf(``skew``) frequencies.
+
+    Inverse-CDF over the cumulative weights ``1/k^skew``; ``skew=0`` is
+    the uniform distribution.  Pure function of ``rng``'s stream, so a
+    seeded generator reproduces the same draws on every platform.
+    """
+    weights = [1.0 / (k ** skew) for k in range(1, domain + 1)]
+    cumulative = list(accumulate(weights))
+    total = cumulative[-1]
+
+    def draw() -> int:
+        return bisect_left(cumulative, rng.random() * total)
+
+    return draw
+
+
+def generate_skewed_tuples(
+    n: int,
+    seed: int = 0,
+    skew: float = 0.0,
+    skew_attr: str = "unique2",
+    domain: int | None = None,
+    strings: StringsMode = "cheap",
+) -> Iterator[tuple]:
+    """Wisconsin tuples with one attribute drawn from a Zipf distribution.
+
+    ``skew_attr`` (default ``unique2``, the paper's usual join/selection
+    attribute) is replaced by i.i.d. draws from Zipf(``skew``) over
+    ``0..domain-1`` (``domain`` defaults to ``n``): ``skew=0.0`` is
+    uniform, ``skew=1.0`` the classic Zipf where the hottest value draws
+    ≈``1/ln(domain)`` more weight per rank, and the cap ``skew=1.5``
+    concentrates most of the relation on a handful of keys.  Everything
+    else — ``unique1`` a seeded permutation, the derived ints, the
+    strings — matches :func:`generate_tuples`, so skewed relations load
+    and cost identically per tuple.
+
+    Deterministic for a given ``(n, seed, skew, domain)``.
+    """
+    if not 0.0 <= skew <= MAX_SKEW:
+        raise BenchmarkError(
+            f"skew {skew} out of [0, {MAX_SKEW}] (Zipf exponent)"
+        )
+    domain = n if domain is None else domain
+    if domain < 1:
+        raise BenchmarkError(f"domain needs >= 1 value, got {domain}")
+
+    def zipf_draws(rng: random.Random):
+        return _zipf_sampler(domain, skew, rng)
+
+    yield from _generate_with_sampler(
+        n, seed, zipf_draws, skew_attr, strings
+    )
+
+
+def generate_hot_key_tuples(
+    n: int,
+    seed: int = 0,
+    hot_fraction: float = 0.5,
+    hot_value: int = 0,
+    skew_attr: str = "unique2",
+    domain: int | None = None,
+    strings: StringsMode = "cheap",
+) -> Iterator[tuple]:
+    """Wisconsin tuples where one single value carries ``hot_fraction``
+    of the relation — the worst case for hash partitioning, and the case
+    fragment-replicate (``hot-broadcast``) redistribution is built for.
+
+    Each tuple's ``skew_attr`` is ``hot_value`` with probability
+    ``hot_fraction``, else uniform over ``0..domain-1``.  Deterministic
+    for a given ``(n, seed, hot_fraction, domain)``.
+    """
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise BenchmarkError(
+            f"hot_fraction {hot_fraction} out of [0, 1]"
+        )
+    domain = n if domain is None else domain
+
+    def hot_draws(rng: random.Random):
+        def draw() -> int:
+            if rng.random() < hot_fraction:
+                return hot_value
+            return rng.randrange(domain)
+
+        return draw
+
+    yield from _generate_with_sampler(
+        n, seed, hot_draws, skew_attr, strings
+    )
+
+
+def _generate_with_sampler(
+    n: int, seed: int, make_draw, skew_attr: str, strings: StringsMode
+) -> Iterator[tuple]:
+    if n < 1:
+        raise BenchmarkError(f"relation needs >= 1 tuple, got {n}")
+    if skew_attr not in INT_ATTRS:
+        raise BenchmarkError(
+            f"skew_attr {skew_attr!r} is not a Wisconsin integer attribute"
+        )
+    rng = random.Random(seed)
+    unique1 = list(range(n))
+    rng.shuffle(unique1)
+    draw = make_draw(rng)
+    skew_pos = INT_ATTRS.index(skew_attr)
+    full = strings == "full"
+    for i in range(n):
+        u1 = unique1[i]
+        skewed = draw()
+        if full:
+            s1 = _unique_string(u1)
+            s2 = _unique_string(skewed)
+        else:
+            s1 = _PLACEHOLDER
+            s2 = _PLACEHOLDER
+        record = [
+            u1,
+            skewed,
+            u1 % 2,
+            u1 % 4,
+            u1 % 10,
+            u1 % 20,
+            u1 % 100,
+            u1 % 1000,
+            u1 % 2000,
+            u1 % 5000,
+            u1 % 10000,
+            (u1 % 50) * 2 + 1,
+            (u1 % 50) * 2 + 2,
+        ]
+        if skew_pos != 1:
+            record[1] = u1
+            record[skew_pos] = skewed
+        yield (*record, s1, s2, _STRING4_CYCLE[i % 4])
 
 
 @dataclass(frozen=True)

@@ -7,8 +7,11 @@ in-process or fanned across worker processes.
 
 import os
 
+import pytest
+
 from repro.bench import bench_jobs, run_sweep
 from repro.bench.experiments import fig01_02_experiment, fig14_15_experiment
+from repro.errors import BenchmarkError
 
 
 def _square(x):
@@ -32,6 +35,18 @@ class TestRunSweep:
         assert bench_jobs() == 3
         monkeypatch.setenv("GAMMA_BENCH_JOBS", "0")
         assert bench_jobs() == 1
+
+    def test_jobs_env_non_numeric_raises_clearly(self, monkeypatch):
+        monkeypatch.setenv("GAMMA_BENCH_JOBS", "all-cores")
+        with pytest.raises(BenchmarkError) as excinfo:
+            bench_jobs()
+        message = str(excinfo.value)
+        assert "GAMMA_BENCH_JOBS" in message
+        assert "'all-cores'" in message
+
+    def test_jobs_env_whitespace_falls_back(self, monkeypatch):
+        monkeypatch.setenv("GAMMA_BENCH_JOBS", "   ")
+        assert bench_jobs() == (os.cpu_count() or 1)
 
 
 class TestParallelDeterminism:

@@ -1,0 +1,207 @@
+"""Skew-aware Exchange strategies: planner statistics, plan shapes, and
+cross-strategy result equality on the Gamma driver."""
+
+import pytest
+
+from repro import GammaConfig, GammaMachine
+from repro.engine.ir import ExchangeKind
+from repro.engine.planner import Planner
+from repro.engine.skew import (
+    SKEW_STRATEGIES,
+    histogram_boundaries,
+    hot_keys,
+    virtual_map,
+)
+from repro.errors import PlanError
+from repro.workloads import (
+    generate_hot_key_tuples,
+    generate_tuples,
+    wisconsin_schema,
+)
+from repro.workloads.queries import join_abprime
+
+
+def _config(**overrides):
+    defaults = dict(n_disk_sites=4, n_diskless=4)
+    defaults.update(overrides)
+    return GammaConfig(**defaults)
+
+
+def _skewed_machine(strategy="hash", hot_fraction=0.6, n=2_000):
+    machine = GammaMachine(_config(), skew_strategy=strategy)
+    machine.load_relation(
+        "probe", wisconsin_schema(),
+        list(generate_hot_key_tuples(
+            n, seed=5, hot_fraction=hot_fraction, domain=n // 10,
+        )),
+    )
+    machine.load_relation(
+        "build", wisconsin_schema(),
+        list(generate_tuples(n // 10, seed=6)),
+    )
+    return machine
+
+
+def _join_plan(machine):
+    query = join_abprime("probe", "build", key=False, into="out")
+    planner = Planner(
+        machine.config, machine.catalog,
+        skew_strategy=machine.skew_strategy,
+    )
+    return planner.plan(query)
+
+
+def _probe_join(ir):
+    node = ir.root
+    while not hasattr(node, "build_input"):
+        node = node.source
+    return node
+
+
+class TestStatisticsHelpers:
+    def test_histogram_boundaries_equal_depth(self):
+        sample = list(range(100))
+        cuts = histogram_boundaries(sample, 4)
+        assert cuts == [24, 49, 74]
+
+    def test_histogram_boundaries_refuse_single_value(self):
+        assert histogram_boundaries([7] * 100, 4) is None
+
+    def test_histogram_boundaries_refuse_tiny_sample(self):
+        assert histogram_boundaries([1, 2], 4) is None
+
+    def test_virtual_map_shape_and_determinism(self):
+        sample = [v % 17 for v in range(500)]
+        vmap = virtual_map(sample, 4)
+        assert len(vmap) == 4 * 8
+        assert set(vmap) <= set(range(4))
+        assert vmap == virtual_map(sample, 4)
+
+    def test_virtual_map_balances_sampled_load(self):
+        from collections import Counter
+
+        from repro.catalog import gamma_hash
+
+        sample = [v % 13 for v in range(1000)]
+        vmap = virtual_map(sample, 4)
+        per_fragment = Counter(vmap[gamma_hash(v, len(vmap))]
+                               for v in sample)
+        assert max(per_fragment.values()) <= 1.5 * min(
+            per_fragment.values()
+        )
+
+    def test_hot_keys_threshold(self):
+        sample = [0] * 60 + list(range(1, 41))
+        hot = hot_keys(sample, 4, share=0.5)
+        # 0 holds 60% of the sample >> 12.5% threshold; the tail keys
+        # hold 1% each.
+        assert hot == frozenset({0})
+
+    def test_hot_keys_empty_on_uniform(self):
+        assert hot_keys(list(range(1000)), 4) == frozenset()
+
+
+class TestPlannerStrategies:
+    def test_unknown_strategy_rejected(self):
+        machine = _skewed_machine()
+        with pytest.raises(PlanError, match="unknown skew_strategy"):
+            Planner(machine.config, machine.catalog,
+                    skew_strategy="zipfian")
+
+    def test_machine_knob_reaches_planner(self):
+        machine = _skewed_machine("vhash")
+        assert machine._planner().skew_strategy == "vhash"
+
+    def test_default_plan_uses_plain_hash(self):
+        join = _probe_join(_join_plan(_skewed_machine("hash")))
+        assert join.exchange.kind is ExchangeKind.HASH
+        assert join.build_input.exchange.kind is ExchangeKind.HASH
+
+    def test_range_plan_carries_boundaries(self):
+        join = _probe_join(_join_plan(_skewed_machine("range")))
+        assert join.exchange.kind is ExchangeKind.RANGE
+        assert join.build_input.exchange.kind is ExchangeKind.RANGE
+        assert join.exchange.boundaries
+        assert join.exchange.boundaries == sorted(
+            join.exchange.boundaries
+        )
+
+    def test_vhash_plan_overpartitions(self):
+        machine = _skewed_machine("vhash")
+        join = _probe_join(_join_plan(machine))
+        assert join.exchange.kind is ExchangeKind.VHASH
+        n_frag = (machine.config.n_diskless
+                  or machine.config.n_disk_sites)
+        assert len(join.exchange.virtual_map) == 8 * n_frag
+        assert join.exchange.virtual_map == (
+            join.build_input.exchange.virtual_map
+        )
+
+    def test_hot_broadcast_plan_detects_the_hot_key(self):
+        join = _probe_join(_join_plan(_skewed_machine("hot-broadcast")))
+        assert join.build_input.exchange.kind is (
+            ExchangeKind.HOT_BROADCAST
+        )
+        assert join.exchange.kind is ExchangeKind.HOT_SPRAY
+        assert 0 in join.exchange.hot_keys
+
+    def test_hot_broadcast_falls_back_on_uniform_data(self):
+        machine = GammaMachine(_config(), skew_strategy="hot-broadcast")
+        machine.load_relation(
+            "probe", wisconsin_schema(),
+            list(generate_tuples(2_000, seed=5)),
+        )
+        machine.load_relation(
+            "build", wisconsin_schema(),
+            list(generate_tuples(200, seed=6)),
+        )
+        join = _probe_join(_join_plan(machine))
+        assert join.exchange.kind is ExchangeKind.HASH
+
+    def test_describe_names_the_new_kinds(self):
+        for strategy, fragment in (
+            ("range", "range("),
+            ("vhash", "vhash("),
+            ("hot-broadcast", "hot-"),
+        ):
+            ir = _join_plan(_skewed_machine(strategy))
+            assert fragment in ir.root.describe() or fragment in (
+                _probe_join(ir).exchange.describe()
+            )
+
+
+class TestCrossStrategyExecution:
+    def test_all_strategies_agree_on_the_join_answer(self):
+        counts = {}
+        times = {}
+        for strategy in SKEW_STRATEGIES:
+            machine = _skewed_machine(strategy)
+            result = machine.run(
+                join_abprime("probe", "build", key=False, into="out")
+            )
+            counts[strategy] = result.result_count
+            times[strategy] = result.response_time
+        assert len(set(counts.values())) == 1, counts
+        # Redistribution changes timing, never answers: with a 60%-hot
+        # key, fragment-replicate must beat the plain hash split.
+        assert times["hot-broadcast"] < times["hash"]
+
+    def test_one_site_machine_runs_every_strategy(self):
+        for strategy in SKEW_STRATEGIES:
+            machine = GammaMachine(
+                GammaConfig(n_disk_sites=1, n_diskless=0),
+                skew_strategy=strategy,
+            )
+            machine.load_relation(
+                "probe", wisconsin_schema(),
+                list(generate_hot_key_tuples(500, seed=5,
+                                             hot_fraction=0.6)),
+            )
+            machine.load_relation(
+                "build", wisconsin_schema(),
+                list(generate_tuples(50, seed=6)),
+            )
+            result = machine.run(
+                join_abprime("probe", "build", key=False, into="out")
+            )
+            assert result.result_count > 0

@@ -1,0 +1,96 @@
+"""The skew verdict must count placed-but-idle nodes, and the profile
+must expose per-node utilisation spread as evidence."""
+
+import pytest
+
+from repro.metrics import Profiler
+from repro.metrics.profile import QueryProfile
+
+
+def _proc():
+    return object()  # any hashable stands in for a Process
+
+
+def _loaded_profiler(busy_by_node, placed_nodes):
+    """A profiler whose single operator logged ``busy_by_node`` cpu work
+    and was placed on ``placed_nodes``."""
+    profiler = Profiler()
+    for node in placed_nodes:
+        profiler.register(_proc(), "join1", "probe", node=node)
+    span = profiler._span("join1")
+    t = 0.0
+    for node, busy in busy_by_node.items():
+        span.busy["cpu"] = span.busy.get("cpu", 0.0) + busy
+        span.by_node[node] = busy
+        profiler.intervals.append(("join1", "probe", "cpu", node, t, busy))
+        t += busy
+    return profiler
+
+
+class TestSkewVerdict:
+    def test_zero_work_nodes_drag_the_mean_down(self):
+        """Three placed nodes, one did all the work: max/mean = 3 > 2.
+        Before the fix the two idle nodes were invisible (a single-node
+        sample can never look skewed)."""
+        profiler = _loaded_profiler(
+            {"site0": 6.0}, ["site0", "site1", "site2"]
+        )
+        verdict = profiler._classify(
+            {"cpu": 1.0, "disk": 0.0, "net": 0.0},
+            profiler.spans, profiler.intervals,
+        )
+        assert verdict == "skew"
+
+    def test_without_placements_single_worker_is_not_skew(self):
+        profiler = _loaded_profiler({"site0": 6.0}, [])
+        verdict = profiler._classify(
+            {"cpu": 1.0, "disk": 0.0, "net": 0.0},
+            profiler.spans, profiler.intervals,
+        )
+        assert verdict == "cpu-bound"
+
+    def test_balanced_work_is_not_skew(self):
+        profiler = _loaded_profiler(
+            {"site0": 2.0, "site1": 2.0, "site2": 2.0},
+            ["site0", "site1", "site2"],
+        )
+        verdict = profiler._classify(
+            {"cpu": 1.0, "disk": 0.0, "net": 0.0},
+            profiler.spans, profiler.intervals,
+        )
+        assert verdict == "cpu-bound"
+
+    def test_finish_exports_placements(self):
+        profiler = _loaded_profiler(
+            {"site0": 1.0}, ["site0", "site1"]
+        )
+        profile = profiler.finish(None, elapsed=1.0)
+        assert profile.placements["join1"] == ("site0", "site1")
+
+
+class TestUtilisationSpread:
+    def _profile(self, by_node, placed):
+        profiler = _loaded_profiler(by_node, placed)
+        return profiler.finish(None, elapsed=sum(by_node.values()) or 1.0)
+
+    def test_spread_counts_idle_placed_nodes(self):
+        profile = self._profile(
+            {"site0": 6.0}, ["site0", "site1", "site2"]
+        )
+        assert profile.node_busy("join1") == {
+            "site0": 6.0, "site1": 0.0, "site2": 0.0,
+        }
+        assert profile.utilisation_spread("join1") == pytest.approx(3.0)
+
+    def test_perfect_balance_is_one(self):
+        profile = self._profile(
+            {"site0": 2.0, "site1": 2.0}, ["site0", "site1"]
+        )
+        assert profile.utilisation_spread("join1") == pytest.approx(1.0)
+
+    def test_unknown_operator_defaults_to_one(self):
+        profile = QueryProfile(
+            elapsed=1.0, spans={}, timeline=None, critical_path=[],
+            verdict="cpu-bound", tree=None,
+        )
+        assert profile.utilisation_spread("nope") == 1.0

@@ -1,0 +1,62 @@
+"""Edge cases for the latency summary machinery in metrics.workload."""
+
+import pytest
+
+from repro.metrics.workload import LatencyStats, percentile
+
+
+class TestPercentile:
+    def test_single_sample_every_quantile(self):
+        for q in (1.0, 50.0, 95.0, 100.0):
+            assert percentile([7.5], q) == 7.5
+
+    def test_q100_is_the_maximum(self):
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert percentile(values, 100.0) == 5.0
+
+    def test_all_equal_samples(self):
+        values = [2.5] * 10
+        for q in (1.0, 50.0, 99.0, 100.0):
+            assert percentile(values, q) == 2.5
+
+    def test_empty_input_returns_zero(self):
+        assert percentile([], 50.0) == 0.0
+        assert percentile([], 100.0) == 0.0
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError, match="outside"):
+            percentile([1.0], 0.0)
+        with pytest.raises(ValueError, match="outside"):
+            percentile([1.0], 100.5)
+
+    def test_nearest_rank_no_interpolation(self):
+        # 10 samples: p95 is the ceil(0.95*10)=10th order statistic.
+        values = [float(v) for v in range(1, 11)]
+        assert percentile(values, 95.0) == 10.0
+        assert percentile(values, 50.0) == 5.0
+        assert percentile(values, 10.0) == 1.0
+
+
+class TestLatencyStats:
+    def test_empty_input_zero_path(self):
+        stats = LatencyStats.from_values([])
+        assert stats == LatencyStats(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    def test_single_sample(self):
+        stats = LatencyStats.from_values([3.0])
+        assert stats.count == 1
+        assert stats.mean == 3.0
+        assert stats.p50 == stats.p95 == stats.p99 == stats.max == 3.0
+
+    def test_all_equal(self):
+        stats = LatencyStats.from_values([4.0] * 7)
+        assert stats.count == 7
+        assert stats.mean == 4.0
+        assert stats.p50 == stats.p95 == stats.p99 == stats.max == 4.0
+
+    def test_as_dict_round_trip(self):
+        stats = LatencyStats.from_values([1.0, 2.0, 3.0])
+        payload = stats.as_dict()
+        assert payload["count"] == 3
+        assert payload["mean"] == pytest.approx(2.0)
+        assert payload["max"] == 3.0

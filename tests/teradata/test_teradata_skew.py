@@ -1,0 +1,77 @@
+"""Skew-aware spool redistribution on the DBC/1012 model."""
+
+import pytest
+
+from repro import TeradataConfig
+from repro.engine.ir import ExchangeKind
+from repro.engine.skew import SKEW_STRATEGIES
+from repro.errors import PlanError
+from repro.teradata import TeradataMachine
+from repro.workloads import (
+    generate_hot_key_tuples,
+    generate_tuples,
+    wisconsin_schema,
+)
+from repro.workloads.queries import join_abprime
+
+
+def _machine(strategy="hash", n=2_000):
+    machine = TeradataMachine(
+        TeradataConfig(n_amps=5), skew_strategy=strategy
+    )
+    machine.load_relation(
+        "probe", wisconsin_schema(),
+        list(generate_hot_key_tuples(
+            n, seed=5, hot_fraction=0.6, domain=n // 10,
+        )),
+        primary_key="unique1",
+    )
+    machine.load_relation(
+        "build", wisconsin_schema(),
+        list(generate_tuples(n // 10, seed=6)),
+        primary_key="unique1",
+    )
+    return machine
+
+
+class TestTeradataSkew:
+    def test_unknown_strategy_rejected(self):
+        machine = _machine()
+        machine.skew_strategy = "zipfian"
+        with pytest.raises(PlanError, match="unknown skew_strategy"):
+            machine._planner()
+
+    def test_all_strategies_agree_on_the_join_answer(self):
+        counts = {}
+        for strategy in SKEW_STRATEGIES:
+            result = _machine(strategy).run(
+                join_abprime("probe", "build", key=False, into="out")
+            )
+            counts[strategy] = result.result_count
+        assert len(set(counts.values())) == 1, counts
+
+    def test_hot_broadcast_exchanges_reach_the_plan(self):
+        machine = _machine("hot-broadcast")
+        ir = machine._planner().plan(
+            join_abprime("probe", "build", key=False, into="out")
+        )
+        node = ir.root
+        while not hasattr(node, "left_exchange"):
+            node = node.source
+        assert node.left_exchange.kind is ExchangeKind.HOT_BROADCAST
+        assert node.right_exchange.kind is ExchangeKind.HOT_SPRAY
+
+    def test_primary_key_join_keeps_the_local_shortcut(self):
+        """A LOCAL side pins the join to plain hashing — the stored
+        fragments are already hash-partitioned, so any other split of
+        the shipped side would misalign the merge."""
+        machine = _machine("vhash")
+        ir = machine._planner().plan(
+            join_abprime("probe", "build", key=True, into="out")
+        )
+        node = ir.root
+        while not hasattr(node, "left_exchange"):
+            node = node.source
+        kinds = {node.left_exchange.kind, node.right_exchange.kind}
+        assert ExchangeKind.VHASH not in kinds
+        assert ExchangeKind.LOCAL in kinds

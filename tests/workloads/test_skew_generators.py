@@ -1,0 +1,119 @@
+"""Zipf and hot-key Wisconsin generators: determinism, validation, and
+the monotone concentration the skew benchmark relies on."""
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.workloads import (
+    generate_hot_key_tuples,
+    generate_skewed_tuples,
+    generate_tuples,
+    wisconsin_schema,
+)
+from repro.workloads.wisconsin import MAX_SKEW
+
+
+def _unique2(records):
+    return [r[1] for r in records]
+
+
+class TestSkewedGenerator:
+    def test_deterministic_for_a_seed(self):
+        a = list(generate_skewed_tuples(500, seed=3, skew=1.0))
+        b = list(generate_skewed_tuples(500, seed=3, skew=1.0))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = list(generate_skewed_tuples(500, seed=3, skew=1.0))
+        b = list(generate_skewed_tuples(500, seed=4, skew=1.0))
+        assert a != b
+
+    def test_schema_arity_and_derived_ints(self):
+        schema = wisconsin_schema()
+        for record in generate_skewed_tuples(100, seed=1, skew=1.0):
+            assert len(record) == len(schema.attributes)
+            u1 = record[0]
+            assert record[2] == u1 % 2
+            assert record[6] == u1 % 100
+
+    def test_unique1_stays_a_permutation(self):
+        records = list(generate_skewed_tuples(300, seed=9, skew=1.5))
+        assert sorted(r[0] for r in records) == list(range(300))
+
+    def test_skew_zero_is_uniformish(self):
+        values = _unique2(generate_skewed_tuples(4000, seed=7, skew=0.0))
+        top = Counter(values).most_common(1)[0][1]
+        assert top / len(values) < 0.01
+
+    def test_concentration_grows_with_skew(self):
+        shares = []
+        for skew in (0.0, 0.5, 1.0, 1.5):
+            values = _unique2(
+                generate_skewed_tuples(4000, seed=7, skew=skew)
+            )
+            top = Counter(values).most_common(1)[0][1]
+            shares.append(top / len(values))
+        assert shares == sorted(shares)
+        assert shares[-1] > 0.2  # skew=1.5 concentrates hard
+
+    def test_domain_bounds_the_values(self):
+        values = _unique2(
+            generate_skewed_tuples(1000, seed=1, skew=1.0, domain=50)
+        )
+        assert set(values) <= set(range(50))
+
+    def test_skew_knob_validated(self):
+        with pytest.raises(BenchmarkError, match="skew"):
+            list(generate_skewed_tuples(10, skew=-0.1))
+        with pytest.raises(BenchmarkError, match="skew"):
+            list(generate_skewed_tuples(10, skew=MAX_SKEW + 0.01))
+
+    def test_skew_attr_validated(self):
+        with pytest.raises(BenchmarkError, match="skew_attr"):
+            list(generate_skewed_tuples(10, skew=1.0,
+                                        skew_attr="stringu1"))
+
+    def test_alternate_skew_attr_reverts_unique2(self):
+        records = list(generate_skewed_tuples(
+            200, seed=2, skew=1.5, skew_attr="tenthous",
+        ))
+        pos = 10  # tenthous
+        top = Counter(r[pos] for r in records).most_common(1)[0][1]
+        assert top / len(records) > 0.1
+        # unique2 takes the permutation surrogate's value (u1).
+        assert all(r[1] == r[0] for r in records)
+
+    def test_matches_uniform_generator_otherwise(self):
+        skewed = list(generate_skewed_tuples(100, seed=5, skew=0.0))
+        uniform = list(generate_tuples(100, seed=5))
+        # Same seed → same unique1 permutation and strings; only the
+        # unique2 column differs (drawn i.i.d. instead of permuted).
+        assert [r[0] for r in skewed] == [r[0] for r in uniform]
+        assert [r[13:] for r in skewed] == [r[13:] for r in uniform]
+
+
+class TestHotKeyGenerator:
+    def test_hot_share_approximates_fraction(self):
+        values = _unique2(generate_hot_key_tuples(
+            4000, seed=7, hot_fraction=0.5, hot_value=3,
+        ))
+        share = Counter(values)[3] / len(values)
+        assert 0.45 < share < 0.55
+
+    def test_zero_fraction_is_uniform(self):
+        values = _unique2(generate_hot_key_tuples(
+            4000, seed=7, hot_fraction=0.0,
+        ))
+        top = Counter(values).most_common(1)[0][1]
+        assert top / len(values) < 0.01
+
+    def test_fraction_validated(self):
+        with pytest.raises(BenchmarkError, match="hot_fraction"):
+            list(generate_hot_key_tuples(10, hot_fraction=1.5))
+
+    def test_deterministic(self):
+        a = list(generate_hot_key_tuples(300, seed=3, hot_fraction=0.4))
+        b = list(generate_hot_key_tuples(300, seed=3, hot_fraction=0.4))
+        assert a == b
