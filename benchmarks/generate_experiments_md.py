@@ -31,6 +31,7 @@ ORDER = [
     ("extension_e2_recovery", "Extension E2"),
     ("workload_mpl", "Extension E3"),
     ("extension_e4_skew", "Extension E4"),
+    ("extension_e5_scaleup", "Extension E5"),
 ]
 
 # Hand-written framing around a saved report: (intro, outro).  An intro
@@ -85,6 +86,32 @@ tuples (`hot-broadcast`) restores the uniform-case speedup, at the
 price of duplicating a handful of build tuples per site.
 """,
     ),
+    "extension_e5_scaleup": (
+        """\
+Section 4.5 stops the speedup experiments at 32 processors — the
+hardware Gamma had.  This experiment asks what the *model* predicts
+beyond that: the same non-indexed selection and joinABprime
+(100,000-tuple relations) declustered across 8, 64, 256 and 1,000
+sites.  Regenerate with
+`pytest benchmarks/bench_extension_scaleup.py --benchmark-only`, or
+interactively via `python -m repro scaleup`.
+""",
+        """\
+Reading the table: the paper's near-linear regime survives well past
+the hardware — 8→64 sites still buys a ~3x response-time win at this
+relation size — but by 256 sites both queries *roll over*: each site
+holds so few tuples that the fixed per-site costs (operator
+activation, and the sites² end-of-stream port-close traffic of the
+redistribution phase) dominate the shrinking per-site scan, and
+response time climbs again.  That is Section 4.5's "diminishing
+returns" argument taken to its asymptote, and the reason the 1,000-site
+rows are slower than the 64-site ones despite 15x the hardware.  The
+kernel-events column grows ~quadratically with sites while wall-clock
+per event stays flat — scaling the *simulator* to 1,000 sites is a
+throughput problem (see DESIGN.md's performance-engineering section),
+not a semantic one.
+""",
+    ),
 }
 
 PREAMBLE = """\
@@ -110,11 +137,14 @@ sequential in-process execution.  Parallel and sequential runs produce
 do not depend on the process or execution order; asserted by
 `tests/bench/test_sweep.py`).  The simulator's own speed is tracked
 separately by `python benchmarks/perf/run_perf.py`, which times a
-pure-kernel workload, the Figure 1-2 file-scan selection and a hybrid
-join, and writes wall-clock seconds, simulated seconds and events/second
-to `benchmarks/results/BENCH_perf.json`; CI runs it at 10k scale and
+pure-kernel workload, the Figure 1-2 file-scan selection, a hybrid
+join and a many-site scaleup sweep (`scaleup_1000`: selection +
+joinABprime at 64/256/1,000 sites), and writes wall-clock seconds,
+simulated seconds and events/second to
+`benchmarks/results/BENCH_perf.json`; CI runs it at 10k scale and
 fails if events/second regresses >30 % against
-`benchmarks/perf/baseline.json`.
+`benchmarks/perf/baseline.json`, then separately asserts the 256-site
+smoke points stay inside a wall-clock budget.
 
 Profiling note: `pytest benchmarks/ --benchmark-only --profile` (or
 `GAMMA_BENCH_PROFILE=1`, which is how the flag reaches sweep workers)

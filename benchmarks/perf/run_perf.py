@@ -12,6 +12,11 @@ events/second for three workloads:
   (machine build excluded from the timing).
 - ``hybrid_join``: joinABprime on non-key attributes at paper
   configuration — the deepest operator pipeline in the repo.
+- ``scaleup_1000``: the selection and joinABprime swept over machine
+  sizes (64/256 sites at smoke scale, plus 1000 sites at full scale) —
+  the event count grows with the square of the site count (every
+  producer closes every consumer port), so this tracks whether the
+  kernel's cost *per event* stays flat as the machine grows.
 
 Usage::
 
@@ -33,24 +38,32 @@ import argparse
 import json
 import os
 import platform
-import sys
 import time
 from typing import Any, Callable, Generator
 
-sys.path.insert(
-    0,
-    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "..", "src"),
-)
-
-from repro.bench import build_gamma, run_stored  # noqa: E402
-from repro.hardware import GammaConfig  # noqa: E402
-from repro.sim import Delay, Server, Simulation, Use  # noqa: E402
-from repro.workloads.queries import join_abprime, selection_query  # noqa: E402
+try:
+    # Same import mechanism as the bench_* suites: ``repro`` comes from
+    # the installed package (``pip install -e .``) or ``PYTHONPATH=src``.
+    from repro.bench import build_gamma, run_stored
+    from repro.hardware import GammaConfig
+    from repro.sim import Delay, Server, Simulation, Use
+    from repro.workloads.queries import join_abprime, selection_query
+except ModuleNotFoundError as exc:  # pragma: no cover - setup guidance
+    raise SystemExit(
+        f"cannot import the repro package ({exc}); install it with"
+        " `pip install -e .` or run with PYTHONPATH=src"
+    ) from exc
 
 #: Wall-clock seconds of the ``file_scan`` query at 100k tuples measured at
 #: the pre-fast-path commit on the reference container — the denominator of
 #: the ``speedup_vs_seed`` figure this PR's acceptance criterion tracks.
 SEED_FILE_SCAN_100K_WALL_S = 0.468
+
+
+#: Denominator floor for the rate figures: at tiny ``--scale`` a run can
+#: finish between clock ticks and report 0.0 seconds, and a rate of
+#: events/1ns (an upper bound) beats dividing by zero.
+_MIN_TIME_S = 1e-9
 
 
 def _sample(wall: float, cpu: float, sim_s: float, events: int) -> dict[str, Any]:
@@ -62,8 +75,8 @@ def _sample(wall: float, cpu: float, sim_s: float, events: int) -> dict[str, Any
         "cpu_s": cpu,
         "sim_s": sim_s,
         "events": events,
-        "events_per_s": events / wall,
-        "events_per_cpu_s": events / cpu,
+        "events_per_s": events / max(wall, _MIN_TIME_S),
+        "events_per_cpu_s": events / max(cpu, _MIN_TIME_S),
     }
 
 
@@ -126,11 +139,80 @@ def _bench_hybrid_join(scale: int) -> dict[str, Any]:
                    result.stats["sim_events"])
 
 
+#: Site counts for the scaleup benchmark: the 1000-site points cost
+#: minutes of wall clock (tens of millions of events), so they only run
+#: at full scale; CI's 10k smoke scale sweeps 64 and 256 sites.
+SCALEUP_SITES_FULL = (64, 256, 1000)
+SCALEUP_SITES_SMOKE = (64, 256)
+
+
+def _bench_scaleup_1000(scale: int) -> dict[str, Any]:
+    """Selection + joinABprime swept over machine sizes (build untimed).
+
+    Event count grows roughly with the square of the site count — every
+    producer closes every consumer port, and operator activation is per
+    site — so the figure of merit is the aggregate events/second, which
+    tracks whether kernel cost per event stays flat as the machine grows
+    past the paper's 32 processors.
+    """
+    sites_list = (
+        SCALEUP_SITES_FULL if scale >= 100_000 else SCALEUP_SITES_SMOKE
+    )
+    points: list[dict[str, Any]] = []
+    totals = {"wall": 0.0, "cpu": 0.0, "sim": 0.0, "events": 0}
+    for sites in sites_list:
+        config = GammaConfig.paper_default().with_sites(sites)
+        runs: list[tuple[str, Any, Any]] = [
+            (
+                "selection",
+                build_gamma(config, relations=[("perfsel", scale, "heap")]),
+                lambda into: selection_query(
+                    "perfsel", scale, 0.01, into=into
+                ),
+            ),
+            (
+                "joinABprime",
+                build_gamma(config, relations=[
+                    ("perfA", scale, "heap"),
+                    ("perfBp", scale // 10, "heap"),
+                ]),
+                lambda into: join_abprime(
+                    "perfA", "perfBp", key=False, into=into
+                ),
+            ),
+        ]
+        for query, machine, make in runs:
+            wall0, cpu0 = time.perf_counter(), time.process_time()
+            result = run_stored(machine, make)
+            wall = time.perf_counter() - wall0
+            cpu = time.process_time() - cpu0
+            events = result.stats["sim_events"]
+            points.append({
+                "sites": sites, "query": query,
+                **_sample(wall, cpu, result.response_time, events),
+            })
+            totals["wall"] += wall
+            totals["cpu"] += cpu
+            totals["sim"] += result.response_time
+            totals["events"] += events
+    out = _sample(
+        totals["wall"], totals["cpu"], totals["sim"], totals["events"]
+    )
+    out["points"] = points
+    return out
+
+
 BENCHMARKS: dict[str, Callable[[int], dict[str, Any]]] = {
     "kernel_dispatch": _bench_kernel_dispatch,
     "file_scan": _bench_file_scan,
     "hybrid_join": _bench_hybrid_join,
+    "scaleup_1000": _bench_scaleup_1000,
 }
+
+#: Benchmarks that ignore ``--repeat``: a scaleup run covers millions of
+#: kernel events, so one pass is already a low-variance estimate and
+#: repeats would cost minutes each at full scale.
+RUN_ONCE = {"scaleup_1000"}
 
 
 def run_benchmarks(scale: int, repeat: int = 3) -> dict[str, Any]:
@@ -143,7 +225,7 @@ def run_benchmarks(scale: int, repeat: int = 3) -> dict[str, Any]:
     results: dict[str, Any] = {}
     for name, fn in BENCHMARKS.items():
         best: dict[str, Any] | None = None
-        for _ in range(max(1, repeat)):
+        for _ in range(1 if name in RUN_ONCE else max(1, repeat)):
             sample = fn(scale)
             if best is not None:
                 assert sample["events"] == best["events"], name
@@ -164,6 +246,14 @@ def check_baseline(
 ) -> list[str]:
     """Names of benchmarks whose events/s regressed past the threshold."""
     failures: list[str] = []
+    for name in report["benchmarks"]:
+        # A benchmark that runs without a committed reference is a gate
+        # hole, not a pass: fail loudly until the baseline is refreshed.
+        if name not in baseline.get("benchmarks", {}):
+            failures.append(
+                f"{name}: no baseline entry — regenerate with"
+                " --update-baseline"
+            )
     for name, base in baseline.get("benchmarks", {}).items():
         measured = report["benchmarks"].get(name)
         if measured is None:
@@ -210,6 +300,13 @@ def main(argv: list[str] | None = None) -> int:
         if "speedup_vs_seed" in r:
             line += f"   {r['speedup_vs_seed']:.2f}x vs seed"
         print(line)
+        for point in r.get("points", ()):
+            print(
+                f"    @{point['sites']:>4} sites {point['query']:<12}"
+                f" wall {point['wall_s']:8.3f}s"
+                f"   {point['events']:>10,} events"
+                f"   {point['events_per_s']:>12,.0f} ev/s"
+            )
     print(f"wrote {os.path.relpath(args.out)}")
 
     if args.baseline:

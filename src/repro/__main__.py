@@ -23,6 +23,12 @@
     under every redistribution strategy (hash / range / vhash /
     hot-broadcast), reporting per-strategy speedup and per-node
     utilisation spread; ``--json`` dumps the sweep profile.
+
+``python -m repro scaleup``
+    Machine-size sweep: the 1 % selection and joinABprime at 8, 64,
+    256 and 1000 disk sites, printing the speedup-vs-sites table
+    (simulated response) plus per-point simulator throughput;
+    ``--json`` dumps the sweep profile.
 """
 
 from __future__ import annotations
@@ -194,6 +200,29 @@ def _skew(args: argparse.Namespace) -> int:
     return 0 if report.all_checks_pass else 1
 
 
+def _scaleup(args: argparse.Namespace) -> int:
+    import json
+
+    from .bench.scaleup import scaleup_experiment
+
+    report, profile = scaleup_experiment(
+        n=args.tuples,
+        site_counts=[s for s in args.sites if s <= args.max_sites],
+    )
+    print(report.to_markdown())
+    for point in profile["points"]:
+        print(
+            f"  {point['query']:<12} @{point['sites']:<5} sites:"
+            f" {point['events']:>11,} events in {point['wall_s']:6.1f}s"
+            f" wall ({point['events_per_s']:>10,.0f} ev/s)"
+        )
+    if args.json is not None:
+        with open(args.json, "w") as fh:
+            json.dump(profile, fh, indent=2)
+        print(f"sweep profile written to {args.json}")
+    return 0 if report.all_checks_pass else 1
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -273,6 +302,21 @@ def main(argv: list[str]) -> int:
     sk.add_argument("--json", metavar="PATH",
                     help="write the sweep profile as JSON")
 
+    su = sub.add_parser(
+        "scaleup", help="machine-size sweep: selection + joinABprime at"
+        " 8→1000 disk sites (speedup-vs-sites table)",
+    )
+    su.add_argument("--tuples", type=int, default=100_000,
+                    help="size of the A relation (Bprime is a tenth)")
+    su.add_argument("--sites", type=int, nargs="+",
+                    default=[8, 64, 256, 1000],
+                    help="disk-site counts to sweep")
+    su.add_argument("--max-sites", type=int, default=1000,
+                    help="drop swept configurations above this size"
+                    " (the 1000-site points cost minutes of wall clock)")
+    su.add_argument("--json", metavar="PATH",
+                    help="write the sweep profile as JSON")
+
     # Bare `python -m repro [n]` keeps its historical meaning.
     raw = argv[1:]
     if not raw or (len(raw) == 1 and raw[0].lstrip("-").isdigit()):
@@ -285,6 +329,8 @@ def main(argv: list[str]) -> int:
         return _workload(args)
     if args.command == "skew":
         return _skew(args)
+    if args.command == "scaleup":
+        return _scaleup(args)
     return _demo(args.n_tuples)
 
 

@@ -35,6 +35,10 @@ from .recorded import (
     TABLE3_UPDATES,
 )
 from .reporting import Report, ratio_note
+from .scaleup import (
+    save_scaleup_profile,
+    scaleup_experiment,
+)
 from .skew import (
     load_skew_machine,
     save_skew_profile,
@@ -75,8 +79,10 @@ __all__ = [
     "machine_builder",
     "make_mix",
     "ratio_note",
+    "save_scaleup_profile",
     "save_skew_profile",
     "save_workload_profile",
+    "scaleup_experiment",
     "skew_join_experiment",
     "run_stored",
     "run_sweep",

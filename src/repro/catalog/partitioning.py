@@ -29,6 +29,10 @@ def stable_hash(value: Any) -> int:
     so they keep the builtin path bit-for-bit; salted types are routed
     through crc32 of their UTF-8 bytes instead.
     """
+    if type(value) is int:
+        # The dominant case (Wisconsin attributes): identical to the
+        # fall-through ``hash(value)`` below, minus the isinstance ladder.
+        return hash(value)
     if isinstance(value, str):
         return crc32(value.encode("utf-8"))
     if isinstance(value, (bytes, bytearray)):
@@ -48,7 +52,10 @@ def gamma_hash(value: Any, n_buckets: int) -> int:
     """
     if n_buckets <= 0:
         raise CatalogError("hash needs at least one bucket")
-    h = (stable_hash(value) * 2654435761) & 0xFFFFFFFF
+    h = (
+        (hash(value) if type(value) is int else stable_hash(value))
+        * 2654435761
+    ) & 0xFFFFFFFF
     # Fold the high bits down so that regular key patterns (multiples of
     # 100, say) cannot alias with small bucket counts.
     h ^= h >> 17
@@ -144,6 +151,23 @@ class Hashed(PartitioningStrategy):
 
     def site_for_key(self, value: Any, n_sites: int) -> Optional[int]:
         return gamma_hash(value, n_sites)
+
+    def partition(
+        self, records: Sequence[tuple], schema: Schema, n_sites: int
+    ) -> list[list[tuple]]:
+        """Batched load-time declustering: one vectorized hash pass.
+
+        Same bucket contents and order as the per-record base-class loop
+        (``hash_route_batch`` matches ``gamma_hash`` bit for bit).
+        """
+        if n_sites < 1:
+            raise CatalogError("need at least one site")
+        self.prepare(records, schema, n_sites)
+        # Imported lazily: engine.columnar sits above catalog in the
+        # layering, and only this method crosses that boundary.
+        from ..engine.columnar import partition_batch
+
+        return partition_batch(records, self._pos, n_sites)
 
 
 class RangePartitioned(PartitioningStrategy):

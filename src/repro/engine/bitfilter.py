@@ -37,6 +37,7 @@ class BitVectorFilter:
         self.n_bits = n_bits
         self.n_hashes = n_hashes
         self._bits = bytearray(n_bits // 8 + 1)
+        self._seeds = tuple(range(n_hashes))
         self.set_count = 0
 
     def __repr__(self) -> str:  # pragma: no cover - diagnostics only
@@ -49,15 +50,27 @@ class BitVectorFilter:
     def add(self, value: Any) -> None:
         """Set the bits for ``value`` (build side)."""
         self.set_count += 1
-        for seed in range(self.n_hashes):
-            bit = _mix(value, seed) % self.n_bits
-            self._bits[bit >> 3] |= 1 << (bit & 7)
+        # _mix, inlined with stable_hash's integer fast path hoisted out
+        # of the per-seed loop (the bit positions are unchanged).
+        sv = hash(value) if type(value) is int else stable_hash(value)
+        bits = self._bits
+        n_bits = self.n_bits
+        for seed in self._seeds:
+            h = hash((seed, sv))
+            h ^= h >> 16
+            bit = (h & 0x7FFFFFFF) % n_bits
+            bits[bit >> 3] |= 1 << (bit & 7)
 
     def might_contain(self, value: Any) -> bool:
         """Probe side: False means *definitely* absent."""
-        for seed in range(self.n_hashes):
-            bit = _mix(value, seed) % self.n_bits
-            if not self._bits[bit >> 3] & (1 << (bit & 7)):
+        sv = hash(value) if type(value) is int else stable_hash(value)
+        bits = self._bits
+        n_bits = self.n_bits
+        for seed in self._seeds:
+            h = hash((seed, sv))
+            h ^= h >> 16
+            bit = (h & 0x7FFFFFFF) % n_bits
+            if not bits[bit >> 3] & (1 << (bit & 7)):
                 return False
         return True
 

@@ -44,6 +44,15 @@ class Node:
         )
         self.buffer = BufferPool(f"{name}.buf", buffer_pages)
         self.instructions_retired = 0.0
+        # config.cpu.instructions_per_second, hoisted: work_effect divides
+        # by it once per CPU charge, and the property recomputes mips*1e6
+        # per call.  Same expression, so the quotient is bit-identical.
+        self._instr_per_s = config.cpu.mips * 1e6
+        # One mutable Use reused by every work_effect call: the kernel
+        # consumes an effect synchronously at the yield (duration is read
+        # once and captured by value), so the instance never needs to
+        # outlive the next charge.
+        self._cpu_effect = Use(self.cpu, 0.0)
 
     def __repr__(self) -> str:  # pragma: no cover - diagnostics only
         disk = "disk" if self.drive else "diskless"
@@ -71,7 +80,9 @@ class Node:
         if instructions <= 0:
             return None
         self.instructions_retired += instructions
-        return Use(self.cpu, self.config.cpu.time_for(instructions))
+        eff = self._cpu_effect
+        eff.duration = instructions / self._instr_per_s
+        return eff
 
     def read_page(
         self,

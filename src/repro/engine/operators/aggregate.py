@@ -88,19 +88,23 @@ def grouped_aggregate_operator(
     """
     costs = ctx.config.costs
     groups: dict[Any, _Accumulator] = {}
+    # Every record pays lookup + update; the constants are integer-valued,
+    # so the per-batch multiply matches the per-record float fold exactly.
+    per_record = costs.aggregate_group_lookup + costs.aggregate_update
+    groups_get = groups.get
+    work_effect = node.work_effect
     while True:
         packet = yield from port.next_packet()
         if packet is None:
             break
-        cpu = 0.0
-        for record in packet.records:
-            cpu += costs.aggregate_group_lookup + costs.aggregate_update
+        records = packet.records
+        for record in records:
             group = record[group_pos]
-            acc = groups.get(group)
+            acc = groups_get(group)
             if acc is None:
                 acc = groups[group] = _Accumulator()
             acc.fold(record[value_pos] if value_pos is not None else None)
-        eff = node.work_effect(cpu)
+        eff = work_effect(per_record * len(records))
         if eff is not None:
             yield eff
     results = [

@@ -24,9 +24,32 @@ from typing import Any, Generator, Optional
 
 from ..bitfilter import BitVectorFilter
 from ..node import ExecutionContext, Node
-from ..ports import InputPort, OutputPort
+from ..ports import EndOfStream, InputPort, OutputPort
 from .base import SpoolFile, operator_done
 from .join import _h2
+
+#: Cache of sequential per-record charge folds, keyed by
+#: (per-record cost components, record count).
+_charge_cache: dict[tuple[tuple[float, ...], int], float] = {}
+
+
+def _repeat_charge(parts: tuple[float, ...], n: int) -> float:
+    """The sequential float fold of charging ``parts`` once per record.
+
+    Replaying the exact per-record addition order once per distinct
+    ``(parts, n)`` — instead of on every packet — keeps accumulated packet
+    charges bit-identical to the original inner loop: float addition is
+    not associative, so ``n * sum(parts)`` would drift.
+    """
+    key = (parts, n)
+    total = _charge_cache.get(key)
+    if total is None:
+        total = 0.0
+        for _ in range(n):
+            for part in parts:
+                total += part
+        _charge_cache[key] = total
+    return total
 
 
 class HybridJoinState:
@@ -68,6 +91,9 @@ class HybridJoinState:
         # fit memory one at a time during the resolution sweep.
         self.n_partitions = max(1, ceil(expected_bytes * 1.05 / capacity_bytes))
         self.fraction0 = min(1.0, capacity_bytes * 0.95 / expected_bytes)
+        #: True when partition_of() is constant 0 — every key stays in
+        #: memory, so the consumers can skip the per-record hash entirely.
+        self.all_in_memory = self.n_partitions == 1 or self.fraction0 >= 1.0
         self.table: dict[Any, list[tuple]] = defaultdict(list)
         self.bytes_used = 0.0
         self.build_spools = [
@@ -95,24 +121,72 @@ def hybrid_build_consumer(
 ) -> Generator[Any, Any, None]:
     """Phase one: build partition 0 in memory, spool the rest locally."""
     costs = ctx.config.costs
-    while True:
-        packet = yield from state.build_port.next_packet()
-        if packet is None:
-            break
-        cpu = 0.0
-        spill: dict[int, list[tuple]] = defaultdict(list)
-        for record in packet.records:
-            key = record[state.build_pos]
-            cpu += costs.hash_table_insert
-            if state.bit_filter is not None:
-                state.bit_filter.add(key)
-                cpu += costs.bitfilter_set
-            p = state.partition_of(key)
-            if p == 0:
-                state.table[key].append(record)
-                state.bytes_used += state.entry_bytes
+    insert_cost = costs.hash_table_insert
+    bitset_cost = costs.bitfilter_set
+    bf = state.bit_filter
+    bf_add = bf.add if bf is not None else None
+    bpos = state.build_pos
+    entry_bytes = state.entry_bytes
+    all_mem = state.all_in_memory
+    partition_of = state.partition_of
+    table = state.table
+    charge = (
+        (insert_cost, bitset_cost) if bf is not None else (insert_cost,)
+    )
+    port = state.build_port
+    flat = ctx.profiler is None and ctx.trace is None
+    get_effect = port._get_effect
+    receive = port.receive_effect
+    while port.expected_producers == 0 or (
+        port._eos_seen < port.expected_producers
+    ):
+        # Flattened receive loop (see join.build_consumer): identical
+        # effects, no next_packet generator per packet.
+        if flat:
+            message = yield get_effect
+            if type(message) is EndOfStream:
+                port._eos_seen += 1
+                continue
+            eff = receive(message)
+            if eff is not None:
+                yield eff
+        else:
+            message = yield from port.next_packet()
+            if message is None:
+                break
+        records = message.records
+        bytes_used = state.bytes_used
+        spill: Optional[dict[int, list[tuple]]] = None
+        if all_mem:
+            # Every key lands in partition 0: skip the partition hash and
+            # fold the constant per-record charges through the cache.
+            if bf_add is not None:
+                for record in records:
+                    key = record[bpos]
+                    bf_add(key)
+                    table[key].append(record)
+                    bytes_used += entry_bytes
             else:
-                spill[p].append(record)
+                for record in records:
+                    table[record[bpos]].append(record)
+                    bytes_used += entry_bytes
+            cpu = _repeat_charge(charge, len(records))
+        else:
+            # Spilled records pay the same insert/bitset charges as
+            # resident ones, so the whole batch folds through the cache.
+            cpu = _repeat_charge(charge, len(records))
+            spill = defaultdict(list)
+            for record in records:
+                key = record[bpos]
+                if bf_add is not None:
+                    bf_add(key)
+                p = partition_of(key)
+                if p == 0:
+                    table[key].append(record)
+                    bytes_used += entry_bytes
+                else:
+                    spill[p].append(record)
+        state.bytes_used = bytes_used
         ctx.metrics.record_hash_table_bytes(state.node.name, state.bytes_used)
         if ctx.trace is not None:
             ctx.trace.counter(
@@ -123,8 +197,9 @@ def hybrid_build_consumer(
         eff = state.node.work_effect(cpu)
         if eff is not None:
             yield eff
-        for p, batch in spill.items():
-            yield from state.build_spools[p - 1].add_batch(batch)
+        if spill:
+            for p, batch in spill.items():
+                yield from state.build_spools[p - 1].add_batch(batch)
     for spool in state.build_spools:
         yield from spool.flush()
 
@@ -134,33 +209,68 @@ def hybrid_probe_consumer(
 ) -> Generator[Any, Any, None]:
     """Phase two: probe partition 0, spool probes for partitions 1..k-1."""
     costs = ctx.config.costs
-    while True:
-        packet = yield from state.probe_port.next_packet()
-        if packet is None:
-            break
-        cpu = 0.0
-        spill: dict[int, list[tuple]] = defaultdict(list)
-        results: list[tuple] = []
-        for record in packet.records:
-            key = record[state.probe_pos]
-            cpu += costs.hash_table_probe
-            p = state.partition_of(key)
-            if p != 0:
-                spill[p].append(record)
+    probe_cost = costs.hash_table_probe
+    result_cost = costs.join_result_tuple
+    ppos = state.probe_pos
+    all_mem = state.all_in_memory
+    partition_of = state.partition_of
+    table_get = state.table.get
+    work_effect = state.node.work_effect
+    port = state.probe_port
+    flat = ctx.profiler is None and ctx.trace is None
+    get_effect = port._get_effect
+    receive = port.receive_effect
+    while port.expected_producers == 0 or (
+        port._eos_seen < port.expected_producers
+    ):
+        if flat:
+            message = yield get_effect
+            if type(message) is EndOfStream:
+                port._eos_seen += 1
                 continue
-            bucket = state.table.get(key)
-            if bucket:
-                cpu += costs.join_result_tuple * len(bucket)
-                for build_record in bucket:
-                    results.append(build_record + record)
+            eff = receive(message)
+            if eff is not None:
+                yield eff
+        else:
+            message = yield from port.next_packet()
+            if message is None:
+                break
+        records = message.records
+        # Hits, misses, and spills all pay the probe charge; the bulk
+        # multiply over integer-valued constants is exact.
+        cpu = probe_cost * len(records)
+        spill: Optional[dict[int, list[tuple]]] = None
+        results: list[tuple] = []
+        res_append = results.append
+        if all_mem:
+            for record in records:
+                bucket = table_get(record[ppos])
+                if bucket:
+                    cpu += result_cost * len(bucket)
+                    for build_record in bucket:
+                        res_append(build_record + record)
+        else:
+            spill = defaultdict(list)
+            for record in records:
+                key = record[ppos]
+                p = partition_of(key)
+                if p != 0:
+                    spill[p].append(record)
+                    continue
+                bucket = table_get(key)
+                if bucket:
+                    cpu += result_cost * len(bucket)
+                    for build_record in bucket:
+                        res_append(build_record + record)
         state.matches += len(results)
-        eff = state.node.work_effect(cpu)
+        eff = work_effect(cpu)
         if eff is not None:
             yield eff
         if results:
             yield from state.output.emit_many(results)
-        for p, batch in spill.items():
-            yield from state.probe_spools[p - 1].add_batch(batch)
+        if spill:
+            for p, batch in spill.items():
+                yield from state.probe_spools[p - 1].add_batch(batch)
     for spool in state.probe_spools:
         yield from spool.flush()
 

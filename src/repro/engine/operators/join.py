@@ -24,7 +24,7 @@ from ...catalog.partitioning import stable_hash
 from ...errors import ExecutionError
 from ..bitfilter import BitVectorFilter
 from ..node import ExecutionContext, Node
-from ..ports import InputPort, OutputPort
+from ..ports import EndOfStream, InputPort, OutputPort
 from .base import SpoolFile, operator_done
 
 #: Safety valve against non-terminating overflow recursion.
@@ -186,25 +186,49 @@ def _insert_batch(
 ) -> Generator[Any, Any, None]:
     """Insert build records, evicting to the exchange on overflow."""
     costs = state.node.config.costs
-    cpu = 0.0
+    # Every record pays the insert charge regardless of whether it spills;
+    # the constants are integer-valued, so one bulk multiply is exactly the
+    # float sum of the per-record adds.
+    cpu = costs.hash_table_insert * len(records)
     seed = state.seed
     pos = state.build_pos
     spill: dict[int, list[tuple]] = defaultdict(list)
+    bitset_cost = costs.bitfilter_set
+    entry_bytes = state.entry_bytes
+    capacity = state.capacity_bytes
+    table = state.table
+    bf = state.bit_filter
+    bf_add = bf.add if bf is not None else None
+    build_tuples = state.build_tuples
+    bytes_used = state.bytes_used
+    kept = state.kept_fraction
+    # While no eviction has happened kept_fraction is 1.0 and
+    # ``_h2(key) >= kept`` is unreachable (_h2 maps into [0, 1)), so the
+    # subpartition hash is skipped entirely; the first eviction drops
+    # ``kept`` below 1.0 and re-enables it mid-batch.
+    fast = kept >= 1.0
     for record in records:
         key = record[pos]
-        cpu += costs.hash_table_insert
-        h = _h2(key, seed)
-        if h >= state.kept_fraction:
+        if not fast and _h2(key, seed) >= kept:
             spill[exchange.target_index(_route_h(key, seed))].append(record)
             continue
-        state.table[key].append(record)
-        state.build_tuples += 1
-        state.bytes_used += state.entry_bytes
-        if state.bit_filter is not None:
-            state.bit_filter.add(key)
-            cpu += costs.bitfilter_set
-        if state.bytes_used > state.capacity_bytes:
+        table[key].append(record)
+        build_tuples += 1
+        bytes_used += entry_bytes
+        if bf_add is not None:
+            bf_add(key)
+            cpu += bitset_cost
+        if bytes_used > capacity:
+            state.build_tuples = build_tuples
+            state.bytes_used = bytes_used
             cpu += _evict(state, exchange, spill, costs)
+            build_tuples = state.build_tuples
+            bytes_used = state.bytes_used
+            table = state.table
+            kept = state.kept_fraction
+            fast = kept >= 1.0
+    state.build_tuples = build_tuples
+    state.bytes_used = bytes_used
     state.ctx.metrics.record_hash_table_bytes(
         state.node.name, state.bytes_used
     )
@@ -256,12 +280,34 @@ def _evict(
 def build_consumer(
     ctx: ExecutionContext, state: JoinState, exchange: OverflowExchange
 ) -> Generator[Any, Any, None]:
-    """Drain the build port into the hash table (phase one)."""
-    while True:
-        packet = yield from state.build_port.next_packet()
-        if packet is None:
-            break
-        yield from _insert_batch(state, packet.records, exchange)
+    """Drain the build port into the hash table (phase one).
+
+    The uninstrumented path is flattened: one Get yield per message with
+    the port's metrics/cost accounting inlined (``receive_effect``), no
+    ``next_packet`` generator per packet.  Effects and their order are
+    identical to the generator path.
+    """
+    port = state.build_port
+    if ctx.profiler is not None or ctx.trace is not None:
+        while True:
+            packet = yield from port.next_packet()
+            if packet is None:
+                break
+            yield from _insert_batch(state, packet.records, exchange)
+        return
+    get_effect = port._get_effect
+    receive = port.receive_effect
+    while port.expected_producers == 0 or (
+        port._eos_seen < port.expected_producers
+    ):
+        message = yield get_effect
+        if type(message) is EndOfStream:
+            port._eos_seen += 1
+            continue
+        eff = receive(message)
+        if eff is not None:
+            yield eff
+        yield from _insert_batch(state, message.records, exchange)
 
 
 def overflow_route(states_count: int):
@@ -387,46 +433,82 @@ def _probe_batch(
 ) -> Generator[Any, Any, None]:
     """Probe with a batch, spooling tuples aimed at evicted partitions."""
     costs = state.node.config.costs
-    cpu = 0.0
+    # Every record pays the probe charge whether it hits, misses, or
+    # spills; integer-valued constants make the bulk multiply exact.
+    cpu = costs.hash_table_probe * len(records)
     seed = state.seed
     pos = state.probe_pos
-    table = state.table
+    table_get = state.table.get
+    result_cost = costs.join_result_tuple
     spill: dict[int, list[tuple]] = defaultdict(list)
     results: list[tuple] = []
-    for record in records:
-        key = record[pos]
-        cpu += costs.hash_table_probe
-        state.probe_tuples += 1
-        h = _h2(key, seed)
-        if h >= state.kept_fraction:
-            spill[exchange.target_index(_route_h(key, seed))].append(record)
-            continue
-        bucket = table.get(key)
-        if bucket:
-            cpu += costs.join_result_tuple * len(bucket)
-            for build_record in bucket:
-                results.append(build_record + record)
+    res_append = results.append
+    if state.kept_fraction >= 1.0:
+        # No partition was evicted: the spill branch is unreachable (see
+        # _insert_batch), so skip the subpartition hash per tuple.
+        for record in records:
+            bucket = table_get(record[pos])
+            if bucket:
+                cpu += result_cost * len(bucket)
+                for build_record in bucket:
+                    res_append(build_record + record)
+        state.probe_tuples += len(records)
+    else:
+        kept = state.kept_fraction
+        for record in records:
+            key = record[pos]
+            state.probe_tuples += 1
+            if _h2(key, seed) >= kept:
+                spill[exchange.target_index(_route_h(key, seed))].append(
+                    record
+                )
+                continue
+            bucket = table_get(key)
+            if bucket:
+                cpu += result_cost * len(bucket)
+                for build_record in bucket:
+                    res_append(build_record + record)
     state.matches += len(results)
     eff = state.node.work_effect(cpu)
     if eff is not None:
         yield eff
     if results:
         yield from state.output.emit_many(results)
-    for target, batch in spill.items():
-        yield from exchange.probe_spools[target].add_batch(
-            batch, sender=state.node
-        )
+    if spill:
+        for target, batch in spill.items():
+            yield from exchange.probe_spools[target].add_batch(
+                batch, sender=state.node
+            )
 
 
 def probe_consumer(
     ctx: ExecutionContext, state: JoinState, exchange: OverflowExchange
 ) -> Generator[Any, Any, None]:
-    """Drain the probe port through the hash table (phase two)."""
-    while True:
-        packet = yield from state.probe_port.next_packet()
-        if packet is None:
-            break
-        yield from _probe_batch(state, packet.records, exchange)
+    """Drain the probe port through the hash table (phase two).
+
+    Flattened like :func:`build_consumer` when uninstrumented.
+    """
+    port = state.probe_port
+    if ctx.profiler is not None or ctx.trace is not None:
+        while True:
+            packet = yield from port.next_packet()
+            if packet is None:
+                break
+            yield from _probe_batch(state, packet.records, exchange)
+        return
+    get_effect = port._get_effect
+    receive = port.receive_effect
+    while port.expected_producers == 0 or (
+        port._eos_seen < port.expected_producers
+    ):
+        message = yield get_effect
+        if type(message) is EndOfStream:
+            port._eos_seen += 1
+            continue
+        eff = receive(message)
+        if eff is not None:
+            yield eff
+        yield from _probe_batch(state, message.records, exchange)
 
 
 # ---------------------------------------------------------------------------

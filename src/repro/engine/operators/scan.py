@@ -27,22 +27,32 @@ def _page_feeder(
     """Read-ahead process: stream data pages into a bounded store."""
     read_effect = node.read_page_effect
     name = fragment.name
+    # One mutable Put reused per page: the kernel reads .item synchronously
+    # at the yield (and by value on the blocked path), so the instance
+    # never needs to outlive the next page.
+    put_effect = Put(feed, None)
     for page_no, records in fragment.scan_pages():
         eff = read_effect(name, page_no)
         if eff is not None:
             yield eff
-        yield Put(feed, (page_no, records))
-    yield Put(feed, _FEED_END)
+        put_effect.item = (page_no, records)
+        yield put_effect
+    put_effect.item = _FEED_END
+    yield put_effect
 
 
 def file_scan_operator(
     ctx: ExecutionContext,
     node: Node,
     fragment: StoredFile,
-    predicate: Callable[[tuple], bool],
+    predicate: Callable[[list[tuple]], list[tuple]],
     output: OutputPort,
 ) -> Generator[Any, Any, int]:
-    """Sequential scan of one fragment; returns the match count."""
+    """Sequential scan of one fragment; returns the match count.
+
+    ``predicate`` is a *batch* predicate (``Predicate.compile_batch``):
+    it maps a page's records to the matching records in one pass.
+    """
     costs = ctx.config.costs
     feed = Store(f"{node.name}.feed", capacity=ctx.config.prefetch_depth)
     ctx.sim.spawn(_page_feeder(node, fragment, feed), name=f"feeder:{node.name}")
@@ -50,15 +60,16 @@ def file_scan_operator(
     per_tuple = costs.read_tuple + costs.apply_predicate
     setup = costs.page_io_setup
     work_effect = node.work_effect
+    get_feed = Get(feed)
     while True:
-        item = yield Get(feed)
+        item = yield get_feed
         if item is _FEED_END:
             break
         _page_no, records = item
         eff = work_effect(setup + len(records) * per_tuple)
         if eff is not None:
             yield eff
-        matches = [r for r in records if predicate(r)]
+        matches = predicate(records)
         matched += len(matches)
         if matches:
             yield from output.emit_many(matches)
@@ -230,7 +241,7 @@ class ScanDriver:
         predicate = scan.predicate
         path = scan.path
         if path is AccessPath.FILE_SCAN:
-            compiled = predicate.compile(scan.schema)
+            compiled = predicate.compile_batch(scan.schema)
             return file_scan_operator(ctx, node, fragment, compiled, output)
         if path is AccessPath.CLUSTERED_INDEX:
             low, high = self._bounds(predicate)

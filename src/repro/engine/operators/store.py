@@ -12,7 +12,7 @@ from typing import Any, Generator
 
 from ...storage import Schema, StoredFile
 from ..node import ExecutionContext, Node
-from ..ports import InputPort
+from ..ports import EndOfStream, InputPort
 from .base import operator_done
 
 
@@ -33,19 +33,40 @@ def store_operator(
     heap = fragment.heap
     pages_flushed = 0
     stored = 0
-    while True:
-        packet = yield from port.next_packet()
-        if packet is None:
-            break
-        records = packet.records
-        stored += len(records)
-        yield from node.work(costs.store_tuple * len(records))
+    store_tuple = costs.store_tuple
+    work_effect = node.work_effect
+    flat = ctx.profiler is None and ctx.trace is None
+    get_effect = port._get_effect
+    receive = port.receive_effect
+    while port.expected_producers == 0 or (
+        port._eos_seen < port.expected_producers
+    ):
+        # Flattened receive loop (see join.build_consumer): identical
+        # effects, no next_packet generator per packet.
+        if flat:
+            message = yield get_effect
+            if type(message) is EndOfStream:
+                port._eos_seen += 1
+                continue
+            eff = receive(message)
+            if eff is not None:
+                yield eff
+        else:
+            message = yield from port.next_packet()
+            if message is None:
+                break
+        records = message.records
+        n_records = len(records)
+        stored += n_records
+        eff = work_effect(store_tuple * n_records)
+        if eff is not None:
+            yield eff
         if ctx.recovery_log is not None:
             # Write-ahead: the batch's log records must be durable at the
             # recovery server before its data pages go out.
             yield from ctx.recovery_log.ship(
-                node, len(records),
-                len(records) * fragment.schema.tuple_bytes,
+                node, n_records,
+                n_records * fragment.schema.tuple_bytes,
             )
         heap.bulk_append(records)
         # Every page except the still-filling tail is written out.

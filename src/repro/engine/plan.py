@@ -25,6 +25,16 @@ class TruePredicate:
     def compile(self, schema: Schema) -> Callable[[tuple], bool]:
         return lambda record: True
 
+    def compile_batch(
+        self, schema: Schema
+    ) -> Callable[[list[tuple]], list[tuple]]:
+        """Batch form of :meth:`compile`: the matching records of a page.
+
+        Callers treat the result as read-only, so the 100 % selection can
+        hand the input batch back without a copy.
+        """
+        return lambda records: records
+
     def selectivity(self, cardinality: int) -> float:
         return 1.0
 
@@ -44,6 +54,18 @@ class RangePredicate:
         pos = schema.position(self.attr)
         low, high = self.low, self.high
         return lambda record: low <= record[pos] <= high
+
+    def compile_batch(
+        self, schema: Schema
+    ) -> Callable[[list[tuple]], list[tuple]]:
+        """Batch form of :meth:`compile`: one filter pass per page."""
+        pos = schema.position(self.attr)
+        low, high = self.low, self.high
+
+        def batch(records: list[tuple]) -> list[tuple]:
+            return [r for r in records if low <= r[pos] <= high]
+
+        return batch
 
     def selectivity(self, cardinality: int) -> float:
         """Uniform-distribution estimate over a unique 0..n-1 attribute.
@@ -71,6 +93,18 @@ class ExactMatch:
         pos = schema.position(self.attr)
         value = self.value
         return lambda record: record[pos] == value
+
+    def compile_batch(
+        self, schema: Schema
+    ) -> Callable[[list[tuple]], list[tuple]]:
+        """Batch form of :meth:`compile`: one filter pass per page."""
+        pos = schema.position(self.attr)
+        value = self.value
+
+        def batch(records: list[tuple]) -> list[tuple]:
+            return [r for r in records if r[pos] == value]
+
+        return batch
 
     def selectivity(self, cardinality: int) -> float:
         return 1.0 / cardinality if cardinality else 0.0

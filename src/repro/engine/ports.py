@@ -48,6 +48,17 @@ class InputPort:
         self.store = Store(name)
         self.expected_producers = 0
         self._eos_seen = 0
+        # Get effects are immutable descriptions, so one instance serves
+        # every next_packet() call instead of an allocation per packet.
+        self._get_effect = Get(self.store)
+        # Cached metrics objects: next_packet runs once per packet, so the
+        # registry's name-keyed lookups are hoisted out of the hot path.
+        # Node/operator entries stay lazily created (first packet), so a
+        # port that never receives anything keeps out of snapshots exactly
+        # as before.
+        self._query_counter = ctx.metrics.query
+        self._node_metrics: Optional[Any] = None
+        self._op_metrics: Optional[Any] = None
 
     def add_producer(self, count: int = 1) -> None:
         self.expected_producers += count
@@ -64,23 +75,33 @@ class InputPort:
         while self.expected_producers == 0 or (
             self._eos_seen < self.expected_producers
         ):
-            message = yield Get(self.store)
-            if isinstance(message, EndOfStream):
+            message = yield self._get_effect
+            if type(message) is EndOfStream:
                 self._eos_seen += 1
                 continue
-            costs = self.node.config.costs
-            if message.src_node == self.node.name:
-                eff = self.node.work_effect(costs.packet_short_circuit)
+            node = self.node
+            costs = node.config.costs
+            if message.src_node == node.name:
+                eff = node.work_effect(costs.packet_short_circuit)
             else:
-                eff = self.node.work_effect(costs.packet_receive)
+                eff = node.work_effect(costs.packet_receive)
             if eff is not None:
                 yield eff
-            self.ctx.metrics.record_packet_received(
-                self.node.name, len(message.records)
-            )
-            self.ctx.metrics.record_operator_tuples(
-                self.name, self.node.name, tuples_in=len(message.records)
-            )
+            n_records = len(message.records)
+            # record_packet_received + record_operator_tuples, inlined on
+            # the cached metrics objects.
+            self._query_counter["packets_received"] += 1
+            nm = self._node_metrics
+            if nm is None:
+                nm = self._node_metrics = self.ctx.metrics.node(node.name)
+            nm.packets_received += 1
+            nm.tuples_in += n_records
+            om = self._op_metrics
+            if om is None:
+                om = self._op_metrics = self.ctx.metrics.operator(
+                    self.name, node.name
+                )
+            om.tuples_in += n_records
             if self.ctx.profiler is not None:
                 # next_packet runs inside the consumer operator's process.
                 self.ctx.profiler.record_tuples(
@@ -99,6 +120,37 @@ class InputPort:
                 )
             return message
         return None
+
+    def receive_effect(self, message: DataPacket) -> Optional[Any]:
+        """Metrics plus the receive-cost effect for one data message.
+
+        The non-generator core of :meth:`next_packet`, used by flattened
+        consumer loops (join build/probe, store) so the hot path creates no
+        generator per packet.  Only valid when no profiler or trace is
+        attached — the caller falls back to :meth:`next_packet` otherwise —
+        and the caller owns the EOS bookkeeping (``_eos_seen``) and yields
+        the returned effect itself.
+        """
+        node = self.node
+        costs = node.config.costs
+        if message.src_node == node.name:
+            eff = node.work_effect(costs.packet_short_circuit)
+        else:
+            eff = node.work_effect(costs.packet_receive)
+        n_records = len(message.records)
+        self._query_counter["packets_received"] += 1
+        nm = self._node_metrics
+        if nm is None:
+            nm = self._node_metrics = self.ctx.metrics.node(node.name)
+        nm.packets_received += 1
+        nm.tuples_in += n_records
+        om = self._op_metrics
+        if om is None:
+            om = self._op_metrics = self.ctx.metrics.operator(
+                self.name, node.name
+            )
+        om.tuples_in += n_records
+        return eff
 
     def drain(self) -> Generator[Any, Any, list[tuple]]:
         """Consume the whole stream, returning every record."""
@@ -140,61 +192,72 @@ class OutputPort:
         ]
         # Tuples bound for a same-node process skip the network-buffer
         # copy (NOSE short-circuiting).  The destination set is fixed for
-        # the port's lifetime, so compute the flags once.
+        # the port's lifetime, so compute the flags once — and from them
+        # the per-destination routing charge emit_many accrues per tuple.
         self._local_flags = [
             dest.node_name == node.name for dest in split.destinations
+        ]
+        costs = node.config.costs
+        local_cost = costs.result_tuple_local + split.route_cost
+        remote_cost = costs.result_tuple + split.route_cost
+        self._dest_costs = [
+            local_cost if local else remote_cost for local in self._local_flags
         ]
         self.tuples_sent = 0
         self.tuples_filtered = 0
         self._closed = False
+        # Cached metrics objects (see InputPort.__init__).
+        self._query_counter = ctx.metrics.query
+        self._node_metrics: Optional[Any] = None
+        self._op_metrics: Optional[Any] = None
 
     def emit_many(self, records: list[tuple]) -> Generator[Any, Any, None]:
         """Route a batch of tuples, flushing any buffer that fills."""
         if self._closed:
             raise ExecutionError(f"emit on closed port {self.label}")
         costs = self.node.config.costs
-        route = self.split.route
-        local_flags = self._local_flags
         buffers = self._buffers
         capacity = self.packet_capacity
-        route_cost = self.split.route_cost
-        local_cost = costs.result_tuple_local + route_cost
-        remote_cost = costs.result_tuple + route_cost
+        dest_costs = self._dest_costs
         bitfilter_cost = costs.bitfilter_test
+        work_effect = self.node.work_effect
         cpu = 0.0
-        for record in records:
-            dest_idx = route(record)
-            if dest_idx is None:
+        filtered = 0
+        for record, dest_idx in zip(
+            records, self.split.route_batch(records)
+        ):
+            if type(dest_idx) is int:
+                cpu += dest_costs[dest_idx]
+                buffer = buffers[dest_idx]
+                buffer.append(record)
+                if len(buffer) >= capacity:
+                    # Ship immediately so no packet exceeds the wire size.
+                    eff = work_effect(cpu)
+                    if eff is not None:
+                        yield eff
+                    cpu = 0.0
+                    yield from self._flush(dest_idx)
+            elif dest_idx is None:
                 # Dropped by a bit-vector filter in the split table.
-                self.tuples_filtered += 1
+                filtered += 1
                 cpu += bitfilter_cost
-                continue
-            if type(dest_idx) is not int:
+            else:
                 # A multi-destination route (fragment-replicate broadcast
                 # of a hot key): a copy — and its CPU cost — per target.
                 for idx in dest_idx:
-                    cpu += local_cost if local_flags[idx] else remote_cost
+                    cpu += dest_costs[idx]
                     buffer = buffers[idx]
                     buffer.append(record)
                     if len(buffer) >= capacity:
-                        eff = self.node.work_effect(cpu)
+                        eff = work_effect(cpu)
                         if eff is not None:
                             yield eff
                         cpu = 0.0
                         yield from self._flush(idx)
-                continue
-            cpu += local_cost if local_flags[dest_idx] else remote_cost
-            buffer = buffers[dest_idx]
-            buffer.append(record)
-            if len(buffer) >= capacity:
-                # Ship immediately so no packet exceeds the wire size.
-                eff = self.node.work_effect(cpu)
-                if eff is not None:
-                    yield eff
-                cpu = 0.0
-                yield from self._flush(dest_idx)
+        if filtered:
+            self.tuples_filtered += filtered
         if cpu:
-            eff = self.node.work_effect(cpu)
+            eff = work_effect(cpu)
             if eff is not None:
                 yield eff
 
@@ -228,18 +291,32 @@ class OutputPort:
             return
         self._buffers[dest_idx] = []
         dest = self.split.destinations[dest_idx]
+        n_records = len(records)
         packet = DataPacket(
-            records, len(records) * self.tuple_bytes, self.label,
+            records, n_records * self.tuple_bytes, self.label,
             src_node=self.node.name,
         )
-        self.tuples_sent += len(records)
-        short_circuit = dest.node_name == self.node.name
-        self.ctx.metrics.record_packet_sent(
-            self.node.name, len(records), short_circuit=short_circuit
-        )
-        self.ctx.metrics.record_operator_tuples(
-            self.label, self.node.name, tuples_out=len(records)
-        )
+        self.tuples_sent += n_records
+        short_circuit = self._local_flags[dest_idx]
+        # record_packet_sent + record_operator_tuples, inlined on the
+        # cached metrics objects.
+        q = self._query_counter
+        q["packets_sent"] += 1
+        q["tuples_shipped"] += n_records
+        nm = self._node_metrics
+        if nm is None:
+            nm = self._node_metrics = self.ctx.metrics.node(self.node.name)
+        nm.packets_sent += 1
+        nm.tuples_out += n_records
+        if short_circuit:
+            q["packets_short_circuited"] += 1
+            nm.packets_short_circuited += 1
+        om = self._op_metrics
+        if om is None:
+            om = self._op_metrics = self.ctx.metrics.operator(
+                self.label, self.node.name
+            )
+        om.tuples_out += n_records
         if self.ctx.profiler is not None:
             # _flush runs inside the producer operator's process.
             self.ctx.profiler.record_tuples(
@@ -269,13 +346,22 @@ class OutputPort:
         yield  # pragma: no cover - keeps this a generator
 
     def _dispatch(self, dest: "Any", message: Any, nbytes: int) -> None:
-        """Hand the message to a courier process (fire and forget).
+        """Hand the message to a courier (fire and forget).
 
         Couriers traverse FIFO servers with identical service demands, so
         per-destination ordering — including EOS-last — is preserved.
+        Without a profiler the courier is a plain callback chain
+        (:meth:`Interconnect.transfer_fast`) producing the exact same event
+        sequence as the generator it replaces; with one, the generator
+        path is kept so service attributes via ``Process.parent``.
         """
         ctx = self.ctx
         src = self.node.name
+        if ctx.profiler is None:
+            ctx.net.transfer_fast(
+                ctx.sim, src, dest.node_name, nbytes, dest.port.store, message
+            )
+            return
 
         def courier() -> Generator[Any, Any, None]:
             yield from ctx.net.transfer(src, dest.node_name, nbytes)

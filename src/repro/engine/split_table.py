@@ -36,6 +36,9 @@ class SplitTable:
         route: Callable[[tuple], Optional[int]],
         route_cost: float,
         kind: str,
+        route_batch: Optional[
+            Callable[[Sequence[tuple]], list[Any]]
+        ] = None,
     ) -> None:
         if not destinations:
             raise PlanError("split table needs at least one destination")
@@ -44,6 +47,14 @@ class SplitTable:
         self.route_cost = route_cost
         self.kind = kind
         self.filter: Optional[BitVectorFilter] = None
+        # Batched routing: one call per packet instead of one per tuple.
+        # Constructors install a specialized closure; the fallback simply
+        # maps route() over the batch, so the destinations are identical
+        # by construction.
+        if route_batch is None:
+            def route_batch(records: Sequence[tuple]) -> list[Any]:
+                return [route(record) for record in records]
+        self.route_batch = route_batch
 
     def __repr__(self) -> str:  # pragma: no cover - diagnostics only
         return f"<SplitTable {self.kind} x{len(self.destinations)}>"
@@ -68,17 +79,83 @@ class SplitTable:
         pos = schema.position(attr)
         n = len(destinations)
 
+        # gamma_hash, inlined into the closures: route() runs once per
+        # emitted tuple, and the n > 0 precondition is established here
+        # (destinations is non-empty) rather than re-checked per call.
+        # The bucket arithmetic is bit-identical to gamma_hash.
+        from ..catalog.partitioning import stable_hash
+
+        from .columnar import BatchedBitProbe, hash_route_batch
+
         if bit_filter is None:
             def route(record: tuple) -> Optional[int]:
-                return gamma_hash(record[pos], n)
+                value = record[pos]
+                h = (
+                    (hash(value) if type(value) is int else stable_hash(value))
+                    * 2654435761
+                ) & 0xFFFFFFFF
+                h ^= h >> 17
+                h = (h * 0x9E3779B1) & 0xFFFFFFFF
+                h ^= h >> 13
+                return h % n
+
+            def route_batch(records: Sequence[tuple]) -> list[Any]:
+                return hash_route_batch(records, pos, n)
         else:
+            might_contain = bit_filter.might_contain
+            batched_probe = BatchedBitProbe(
+                bit_filter.n_bits, bit_filter._seeds, bit_filter._bits
+            )
+
             def route(record: tuple) -> Optional[int]:
                 value = record[pos]
-                if not bit_filter.might_contain(value):
+                if not might_contain(value):
                     return None
-                return gamma_hash(value, n)
+                h = (
+                    (hash(value) if type(value) is int else stable_hash(value))
+                    * 2654435761
+                ) & 0xFFFFFFFF
+                h ^= h >> 17
+                h = (h * 0x9E3779B1) & 0xFFFFFFFF
+                h ^= h >> 13
+                return h % n
 
-        table = cls(destinations, route, costs.split_hash, "hash")
+            def route_batch(records: Sequence[tuple]) -> list[Any]:
+                out: list[Any] = [None] * len(records)
+                mask = batched_probe.test(records, pos)
+                if mask is not None:
+                    # Vector path: every value already passed the
+                    # all-ints gate, so ``hash(value)`` is the fast case.
+                    for i, keep in enumerate(mask):
+                        if keep:
+                            h = (
+                                hash(records[i][pos]) * 2654435761
+                            ) & 0xFFFFFFFF
+                            h ^= h >> 17
+                            h = (h * 0x9E3779B1) & 0xFFFFFFFF
+                            h ^= h >> 13
+                            out[i] = h % n
+                    return out
+                for i, record in enumerate(records):
+                    value = record[pos]
+                    if might_contain(value):
+                        h = (
+                            (
+                                hash(value) if type(value) is int
+                                else stable_hash(value)
+                            )
+                            * 2654435761
+                        ) & 0xFFFFFFFF
+                        h ^= h >> 17
+                        h = (h * 0x9E3779B1) & 0xFFFFFFFF
+                        h ^= h >> 13
+                        out[i] = h % n
+                return out
+
+        table = cls(
+            destinations, route, costs.split_hash, "hash",
+            route_batch=route_batch,
+        )
         table.filter = bit_filter
         return table
 
@@ -146,9 +223,20 @@ class SplitTable:
             state["next"] = (idx + 1) % n
             return idx
 
-        return cls(destinations, route, 0.0, "round-robin")
+        def route_batch(records: Sequence[tuple]) -> list[Any]:
+            idx = state["next"]
+            count = len(records)
+            state["next"] = (idx + count) % n
+            return [(idx + i) % n for i in range(count)]
+
+        return cls(
+            destinations, route, 0.0, "round-robin", route_batch=route_batch
+        )
 
     @classmethod
     def single(cls, destination: Destination) -> "SplitTable":
         """Everything to one destination (host return, scalar collector)."""
-        return cls([destination], lambda record: 0, 0.0, "single")
+        return cls(
+            [destination], lambda record: 0, 0.0, "single",
+            route_batch=lambda records: [0] * len(records),
+        )

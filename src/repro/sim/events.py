@@ -18,11 +18,22 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .resources import Server, Store
 
 
-@dataclass(frozen=True, slots=True)
 class Delay:
-    """Suspend the process for ``duration`` simulated seconds."""
+    """Suspend the process for ``duration`` simulated seconds.
 
-    duration: float
+    The four hot effects (Delay/Use/Put/Get) are hand-written slotted
+    classes rather than frozen dataclasses: a frozen dataclass pays an
+    ``object.__setattr__`` per field on construction, and these are
+    allocated once per yield on the kernel's hottest paths.
+    """
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float) -> None:
+        self.duration = duration
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"Delay(duration={self.duration!r})"
 
 
 @dataclass(frozen=True, slots=True)
@@ -42,7 +53,6 @@ class Release:
     server: "Server"
 
 
-@dataclass(frozen=True, slots=True)
 class Use:
     """Acquire ``server``, hold it for ``duration``, then release it.
 
@@ -50,23 +60,39 @@ class Use:
     impossible to leak.
     """
 
-    server: "Server"
-    duration: float
+    __slots__ = ("server", "duration")
+
+    def __init__(self, server: "Server", duration: float) -> None:
+        self.server = server
+        self.duration = duration
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"Use(server={self.server!r}, duration={self.duration!r})"
 
 
-@dataclass(frozen=True, slots=True)
 class Put:
     """Append ``item`` to ``store``; resume when capacity allows."""
 
-    store: "Store"
-    item: Any
+    __slots__ = ("store", "item")
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        self.store = store
+        self.item = item
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"Put(store={self.store!r}, item={self.item!r})"
 
 
-@dataclass(frozen=True, slots=True)
 class Get:
     """Resume with the next item from ``store`` (FIFO order)."""
 
-    store: "Store"
+    __slots__ = ("store",)
+
+    def __init__(self, store: "Store") -> None:
+        self.store = store
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"Get(store={self.store!r})"
 
 
 @dataclass(frozen=True, slots=True)

@@ -96,10 +96,18 @@ class Simulation:
         print(sim.now)
     """
 
+    __slots__ = (
+        "_now", "_seq", "_heap", "_ready", "_active", "_procs",
+        "events_processed", "_current",
+    )
+
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = 0
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        # Heap entries carry an optional resume argument so resources can
+        # schedule a bound method + arg instead of allocating a closure
+        # per service interval; ``_NO_VALUE`` means "call fn()".
+        self._heap: list[tuple[float, int, Callable[..., None], Any]] = []
         self._ready: deque[tuple[int, Callable[..., None], Any]] = deque()
         self._active = 0
         self._procs: list[Process] = []
@@ -124,7 +132,7 @@ class Simulation:
                 f"cannot schedule at {time} before now {self._now}"
             )
         self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, fn))
+        heapq.heappush(self._heap, (time, self._seq, fn, _NO_VALUE))
 
     def call_after(self, delay: float, fn: Callable[[], None]) -> None:
         """Schedule ``fn`` to run ``delay`` seconds from now."""
@@ -135,7 +143,7 @@ class Simulation:
             self._ready.append((self._seq, fn, _NO_VALUE))
             return
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, fn))
+        heapq.heappush(self._heap, (self._now + delay, self._seq, fn, _NO_VALUE))
 
     def _schedule_now(self, fn: Callable[..., None], value: Any = _NO_VALUE) -> None:
         """Zero-delay schedule without allocating a closure for ``value``."""
@@ -162,7 +170,8 @@ class Simulation:
 
     def _step(self, proc: Process, value: Any) -> None:
         """Resume ``proc`` with ``value`` and perform its next effect."""
-        proc.blocked_on = None
+        # blocked_on is not cleared here: it is overwritten below on every
+        # yield, and a finished process never reaches the deadlock report.
         self._current = proc
         try:
             effect = proc._gen.send(value)
@@ -177,7 +186,35 @@ class Simulation:
                 f"process {proc.name!r} failed at t={self._now:.6f}"
             ) from exc
         proc.blocked_on = effect
-        handler = _HANDLERS.get(effect.__class__)
+        # The four hot effects dispatch inline (one type check each, no
+        # handler-table lookup and no _do_* frame); everything else falls
+        # through to the table.
+        cls = effect.__class__
+        if cls is Use:
+            effect.server._use(self, effect.duration, proc._resume, proc)
+            return
+        if cls is Get:
+            effect.store._get(self, proc._resume)
+            return
+        if cls is Put:
+            effect.store._put(self, effect.item, proc._resume)
+            return
+        if cls is Delay:
+            duration = effect.duration
+            if duration < 0:
+                raise SimulationError(
+                    f"process {proc.name!r} yielded negative delay"
+                )
+            self._seq += 1
+            if duration == 0.0:
+                self._ready.append((self._seq, proc._resume, _NO_VALUE))
+            else:
+                heapq.heappush(
+                    self._heap,
+                    (self._now + duration, self._seq, proc._resume, _NO_VALUE),
+                )
+            return
+        handler = _HANDLERS.get(cls)
         if handler is None:
             raise SimulationError(
                 f"process {proc.name!r} yielded unknown effect {effect!r}"
@@ -224,7 +261,11 @@ class Simulation:
         ready = self._ready
         heappop = heapq.heappop
         pop_ready = ready.popleft
+        no_cutoff = until is None
         events = 0
+        # Local mirror of self._now: only heap pops advance the clock, so
+        # the hot ready-vs-heap comparison can read a local.
+        now = self._now
         try:
             while heap or ready:
                 # Ready entries fire at the current timestamp; heap events
@@ -232,7 +273,7 @@ class Simulation:
                 # first, preserving the global (time, seq) order.
                 if ready and (
                     not heap
-                    or heap[0][0] > self._now
+                    or heap[0][0] > now
                     or heap[0][1] > ready[0][0]
                 ):
                     _seq, fn, value = pop_ready()
@@ -244,13 +285,17 @@ class Simulation:
                     continue
                 event = heappop(heap)
                 time = event[0]
-                if until is not None and time > until:
+                if not no_cutoff and time > until:
                     heapq.heappush(heap, event)
                     self._now = until
                     return self._now
-                self._now = time
+                self._now = now = time
                 events += 1
-                event[2]()
+                arg = event[3]
+                if arg is _NO_VALUE:
+                    event[2]()
+                else:
+                    event[2](arg)
         finally:
             self.events_processed += events
         if self._active > 0:
@@ -289,7 +334,7 @@ def _do_delay(sim: Simulation, proc: Process, effect: Delay) -> None:
     else:
         sim._seq += 1
         heapq.heappush(
-            sim._heap, (sim._now + duration, sim._seq, proc._resume)
+            sim._heap, (sim._now + duration, sim._seq, proc._resume, _NO_VALUE)
         )
 
 

@@ -20,9 +20,11 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from collections import deque
+from heapq import heappush as _heappush
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from ..errors import SimulationError
+from .kernel import _NO_VALUE
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .kernel import Process, Simulation
@@ -113,6 +115,9 @@ class Server:
         "wait_stats",
         "observer",
         "profile_hook",
+        "_sim",
+        "_complete_cb",
+        "_complete_proc_cb",
     )
 
     def __init__(self, name: str, capacity: int = 1) -> None:
@@ -133,6 +138,15 @@ class Server:
         self.wait_stats = IntervalStats()
         self.observer: Optional[ServiceObserver] = None
         self.profile_hook: Optional[ProfileHook] = None
+        # The owning simulation, captured at first service: lets service
+        # completion run as a bound method + resume argument on the event
+        # heap instead of a per-interval closure.  Process-owned Use
+        # effects complete through _complete_proc, which steps the process
+        # directly (skipping its resume-closure frame); resumes without a
+        # process (couriers, Acquire grants) go through _complete.
+        self._sim: Optional["Simulation"] = None
+        self._complete_cb = self._complete
+        self._complete_proc_cb = self._complete_proc
 
     def __repr__(self) -> str:  # pragma: no cover - diagnostics only
         return f"<Server {self.name} {self._in_service}/{self.capacity}>"
@@ -207,18 +221,55 @@ class Server:
         if duration < 0:
             raise SimulationError(f"negative service time on {self.name!r}")
         self.requests += 1
-        self._advance(sim.now)
-        if self._in_service < self.capacity:
-            self.wait_stats.record(0.0)
-            self._start(sim, duration, resume, proc)
+        now = sim._now
+        n = self._in_service
+        # _advance(now), inlined for the hottest call site.  Skipping the
+        # idle/empty-queue accruals is exact: ``+= 0.0`` never changes an
+        # accrued total.
+        dt = now - self._last_change
+        if dt > 0.0:
+            if n > 0:
+                self._busy_accrued += dt
+                self._slot_accrued += n * dt
+            queued = len(self._queue)
+            if queued:
+                self._qlen_accrued += queued * dt
+            self._last_change = now
+        if n < self.capacity:
+            # Inlined wait_stats.record(0.0): total/max are unchanged by a
+            # zero and a zero always lands in the first histogram bin.
+            ws = self.wait_stats
+            ws.count += 1
+            ws.bins[0] += 1
+            self._in_service = n + 1
+            self._sim = sim
+            if self.observer is not None:
+                self.observer(self.name, now, duration)
+            if self.profile_hook is not None:
+                self.profile_hook(self, proc, now, duration)
+            if proc is not None:
+                cb: Callable[..., None] = self._complete_proc_cb
+                arg: Any = proc
+            else:
+                cb = self._complete_cb
+                arg = resume
+            sim._seq += 1
+            if duration == 0.0:
+                sim._ready.append((sim._seq, cb, arg))
+            else:
+                _heappush(
+                    sim._heap, (now + duration, sim._seq, cb, arg)
+                )
         else:
-            self._queue.append((duration, resume, sim.now, proc))
+            self._queue.append((duration, resume, now, proc))
 
     def _acquire(self, sim: "Simulation", resume: Resume) -> None:
         self.requests += 1
         self._advance(sim.now)
         if self._in_service < self.capacity:
-            self.wait_stats.record(0.0)
+            ws = self.wait_stats
+            ws.count += 1
+            ws.bins[0] += 1
             self._in_service += 1
             sim._schedule_now(resume)
         else:
@@ -240,18 +291,65 @@ class Server:
     ) -> None:
         # _advance(sim.now) has already run on every path into here.
         self._in_service += 1
+        self._sim = sim
         if self.observer is not None:
-            self.observer(self.name, sim.now, duration)
+            self.observer(self.name, sim._now, duration)
         if self.profile_hook is not None:
-            self.profile_hook(self, proc, sim.now, duration)
+            self.profile_hook(self, proc, sim._now, duration)
+        if proc is not None:
+            cb: Callable[..., None] = self._complete_proc_cb
+            arg: Any = proc
+        else:
+            cb = self._complete_cb
+            arg = resume
+        sim._seq += 1
+        if duration == 0.0:
+            sim._ready.append((sim._seq, cb, arg))
+        else:
+            _heappush(
+                sim._heap, (sim._now + duration, sim._seq, cb, arg)
+            )
 
-        def complete() -> None:
-            self._advance(sim.now)
-            self._in_service -= 1
+    def _complete(self, resume: Resume) -> None:
+        """One service interval finished: free the slot and hand it on."""
+        sim = self._sim
+        now = sim._now
+        # _advance(now), inlined: at least one slot (ours) is busy here.
+        dt = now - self._last_change
+        if dt > 0.0:
+            self._busy_accrued += dt
+            self._slot_accrued += self._in_service * dt
+            queued = len(self._queue)
+            if queued:
+                self._qlen_accrued += queued * dt
+            self._last_change = now
+        self._in_service -= 1
+        if self._queue:
             self._dispatch(sim)
-            resume(None)
+        resume(None)
 
-        sim.call_after(duration, complete)
+    def _complete_proc(self, proc: "Process") -> None:
+        """:meth:`_complete` for a process-owned Use: step it directly.
+
+        ``proc._resume(None)`` and ``sim._step(proc, None)`` are the same
+        call (the resume closure is a one-line trampoline); going straight
+        to ``_step`` drops one interpreter frame from every service
+        completion on the operator hot path.
+        """
+        sim = self._sim
+        now = sim._now
+        dt = now - self._last_change
+        if dt > 0.0:
+            self._busy_accrued += dt
+            self._slot_accrued += self._in_service * dt
+            queued = len(self._queue)
+            if queued:
+                self._qlen_accrued += queued * dt
+            self._last_change = now
+        self._in_service -= 1
+        if self._queue:
+            self._dispatch(sim)
+        sim._step(proc, None)
 
     def _dispatch(self, sim: "Simulation") -> None:
         while self._queue and self._in_service < self.capacity:
@@ -300,15 +398,22 @@ class Store:
         return len(self._putters)
 
     # -- kernel-facing API ------------------------------------------------
+    # _schedule_now is inlined below (seq bump + ready append): a store
+    # hand-off schedules two wake-ups, and the call overhead is measurable
+    # on the packet path.  _NO_VALUE entries mean "call fn()".
+
     def _put(self, sim: "Simulation", item: Any, resume: Resume) -> None:
         if self._getters:
             # Hand the item straight to the longest-waiting consumer.
             getter = self._getters.popleft()
-            sim._schedule_now(getter, item)
-            sim._schedule_now(resume)
+            sim._seq += 1
+            sim._ready.append((sim._seq, getter, item))
+            sim._seq += 1
+            sim._ready.append((sim._seq, resume, _NO_VALUE))
         elif self.capacity is None or len(self._items) < self.capacity:
             self._items.append(item)
-            sim._schedule_now(resume)
+            sim._seq += 1
+            sim._ready.append((sim._seq, resume, _NO_VALUE))
         else:
             self._putters.append((item, resume))
 
@@ -318,11 +423,15 @@ class Store:
             if self._putters:
                 pending, putter = self._putters.popleft()
                 self._items.append(pending)
-                sim._schedule_now(putter)
-            sim._schedule_now(resume, item)
+                sim._seq += 1
+                sim._ready.append((sim._seq, putter, _NO_VALUE))
+            sim._seq += 1
+            sim._ready.append((sim._seq, resume, item))
         elif self._putters:
             pending, putter = self._putters.popleft()
-            sim._schedule_now(putter)
-            sim._schedule_now(resume, pending)
+            sim._seq += 1
+            sim._ready.append((sim._seq, putter, _NO_VALUE))
+            sim._seq += 1
+            sim._ready.append((sim._seq, resume, pending))
         else:
             self._getters.append(resume)

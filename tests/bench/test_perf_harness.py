@@ -23,7 +23,7 @@ class TestRunBenchmarks:
         report = run_perf.run_benchmarks(scale=1000, repeat=2)
         assert report["scale"] == 1000
         assert set(report["benchmarks"]) == {
-            "kernel_dispatch", "file_scan", "hybrid_join",
+            "kernel_dispatch", "file_scan", "hybrid_join", "scaleup_1000",
         }
         for sample in report["benchmarks"].values():
             assert sample["wall_s"] > 0
@@ -33,6 +33,16 @@ class TestRunBenchmarks:
             assert sample["events_per_s"] == pytest.approx(
                 sample["events"] / sample["wall_s"]
             )
+        # The scaleup bench carries per-(sites, query) sub-samples; below
+        # full scale it covers the smoke site counts only.
+        points = report["benchmarks"]["scaleup_1000"]["points"]
+        assert [(p["sites"], p["query"]) for p in points] == [
+            (64, "selection"), (64, "joinABprime"),
+            (256, "selection"), (256, "joinABprime"),
+        ]
+        for point in points:
+            assert point["events"] > 0
+            assert point["wall_s"] > 0
 
     def test_speedup_recorded_only_at_full_scale(self, run_perf):
         sample = run_perf._bench_file_scan(1000)
@@ -56,3 +66,10 @@ class TestBaselineGate:
             {"benchmarks": {}}, baseline, 0.30
         )
         assert failures == ["gone: missing from this run"]
+
+    def test_unbaselined_benchmark_fails(self, run_perf):
+        report = {"benchmarks": {"novel": {"events_per_cpu_s": 1.0}}}
+        failures = run_perf.check_baseline(
+            report, {"benchmarks": {}}, 0.30
+        )
+        assert failures and "no baseline entry" in failures[0]

@@ -1,0 +1,67 @@
+"""Golden end-times at 32/64 sites: the batched fast paths are passive.
+
+The paper's experiments stop at 32 processors; the batched columnar
+execution layer exists so the simulator can sweep far beyond that.  These
+pins — recorded from the scalar (pre-columnar) engine — prove that the
+vectorized routing/build/probe/aggregate paths are *simulation-invisible*
+at and beyond paper scale, on both machines.  Bit-identical means exact
+float equality: a one-ULP drift is a changed simulation, not a faster one.
+"""
+
+from repro.bench.harness import build_gamma, build_teradata, run_stored
+from repro.hardware import GammaConfig, TeradataConfig
+from repro.workloads.queries import join_abprime, selection_query
+
+N = 10_000
+
+#: Exact simulated response times (seconds) from the scalar reference engine.
+GOLDEN_GAMMA = {
+    (32, "selection"): 2.2193128520325276,
+    (32, "joinABprime"): 6.213539069918693,
+    (64, "selection"): 3.729671378861814,
+    (64, "joinABprime"): 10.041169713821127,
+}
+
+GOLDEN_TERADATA = {
+    (32, "selection"): 6.830785824561408,
+    (32, "joinABprime"): 23.94093308771907,
+    (64, "selection"): 5.911400315789464,
+    (64, "joinABprime"): 15.22153603508775,
+}
+
+
+def _relations():
+    return [("scaleA", N, "heap"), ("scaleBprime", N // 10, "heap")]
+
+
+def _run_pair(machine):
+    sel = run_stored(
+        machine, lambda into: selection_query("scaleA", N, 0.01, into=into)
+    )
+    join = run_stored(
+        machine,
+        lambda into: join_abprime("scaleA", "scaleBprime", key=False, into=into),
+    )
+    assert sel.result_count == 100
+    assert join.result_count == 1000
+    return sel, join
+
+
+def test_gamma_32_and_64_sites_bit_identical():
+    for sites in (32, 64):
+        machine = build_gamma(
+            GammaConfig.paper_default().with_sites(sites), relations=_relations()
+        )
+        sel, join = _run_pair(machine)
+        assert sel.response_time == GOLDEN_GAMMA[(sites, "selection")]
+        assert join.response_time == GOLDEN_GAMMA[(sites, "joinABprime")]
+
+
+def test_teradata_32_and_64_amps_bit_identical():
+    for amps in (32, 64):
+        machine = build_teradata(
+            TeradataConfig(n_amps=amps), relations=_relations()
+        )
+        sel, join = _run_pair(machine)
+        assert sel.response_time == GOLDEN_TERADATA[(amps, "selection")]
+        assert join.response_time == GOLDEN_TERADATA[(amps, "joinABprime")]
