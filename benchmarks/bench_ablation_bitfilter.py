@@ -2,8 +2,8 @@
 says the optimizer can insert them; this quantifies the saving on a
 joinABprime probe stream."""
 
-from repro.bench import ablation_bitfilter_experiment
+from repro.bench import bench_experiment
 
 
 def test_ablation_bitfilter(report_runner):
-    report_runner(ablation_bitfilter_experiment)
+    report_runner(bench_experiment, name="ablation_a1_bitfilter")

@@ -2,8 +2,8 @@
 Conclusions announce replacing the Simple algorithm with a parallel Hybrid
 hash join; this measures the improvement on the Figure 13 sweep."""
 
-from repro.bench import ablation_hybrid_join_experiment
+from repro.bench import bench_experiment
 
 
 def test_ablation_hybrid_join(report_runner):
-    report_runner(ablation_hybrid_join_experiment)
+    report_runner(bench_experiment, name="ablation_a2_hybrid_join")

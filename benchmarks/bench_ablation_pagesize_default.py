@@ -2,8 +2,8 @@
 recommendation, evaluated over a mixed selection/join workload (and the
 warning against track-sized pages)."""
 
-from repro.bench import ablation_default_page_size_experiment
+from repro.bench import bench_experiment
 
 
 def test_ablation_pagesize_default(report_runner):
-    report_runner(ablation_default_page_size_experiment)
+    report_runner(bench_experiment, name="ablation_a3_pagesize_default")

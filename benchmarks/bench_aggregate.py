@@ -3,8 +3,8 @@ for space ("The interested reader is referred to [DEWI88]"); reproduced
 here as the companion experiment: scalar aggregates with partial/combine
 processing and hash-partitioned group-by."""
 
-from repro.bench import aggregate_experiment
+from repro.bench import bench_experiment
 
 
 def test_aggregate(report_runner):
-    report_runner(aggregate_experiment)
+    report_runner(bench_experiment, name="aggregate")

@@ -1,8 +1,8 @@
 """Extension E1 — the multiuser benchmark the paper defers: Remote-join
 off-loading measured with a concurrent selection on the disk sites."""
 
-from repro.bench import multiuser_offloading_experiment
+from repro.bench import bench_experiment
 
 
 def test_extension_multiuser(report_runner):
-    report_runner(multiuser_offloading_experiment)
+    report_runner(bench_experiment, name="extension_e1_multiuser")

@@ -1,8 +1,8 @@
 """Extension E2 — the recovery server of the Conclusions: write-ahead log
 shipping to a dedicated logging node, with group commit for bulk loads."""
 
-from repro.bench import recovery_server_experiment
+from repro.bench import bench_experiment
 
 
 def test_extension_recovery(report_runner):
-    report_runner(recovery_server_experiment)
+    report_runner(bench_experiment, name="extension_e2_recovery")

@@ -6,14 +6,8 @@ sweep profile with per-point simulator throughput
 (``extension_e5_scaleup.json``) under ``benchmarks/results/``.
 """
 
-from repro.bench import save_scaleup_profile, scaleup_experiment
-
-
-def _experiment():
-    report, profile = scaleup_experiment()
-    save_scaleup_profile(profile)
-    return report
+from repro.bench import bench_experiment
 
 
 def test_extension_scaleup(report_runner):
-    report_runner(_experiment)
+    report_runner(bench_experiment, name="extension_e5_scaleup")

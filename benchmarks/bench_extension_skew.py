@@ -7,14 +7,8 @@ Writes the markdown table (``extension_e4_skew.md``) and the raw sweep
 profile (``extension_e4_skew.json``) under ``benchmarks/results/``.
 """
 
-from repro.bench import save_skew_profile, skew_join_experiment
-
-
-def _experiment():
-    report, profile = skew_join_experiment()
-    save_skew_profile(profile)
-    return report
+from repro.bench import bench_experiment
 
 
 def test_extension_skew(report_runner):
-    report_runner(_experiment)
+    report_runner(bench_experiment, name="extension_e4_skew")

@@ -5,14 +5,8 @@ Writes the markdown table (``workload_mpl.md``) and the raw sweep
 profile (``workload_mpl.json``) under ``benchmarks/results/``.
 """
 
-from repro.bench import save_workload_profile, workload_mpl_experiment
-
-
-def _experiment():
-    report, profile = workload_mpl_experiment()
-    save_workload_profile(profile)
-    return report
+from repro.bench import bench_experiment
 
 
 def test_extension_workload_mpl(report_runner):
-    report_runner(_experiment)
+    report_runner(bench_experiment, name="workload_mpl")

@@ -1,8 +1,8 @@
 """Figures 1-2 — non-indexed selection response time and speedup vs the
 number of processors with disks (0%, 1%, 10% on the 100k relation)."""
 
-from repro.bench import fig01_02_experiment
+from repro.bench import bench_experiment
 
 
 def test_fig01_02_select_speedup(report_runner):
-    report_runner(fig01_02_experiment)
+    report_runner(bench_experiment, name="fig01_02_select_speedup")

@@ -2,8 +2,8 @@
 including the paper's 0%-selection slowdown anomaly (operator start-up
 costs exceed the 1-2 index I/Os saved per site)."""
 
-from repro.bench import fig03_04_experiment
+from repro.bench import bench_experiment
 
 
 def test_fig03_04_indexed_speedup(report_runner):
-    report_runner(fig03_04_experiment)
+    report_runner(bench_experiment, name="fig03_04_indexed_speedup")

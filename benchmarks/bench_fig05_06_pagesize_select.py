@@ -2,8 +2,8 @@
 disk bound at 2 KB, CPU bound by 16 KB, and the widening 10%-over-0% gap
 as the network interface becomes the bottleneck."""
 
-from repro.bench import fig05_06_experiment
+from repro.bench import bench_experiment
 
 
 def test_fig05_06_pagesize_select(report_runner):
-    report_runner(fig05_06_experiment)
+    report_runner(bench_experiment, name="fig05_06_pagesize_select")

@@ -2,8 +2,8 @@
 the non-clustered path (random transfer time beats fan-out) and the 1%
 clustered selection stops improving past 16 KB."""
 
-from repro.bench import fig07_08_experiment
+from repro.bench import bench_experiment
 
 
 def test_fig07_08_pagesize_indexed(report_runner):
-    report_runner(fig07_08_experiment)
+    report_runner(bench_experiment, name="fig07_08_pagesize_indexed")

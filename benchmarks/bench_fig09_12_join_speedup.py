@@ -2,8 +2,8 @@
 number of processors: the mirror-image orderings on key vs non-key join
 attributes and near-linear speedup from the 2-processor reference point."""
 
-from repro.bench import fig09_12_experiment
+from repro.bench import bench_experiment
 
 
 def test_fig09_12_join_speedup(report_runner):
-    report_runner(fig09_12_experiment)
+    report_runner(bench_experiment, name="fig09_12_join_speedup")

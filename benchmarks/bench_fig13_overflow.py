@@ -2,8 +2,8 @@
 to two overflows, rapid deterioration beyond, and the Local/Remote
 crossover caused by the overflow hash-function switch."""
 
-from repro.bench import fig13_experiment
+from repro.bench import bench_experiment
 
 
 def test_fig13_overflow(report_runner):
-    report_runner(fig13_experiment)
+    report_runner(bench_experiment, name="fig13_overflow")

@@ -1,8 +1,8 @@
 """Figures 14-15 — joinAselB vs disk page size: larger pages help, the
 improvement levelling off at 16 KB."""
 
-from repro.bench import fig14_15_experiment
+from repro.bench import bench_experiment
 
 
 def test_fig14_15_pagesize_join(report_runner):
-    report_runner(fig14_15_experiment)
+    report_runner(bench_experiment, name="fig14_15_pagesize_join")

@@ -7,8 +7,8 @@ scaling with relation size, the clustered-index advantage, the optimizer's
 segment-scan choice at 10%, and Gamma beating the DBC/1012 on every row.
 """
 
-from repro.bench import table1_selection_experiment
+from repro.bench import bench_experiment
 
 
 def test_table1_selection(report_runner):
-    report_runner(table1_selection_experiment)
+    report_runner(bench_experiment, name="table1_selection")

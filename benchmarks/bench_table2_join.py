@@ -5,8 +5,8 @@ joinABprime (selection propagation), Teradata the opposite — plus the
 25-50% Teradata gain on key-attribute joins (skipped redistribution).
 """
 
-from repro.bench import table2_join_experiment
+from repro.bench import bench_experiment
 
 
 def test_table2_join(report_runner):
-    report_runner(table2_join_experiment)
+    report_runner(bench_experiment, name="table2_join")

@@ -5,8 +5,8 @@ key-modification being the most expensive update (relocation), and Gamma's
 partial-recovery advantage over the fully-logged DBC/1012.
 """
 
-from repro.bench import table3_update_experiment
+from repro.bench import bench_experiment
 
 
 def test_table3_update(report_runner):
-    report_runner(table3_update_experiment)
+    report_runner(bench_experiment, name="table3_update")

@@ -1,38 +1,30 @@
-"""Assemble EXPERIMENTS.md from the saved benchmark reports.
+"""Assemble EXPERIMENTS.md from the persistent result store.
 
-Run the benchmark suite first (``pytest benchmarks/ --benchmark-only``),
-then:  python benchmarks/generate_experiments_md.py
+Every section is summarised from the stored grid-point runs under
+``benchmarks/results/store/`` via the experiment registry
+(:mod:`repro.bench.registry`): grid points already in the store are not
+re-executed, so with the committed store this script regenerates every
+table — and rewrites every ``benchmarks/results/*.md`` — byte-identically
+without simulating anything.  Missing points (a cold store, or a changed
+experiment version) are executed and appended first, which is the same
+resume path ``python -m repro matrix run`` uses.
+
+The registry is also the drift check: a ``benchmarks/results/*.md``
+report with no registry entry, or a ``NOTES`` key naming an unregistered
+experiment, is an error — new experiments must be registered, not
+hand-appended.
 """
 
 from __future__ import annotations
 
 import os
+import sys
 
 HERE = os.path.dirname(os.path.abspath(__file__))
-RESULTS = os.path.join(HERE, "results")
 TARGET = os.path.join(HERE, "..", "EXPERIMENTS.md")
-
-ORDER = [
-    ("table1_selection", "Table 1"),
-    ("table2_join", "Table 2"),
-    ("table3_update", "Table 3"),
-    ("fig01_02_select_speedup", "Figures 1-2"),
-    ("fig03_04_indexed_speedup", "Figures 3-4"),
-    ("fig05_06_pagesize_select", "Figures 5-6"),
-    ("fig07_08_pagesize_indexed", "Figures 7-8"),
-    ("fig09_12_join_speedup", "Figures 9-12"),
-    ("fig13_overflow", "Figure 13"),
-    ("fig14_15_pagesize_join", "Figures 14-15"),
-    ("aggregate", "Aggregates (companion)"),
-    ("ablation_a1_bitfilter", "Ablation A1"),
-    ("ablation_a2_hybrid_join", "Ablation A2"),
-    ("ablation_a3_pagesize_default", "Ablation A3"),
-    ("extension_e1_multiuser", "Extension E1"),
-    ("extension_e2_recovery", "Extension E2"),
-    ("workload_mpl", "Extension E3"),
-    ("extension_e4_skew", "Extension E4"),
-    ("extension_e5_scaleup", "Extension E5"),
-]
+_SRC = os.path.join(HERE, "..", "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
 
 # Hand-written framing around a saved report: (intro, outro).  An intro
 # that opens with a heading replaces the report's own first line.
@@ -49,7 +41,8 @@ workload — single-tuple and 1%/10% range selections, non-indexed
 modifies, and an occasional Remote-mode joinABprime — through an
 admission controller whose multiprogramming level is swept 1→16, on
 both machines.  Regenerate with
-`pytest benchmarks/bench_extension_workload.py --benchmark-only`, or
+`python -m repro matrix run workload_mpl` (or
+`pytest benchmarks/bench_extension_workload.py --benchmark-only`), or
 interactively via `python -m repro workload --sweep --machine both`.
 """,
         """\
@@ -74,7 +67,8 @@ paper's plain `hash` split, equal-depth `range` boundaries,
 virtual-processor hashing (`vhash`), and fragment-replicate
 (`hot-broadcast`: hot build keys go everywhere, hot probe tuples are
 sprayed round-robin).  Regenerate with
-`pytest benchmarks/bench_extension_skew.py --benchmark-only`, or
+`python -m repro matrix run extension_e4_skew` (or
+`pytest benchmarks/bench_extension_skew.py --benchmark-only`), or
 interactively via `python -m repro skew`.
 """,
         """\
@@ -93,7 +87,8 @@ hardware Gamma had.  This experiment asks what the *model* predicts
 beyond that: the same non-indexed selection and joinABprime
 (100,000-tuple relations) declustered across 8, 64, 256 and 1,000
 sites.  Regenerate with
-`pytest benchmarks/bench_extension_scaleup.py --benchmark-only`, or
+`python -m repro matrix run extension_e5_scaleup` (or
+`pytest benchmarks/bench_extension_scaleup.py --benchmark-only`), or
 interactively via `python -m repro scaleup`.
 """,
         """\
@@ -119,10 +114,21 @@ PREAMBLE = """\
 
 Every table and figure of *"A Performance Analysis of the Gamma Database
 Machine"* (DeWitt, Ghandeharizadeh & Schneider, SIGMOD 1988), regenerated
-by `pytest benchmarks/ --benchmark-only`.  Measured values are **modeled
-seconds** from the discrete-event simulation (see DESIGN.md §2 for the
-substitution rationale); `gamma ratio` columns give measured/paper.  Shape
-checks are the paper's qualitative claims, asserted by the benchmarks.
+from the persistent result store by
+`python benchmarks/generate_experiments_md.py`.  Measured values are
+**modeled seconds** from the discrete-event simulation (see DESIGN.md §2
+for the substitution rationale); `gamma ratio` columns give
+measured/paper.  Shape checks are the paper's qualitative claims,
+asserted by the benchmarks.
+
+Store note: every measured grid point lives in
+`benchmarks/results/store/` (JSON lines, keyed by canonical config hash
+and experiment version — DESIGN.md §5.10).  Sweeps resume: re-running
+any experiment (`python -m repro matrix run <name>`, or the
+`pytest benchmarks/ --benchmark-only` suite) executes only grid points
+missing from the store, so a warm store regenerates this file without
+simulating anything; `--force` re-measures.  `python -m repro matrix
+list` shows per-experiment coverage.
 
 Scale note: tables default to the 10,000- and 100,000-tuple relations; set
 `GAMMA_BENCH_SIZES=10000,100000,1000000` to regenerate the million-tuple
@@ -144,7 +150,9 @@ simulated seconds and events/second to
 `benchmarks/results/BENCH_perf.json`; CI runs it at 10k scale and
 fails if events/second regresses >30 % against
 `benchmarks/perf/baseline.json`, then separately asserts the 256-site
-smoke points stay inside a wall-clock budget.
+smoke points stay inside a wall-clock budget.  Each perf run also lands
+in the result store, so `python -m repro matrix report --perf` prints
+the events/cpu-second trend across commits.
 
 Profiling note: `pytest benchmarks/ --benchmark-only --profile` (or
 `GAMMA_BENCH_PROFILE=1`, which is how the flag reaches sweep workers)
@@ -157,6 +165,9 @@ critical path and verdict.  The Figure 13 point also exports
 queue-depth and overflow counter tracks.  Both experiments assert the
 instrumented re-run's simulated response time is **bit-identical** to the
 uninstrumented one, so profiling can never perturb a published number.
+(The committed store was recorded with profiling on, which is why this
+script defaults `GAMMA_BENCH_PROFILE=1`: the profiled grid points are
+distinct configs, and regeneration must summarise the stored ones.)
 
 ## Summary of fidelity
 
@@ -195,16 +206,52 @@ uninstrumented one, so profiling can never perturb a published number.
 """
 
 
+def check_registry_drift(results_directory, registered, notes=None):
+    """Fail loudly when results and registry disagree.
+
+    ``registered`` is the registry's name list.  Raises ``SystemExit``
+    when a ``*.md`` report exists with no registry entry (a benchmark
+    was added without registering it) or a ``NOTES`` key names an
+    unregistered experiment (a registry entry was renamed or removed
+    without updating the framing text).
+    """
+    registered = set(registered)
+    on_disk = {
+        name[:-len(".md")]
+        for name in os.listdir(results_directory)
+        if name.endswith(".md")
+    }
+    stray = sorted(on_disk - registered)
+    if stray:
+        raise SystemExit(
+            f"results with no registry entry: {', '.join(stray)} — register"
+            " the experiment in src/repro/bench/registry.py or delete the"
+            " stale report"
+        )
+    unnoted = sorted(set(notes or NOTES) - registered)
+    if unnoted:
+        raise SystemExit(
+            f"NOTES entries with no registry entry: {', '.join(unnoted)} —"
+            " NOTES keys must name registered experiments"
+        )
+
+
 def main() -> None:
+    # The committed store's figure points were recorded with the
+    # profiler attached; summarising them needs the same grid.
+    os.environ.setdefault("GAMMA_BENCH_PROFILE", "1")
+
+    from repro.bench.registry import ordered, run_registered
+    from repro.bench.reporting import results_dir
+    from repro.bench.store import ResultStore
+
+    store = ResultStore()
     sections = [PREAMBLE]
-    missing = []
-    for name, label in ORDER:
-        path = os.path.join(RESULTS, f"{name}.md")
-        if not os.path.exists(path):
-            missing.append(label)
-            continue
-        with open(path) as fh:
-            body = fh.read().rstrip() + "\n"
+    executed = 0
+    for name, _label in ordered():
+        run = run_registered(name, store)
+        executed += run.executed
+        body = run.report.to_markdown().rstrip() + "\n"
         intro, outro = NOTES.get(name, ("", ""))
         if intro:
             heading, rest = body.split("\n", 1)
@@ -215,15 +262,14 @@ def main() -> None:
         if outro:
             body = body + "\n" + outro
         sections.append(body)
-    if missing:
-        sections.append(
-            "\n> Missing reports (benchmarks not yet run): "
-            + ", ".join(missing) + "\n"
-        )
+    check_registry_drift(results_dir(), [name for name, _ in ordered()])
     with open(TARGET, "w") as fh:
         fh.write("\n".join(sections))
-    print(f"wrote {os.path.normpath(TARGET)}"
-          + (f" (missing: {missing})" if missing else ""))
+    print(
+        f"wrote {os.path.normpath(TARGET)} from the result store"
+        f" ({executed} grid points executed, rest summarised from"
+        f" {os.path.relpath(store.directory)})"
+    )
 
 
 if __name__ == "__main__":

@@ -26,7 +26,10 @@ Usage::
         --baseline benchmarks/perf/baseline.json      # regression gate
 
 Results land in ``benchmarks/results/BENCH_perf.json`` (``--out`` to
-override).  With ``--baseline``, the run fails (exit 1) if any
+override) and are appended to the persistent result store
+(``--no-store`` to skip), which feeds the cross-commit trend table
+``python -m repro matrix report --perf``.  With ``--baseline``, the
+run fails (exit 1) if any
 benchmark's events/second drops more than ``--max-regression`` (default
 30%) below the committed baseline.  ``--update-baseline`` rewrites the
 baseline file from this run instead.
@@ -45,6 +48,7 @@ try:
     # Same import mechanism as the bench_* suites: ``repro`` comes from
     # the installed package (``pip install -e .``) or ``PYTHONPATH=src``.
     from repro.bench import build_gamma, run_stored
+    from repro.bench.perf import record_perf_report
     from repro.hardware import GammaConfig
     from repro.sim import Delay, Server, Simulation, Use
     from repro.workloads.queries import join_abprime, selection_query
@@ -284,6 +288,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="allowed fractional events/s drop vs baseline")
     parser.add_argument("--update-baseline", action="store_true",
                         help="rewrite --baseline from this run")
+    parser.add_argument("--no-store", action="store_true",
+                        help="skip appending this run to the persistent"
+                        " result store (benchmarks/results/store/)")
     args = parser.parse_args(argv)
 
     report = run_benchmarks(args.scale, args.repeat)
@@ -308,6 +315,14 @@ def main(argv: list[str] | None = None) -> int:
                 f"   {point['events_per_s']:>12,.0f} ev/s"
             )
     print(f"wrote {os.path.relpath(args.out)}")
+
+    if not args.no_store:
+        # One record per commit × benchmark × scale; re-runs at the same
+        # commit replace.  `python -m repro matrix report --perf` renders
+        # the cross-commit events/cpu-second trend from these.
+        records = record_perf_report(report)
+        print(f"stored {len(records)} perf records"
+              f" ({records[0].git_sha[:10]}) in the result store")
 
     if args.baseline:
         if args.update_baseline:

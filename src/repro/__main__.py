@@ -29,6 +29,16 @@
     256 and 1000 disk sites, printing the speedup-vs-sites table
     (simulated response) plus per-point simulator throughput;
     ``--json`` dumps the sweep profile.
+
+``python -m repro matrix``
+    The experiment matrix against the persistent result store under
+    ``benchmarks/results/store/``: ``list`` registered experiments and
+    their stored grid points; ``run [name …]`` resumes experiments —
+    only grid points missing from the store execute (``--force``
+    re-runs and replaces); ``report`` prints the regenerated tables
+    from stored runs, and ``report --perf`` the events/cpu-second
+    trend across commits; ``diff SHA1 SHA2`` compares the perf records
+    of two commits.
 """
 
 from __future__ import annotations
@@ -223,6 +233,86 @@ def _scaleup(args: argparse.Namespace) -> int:
     return 0 if report.all_checks_pass else 1
 
 
+def _matrix(args: argparse.Namespace) -> int:
+    import os
+
+    from .bench.perf import (
+        format_perf_diff,
+        format_perf_trend,
+        perf_diff,
+        perf_trend,
+    )
+    from .bench.registry import REGISTRY, names, run_registered
+    from .bench.store import ResultStore
+
+    store = ResultStore(args.store)
+    command = args.matrix_command or "list"
+
+    if command == "list":
+        print(f"{'experiment':<30}{'kind':<11}{'ver':<5}{'stored':>7}"
+              "  label")
+        for entry in REGISTRY:
+            spec = entry.spec
+            stored = len(store.records(spec.name, spec.version))
+            print(f"{spec.name:<30}{spec.kind:<11}{spec.version:<5}"
+                  f"{stored:>7}  {spec.label}")
+        perf_count = len(store.records("perf"))
+        if perf_count:
+            print(f"{'perf':<30}{'perf':<11}{'v1':<5}{perf_count:>7}"
+                  "  simulator events/cpu-s per commit")
+        for experiment, bad in sorted(store.corrupt_lines.items()):
+            print(f"note: {experiment}.jsonl skipped {bad} corrupt"
+                  " line(s); ResultStore.compact() rewrites it clean")
+        return 0
+
+    if command == "diff":
+        rows = perf_diff(args.sha_a, args.sha_b, store, scale=args.scale)
+        print(format_perf_diff(args.sha_a, args.sha_b, rows))
+        counts = {}
+        for record in store.records():
+            if record.experiment == "perf":
+                continue
+            for sha in (args.sha_a, args.sha_b):
+                if record.git_sha.startswith(sha):
+                    counts[sha] = counts.get(sha, 0) + 1
+        print(
+            "\nsimulated-result records recorded at"
+            f" {args.sha_a[:10]}: {counts.get(args.sha_a, 0)},"
+            f" {args.sha_b[:10]}: {counts.get(args.sha_b, 0)}"
+            "  (simulated points are deterministic — version tags, not"
+            " shas, invalidate them)"
+        )
+        return 0 if rows else 1
+
+    if command == "report" and args.perf:
+        print(format_perf_trend(perf_trend(store, scale=args.scale)))
+        return 0
+
+    # run, or report without --perf.  The committed store and artifacts
+    # are recorded with profiling on (the "profiling does not perturb"
+    # checks); match that by default so a warm store resumes cleanly.
+    os.environ.setdefault("GAMMA_BENCH_PROFILE", "1")
+    selected = list(args.experiments) or names()
+    failures = []
+    for name in selected:
+        run = run_registered(
+            name, store,
+            force=getattr(args, "force", False),
+            jobs=getattr(args, "jobs", None),
+        )
+        if command == "report":
+            print(run.report.to_markdown())
+        status = "ok" if run.report.all_checks_pass else "CHECKS FAILED"
+        print(f"{name}: {run.executed} executed, {run.cached} cached"
+              f" of {run.total} grid points — {status}")
+        if not run.report.all_checks_pass:
+            failures.append(name)
+    if failures:
+        print(f"shape checks failed: {', '.join(failures)}")
+        return 1
+    return 0
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -317,6 +407,42 @@ def main(argv: list[str]) -> int:
     su.add_argument("--json", metavar="PATH",
                     help="write the sweep profile as JSON")
 
+    mx = sub.add_parser(
+        "matrix", help="experiment matrix: list/run/report/diff against"
+        " the persistent result store",
+    )
+    mx.add_argument("--store", metavar="DIR", default=None,
+                    help="result-store directory (default"
+                    " benchmarks/results/store; GAMMA_BENCH_STORE)")
+    mxsub = mx.add_subparsers(dest="matrix_command")
+    mxsub.add_parser(
+        "list", help="registered experiments and their stored points")
+    mxrun = mxsub.add_parser(
+        "run", help="run experiments, resuming from the store (only"
+        " missing grid points execute)")
+    mxrun.add_argument("experiments", nargs="*",
+                       help="experiment names (default: all registered)")
+    mxrun.add_argument("--force", action="store_true",
+                       help="re-execute and replace stored grid points")
+    mxrun.add_argument("--jobs", type=int, default=None,
+                       help="sweep worker processes"
+                       " (default: GAMMA_BENCH_JOBS or cpu count)")
+    mxrep = mxsub.add_parser(
+        "report", help="print regenerated reports from the store"
+        " (--perf: events/cpu-second trend across commits)")
+    mxrep.add_argument("experiments", nargs="*",
+                       help="experiment names (default: all registered)")
+    mxrep.add_argument("--perf", action="store_true",
+                       help="print the simulator perf trend instead")
+    mxrep.add_argument("--scale", type=int, default=None,
+                       help="restrict the --perf trend to one scale")
+    mxdiff = mxsub.add_parser(
+        "diff", help="compare stored perf records between two commits")
+    mxdiff.add_argument("sha_a", help="older commit (prefix ok)")
+    mxdiff.add_argument("sha_b", help="newer commit (prefix ok)")
+    mxdiff.add_argument("--scale", type=int, default=None,
+                        help="restrict the comparison to one scale")
+
     # Bare `python -m repro [n]` keeps its historical meaning.
     raw = argv[1:]
     if not raw or (len(raw) == 1 and raw[0].lstrip("-").isdigit()):
@@ -331,6 +457,8 @@ def main(argv: list[str]) -> int:
         return _skew(args)
     if args.command == "scaleup":
         return _scaleup(args)
+    if args.command == "matrix":
+        return _matrix(args)
     return _demo(args.n_tuples)
 
 

@@ -28,11 +28,30 @@ from .harness import (
     run_to_host,
     speedup_series,
 )
+from .matrix import (
+    Axis,
+    ExperimentSpec,
+    Grid,
+    MatrixRun,
+    run_experiment,
+)
+from .perf import (
+    format_perf_trend,
+    perf_diff,
+    perf_trend,
+    record_perf_report,
+)
 from .recorded import (
     FIGURE_CLAIMS,
     TABLE1_SELECTIONS,
     TABLE2_JOINS,
     TABLE3_UPDATES,
+)
+from .registry import (
+    REGISTRY,
+    RegistryEntry,
+    bench_experiment,
+    run_registered,
 )
 from .reporting import Report, ratio_note
 from .scaleup import (
@@ -44,6 +63,14 @@ from .skew import (
     save_skew_profile,
     skew_join_experiment,
 )
+from .store import (
+    Record,
+    ResultStore,
+    StoreError,
+    canonical_config,
+    config_hash,
+    current_git_sha,
+)
 from .sweep import bench_jobs, run_sweep
 from .workload import (
     make_mix,
@@ -53,21 +80,32 @@ from .workload import (
 )
 
 __all__ = [
+    "Axis",
+    "ExperimentSpec",
     "FIGURE_CLAIMS",
-    "ablation_bitfilter_experiment",
-    "ablation_default_page_size_experiment",
-    "ablation_hybrid_join_experiment",
-    "multiuser_offloading_experiment",
-    "recovery_server_experiment",
+    "Grid",
+    "MatrixRun",
+    "REGISTRY",
+    "Record",
+    "RegistryEntry",
     "Report",
+    "ResultStore",
+    "StoreError",
     "TABLE1_SELECTIONS",
     "TABLE2_JOINS",
     "TABLE3_UPDATES",
+    "ablation_bitfilter_experiment",
+    "ablation_default_page_size_experiment",
+    "ablation_hybrid_join_experiment",
     "aggregate_experiment",
+    "bench_experiment",
     "bench_jobs",
     "bench_sizes",
     "build_gamma",
     "build_teradata",
+    "canonical_config",
+    "config_hash",
+    "current_git_sha",
     "fig01_02_experiment",
     "fig03_04_experiment",
     "fig05_06_experiment",
@@ -75,18 +113,26 @@ __all__ = [
     "fig09_12_experiment",
     "fig13_experiment",
     "fig14_15_experiment",
+    "format_perf_trend",
     "load_skew_machine",
     "machine_builder",
     "make_mix",
+    "multiuser_offloading_experiment",
+    "perf_diff",
+    "perf_trend",
     "ratio_note",
+    "record_perf_report",
+    "recovery_server_experiment",
+    "run_experiment",
+    "run_registered",
+    "run_stored",
+    "run_sweep",
+    "run_to_host",
     "save_scaleup_profile",
     "save_skew_profile",
     "save_workload_profile",
     "scaleup_experiment",
     "skew_join_experiment",
-    "run_stored",
-    "run_sweep",
-    "run_to_host",
     "speedup_series",
     "table1_selection_experiment",
     "table2_join_experiment",

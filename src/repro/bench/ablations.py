@@ -10,12 +10,19 @@
   this expectation will be determined in future multiuser benchmarks"):
   does off-loading joins to the diskless processors leave the disk sites
   capacity for concurrent selections?
+* **E2** — the recovery server the Conclusions announce: write-ahead
+  logging overhead on bulk stores and single-tuple appends.
+
+Like :mod:`.experiments`, each is an :class:`~repro.bench.matrix.
+ExperimentSpec` — a grid, a picklable point function, and a summarise
+function — with the old ``*_experiment`` call signatures kept as thin
+wrappers.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Sequence
+from typing import Any, Sequence
 
 from ..engine import JoinMode, Query
 from ..engine.plan import RangePredicate, ScanNode
@@ -23,81 +30,136 @@ from ..hardware import KB, GammaConfig
 from ..workloads import selection_range
 from ..workloads.queries import join_abprime, join_aselb, selection_query
 from .harness import build_gamma, run_stored
+from .matrix import Axis, ExperimentSpec, Grid, run_experiment
 from .recorded import TABLE1_SELECTIONS
 from .reporting import Report
 
 
-def ablation_bitfilter_experiment(n: int = 100_000) -> Report:
-    """A1: joinAselB with and without bit-vector filters."""
+# ---------------------------------------------------------------------------
+# A1 — bit-vector filters
+# ---------------------------------------------------------------------------
+
+def _a1_point(config: dict[str, Any]) -> dict[str, Any]:
+    """Grid point: joinABprime with filters on or off (picklable)."""
+    n, use = config["n"], config["filters"]
+    machine_config = replace(
+        GammaConfig.paper_default(), use_bit_filters=use
+    )
+    machine = build_gamma(
+        machine_config,
+        relations=[("A", n, "heap"), ("Bp", n // 10, "heap")],
+    )
+    result = run_stored(
+        machine,
+        lambda into: join_abprime("A", "Bp", key=False, into=into),
+    )
+    return {
+        "response": result.response_time,
+        "shipped": result.stats.get("tuples_shipped", 0),
+        "count": result.result_count,
+    }
+
+
+def _a1_grid(n: int = 100_000) -> Grid:
+    return Grid(axes=(Axis("filters", (False, True)),), base={"n": n})
+
+
+def _a1_summarise(grid: Grid, results: list[Any]) -> Report:
+    n = grid.base["n"]
     report = Report(
         name="ablation_a1_bitfilter",
         title=f"Ablation A1 — bit-vector filters, joinABprime on {n:,}",
         columns=["filters", "response (s)", "tuples shipped",
                  "tuples dropped at scan"],
     )
-    results = {}
+    points = {
+        config["filters"]: point
+        for config, point in zip(grid.points(), results)
+    }
     for use in (False, True):
-        config = replace(GammaConfig.paper_default(), use_bit_filters=use)
-        machine = build_gamma(
-            config, relations=[("A", n, "heap"), ("Bp", n // 10, "heap")],
-        )
-        result = run_stored(
-            machine,
-            lambda into: join_abprime("A", "Bp", key=False, into=into),
-        )
-        results[use] = result
+        point = points[use]
         report.add_row(
             "on" if use else "off",
-            result.response_time,
-            result.stats.get("tuples_shipped", 0),
-            "n/a" if not use else result.stats.get("tuples_shipped", 0),
+            point["response"],
+            point["shipped"],
+            "n/a" if not use else point["shipped"],
         )
     report.check(
         "filters never change the answer",
-        results[False].result_count == results[True].result_count,
+        points[False]["count"] == points[True]["count"],
     )
     report.check(
         "filters cut shipped probe tuples by more than 2x",
-        results[True].stats["tuples_shipped"]
-        < results[False].stats["tuples_shipped"] / 2,
+        points[True]["shipped"] < points[False]["shipped"] / 2,
     )
     report.check(
         "filters reduce response time",
-        results[True].response_time < results[False].response_time,
+        points[True]["response"] < points[False]["response"],
     )
     return report
 
 
-def ablation_hybrid_join_experiment(
+ABLATION_A1_SPEC = ExperimentSpec(
+    name="ablation_a1_bitfilter", label="Ablation A1", kind="ablation",
+    grid=_a1_grid, point=_a1_point, summarise=_a1_summarise,
+)
+
+
+def ablation_bitfilter_experiment(n: int = 100_000, **matrix: Any) -> Report:
+    """A1: joinAselB with and without bit-vector filters."""
+    return run_experiment(ABLATION_A1_SPEC, n=n, **matrix).report
+
+
+# ---------------------------------------------------------------------------
+# A2 — Simple vs Hybrid hash join
+# ---------------------------------------------------------------------------
+
+def _a2_point(config: dict[str, Any]) -> float:
+    """Grid point: one (memory ratio, algorithm) cell (picklable)."""
+    n, ratio, algorithm = config["n"], config["ratio"], config["algorithm"]
+    base = GammaConfig.paper_default()
+    smaller_bytes = (n // 10) * 208 * base.hash_table_overhead
+    machine_config = replace(
+        base.with_join_memory(max(64 * KB, int(ratio * smaller_bytes))),
+        join_algorithm=algorithm,
+    )
+    machine = build_gamma(
+        machine_config,
+        relations=[("A", n, "heap"), ("Bp", n // 10, "heap")],
+    )
+    return run_stored(
+        machine,
+        lambda into: join_abprime(
+            "A", "Bp", key=False, mode=JoinMode.REMOTE, into=into),
+    ).response_time
+
+
+def _a2_grid(
     n: int = 100_000,
     memory_ratios: Sequence[float] = (1.2, 0.8, 0.45, 0.2),
-) -> Report:
-    """A2: re-run the Figure 13 sweep with the Hybrid hash join."""
+) -> Grid:
+    return Grid(
+        axes=(
+            Axis("ratio", tuple(memory_ratios)),
+            Axis("algorithm", ("simple", "hybrid")),
+        ),
+        base={"n": n},
+    )
+
+
+def _a2_summarise(grid: Grid, results: list[Any]) -> Report:
+    n = grid.base["n"]
+    memory_ratios = grid.axis("ratio").values
     report = Report(
         name="ablation_a2_hybrid_join",
         title=f"Ablation A2 — Simple vs Hybrid hash join,"
               f" joinABprime on {n:,} under memory pressure",
         columns=["memory/|Bprime|", "simple (s)", "hybrid (s)", "hybrid gain"],
     )
-    base = GammaConfig.paper_default()
-    smaller_bytes = (n // 10) * 208 * base.hash_table_overhead
-    times: dict[tuple[str, float], float] = {}
-    for ratio in memory_ratios:
-        for algorithm in ("simple", "hybrid"):
-            config = replace(
-                base.with_join_memory(max(64 * KB, int(ratio * smaller_bytes))),
-                join_algorithm=algorithm,
-            )
-            machine = build_gamma(
-                config,
-                relations=[("A", n, "heap"), ("Bp", n // 10, "heap")],
-            )
-            result = run_stored(
-                machine,
-                lambda into: join_abprime(
-                    "A", "Bp", key=False, mode=JoinMode.REMOTE, into=into),
-            )
-            times[(algorithm, ratio)] = result.response_time
+    times: dict[tuple[str, float], float] = {
+        (config["algorithm"], config["ratio"]): response
+        for config, response in zip(grid.points(), results)
+    }
     for ratio in memory_ratios:
         simple = times[("simple", ratio)]
         hybrid = times[("hybrid", ratio)]
@@ -121,47 +183,80 @@ def ablation_hybrid_join_experiment(
     return report
 
 
-def ablation_default_page_size_experiment(n: int = 100_000) -> Report:
-    """A3: 4 KB vs 8 KB default pages over a mixed query set.
+ABLATION_A2_SPEC = ExperimentSpec(
+    name="ablation_a2_hybrid_join", label="Ablation A2", kind="ablation",
+    grid=_a2_grid, point=_a2_point, summarise=_a2_summarise,
+)
 
-    The Conclusions: "we should increase the default page size from 4 to 8
-    Kbytes.  While increasing the page size beyond 8 Kbytes provides slight
-    improvement for some queries, the impact on queries that use indices
-    (in particular, non-clustered indices) is very negative."
-    """
+
+def ablation_hybrid_join_experiment(
+    n: int = 100_000,
+    memory_ratios: Sequence[float] = (1.2, 0.8, 0.45, 0.2),
+    **matrix: Any,
+) -> Report:
+    """A2: re-run the Figure 13 sweep with the Hybrid hash join."""
+    return run_experiment(
+        ABLATION_A2_SPEC, n=n, memory_ratios=memory_ratios, **matrix,
+    ).report
+
+
+# ---------------------------------------------------------------------------
+# A3 — default page size
+# ---------------------------------------------------------------------------
+
+_A3_QUERY_LABELS = (
+    "10% file scan", "1% non-clustered index", "1% clustered index",
+    "joinAselB",
+)
+
+
+def _a3_point(config: dict[str, Any]) -> dict[str, float]:
+    """Grid point: the mixed query set at one page size (picklable)."""
+    n, kb = config["n"], config["page_kb"]
+    machine_config = GammaConfig.paper_default().with_page_size(kb * KB)
+    machine = build_gamma(
+        machine_config,
+        relations=[
+            ("heap", n, "heap"), ("idx", n, "indexed"), ("B", n, "heap"),
+        ],
+    )
+    runs = {
+        "10% file scan": lambda into: selection_query(
+            "heap", n, 0.10, into=into),
+        "1% non-clustered index": lambda into: selection_query(
+            "idx", n, 0.01, into=into),
+        "1% clustered index": lambda into: selection_query(
+            "idx", n, 0.01, attr="unique1", into=into),
+        "joinAselB": lambda into: join_aselb("heap", "B", n, key=False,
+                                             into=into),
+    }
+    return {
+        label: run_stored(machine, builder).response_time
+        for label, builder in runs.items()
+    }
+
+
+def _a3_grid(n: int = 100_000) -> Grid:
+    return Grid(axes=(Axis("page_kb", (4, 8, 32)),), base={"n": n})
+
+
+def _a3_summarise(grid: Grid, results: list[Any]) -> Report:
+    n = grid.base["n"]
+    page_sizes = grid.axis("page_kb").values
     report = Report(
         name="ablation_a3_pagesize_default",
         title=f"Ablation A3 — default page size (mixed workload, {n:,})",
         columns=["query", "4 KB (s)", "8 KB (s)", "32 KB (s)"],
     )
     times: dict[tuple[str, int], float] = {}
-    for kb in (4, 8, 32):
-        config = GammaConfig.paper_default().with_page_size(kb * KB)
-        machine = build_gamma(
-            config,
-            relations=[
-                ("heap", n, "heap"), ("idx", n, "indexed"),
-                ("B", n, "heap"),
-            ],
-        )
-        runs = {
-            "10% file scan": lambda into: selection_query(
-                "heap", n, 0.10, into=into),
-            "1% non-clustered index": lambda into: selection_query(
-                "idx", n, 0.01, into=into),
-            "1% clustered index": lambda into: selection_query(
-                "idx", n, 0.01, attr="unique1", into=into),
-            "joinAselB": lambda into: join_aselb("heap", "B", n, key=False,
-                                                 into=into),
-        }
-        for label, builder in runs.items():
-            times[(label, kb)] = run_stored(machine, builder).response_time
-    total = {kb: 0.0 for kb in (4, 8, 32)}
-    for label in ("10% file scan", "1% non-clustered index",
-                  "1% clustered index", "joinAselB"):
+    for config, ptimes in zip(grid.points(), results):
+        for label, response in ptimes.items():
+            times[(label, config["page_kb"])] = response
+    total = {kb: 0.0 for kb in page_sizes}
+    for label in _A3_QUERY_LABELS:
         report.add_row(label, times[(label, 4)], times[(label, 8)],
                        times[(label, 32)])
-        for kb in (4, 8, 32):
+        for kb in page_sizes:
             total[kb] += times[(label, kb)]
     report.add_row("TOTAL", total[4], total[8], total[32])
     report.check(
@@ -180,7 +275,103 @@ def ablation_default_page_size_experiment(n: int = 100_000) -> Report:
     return report
 
 
-def multiuser_offloading_experiment(n: int = 50_000) -> Report:
+ABLATION_A3_SPEC = ExperimentSpec(
+    name="ablation_a3_pagesize_default", label="Ablation A3",
+    kind="ablation", grid=_a3_grid, point=_a3_point,
+    summarise=_a3_summarise,
+)
+
+
+def ablation_default_page_size_experiment(
+    n: int = 100_000, **matrix: Any
+) -> Report:
+    """A3: 4 KB vs 8 KB default pages over a mixed query set.
+
+    The Conclusions: "we should increase the default page size from 4 to 8
+    Kbytes.  While increasing the page size beyond 8 Kbytes provides slight
+    improvement for some queries, the impact on queries that use indices
+    (in particular, non-clustered indices) is very negative."
+    """
+    return run_experiment(ABLATION_A3_SPEC, n=n, **matrix).report
+
+
+# ---------------------------------------------------------------------------
+# E1 — multiuser off-loading
+# ---------------------------------------------------------------------------
+
+def _e1_point(config: dict[str, Any]) -> dict[str, Any]:
+    """Grid point: solo selection, or a join+selection pair (picklable)."""
+    n, mode = config["n"], config["mode"]
+    relations = [
+        ("A", n, "heap"), ("Bp", n // 10, "heap"), ("S", n, "heap"),
+    ]
+    sel_range = selection_range(n, 0.10)
+    sel_pred = RangePredicate(sel_range.attr, sel_range.low, sel_range.high)
+    machine = build_gamma(relations=relations)
+    if mode == "solo":
+        solo = machine.run(Query.select("S", sel_pred, into="solo"))
+        return {"selection": solo.response_time}
+    join_result, sel_result = machine.run_concurrent([
+        Query.join(ScanNode("Bp"), ScanNode("A"),
+                   on=("unique2", "unique2"), mode=JoinMode(mode), into="j"),
+        Query.select("S", sel_pred, into="s"),
+    ])
+    return {
+        "join": join_result.response_time,
+        "selection": sel_result.response_time,
+        "join_count": join_result.result_count,
+        "selection_count": sel_result.result_count,
+    }
+
+
+def _e1_grid(n: int = 50_000) -> Grid:
+    return Grid(
+        axes=(Axis("mode", ("solo", "local", "remote")),), base={"n": n},
+    )
+
+
+def _e1_summarise(grid: Grid, results: list[Any]) -> Report:
+    n = grid.base["n"]
+    report = Report(
+        name="extension_e1_multiuser",
+        title=f"Extension E1 — multiuser off-loading"
+              f" (joinABprime + concurrent 10% selection, {n:,} tuples)",
+        columns=["join mode", "join (s)", "concurrent selection (s)",
+                 "selection alone (s)"],
+    )
+    points = {
+        config["mode"]: point
+        for config, point in zip(grid.points(), results)
+    }
+    solo_time = points["solo"]["selection"]
+    for mode in ("local", "remote"):
+        report.add_row(mode, points[mode]["join"],
+                       points[mode]["selection"], solo_time)
+
+    report.check(
+        "the concurrent selection finishes sooner when the join runs on"
+        " the diskless processors (Remote off-loading)",
+        points["remote"]["selection"] < points["local"]["selection"],
+    )
+    report.check(
+        "contention is real: the concurrent selection is slower than solo",
+        points["remote"]["selection"] > solo_time,
+    )
+    report.check(
+        "both queries still complete correctly",
+        points["remote"]["join_count"] == n // 10
+        and points["remote"]["selection_count"] == n // 10,
+    )
+    return report
+
+
+EXTENSION_E1_SPEC = ExperimentSpec(
+    name="extension_e1_multiuser", label="Extension E1", kind="extension",
+    grid=_e1_grid, point=_e1_point, summarise=_e1_summarise,
+)
+
+
+def multiuser_offloading_experiment(n: int = 50_000, **matrix: Any) -> Report:
     """E1: the deferred multiuser benchmark — Remote-join off-loading.
 
     A joinABprime and an independent 10% selection are submitted
@@ -189,88 +380,59 @@ def multiuser_offloading_experiment(n: int = 50_000) -> Report:
     processors with disks to effectively support more concurrent
     selection and store operators."
     """
-    report = Report(
-        name="extension_e1_multiuser",
-        title=f"Extension E1 — multiuser off-loading"
-              f" (joinABprime + concurrent 10% selection, {n:,} tuples)",
-        columns=["join mode", "join (s)", "concurrent selection (s)",
-                 "selection alone (s)"],
-    )
-
-    def relations():
-        return [
-            ("A", n, "heap"), ("Bp", n // 10, "heap"), ("S", n, "heap"),
-        ]
-
-    sel_range = selection_range(n, 0.10)
-    sel_pred = RangePredicate(sel_range.attr, sel_range.low, sel_range.high)
-    solo = build_gamma(relations=relations()).run(
-        Query.select("S", sel_pred, into="solo")
-    )
-    results = {}
-    for mode in (JoinMode.LOCAL, JoinMode.REMOTE):
-        machine = build_gamma(relations=relations())
-        join_result, sel_result = machine.run_concurrent([
-            Query.join(ScanNode("Bp"), ScanNode("A"),
-                       on=("unique2", "unique2"), mode=mode, into="j"),
-            Query.select("S", sel_pred, into="s"),
-        ])
-        results[mode] = (join_result, sel_result)
-        report.add_row(mode.value, join_result.response_time,
-                       sel_result.response_time, solo.response_time)
-
-    report.check(
-        "the concurrent selection finishes sooner when the join runs on"
-        " the diskless processors (Remote off-loading)",
-        results[JoinMode.REMOTE][1].response_time
-        < results[JoinMode.LOCAL][1].response_time,
-    )
-    report.check(
-        "contention is real: the concurrent selection is slower than solo",
-        results[JoinMode.REMOTE][1].response_time > solo.response_time,
-    )
-    report.check(
-        "both queries still complete correctly",
-        results[JoinMode.REMOTE][0].result_count == n // 10
-        and results[JoinMode.REMOTE][1].result_count == n // 10,
-    )
-    return report
+    return run_experiment(EXTENSION_E1_SPEC, n=n, **matrix).report
 
 
-def recovery_server_experiment(n: int = 50_000) -> Report:
-    """E2: the recovery server the Conclusions announce.
+# ---------------------------------------------------------------------------
+# E2 — recovery server
+# ---------------------------------------------------------------------------
 
-    Measures the write-ahead logging overhead the server adds to a bulk
-    ``retrieve into`` and to a single-tuple append.
-    """
+def _e2_point(config: dict[str, Any]) -> dict[str, Any]:
+    """Grid point: bulk store + append, logging on or off (picklable)."""
     from ..engine.plan import AppendTuple
     from ..workloads import generate_tuples
 
+    n, logging = config["n"], config["logging"]
+    machine_config = replace(
+        GammaConfig.paper_default(), use_recovery_server=logging
+    )
+    machine = build_gamma(machine_config, relations=[("r", n, "heap")])
+    stored = run_stored(
+        machine, lambda into: selection_query("r", n, 0.10, into=into)
+    )
+    record = (n + 5, n + 5) + next(iter(generate_tuples(1, seed=3)))[2:]
+    append = machine.update(AppendTuple("r", record))
+    return {
+        "bulk": stored.response_time,
+        "append": append.response_time,
+        "log_records": stored.stats.get("log_records", 0),
+    }
+
+
+def _e2_grid(n: int = 50_000) -> Grid:
+    return Grid(axes=(Axis("logging", (False, True)),), base={"n": n})
+
+
+def _e2_summarise(grid: Grid, results: list[Any]) -> Report:
+    n = grid.base["n"]
     report = Report(
         name="extension_e2_recovery",
         title=f"Extension E2 — recovery server overhead ({n:,} tuples)",
         columns=["operation", "no logging (s)", "with logging (s)",
                  "overhead"],
     )
-    times: dict[tuple[str, bool], float] = {}
-    log_stats = {}
-    for logging in (False, True):
-        config = replace(
-            GammaConfig.paper_default(), use_recovery_server=logging
-        )
-        machine = build_gamma(config, relations=[("r", n, "heap")])
-        stored = run_stored(
-            machine, lambda into: selection_query("r", n, 0.10, into=into)
-        )
-        times[("bulk store (10% retrieve into)", logging)] = (
-            stored.response_time
-        )
-        if logging:
-            log_stats = stored.stats
-        record = (n + 5, n + 5) + next(iter(generate_tuples(1, seed=3)))[2:]
-        times[("single-tuple append", logging)] = machine.update(
-            AppendTuple("r", record)
-        ).response_time
+    points = {
+        config["logging"]: point
+        for config, point in zip(grid.points(), results)
+    }
+    times = {
+        ("bulk store (10% retrieve into)", logging): points[logging]["bulk"]
+        for logging in (False, True)
+    }
+    times.update({
+        ("single-tuple append", logging): points[logging]["append"]
+        for logging in (False, True)
+    })
     for label in ("bulk store (10% retrieve into)", "single-tuple append"):
         off = times[(label, False)]
         on = times[(label, True)]
@@ -278,7 +440,7 @@ def recovery_server_experiment(n: int = 50_000) -> Report:
 
     report.check(
         "logging ships one record per stored tuple",
-        log_stats.get("log_records", 0) == round(0.10 * n),
+        points[True]["log_records"] == round(0.10 * n),
     )
     report.check(
         "group commit keeps bulk-store overhead under 2x",
@@ -297,3 +459,18 @@ def recovery_server_experiment(n: int = 50_000) -> Report:
         * n / 100_000,
     )
     return report
+
+
+EXTENSION_E2_SPEC = ExperimentSpec(
+    name="extension_e2_recovery", label="Extension E2", kind="extension",
+    grid=_e2_grid, point=_e2_point, summarise=_e2_summarise,
+)
+
+
+def recovery_server_experiment(n: int = 50_000, **matrix: Any) -> Report:
+    """E2: the recovery server the Conclusions announce.
+
+    Measures the write-ahead logging overhead the server adds to a bulk
+    ``retrieve into`` and to a single-tuple append.
+    """
+    return run_experiment(EXTENSION_E2_SPEC, n=n, **matrix).report

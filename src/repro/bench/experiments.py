@@ -1,22 +1,29 @@
-"""Experiment definitions: one function per table/figure of the paper.
+"""Experiment definitions: one spec per table/figure of the paper.
 
-Each function runs the workload on freshly built machines, returns a
-:class:`~repro.bench.reporting.Report` whose rows mirror the paper's table
-or figure series, and records the paper's qualitative claims as shape
-checks (``report.check(...)``) that the benchmark tests assert.
+Each experiment is an :class:`~repro.bench.matrix.ExperimentSpec`: a
+declarative config grid, a picklable *point function* (config dict in,
+JSON-safe measurement out — it crosses a process boundary under
+:func:`~repro.bench.sweep.run_sweep` and lands verbatim in the
+persistent :class:`~repro.bench.store.ResultStore`), and a *summarise*
+function that folds the stored per-point results into the paper-style
+:class:`~repro.bench.reporting.Report`, re-asserting the paper's
+qualitative claims as shape checks.
+
+The module-level ``*_experiment`` functions are the stable public API:
+thin wrappers over :func:`~repro.bench.matrix.run_experiment` that run
+without a store by default (tests, exploratory calls).  The registry
+(:mod:`repro.bench.registry`) is what runs them *with* the store.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from ..engine import JoinMode, Query
-from ..hardware import GammaConfig
-from ..engine.plan import AccessPath, RangePredicate
-from ..hardware import KB, MB
+from ..engine.plan import AccessPath
+from ..hardware import KB, GammaConfig
 from ..metrics import TraceBuffer, peak_utilisation
-from ..workloads import selection_range
 from ..workloads.queries import (
     join_abprime,
     join_aselb,
@@ -29,13 +36,12 @@ from .harness import (
     bench_sizes,
     build_gamma,
     build_teradata,
-    load_gamma_relation,
     run_stored,
     speedup_series,
 )
+from .matrix import Axis, ExperimentSpec, Grid, run_experiment
 from .recorded import TABLE1_SELECTIONS, TABLE2_JOINS, TABLE3_UPDATES
 from .reporting import Report, ratio_note, results_dir
-from .sweep import run_sweep
 
 
 def bench_profile_enabled() -> bool:
@@ -52,9 +58,10 @@ def bench_profile_enabled() -> bool:
 # Table 1 — selections
 # ---------------------------------------------------------------------------
 
-def _table1_point(n: int) -> dict[tuple[str, int, str], float]:
-    """Sweep point: both machines at one relation size (picklable)."""
-    measured: dict[tuple[str, int, str], float] = {}
+def _table1_point(config: dict[str, Any]) -> list[list[Any]]:
+    """Grid point: both machines at one relation size (picklable)."""
+    n = config["n"]
+    measured: list[list[Any]] = []
     gamma = build_gamma(relations=[
         (f"heap{n}", n, "heap"), (f"idx{n}", n, "indexed"),
     ])
@@ -78,25 +85,32 @@ def _table1_point(n: int) -> dict[tuple[str, int, str], float]:
                 f"idx{m}", m, 0.10, attr="unique1", into=into),
     }
     for label, builder in runs.items():
-        measured[(label, n, "gamma")] = run_stored(
-            gamma, builder).response_time
+        measured.append(
+            [label, "gamma", run_stored(gamma, builder).response_time]
+        )
         if "clustered index" not in label or "non-clustered" in label:
-            measured[(label, n, "teradata")] = run_stored(
-                teradata, builder).response_time
+            measured.append(
+                [label, "teradata",
+                 run_stored(teradata, builder).response_time]
+            )
     # Single-tuple select returns to the host.
     single = single_tuple_select(f"idx{n}", n // 2)
-    measured[("single tuple select", n, "gamma")] = gamma.run(
-        single).response_time
-    measured[("single tuple select", n, "teradata")] = teradata.run(
-        single).response_time
+    measured.append(
+        ["single tuple select", "gamma", gamma.run(single).response_time]
+    )
+    measured.append(
+        ["single tuple select", "teradata",
+         teradata.run(single).response_time]
+    )
     return measured
 
 
-def table1_selection_experiment(
-    sizes: Optional[Sequence[int]] = None,
-) -> Report:
-    """Regenerate Table 1: seven selection variants on both machines."""
-    sizes = list(sizes or bench_sizes())
+def _table1_grid(sizes: Optional[Sequence[int]] = None) -> Grid:
+    return Grid(axes=(Axis("n", tuple(sizes or bench_sizes())),))
+
+
+def _table1_summarise(grid: Grid, results: list[Any]) -> Report:
+    sizes = list(grid.axis("n").values)
     report = Report(
         name="table1_selection",
         title="Table 1 — Selection Queries (seconds)",
@@ -104,8 +118,9 @@ def table1_selection_experiment(
                  "gamma paper", "gamma", "gamma ratio"],
     )
     measured: dict[tuple[str, int, str], float] = {}
-    for fragment in run_sweep(_table1_point, sizes):
-        measured.update(fragment)
+    for config, rows in zip(grid.points(), results):
+        for label, machine, response in rows:
+            measured[(label, config["n"], machine)] = response
 
     for label, per_size in TABLE1_SELECTIONS.items():
         for n in sizes:
@@ -163,13 +178,27 @@ def table1_selection_experiment(
     return report
 
 
+TABLE1_SPEC = ExperimentSpec(
+    name="table1_selection", label="Table 1", kind="table",
+    grid=_table1_grid, point=_table1_point, summarise=_table1_summarise,
+)
+
+
+def table1_selection_experiment(
+    sizes: Optional[Sequence[int]] = None, **matrix: Any
+) -> Report:
+    """Regenerate Table 1: seven selection variants on both machines."""
+    return run_experiment(TABLE1_SPEC, sizes=sizes, **matrix).report
+
+
 # ---------------------------------------------------------------------------
 # Table 2 — joins
 # ---------------------------------------------------------------------------
 
-def _table2_point(n: int) -> dict[tuple[str, int, str], float]:
-    """Sweep point: the six join variants at one size (picklable)."""
-    measured: dict[tuple[str, int, str], float] = {}
+def _table2_point(config: dict[str, Any]) -> list[list[Any]]:
+    """Grid point: the six join variants at one size (picklable)."""
+    n = config["n"]
+    measured: list[list[Any]] = []
     tenth = n // 10
     rels = [
         (f"A{n}", n, "heap"), (f"B{n}", n, "heap"),
@@ -192,18 +221,21 @@ def _table2_point(n: int) -> dict[tuple[str, int, str], float]:
             f"A{m}", f"B{m}", f"C{m}", m, key=True, into=into),
     }
     for label, builder in builders.items():
-        measured[(label, n, "gamma")] = run_stored(
-            gamma, builder).response_time
-        measured[(label, n, "teradata")] = run_stored(
-            teradata, builder).response_time
+        measured.append(
+            [label, "gamma", run_stored(gamma, builder).response_time]
+        )
+        measured.append(
+            [label, "teradata", run_stored(teradata, builder).response_time]
+        )
     return measured
 
 
-def table2_join_experiment(
-    sizes: Optional[Sequence[int]] = None,
-) -> Report:
-    """Regenerate Table 2: three join queries × key/non-key attributes."""
-    sizes = list(sizes or bench_sizes())
+def _table2_grid(sizes: Optional[Sequence[int]] = None) -> Grid:
+    return Grid(axes=(Axis("n", tuple(sizes or bench_sizes())),))
+
+
+def _table2_summarise(grid: Grid, results: list[Any]) -> Report:
+    sizes = list(grid.axis("n").values)
     report = Report(
         name="table2_join",
         title="Table 2 — Join Queries (seconds); Gamma Remote, 4 KB pages",
@@ -211,8 +243,9 @@ def table2_join_experiment(
                  "gamma paper", "gamma", "gamma ratio"],
     )
     measured: dict[tuple[str, int, str], float] = {}
-    for fragment in run_sweep(_table2_point, sizes):
-        measured.update(fragment)
+    for config, rows in zip(grid.points(), results):
+        for label, machine, response in rows:
+            measured[(label, config["n"], machine)] = response
 
     for label, per_size in TABLE2_JOINS.items():
         for n in sizes:
@@ -264,13 +297,27 @@ def table2_join_experiment(
     return report
 
 
+TABLE2_SPEC = ExperimentSpec(
+    name="table2_join", label="Table 2", kind="table",
+    grid=_table2_grid, point=_table2_point, summarise=_table2_summarise,
+)
+
+
+def table2_join_experiment(
+    sizes: Optional[Sequence[int]] = None, **matrix: Any
+) -> Report:
+    """Regenerate Table 2: three join queries × key/non-key attributes."""
+    return run_experiment(TABLE2_SPEC, sizes=sizes, **matrix).report
+
+
 # ---------------------------------------------------------------------------
 # Table 3 — updates
 # ---------------------------------------------------------------------------
 
-def _table3_point(n: int) -> dict[tuple[str, int, str], float]:
-    """Sweep point: the update mix at one size (picklable)."""
-    measured: dict[tuple[str, int, str], float] = {}
+def _table3_point(config: dict[str, Any]) -> list[list[Any]]:
+    """Grid point: the update mix at one size (picklable)."""
+    n = config["n"]
+    measured: list[list[Any]] = []
     gamma = build_gamma(relations=[
         (f"heap{n}", n, "heap"), (f"idx{n}", n, "indexed"),
     ])
@@ -282,16 +329,18 @@ def _table3_point(n: int) -> dict[tuple[str, int, str], float]:
     for machine, tag in ((gamma, "gamma"), (teradata, "teradata")):
         for label in TABLE3_UPDATES:
             suite = heap_suite if label == "append 1 tuple (no indices)" else idx_suite
-            measured[(label, n, tag)] = machine.update(
-                suite[label]).response_time
+            measured.append(
+                [label, tag, machine.update(suite[label]).response_time]
+            )
     return measured
 
 
-def table3_update_experiment(
-    sizes: Optional[Sequence[int]] = None,
-) -> Report:
-    """Regenerate Table 3: the append/delete/modify mix."""
-    sizes = list(sizes or bench_sizes())
+def _table3_grid(sizes: Optional[Sequence[int]] = None) -> Grid:
+    return Grid(axes=(Axis("n", tuple(sizes or bench_sizes())),))
+
+
+def _table3_summarise(grid: Grid, results: list[Any]) -> Report:
+    sizes = list(grid.axis("n").values)
     report = Report(
         name="table3_update",
         title="Table 3 — Update Queries (seconds)",
@@ -299,8 +348,9 @@ def table3_update_experiment(
                  "gamma paper", "gamma"],
     )
     measured: dict[tuple[str, int, str], float] = {}
-    for fragment in run_sweep(_table3_point, sizes):
-        measured.update(fragment)
+    for config, rows in zip(grid.points(), results):
+        for label, machine, response in rows:
+            measured[(label, config["n"], machine)] = response
 
     for label, per_size in TABLE3_UPDATES.items():
         for n in sizes:
@@ -338,6 +388,19 @@ def table3_update_experiment(
     return report
 
 
+TABLE3_SPEC = ExperimentSpec(
+    name="table3_update", label="Table 3", kind="table",
+    grid=_table3_grid, point=_table3_point, summarise=_table3_summarise,
+)
+
+
+def table3_update_experiment(
+    sizes: Optional[Sequence[int]] = None, **matrix: Any
+) -> Report:
+    """Regenerate Table 3: the append/delete/modify mix."""
+    return run_experiment(TABLE3_SPEC, sizes=sizes, **matrix).report
+
+
 # ---------------------------------------------------------------------------
 # Figures 1-2 — non-indexed selection speedup
 # ---------------------------------------------------------------------------
@@ -345,24 +408,21 @@ def table3_update_experiment(
 _FIG01_02_SELECTIVITIES = (0.0, 0.01, 0.10)
 
 
-def _fig01_02_point(
-    args: tuple[int, int, bool, bool],
-) -> tuple[int, dict[float, float], dict[float, dict], Optional[float]]:
-    """Sweep point: one processor count, all selectivities (picklable)."""
-    n, procs, traced, profiled = args
+def _fig01_02_point(config: dict[str, Any]) -> dict[str, Any]:
+    """Grid point: one processor count, all selectivities (picklable)."""
+    n, procs = config["n"], config["procs"]
+    traced, profiled = config["traced"], config["profiled"]
     machine = build_gamma(
         GammaConfig.paper_default().with_sites(procs),
         relations=[("rel", n, "heap")],
     )
-    times: dict[float, float] = {}
-    utils: dict[float, dict] = {}
+    sels: list[list[Any]] = []
     for sel in _FIG01_02_SELECTIVITIES:
         result = run_stored(
             machine, lambda into, s=sel: selection_query(
                 "rel", n, s, into=into)
         )
-        times[sel] = result.response_time
-        utils[sel] = result.utilisations
+        sels.append([sel, result.response_time, result.utilisations])
     traced_time: Optional[float] = None
     if traced:
         traced_run = run_stored(
@@ -379,27 +439,32 @@ def _fig01_02_point(
                 results_dir(), "fig01_02_select_speedup.profile.json")
             with open(path, "w") as fh:
                 fh.write(traced_run.profile.to_json())
-    return procs, times, utils, traced_time
+    return {"sels": sels, "traced_time": traced_time}
 
 
-def fig01_02_experiment(
+def _fig01_02_grid(
     n: int = 100_000,
     processor_counts: Sequence[int] = (1, 2, 4, 8),
     profile: Optional[bool] = None,
-) -> Report:
-    """Response time and speedup of 0/1/10% selections vs processors.
-
-    Besides the paper's two figures, each row reports the busiest node's
-    CPU/disk/network busy fractions, and the widest configuration's 1%
-    selection is re-run under a :class:`~repro.metrics.TraceBuffer` to
-    (a) export a Chrome-trace timeline next to the markdown report and
-    (b) assert that tracing leaves the simulated timeline bit-identical.
-    With ``profile`` (default: the ``--profile`` bench option), the
-    re-run also attaches the query profiler and writes the
-    EXPLAIN ANALYZE output as ``fig01_02_select_speedup.profile.json``.
-    """
+) -> Grid:
     if profile is None:
         profile = bench_profile_enabled()
+    widest = max(processor_counts)
+
+    def derive(config: dict[str, Any]) -> dict[str, Any]:
+        config["traced"] = config["procs"] == widest
+        config["profiled"] = bool(profile) and config["procs"] == widest
+        return config
+
+    return Grid(
+        axes=(Axis("procs", tuple(processor_counts)),),
+        base={"n": n}, derive=derive,
+    )
+
+
+def _fig01_02_summarise(grid: Grid, results: list[Any]) -> Report:
+    n = grid.base["n"]
+    processor_counts = grid.axis("procs").values
     report = Report(
         name="fig01_02_select_speedup",
         title=f"Figures 1-2 — Non-indexed selections on {n:,} tuples"
@@ -411,19 +476,14 @@ def fig01_02_experiment(
     times: dict[float, dict[int, float]] = {s: {} for s in selectivities}
     utils: dict[tuple[float, int], dict[str, float]] = {}
     traced_pair: Optional[tuple[float, float]] = None
-    points = [
-        (n, procs, procs == max(processor_counts),
-         profile and procs == max(processor_counts))
-        for procs in processor_counts
-    ]
-    for procs, ptimes, putils, traced_time in run_sweep(
-        _fig01_02_point, points
-    ):
-        for sel in selectivities:
-            times[sel][procs] = ptimes[sel]
-            utils[(sel, procs)] = putils[sel]
-        if traced_time is not None:
-            traced_pair = (ptimes[0.01], traced_time)
+    for config, point in zip(grid.points(), results):
+        procs = config["procs"]
+        ptimes = {sel: response for sel, response, _ in point["sels"]}
+        for sel, response, putils in point["sels"]:
+            times[sel][procs] = response
+            utils[(sel, procs)] = putils
+        if point["traced_time"] is not None:
+            traced_pair = (ptimes[0.01], point["traced_time"])
     for sel in selectivities:
         speedups = speedup_series(times[sel], min(processor_counts))
         for procs in processor_counts:
@@ -485,6 +545,36 @@ def fig01_02_experiment(
     return report
 
 
+FIG01_02_SPEC = ExperimentSpec(
+    name="fig01_02_select_speedup", label="Figures 1-2", kind="figure",
+    grid=_fig01_02_grid, point=_fig01_02_point,
+    summarise=_fig01_02_summarise,
+)
+
+
+def fig01_02_experiment(
+    n: int = 100_000,
+    processor_counts: Sequence[int] = (1, 2, 4, 8),
+    profile: Optional[bool] = None,
+    **matrix: Any,
+) -> Report:
+    """Response time and speedup of 0/1/10% selections vs processors.
+
+    Besides the paper's two figures, each row reports the busiest node's
+    CPU/disk/network busy fractions, and the widest configuration's 1%
+    selection is re-run under a :class:`~repro.metrics.TraceBuffer` to
+    (a) export a Chrome-trace timeline next to the markdown report and
+    (b) assert that tracing leaves the simulated timeline bit-identical.
+    With ``profile`` (default: the ``--profile`` bench option), the
+    re-run also attaches the query profiler and writes the
+    EXPLAIN ANALYZE output as ``fig01_02_select_speedup.profile.json``.
+    """
+    return run_experiment(
+        FIG01_02_SPEC, n=n, processor_counts=processor_counts,
+        profile=profile, **matrix,
+    ).report
+
+
 # ---------------------------------------------------------------------------
 # Figures 3-4 — indexed selection speedup
 # ---------------------------------------------------------------------------
@@ -497,9 +587,9 @@ _FIG03_04_VARIANTS = {
 }
 
 
-def _fig03_04_point(args: tuple[int, int]) -> tuple[int, dict[str, float]]:
-    """Sweep point: indexed-selection variants at one width (picklable)."""
-    n, procs = args
+def _fig03_04_point(config: dict[str, Any]) -> dict[str, float]:
+    """Grid point: indexed-selection variants at one width (picklable)."""
+    n, procs = config["n"], config["procs"]
     machine = build_gamma(
         GammaConfig.paper_default().with_sites(procs),
         relations=[("rel", n, "indexed")],
@@ -511,14 +601,20 @@ def _fig03_04_point(args: tuple[int, int]) -> tuple[int, dict[str, float]]:
             lambda into, a=attr, s=sel, f=forced: selection_query(
                 "rel", n, s, attr=a, into=into, forced_path=f),
         ).response_time
-    return procs, times
+    return times
 
 
-def fig03_04_experiment(
-    n: int = 100_000,
-    processor_counts: Sequence[int] = (1, 2, 4, 8),
-) -> Report:
-    """Indexed selections vs processors, incl. the 0% slowdown anomaly."""
+def _fig03_04_grid(
+    n: int = 100_000, processor_counts: Sequence[int] = (1, 2, 4, 8)
+) -> Grid:
+    return Grid(
+        axes=(Axis("procs", tuple(processor_counts)),), base={"n": n},
+    )
+
+
+def _fig03_04_summarise(grid: Grid, results: list[Any]) -> Report:
+    n = grid.base["n"]
+    processor_counts = grid.axis("procs").values
     report = Report(
         name="fig03_04_indexed_speedup",
         title=f"Figures 3-4 — Indexed selections on {n:,} tuples"
@@ -527,11 +623,9 @@ def fig03_04_experiment(
     )
     variants = _FIG03_04_VARIANTS
     times: dict[str, dict[int, float]] = {v: {} for v in variants}
-    for procs, ptimes in run_sweep(
-        _fig03_04_point, [(n, procs) for procs in processor_counts]
-    ):
+    for config, ptimes in zip(grid.points(), results):
         for label in variants:
-            times[label][procs] = ptimes[label]
+            times[label][config["procs"]] = ptimes[label]
     for label in variants:
         speedups = speedup_series(times[label], min(processor_counts))
         for procs in processor_counts:
@@ -559,6 +653,24 @@ def fig03_04_experiment(
     return report
 
 
+FIG03_04_SPEC = ExperimentSpec(
+    name="fig03_04_indexed_speedup", label="Figures 3-4", kind="figure",
+    grid=_fig03_04_grid, point=_fig03_04_point,
+    summarise=_fig03_04_summarise,
+)
+
+
+def fig03_04_experiment(
+    n: int = 100_000,
+    processor_counts: Sequence[int] = (1, 2, 4, 8),
+    **matrix: Any,
+) -> Report:
+    """Indexed selections vs processors, incl. the 0% slowdown anomaly."""
+    return run_experiment(
+        FIG03_04_SPEC, n=n, processor_counts=processor_counts, **matrix,
+    ).report
+
+
 # ---------------------------------------------------------------------------
 # Figures 5-6 — page size vs non-indexed selections
 # ---------------------------------------------------------------------------
@@ -566,27 +678,33 @@ def fig03_04_experiment(
 _FIG05_06_SELECTIVITIES = (0.0, 0.01, 0.10, 1.0)
 
 
-def _fig05_06_point(args: tuple[int, int]) -> tuple[int, dict[float, float]]:
-    """Sweep point: one page size, all selectivities (picklable)."""
-    n, kb = args
+def _fig05_06_point(config: dict[str, Any]) -> list[list[float]]:
+    """Grid point: one page size, all selectivities (picklable)."""
+    n, kb = config["n"], config["page_kb"]
     machine = build_gamma(
         GammaConfig.paper_default().with_page_size(kb * KB),
         relations=[("rel", n, "heap")],
     )
-    times: dict[float, float] = {}
+    out: list[list[float]] = []
     for sel in _FIG05_06_SELECTIVITIES:
-        times[sel] = run_stored(
+        out.append([sel, run_stored(
             machine, lambda into, s=sel: selection_query(
                 "rel", n, s, into=into)
-        ).response_time
-    return kb, times
+        ).response_time])
+    return out
 
 
-def fig05_06_experiment(
-    n: int = 100_000,
-    page_sizes_kb: Sequence[int] = (2, 4, 8, 16, 32),
-) -> Report:
-    """Non-indexed selections across disk page sizes (8 disk sites)."""
+def _fig05_06_grid(
+    n: int = 100_000, page_sizes_kb: Sequence[int] = (2, 4, 8, 16, 32)
+) -> Grid:
+    return Grid(
+        axes=(Axis("page_kb", tuple(page_sizes_kb)),), base={"n": n},
+    )
+
+
+def _fig05_06_summarise(grid: Grid, results: list[Any]) -> Report:
+    n = grid.base["n"]
+    page_sizes_kb = grid.axis("page_kb").values
     report = Report(
         name="fig05_06_pagesize_select",
         title=f"Figures 5-6 — Non-indexed selections on {n:,} tuples"
@@ -595,11 +713,9 @@ def fig05_06_experiment(
     )
     selectivities = _FIG05_06_SELECTIVITIES
     times: dict[float, dict[int, float]] = {s: {} for s in selectivities}
-    for kb, ptimes in run_sweep(
-        _fig05_06_point, [(n, kb) for kb in page_sizes_kb]
-    ):
-        for sel in selectivities:
-            times[sel][kb] = ptimes[sel]
+    for config, pairs in zip(grid.points(), results):
+        for sel, response in pairs:
+            times[sel][config["page_kb"]] = response
     for sel in selectivities:
         base = times[sel][min(page_sizes_kb)]
         for kb in page_sizes_kb:
@@ -624,6 +740,24 @@ def fig05_06_experiment(
     return report
 
 
+FIG05_06_SPEC = ExperimentSpec(
+    name="fig05_06_pagesize_select", label="Figures 5-6", kind="figure",
+    grid=_fig05_06_grid, point=_fig05_06_point,
+    summarise=_fig05_06_summarise,
+)
+
+
+def fig05_06_experiment(
+    n: int = 100_000,
+    page_sizes_kb: Sequence[int] = (2, 4, 8, 16, 32),
+    **matrix: Any,
+) -> Report:
+    """Non-indexed selections across disk page sizes (8 disk sites)."""
+    return run_experiment(
+        FIG05_06_SPEC, n=n, page_sizes_kb=page_sizes_kb, **matrix,
+    ).report
+
+
 # ---------------------------------------------------------------------------
 # Figures 7-8 — page size vs indexed selections
 # ---------------------------------------------------------------------------
@@ -635,9 +769,9 @@ _FIG07_08_VARIANTS = {
 }
 
 
-def _fig07_08_point(args: tuple[int, int]) -> tuple[int, dict[str, float]]:
-    """Sweep point: indexed variants at one page size (picklable)."""
-    n, kb = args
+def _fig07_08_point(config: dict[str, Any]) -> dict[str, float]:
+    """Grid point: indexed variants at one page size (picklable)."""
+    n, kb = config["n"], config["page_kb"]
     machine = build_gamma(
         GammaConfig.paper_default().with_page_size(kb * KB),
         relations=[("rel", n, "indexed")],
@@ -653,14 +787,20 @@ def _fig07_08_point(args: tuple[int, int]) -> tuple[int, dict[str, float]]:
             lambda into, a=attr, s=sel, f=forced: selection_query(
                 "rel", n, s, attr=a, into=into, forced_path=f),
         ).response_time
-    return kb, times
+    return times
 
 
-def fig07_08_experiment(
-    n: int = 100_000,
-    page_sizes_kb: Sequence[int] = (2, 4, 8, 16, 32),
-) -> Report:
-    """Indexed selections across page sizes: fan-out vs transfer time."""
+def _fig07_08_grid(
+    n: int = 100_000, page_sizes_kb: Sequence[int] = (2, 4, 8, 16, 32)
+) -> Grid:
+    return Grid(
+        axes=(Axis("page_kb", tuple(page_sizes_kb)),), base={"n": n},
+    )
+
+
+def _fig07_08_summarise(grid: Grid, results: list[Any]) -> Report:
+    n = grid.base["n"]
+    page_sizes_kb = grid.axis("page_kb").values
     report = Report(
         name="fig07_08_pagesize_indexed",
         title=f"Figures 7-8 — Indexed selections on {n:,} tuples"
@@ -669,11 +809,9 @@ def fig07_08_experiment(
     )
     variants = _FIG07_08_VARIANTS
     times: dict[str, dict[int, float]] = {v: {} for v in variants}
-    for kb, ptimes in run_sweep(
-        _fig07_08_point, [(n, kb) for kb in page_sizes_kb]
-    ):
+    for config, ptimes in zip(grid.points(), results):
         for label in variants:
-            times[label][kb] = ptimes[label]
+            times[label][config["page_kb"]] = ptimes[label]
     for label in variants:
         for kb in page_sizes_kb:
             report.add_row(label, kb, times[label][kb])
@@ -695,6 +833,24 @@ def fig07_08_experiment(
     return report
 
 
+FIG07_08_SPEC = ExperimentSpec(
+    name="fig07_08_pagesize_indexed", label="Figures 7-8", kind="figure",
+    grid=_fig07_08_grid, point=_fig07_08_point,
+    summarise=_fig07_08_summarise,
+)
+
+
+def fig07_08_experiment(
+    n: int = 100_000,
+    page_sizes_kb: Sequence[int] = (2, 4, 8, 16, 32),
+    **matrix: Any,
+) -> Report:
+    """Indexed selections across page sizes: fan-out vs transfer time."""
+    return run_experiment(
+        FIG07_08_SPEC, n=n, page_sizes_kb=page_sizes_kb, **matrix,
+    ).report
+
+
 # ---------------------------------------------------------------------------
 # Figures 9-12 — join placement vs processors
 # ---------------------------------------------------------------------------
@@ -702,31 +858,35 @@ def fig07_08_experiment(
 _FIG09_12_MODES = (JoinMode.LOCAL, JoinMode.REMOTE, JoinMode.ALLNODES)
 
 
-def _fig09_12_point(
-    args: tuple[int, int],
-) -> tuple[int, dict[tuple[bool, JoinMode], float]]:
-    """Sweep point: every placement × join-attr pair at one width."""
-    n, procs = args
+def _fig09_12_point(config: dict[str, Any]) -> list[list[Any]]:
+    """Grid point: every placement × join-attr pair at one width."""
+    n, procs = config["n"], config["procs"]
     machine = build_gamma(
         GammaConfig.paper_default().with_sites(procs),
         relations=[("A", n, "heap"), ("Bp", n // 10, "heap")],
     )
-    times: dict[tuple[bool, JoinMode], float] = {}
+    out: list[list[Any]] = []
     for key in (True, False):
         for mode in _FIG09_12_MODES:
-            times[(key, mode)] = run_stored(
+            out.append([key, mode.value, run_stored(
                 machine,
                 lambda into, k=key, md=mode: join_abprime(
                     "A", "Bp", key=k, mode=md, into=into),
-            ).response_time
-    return procs, times
+            ).response_time])
+    return out
 
 
-def fig09_12_experiment(
-    n: int = 100_000,
-    processor_counts: Sequence[int] = (2, 4, 8),
-) -> Report:
-    """joinABprime under Local/Remote/Allnodes on key and non-key attrs."""
+def _fig09_12_grid(
+    n: int = 100_000, processor_counts: Sequence[int] = (2, 4, 8)
+) -> Grid:
+    return Grid(
+        axes=(Axis("procs", tuple(processor_counts)),), base={"n": n},
+    )
+
+
+def _fig09_12_summarise(grid: Grid, results: list[Any]) -> Report:
+    n = grid.base["n"]
+    processor_counts = grid.axis("procs").values
     report = Report(
         name="fig09_12_join_speedup",
         title=f"Figures 9-12 — joinABprime ({n:,} x {n // 10:,}) vs"
@@ -738,11 +898,9 @@ def fig09_12_experiment(
     times: dict[tuple[bool, JoinMode], dict[int, float]] = {
         (key, mode): {} for key in (True, False) for mode in modes
     }
-    for procs, ptimes in run_sweep(
-        _fig09_12_point, [(n, procs) for procs in processor_counts]
-    ):
-        for pair, t in ptimes.items():
-            times[pair][procs] = t
+    for config, rows in zip(grid.points(), results):
+        for key, mode_value, response in rows:
+            times[(key, JoinMode(mode_value))][config["procs"]] = response
     reference = min(processor_counts)
     for key in (True, False):
         for mode in modes:
@@ -782,31 +940,50 @@ def fig09_12_experiment(
     return report
 
 
+FIG09_12_SPEC = ExperimentSpec(
+    name="fig09_12_join_speedup", label="Figures 9-12", kind="figure",
+    grid=_fig09_12_grid, point=_fig09_12_point,
+    summarise=_fig09_12_summarise,
+)
+
+
+def fig09_12_experiment(
+    n: int = 100_000,
+    processor_counts: Sequence[int] = (2, 4, 8),
+    **matrix: Any,
+) -> Report:
+    """joinABprime under Local/Remote/Allnodes on key and non-key attrs."""
+    return run_experiment(
+        FIG09_12_SPEC, n=n, processor_counts=processor_counts, **matrix,
+    ).report
+
+
 # ---------------------------------------------------------------------------
 # Figure 13 — join overflow
 # ---------------------------------------------------------------------------
 
-def _fig13_point(
-    args: tuple[int, float, bool],
-) -> tuple[float, dict[JoinMode, tuple[float, int]], Optional[float]]:
-    """Sweep point: Local + Remote joins at one memory ratio (picklable)."""
-    n, ratio, profiled = args
+def _fig13_point(config: dict[str, Any]) -> dict[str, Any]:
+    """Grid point: Local + Remote joins at one memory ratio (picklable)."""
+    n, ratio, profiled = config["n"], config["ratio"], config["profiled"]
     base_config = GammaConfig.paper_default()
     smaller_bytes = (n // 10) * 208 * base_config.hash_table_overhead
-    config = base_config.with_join_memory(
+    machine_config = base_config.with_join_memory(
         max(64 * KB, int(ratio * smaller_bytes))
     )
     machine = build_gamma(
-        config, relations=[("A", n, "heap"), ("Bp", n // 10, "heap")],
+        machine_config,
+        relations=[("A", n, "heap"), ("Bp", n // 10, "heap")],
     )
-    per_mode: dict[JoinMode, tuple[float, int]] = {}
+    per_mode: list[list[Any]] = []
     for mode in (JoinMode.LOCAL, JoinMode.REMOTE):
         result = run_stored(
             machine,
             lambda into, md=mode: join_abprime(
                 "A", "Bp", key=True, mode=md, into=into),
         )
-        per_mode[mode] = (result.response_time, result.max_overflows)
+        per_mode.append(
+            [mode.value, result.response_time, result.max_overflows]
+        )
     profiled_time: Optional[float] = None
     if profiled:
         # Re-run the overflowing Remote join with the profiler and a
@@ -824,27 +1001,31 @@ def _fig13_point(
         with open(os.path.join(
                 results_dir(), "fig13_overflow.profile.json"), "w") as fh:
             fh.write(result.profile.to_json())
-    return ratio, per_mode, profiled_time
+    return {"per_mode": per_mode, "profiled_time": profiled_time}
 
 
-def fig13_experiment(
+def _fig13_grid(
     n: int = 100_000,
     memory_ratios: Sequence[float] = (1.2, 1.0, 0.9, 0.8, 0.6, 0.45, 0.3, 0.2),
     profile: Optional[bool] = None,
-) -> Report:
-    """joinABprime response vs available-memory/smaller-relation ratio.
-
-    Ratio 1.0 means hash-table capacity for exactly the building relation
-    ("available memory was initially set to be sufficient to hold the
-    total number of tuples required in the building phase"), so the
-    bucket/pointer overhead factor is included in the budget.  With
-    ``profile`` (default: the ``--profile`` bench option) the deepest
-    overflow point is re-run with the profiler and a trace attached,
-    writing ``fig13_overflow.profile.json`` and a Perfetto trace with
-    hash-table/queue-depth counter tracks.
-    """
+) -> Grid:
     if profile is None:
         profile = bench_profile_enabled()
+    deepest = min(memory_ratios)
+
+    def derive(config: dict[str, Any]) -> dict[str, Any]:
+        config["profiled"] = bool(profile) and config["ratio"] == deepest
+        return config
+
+    return Grid(
+        axes=(Axis("ratio", tuple(memory_ratios)),),
+        base={"n": n}, derive=derive,
+    )
+
+
+def _fig13_summarise(grid: Grid, results: list[Any]) -> Report:
+    n = grid.base["n"]
+    memory_ratios = grid.axis("ratio").values
     report = Report(
         name="fig13_overflow",
         title=f"Figure 13 — joinABprime ({n:,} x {n // 10:,}) under memory"
@@ -855,16 +1036,15 @@ def fig13_experiment(
     times: dict[tuple[JoinMode, float], float] = {}
     overflows: dict[tuple[JoinMode, float], int] = {}
     profiled_pair: Optional[tuple[float, float]] = None
-    for ratio, per_mode, profiled_time in run_sweep(
-        _fig13_point,
-        [(n, ratio, profile and ratio == min(memory_ratios))
-         for ratio in memory_ratios],
-    ):
-        for mode, (t, ovf) in per_mode.items():
-            times[(mode, ratio)] = t
-            overflows[(mode, ratio)] = ovf
-        if profiled_time is not None:
-            profiled_pair = (per_mode[JoinMode.REMOTE][0], profiled_time)
+    for config, point in zip(grid.points(), results):
+        ratio = config["ratio"]
+        for mode_value, response, ovf in point["per_mode"]:
+            times[(JoinMode(mode_value), ratio)] = response
+            overflows[(JoinMode(mode_value), ratio)] = ovf
+        if point["profiled_time"] is not None:
+            profiled_pair = (
+                times[(JoinMode.REMOTE, ratio)], point["profiled_time"]
+            )
     for mode in (JoinMode.LOCAL, JoinMode.REMOTE):
         for ratio in memory_ratios:
             report.add_row(mode.value, ratio, times[(mode, ratio)],
@@ -913,37 +1093,72 @@ def fig13_experiment(
     return report
 
 
+FIG13_SPEC = ExperimentSpec(
+    name="fig13_overflow", label="Figure 13", kind="figure",
+    grid=_fig13_grid, point=_fig13_point, summarise=_fig13_summarise,
+)
+
+
+def fig13_experiment(
+    n: int = 100_000,
+    memory_ratios: Sequence[float] = (1.2, 1.0, 0.9, 0.8, 0.6, 0.45, 0.3, 0.2),
+    profile: Optional[bool] = None,
+    **matrix: Any,
+) -> Report:
+    """joinABprime response vs available-memory/smaller-relation ratio.
+
+    Ratio 1.0 means hash-table capacity for exactly the building relation
+    ("available memory was initially set to be sufficient to hold the
+    total number of tuples required in the building phase"), so the
+    bucket/pointer overhead factor is included in the budget.  With
+    ``profile`` (default: the ``--profile`` bench option) the deepest
+    overflow point is re-run with the profiler and a trace attached,
+    writing ``fig13_overflow.profile.json`` and a Perfetto trace with
+    hash-table/queue-depth counter tracks.
+    """
+    return run_experiment(
+        FIG13_SPEC, n=n, memory_ratios=memory_ratios, profile=profile,
+        **matrix,
+    ).report
+
+
 # ---------------------------------------------------------------------------
 # Figures 14-15 — page size vs joinAselB
 # ---------------------------------------------------------------------------
 
-def _fig14_15_point(args: tuple[int, int]) -> tuple[int, float]:
-    """Sweep point: joinAselB at one page size (picklable)."""
-    n, kb = args
+def _fig14_15_point(config: dict[str, Any]) -> float:
+    """Grid point: joinAselB at one page size (picklable)."""
+    n, kb = config["n"], config["page_kb"]
     machine = build_gamma(
         GammaConfig.paper_default().with_page_size(kb * KB),
         relations=[("A", n, "heap"), ("B", n, "heap")],
     )
-    t = run_stored(
+    return run_stored(
         machine,
         lambda into: join_aselb("A", "B", n, key=False, into=into),
     ).response_time
-    return kb, t
 
 
-def fig14_15_experiment(
-    n: int = 100_000,
-    page_sizes_kb: Sequence[int] = (2, 4, 8, 16, 32),
-) -> Report:
-    """joinAselB across page sizes (16 query processors, ample memory)."""
+def _fig14_15_grid(
+    n: int = 100_000, page_sizes_kb: Sequence[int] = (2, 4, 8, 16, 32)
+) -> Grid:
+    return Grid(
+        axes=(Axis("page_kb", tuple(page_sizes_kb)),), base={"n": n},
+    )
+
+
+def _fig14_15_summarise(grid: Grid, results: list[Any]) -> Report:
+    n = grid.base["n"]
+    page_sizes_kb = grid.axis("page_kb").values
     report = Report(
         name="fig14_15_pagesize_join",
         title=f"Figures 14-15 — joinAselB on {n:,} tuples vs disk page size",
         columns=["page KB", "response (s)", "speedup vs 2KB"],
     )
-    times: dict[int, float] = dict(run_sweep(
-        _fig14_15_point, [(n, kb) for kb in page_sizes_kb]
-    ))
+    times: dict[int, float] = {
+        config["page_kb"]: response
+        for config, response in zip(grid.points(), results)
+    }
     base = times[min(page_sizes_kb)]
     for kb in page_sizes_kb:
         report.add_row(kb, times[kb], base / times[kb])
@@ -959,36 +1174,81 @@ def fig14_15_experiment(
     return report
 
 
+FIG14_15_SPEC = ExperimentSpec(
+    name="fig14_15_pagesize_join", label="Figures 14-15", kind="figure",
+    grid=_fig14_15_grid, point=_fig14_15_point,
+    summarise=_fig14_15_summarise,
+)
+
+
+def fig14_15_experiment(
+    n: int = 100_000,
+    page_sizes_kb: Sequence[int] = (2, 4, 8, 16, 32),
+    **matrix: Any,
+) -> Report:
+    """joinAselB across page sizes (16 query processors, ample memory)."""
+    return run_experiment(
+        FIG14_15_SPEC, n=n, page_sizes_kb=page_sizes_kb, **matrix,
+    ).report
+
+
 # ---------------------------------------------------------------------------
 # Aggregates ([DEWI88] companion experiment)
 # ---------------------------------------------------------------------------
 
-def aggregate_experiment(n: int = 10_000) -> Report:
-    """Scalar and grouped aggregates (run in the study, cut from the
-    paper for space — reproduced from the companion TR's description)."""
+def _aggregate_point(config: dict[str, Any]) -> dict[str, Any]:
+    """Grid point: the three aggregate queries on one machine."""
+    n = config["n"]
+    machine = build_gamma(relations=[("rel", n, "heap")])
+    scalar = machine.run(Query.aggregate("rel", op="min", attr="unique2"))
+    count = machine.run(Query.aggregate("rel", op="count"))
+    grouped = machine.run(
+        Query.aggregate("rel", op="sum", attr="unique1", group_by="ten")
+    )
+    return {
+        "scalar": [scalar.response_time, scalar.tuples[0][0]],
+        "count": [count.response_time, count.tuples[0][0]],
+        "grouped": [grouped.response_time, len(grouped.tuples)],
+    }
+
+
+def _aggregate_grid(n: int = 10_000) -> Grid:
+    return Grid(axes=(Axis("n", (n,)),))
+
+
+def _aggregate_summarise(grid: Grid, results: list[Any]) -> Report:
+    (n,) = grid.axis("n").values
+    (point,) = results
     report = Report(
         name="aggregate",
         title=f"Aggregates on {n:,} tuples (companion experiment)",
         columns=["query", "response (s)", "result"],
     )
-    machine = build_gamma(relations=[("rel", n, "heap")])
-    scalar = machine.run(Query.aggregate("rel", op="min", attr="unique2"))
-    report.add_row("scalar min(unique2)", scalar.response_time,
-                   scalar.tuples[0][0])
-    count = machine.run(Query.aggregate("rel", op="count"))
-    report.add_row("scalar count(*)", count.response_time,
-                   count.tuples[0][0])
-    grouped = machine.run(
-        Query.aggregate("rel", op="sum", attr="unique1", group_by="ten")
-    )
-    report.add_row("sum(unique1) group by ten", grouped.response_time,
-                   f"{len(grouped.tuples)} groups")
-    report.check("count(*) returns the cardinality",
-                 count.tuples[0][0] == n)
-    report.check("min(unique2) is 0", scalar.tuples[0][0] == 0)
-    report.check("group-by produces 10 groups", len(grouped.tuples) == 10)
+    scalar_t, scalar_min = point["scalar"]
+    count_t, count_value = point["count"]
+    grouped_t, n_groups = point["grouped"]
+    report.add_row("scalar min(unique2)", scalar_t, scalar_min)
+    report.add_row("scalar count(*)", count_t, count_value)
+    report.add_row("sum(unique1) group by ten", grouped_t,
+                   f"{n_groups} groups")
+    report.check("count(*) returns the cardinality", count_value == n)
+    report.check("min(unique2) is 0", scalar_min == 0)
+    report.check("group-by produces 10 groups", n_groups == 10)
     report.check(
         "grouped aggregate costs more than scalar (repartitioning)",
-        grouped.response_time > scalar.response_time,
+        grouped_t > scalar_t,
     )
     return report
+
+
+AGGREGATE_SPEC = ExperimentSpec(
+    name="aggregate", label="Aggregates (companion)", kind="table",
+    grid=_aggregate_grid, point=_aggregate_point,
+    summarise=_aggregate_summarise,
+)
+
+
+def aggregate_experiment(n: int = 10_000, **matrix: Any) -> Report:
+    """Scalar and grouped aggregates (run in the study, cut from the
+    paper for space — reproduced from the companion TR's description)."""
+    return run_experiment(AGGREGATE_SPEC, n=n, **matrix).report

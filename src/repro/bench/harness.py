@@ -9,7 +9,6 @@ minutes of wall time).
 
 from __future__ import annotations
 
-import itertools
 import os
 import zlib
 from typing import Iterable, Optional
@@ -18,8 +17,6 @@ from ..engine import GammaMachine, Query
 from ..engine.results import QueryResult
 from ..hardware import GammaConfig, TeradataConfig
 from ..teradata import TeradataMachine
-
-_result_names = itertools.count()
 
 
 def bench_sizes() -> list[int]:
@@ -90,7 +87,9 @@ def build_teradata(
     return machine
 
 
-def run_stored(machine, make_query, trace=None, profile=False) -> QueryResult:
+def run_stored(
+    machine, make_query, trace=None, profile=False, name=None
+) -> QueryResult:
     """Run a stored-result query, then drop the result relation.
 
     ``make_query(into_name)`` builds the query.  Dropping keeps repeated
@@ -99,8 +98,18 @@ def run_stored(machine, make_query, trace=None, profile=False) -> QueryResult:
     :class:`~repro.metrics.TraceBuffer` as ``trace`` to record the run's
     execution timeline (Gamma machines only); pass ``profile=True`` to
     attach a :class:`~repro.metrics.QueryProfile` to the result.
+
+    The result-relation name defaults to a per-machine sequence
+    (``bench_result_0``, ``bench_result_1``, …): each grid point builds
+    its machine fresh, so the names a point produces depend only on the
+    point itself — not on how many benchmarks ran earlier in the process
+    — which keeps store keys and regenerated artifacts stable.  (Names
+    never influence simulated timings; the sequence is bookkeeping only.)
     """
-    name = f"bench_result_{next(_result_names)}"
+    if name is None:
+        index = getattr(machine, "_bench_result_seq", 0)
+        machine._bench_result_seq = index + 1
+        name = f"bench_result_{index}"
     kwargs: dict = {}
     if trace is not None:
         kwargs["trace"] = trace

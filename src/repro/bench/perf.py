@@ -1,0 +1,164 @@
+"""Wall-clock perf records in the result store, and the trend report.
+
+``benchmarks/perf/run_perf.py`` measures how fast the *simulator* runs
+(events per cpu-second) — numbers that, unlike the simulated grid
+points, change with every commit and never repeat exactly.  Each run
+appends its samples here as the ``perf`` experiment, with the git sha
+inside the config (one record per commit × benchmark × scale; re-runs
+at the same commit replace).  ``python -m repro matrix report --perf``
+renders the cross-commit trend, and ``matrix diff SHA1 SHA2`` compares
+two commits.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .store import Record, ResultStore, current_git_sha
+
+PERF_EXPERIMENT = "perf"
+PERF_VERSION = "v1"
+
+
+def record_perf_report(
+    report: dict[str, Any],
+    store: Optional[ResultStore] = None,
+    git_sha: Optional[str] = None,
+) -> list[Record]:
+    """Append every benchmark sample of one ``run_perf`` report.
+
+    The config carries the git sha (unlike simulated experiments, where
+    the sha is metadata only) so each commit keeps its own record and
+    the trend table has one row per commit.  Appends replace: repeating
+    ``run_perf`` at the same commit keeps the latest samples.
+    """
+    store = store or ResultStore()
+    sha = git_sha or current_git_sha()
+    records = []
+    for name, sample in report["benchmarks"].items():
+        config = {
+            "benchmark": name,
+            "scale": report["scale"],
+            "git_sha": sha,
+        }
+        records.append(store.append(
+            PERF_EXPERIMENT, PERF_VERSION, config, sample,
+            git_sha=sha, wall_s=sample.get("wall_s"), replace=True,
+        ))
+    return records
+
+
+def perf_records(
+    store: Optional[ResultStore] = None, scale: Optional[int] = None
+) -> list[Record]:
+    store = store or ResultStore()
+    records = store.records(PERF_EXPERIMENT, PERF_VERSION)
+    if scale is not None:
+        records = [r for r in records if r.config.get("scale") == scale]
+    return records
+
+
+def perf_trend(
+    store: Optional[ResultStore] = None, scale: Optional[int] = None
+) -> list[dict[str, Any]]:
+    """Trend rows, oldest commit first.
+
+    Each row is ``{"git_sha", "scale", "recorded_at",
+    "benchmarks": {name: sample}}`` — one row per commit × scale.
+    """
+    groups: dict[tuple[str, int], dict[str, Any]] = {}
+    for record in perf_records(store, scale):
+        key = (record.config["git_sha"], record.config["scale"])
+        group = groups.setdefault(key, {
+            "git_sha": key[0], "scale": key[1],
+            "recorded_at": record.recorded_at, "benchmarks": {},
+        })
+        group["recorded_at"] = min(group["recorded_at"], record.recorded_at)
+        group["benchmarks"][record.config["benchmark"]] = record.result
+    return sorted(groups.values(), key=lambda g: g["recorded_at"])
+
+
+def format_perf_trend(rows: list[dict[str, Any]]) -> str:
+    """Plain-text trend table: events/cpu-second per benchmark, by commit."""
+    if not rows:
+        return ("no perf records stored — run"
+                " `python benchmarks/perf/run_perf.py` to record one")
+    names = sorted({name for row in rows for name in row["benchmarks"]})
+    header = (f"{'sha':<12}{'scale':>10}  {'recorded':<21}"
+              + "".join(f"{name:>18}" for name in names))
+    lines = [
+        "events per cpu-second (best of run), oldest commit first:",
+        header,
+        "-" * len(header),
+    ]
+    for row in rows:
+        cells = "".join(
+            f"{row['benchmarks'][name]['events_per_cpu_s']:>18,.0f}"
+            if name in row["benchmarks"] else f"{'—':>18}"
+            for name in names
+        )
+        lines.append(
+            f"{row['git_sha'][:10]:<12}{row['scale']:>10,}"
+            f"  {row['recorded_at']:<21}{cells}"
+        )
+    return "\n".join(lines)
+
+
+def perf_diff(
+    sha_a: str,
+    sha_b: str,
+    store: Optional[ResultStore] = None,
+    scale: Optional[int] = None,
+) -> list[dict[str, Any]]:
+    """Per-benchmark events/cpu-second comparison between two commits.
+
+    Shas match by prefix, so abbreviated ``git log`` shas work.
+    """
+    records = perf_records(store, scale)
+
+    def bucket(sha: str) -> dict[tuple[str, int], dict[str, Any]]:
+        return {
+            (r.config["benchmark"], r.config["scale"]): r.result
+            for r in records if r.config["git_sha"].startswith(sha)
+        }
+
+    side_a, side_b = bucket(sha_a), bucket(sha_b)
+    rows = []
+    for benchmark, bench_scale in sorted(set(side_a) | set(side_b)):
+        a = side_a.get((benchmark, bench_scale))
+        b = side_b.get((benchmark, bench_scale))
+        rate_a = a["events_per_cpu_s"] if a else None
+        rate_b = b["events_per_cpu_s"] if b else None
+        rows.append({
+            "benchmark": benchmark,
+            "scale": bench_scale,
+            "a": rate_a,
+            "b": rate_b,
+            "ratio": rate_b / rate_a if rate_a and rate_b else None,
+        })
+    return rows
+
+
+def format_perf_diff(
+    sha_a: str, sha_b: str, rows: list[dict[str, Any]]
+) -> str:
+    if not rows:
+        return (f"no perf records match {sha_a!r} or {sha_b!r} —"
+                " run `python -m repro matrix report --perf` to see"
+                " recorded commits")
+    header = (f"{'benchmark':<18}{'scale':>10}{sha_a[:10]:>16}"
+              f"{sha_b[:10]:>16}{'B/A':>8}")
+    lines = [
+        f"events per cpu-second: {sha_a[:10]} (A) vs {sha_b[:10]} (B)",
+        header,
+        "-" * len(header),
+    ]
+    for row in rows:
+        cell_a = f"{row['a']:>16,.0f}" if row["a"] is not None else f"{'—':>16}"
+        cell_b = f"{row['b']:>16,.0f}" if row["b"] is not None else f"{'—':>16}"
+        ratio = (f"{row['ratio']:>7.2f}x" if row["ratio"] is not None
+                 else f"{'—':>8}")
+        lines.append(
+            f"{row['benchmark']:<18}{row['scale']:>10,}{cell_a}{cell_b}{ratio}"
+        )
+    return "\n".join(lines)

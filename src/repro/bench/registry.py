@@ -1,0 +1,158 @@
+"""One registry of every table/figure/ablation/extension experiment.
+
+This is the single source of truth the rest of the tooling reads:
+
+* ``benchmarks/bench_*.py`` are thin lookups — each calls
+  :func:`bench_experiment` with its experiment's name;
+* ``benchmarks/generate_experiments_md.py`` takes its section order
+  (and its drift check) from :func:`ordered`;
+* ``python -m repro matrix`` lists/runs/reports experiments by the
+  names registered here.
+
+Entries appear in EXPERIMENTS.md order.  Each couples the
+:class:`~repro.bench.matrix.ExperimentSpec` with the experiment's side
+artifact, if any (the raw sweep-profile JSON written next to the
+markdown report).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..errors import BenchmarkError
+from .ablations import (
+    ABLATION_A1_SPEC,
+    ABLATION_A2_SPEC,
+    ABLATION_A3_SPEC,
+    EXTENSION_E1_SPEC,
+    EXTENSION_E2_SPEC,
+)
+from .experiments import (
+    AGGREGATE_SPEC,
+    FIG01_02_SPEC,
+    FIG03_04_SPEC,
+    FIG05_06_SPEC,
+    FIG07_08_SPEC,
+    FIG09_12_SPEC,
+    FIG13_SPEC,
+    FIG14_15_SPEC,
+    TABLE1_SPEC,
+    TABLE2_SPEC,
+    TABLE3_SPEC,
+)
+from .matrix import ExperimentSpec, MatrixRun, run_experiment
+from .reporting import Report
+from .scaleup import EXTENSION_E5_SPEC, save_scaleup_profile
+from .skew import EXTENSION_E4_SPEC, save_skew_profile
+from .store import ResultStore
+from .workload import EXTENSION_E3_SPEC, save_workload_profile
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One registered experiment plus its optional profile artifact."""
+
+    spec: ExperimentSpec
+    #: Writes the summarise function's profile dict as a JSON artifact
+    #: next to the markdown report; ``None`` when the experiment has no
+    #: side artifact.
+    save_profile: Optional[Callable[[dict[str, Any]], str]] = None
+
+
+#: Every experiment, in EXPERIMENTS.md section order.
+REGISTRY: tuple[RegistryEntry, ...] = (
+    RegistryEntry(TABLE1_SPEC),
+    RegistryEntry(TABLE2_SPEC),
+    RegistryEntry(TABLE3_SPEC),
+    RegistryEntry(FIG01_02_SPEC),
+    RegistryEntry(FIG03_04_SPEC),
+    RegistryEntry(FIG05_06_SPEC),
+    RegistryEntry(FIG07_08_SPEC),
+    RegistryEntry(FIG09_12_SPEC),
+    RegistryEntry(FIG13_SPEC),
+    RegistryEntry(FIG14_15_SPEC),
+    RegistryEntry(AGGREGATE_SPEC),
+    RegistryEntry(ABLATION_A1_SPEC),
+    RegistryEntry(ABLATION_A2_SPEC),
+    RegistryEntry(ABLATION_A3_SPEC),
+    RegistryEntry(EXTENSION_E1_SPEC),
+    RegistryEntry(EXTENSION_E2_SPEC),
+    RegistryEntry(EXTENSION_E3_SPEC, save_workload_profile),
+    RegistryEntry(EXTENSION_E4_SPEC, save_skew_profile),
+    RegistryEntry(EXTENSION_E5_SPEC, save_scaleup_profile),
+)
+
+
+def ordered() -> list[tuple[str, str]]:
+    """(name, label) pairs in EXPERIMENTS.md order."""
+    return [(e.spec.name, e.spec.label) for e in REGISTRY]
+
+
+def names() -> list[str]:
+    return [e.spec.name for e in REGISTRY]
+
+
+def get(name: str) -> RegistryEntry:
+    for entry in REGISTRY:
+        if entry.spec.name == name:
+            return entry
+    raise BenchmarkError(
+        f"no registered experiment named {name!r};"
+        f" known: {', '.join(names())}"
+    )
+
+
+def run_registered(
+    name: str,
+    store: Optional[ResultStore] = None,
+    *,
+    force: bool = False,
+    jobs: Optional[int] = None,
+    save_artifacts: bool = True,
+    **overrides: Any,
+) -> MatrixRun:
+    """Run one registered experiment (resuming from ``store``) and, by
+    default, write its report and profile artifact under
+    ``benchmarks/results/``."""
+    entry = get(name)
+    run = run_experiment(
+        entry.spec, store, force=force, jobs=jobs, **overrides
+    )
+    if save_artifacts:
+        run.report.save()
+        if run.profile is not None and entry.save_profile is not None:
+            entry.save_profile(run.profile)
+    return run
+
+
+def bench_force_enabled() -> bool:
+    """True when benches should re-run stored grid points
+    (``pytest benchmarks/ --force`` / ``GAMMA_BENCH_FORCE=1``)."""
+    return os.environ.get("GAMMA_BENCH_FORCE", "") not in ("", "0")
+
+
+def bench_experiment(name: str) -> Report:
+    """The entry point the ``benchmarks/bench_*.py`` files call.
+
+    Runs the named experiment at its committed defaults against the
+    persistent store (so a warm store executes zero grid points), writes
+    the profile artifact if the experiment has one, and returns the
+    report for the conftest runner to save and assert.
+
+    Profiling defaults on (the committed store was recorded with
+    ``GAMMA_BENCH_PROFILE=1``): the profiled grid points are distinct
+    configs, so a warm suite must summarise the stored ones — not
+    execute unprofiled twins and emit reports missing the "profiling
+    does not perturb" checks.  ``GAMMA_BENCH_PROFILE=0`` opts out.
+    """
+    os.environ.setdefault("GAMMA_BENCH_PROFILE", "1")
+    run = run_registered(
+        name, ResultStore(), force=bench_force_enabled(),
+        save_artifacts=False,
+    )
+    entry = get(name)
+    if run.profile is not None and entry.save_profile is not None:
+        entry.save_profile(run.profile)
+    return run.report

@@ -25,17 +25,20 @@ profile adds wall-clock seconds and events/second per point so
 ``python -m repro scaleup`` doubles as a simulator throughput check at
 1000 nodes.  The wall-clock figures never gate a shape check — they are
 box-dependent; the deterministic simulated quantities are what the
-checks pin.
+checks pin.  (In the result store the wall clock is data like any other
+field: a warm-store regeneration reports the wall clock of the run that
+*produced* the record, which is what a throughput trend wants.)
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any, Optional, Sequence
+from typing import Any, Sequence
 
 from ..hardware import GammaConfig
 from ..workloads.queries import join_abprime, selection_query
 from .harness import build_gamma, run_stored
+from .matrix import Axis, ExperimentSpec, Grid, run_experiment
 from .reporting import Report
 
 DEFAULT_SITE_COUNTS = (8, 64, 256, 1000)
@@ -44,58 +47,63 @@ DEFAULT_SITE_COUNTS = (8, 64, 256, 1000)
 PROBE_RELATION = "scaleup_a"
 BUILD_RELATION = "scaleup_bprime"
 
+_SCALEUP_QUERIES = ("selection", "joinABprime")
 
-def _scaleup_point(
-    point: tuple[int, int, str],
-) -> tuple[float, int, int, float]:
-    """(response s, result count, kernel events, wall s) for one cell."""
-    n, sites, query = point
-    config = GammaConfig.paper_default().with_sites(sites)
+
+def _scaleup_point(config: dict[str, Any]) -> list[Any]:
+    """[response s, result count, kernel events, wall s] for one cell."""
+    n, sites, query = config["n"], config["sites"], config["query"]
+    machine_config = GammaConfig.paper_default().with_sites(sites)
     if query == "selection":
         machine = build_gamma(
-            config, relations=[(PROBE_RELATION, n, "heap")]
+            machine_config, relations=[(PROBE_RELATION, n, "heap")]
         )
         make = lambda into: selection_query(  # noqa: E731
             PROBE_RELATION, n, 0.01, into=into
         )
     elif query == "joinABprime":
-        machine = build_gamma(config, relations=[
+        machine = build_gamma(machine_config, relations=[
             (PROBE_RELATION, n, "heap"),
             (BUILD_RELATION, max(1, n // 10), "heap"),
         ])
         make = lambda into: join_abprime(  # noqa: E731
             PROBE_RELATION, BUILD_RELATION, key=False, into=into
         )
-    else:  # pragma: no cover - guarded by the experiment driver
+    else:  # pragma: no cover - guarded by the grid builder
         raise ValueError(f"unknown scaleup query {query!r}")
     wall0 = time.perf_counter()
     result = run_stored(machine, make)
     wall = time.perf_counter() - wall0
-    return (
+    return [
         result.response_time,
         result.result_count,
         result.stats["sim_events"],
         wall,
-    )
+    ]
 
 
-def scaleup_experiment(
-    n: int = 100_000,
-    site_counts: Sequence[int] = DEFAULT_SITE_COUNTS,
-    jobs: Optional[int] = None,
-) -> tuple[Report, dict[str, Any]]:
-    """Selection + joinABprime swept over machine sizes.
-
-    Returns the shape-checked :class:`Report` (speedup-vs-sites table)
-    plus a JSON profile with the per-point simulator throughput.
-    """
-    from .sweep import run_sweep
-
+def _scaleup_grid(
+    n: int = 100_000, site_counts: Sequence[int] = DEFAULT_SITE_COUNTS
+) -> Grid:
     site_counts = sorted(set(int(s) for s in site_counts))
     if not site_counts:
         raise ValueError("scaleup needs at least one site count")
+    return Grid(
+        axes=(
+            Axis("sites", tuple(site_counts)),
+            Axis("query", _SCALEUP_QUERIES),
+        ),
+        base={"n": n},
+    )
+
+
+def _scaleup_summarise(
+    grid: Grid, results: list[Any]
+) -> tuple[Report, dict[str, Any]]:
+    n = grid.base["n"]
+    site_counts = list(grid.axis("sites").values)
+    queries = _SCALEUP_QUERIES
     base = site_counts[0]
-    queries = ("selection", "joinABprime")
     report = Report(
         name="extension_e5_scaleup",
         title=(
@@ -114,13 +122,9 @@ def scaleup_experiment(
         "site_counts": list(site_counts),
         "points": [],
     }
-    points = [
-        (n, sites, query) for sites in site_counts for query in queries
-    ]
-    outcomes = run_sweep(_scaleup_point, points, jobs=jobs)
     cells = {
-        (sites, query): outcome
-        for (_, sites, query), outcome in zip(points, outcomes)
+        (config["sites"], config["query"]): outcome
+        for config, outcome in zip(grid.points(), results)
     }
     responses: dict[str, dict[int, float]] = {q: {} for q in queries}
     counts: dict[str, set[int]] = {q: set() for q in queries}
@@ -174,6 +178,29 @@ def scaleup_experiment(
         " trade-off Section 4.5 of the paper weighs."
     )
     return report, profile
+
+
+EXTENSION_E5_SPEC = ExperimentSpec(
+    name="extension_e5_scaleup", label="Extension E5", kind="extension",
+    grid=_scaleup_grid, point=_scaleup_point, summarise=_scaleup_summarise,
+)
+
+
+def scaleup_experiment(
+    n: int = 100_000,
+    site_counts: Sequence[int] = DEFAULT_SITE_COUNTS,
+    **matrix: Any,
+) -> tuple[Report, dict[str, Any]]:
+    """Selection + joinABprime swept over machine sizes.
+
+    Returns the shape-checked :class:`Report` (speedup-vs-sites table)
+    plus a JSON profile with the per-point simulator throughput.
+    """
+    run = run_experiment(
+        EXTENSION_E5_SPEC, n=n, site_counts=site_counts, **matrix,
+    )
+    assert run.profile is not None
+    return run.report, run.profile
 
 
 def save_scaleup_profile(profile: dict[str, Any]) -> str:

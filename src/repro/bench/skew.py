@@ -34,8 +34,8 @@ from ..workloads import (
 )
 from ..workloads.queries import join_abprime
 from .harness import run_stored
+from .matrix import Axis, ExperimentSpec, Grid, run_experiment
 from .reporting import Report, results_dir
-from .sweep import run_sweep
 
 DEFAULT_SKEWS = (0.0, 0.75, 1.5)
 DEFAULT_SITE_COUNTS = (1, 8)
@@ -85,38 +85,59 @@ def _join_op_id(profile: Any) -> Optional[str]:
     return min(candidates) if candidates else None
 
 
-def _skew_point(
-    point: tuple[int, float, str, int, bool, int],
-) -> tuple[float, int, Optional[float]]:
-    """(response time, result count, utilisation spread) for one cell."""
-    n, skew, strategy, sites, profiled, seed = point
-    machine = load_skew_machine(n, skew, sites, strategy, seed=seed)
+def _skew_point(config: dict[str, Any]) -> list[Any]:
+    """[response time, result count, utilisation spread] for one cell."""
+    machine = load_skew_machine(
+        config["n"], config["skew"], config["sites"], config["strategy"],
+        seed=config["seed"],
+    )
     result = run_stored(
         machine,
         lambda into: join_abprime(
             PROBE_RELATION, BUILD_RELATION, key=False, into=into
         ),
-        profile=profiled,
+        profile=config["profiled"],
     )
     spread: Optional[float] = None
-    if profiled and result.profile is not None:
+    if config["profiled"] and result.profile is not None:
         op_id = _join_op_id(result.profile)
         if op_id is not None:
             spread = result.profile.utilisation_spread(op_id)
-    return result.response_time, result.result_count, spread
+    return [result.response_time, result.result_count, spread]
 
 
-def skew_join_experiment(
+def _skew_grid(
     n: int = 10_000,
     skews: Sequence[float] = DEFAULT_SKEWS,
     strategies: Sequence[str] = SKEW_STRATEGIES,
     site_counts: Sequence[int] = DEFAULT_SITE_COUNTS,
     seed: int = 1988,
-) -> tuple[Report, dict[str, Any]]:
-    """joinABprime under every (skew, strategy) pair at both ends of the
-    processor range.  Returns the shape-checked :class:`Report` plus a
-    JSON profile of every cell."""
+) -> Grid:
     lo, hi = min(site_counts), max(site_counts)
+
+    def derive(config: dict[str, Any]) -> dict[str, Any]:
+        config["profiled"] = config["sites"] == hi
+        return config
+
+    return Grid(
+        axes=(
+            Axis("skew", tuple(skews)),
+            Axis("strategy", tuple(strategies)),
+            Axis("sites", (lo, hi) if lo != hi else (lo,)),
+        ),
+        base={"n": n, "seed": seed},
+        derive=derive,
+    )
+
+
+def _skew_summarise(
+    grid: Grid, results: list[Any]
+) -> tuple[Report, dict[str, Any]]:
+    n, seed = grid.base["n"], grid.base["seed"]
+    skews = grid.axis("skew").values
+    strategies = grid.axis("strategy").values
+    lo = min(grid.axis("sites").values)
+    hi = max(grid.axis("sites").values)
     report = Report(
         name="extension_e4_skew",
         title=(
@@ -138,19 +159,9 @@ def skew_join_experiment(
         "seed": seed,
         "points": [],
     }
-    points = [
-        (n, skew, strategy, sites, sites == hi, seed)
-        for skew in skews
-        for strategy in strategies
-        for sites in (lo, hi)
-    ]
-    outcomes = run_sweep(_skew_point, points)
-    cells: dict[tuple[float, str, int], tuple[float, int, Optional[float]]]
-    cells = {
-        (skew, strategy, sites): outcome
-        for (_, skew, strategy, sites, _, _), outcome in zip(
-            points, outcomes
-        )
+    cells: dict[tuple[float, str, int], list[Any]] = {
+        (config["skew"], config["strategy"], config["sites"]): outcome
+        for config, outcome in zip(grid.points(), results)
     }
     speedups: dict[tuple[float, str], float] = {}
     spreads: dict[tuple[float, str], Optional[float]] = {}
@@ -210,6 +221,31 @@ def skew_join_experiment(
         " redistribution changes timing, never answers."
     )
     return report, profile
+
+
+EXTENSION_E4_SPEC = ExperimentSpec(
+    name="extension_e4_skew", label="Extension E4", kind="extension",
+    grid=_skew_grid, point=_skew_point, summarise=_skew_summarise,
+)
+
+
+def skew_join_experiment(
+    n: int = 10_000,
+    skews: Sequence[float] = DEFAULT_SKEWS,
+    strategies: Sequence[str] = SKEW_STRATEGIES,
+    site_counts: Sequence[int] = DEFAULT_SITE_COUNTS,
+    seed: int = 1988,
+    **matrix: Any,
+) -> tuple[Report, dict[str, Any]]:
+    """joinABprime under every (skew, strategy) pair at both ends of the
+    processor range.  Returns the shape-checked :class:`Report` plus a
+    JSON profile of every cell."""
+    run = run_experiment(
+        EXTENSION_E4_SPEC, n=n, skews=skews, strategies=strategies,
+        site_counts=site_counts, seed=seed, **matrix,
+    )
+    assert run.profile is not None
+    return run.report, run.profile
 
 
 def save_skew_profile(

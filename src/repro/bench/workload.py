@@ -6,15 +6,17 @@ throughput climbs with MPL until the hardware saturates, queue waits
 shrink (more slots), and per-query service times stretch (more
 contention inside the machine).  Everything is seeded, so a sweep is
 reproducible bit for bit.
+
+Each (machine, MPL) cell is one grid point — a fresh machine and a
+fresh mix per point, exactly like
+:func:`~repro.workloads.multiuser.mpl_sweep`, because update mixes
+mutate relations and reusing a machine would couple the points.
 """
 
 from __future__ import annotations
 
-import json
-import os
 from typing import Any, Callable, Optional
 
-from ..metrics import WorkloadResult
 from ..workloads import (
     QueryMix,
     WorkloadSpec,
@@ -24,7 +26,14 @@ from ..workloads import (
     update_mix,
 )
 from .harness import build_gamma, build_teradata
+from .matrix import Axis, ExperimentSpec, Grid, run_experiment
 from .reporting import Report, results_dir
+
+__all__ = [
+    "DEFAULT_MPLS", "A_RELATION", "BPRIME_RELATION", "make_mix",
+    "workload_relations", "machine_builder", "workload_mpl_experiment",
+    "save_workload_profile", "mpl_sweep", "EXTENSION_E3_SPEC",
+]
 
 DEFAULT_MPLS = (1, 2, 4, 8, 16)
 
@@ -62,7 +71,21 @@ def machine_builder(machine: str, n: int) -> Callable[[], Any]:
     raise ValueError(f"unknown machine {machine!r}")
 
 
-def workload_mpl_experiment(
+def _workload_point(config: dict[str, Any]) -> dict[str, Any]:
+    """Grid point: one (machine, MPL) workload run (picklable)."""
+    n = config["n"]
+    spec = WorkloadSpec(
+        queries=config["queries"], clients=config["clients"],
+        arrival="closed", think_time=config["think_time"],
+        policy=config["policy"], timeout=config["timeout"],
+        seed=config["seed"],
+    ).with_mpl(config["mpl"])
+    machine = machine_builder(config["machine"], n)()
+    result = machine.run_workload(make_mix(config["mix"], n), spec)
+    return result.to_dict()
+
+
+def _workload_grid(
     n: int = 1_000,
     queries: int = 32,
     clients: int = 16,
@@ -73,17 +96,28 @@ def workload_mpl_experiment(
     timeout: Optional[float] = None,
     seed: int = 1988,
     machines: tuple[str, ...] = ("gamma", "teradata"),
-) -> tuple[Report, dict[str, Any]]:
-    """MPL 1→16 sweep of a closed-loop terminal workload on both machines.
-
-    Returns the shape-checked :class:`Report` plus a JSON-serialisable
-    profile of every sweep point (the raw :class:`WorkloadResult`
-    dictionaries, per-query records included).
-    """
-    spec = WorkloadSpec(
-        queries=queries, clients=clients, arrival="closed",
-        think_time=think_time, policy=policy, timeout=timeout, seed=seed,
+) -> Grid:
+    return Grid(
+        axes=(
+            Axis("machine", tuple(machines)),
+            Axis("mpl", tuple(mpls)),
+        ),
+        base={
+            "n": n, "queries": queries, "clients": clients, "mix": mix,
+            "think_time": think_time, "policy": policy, "timeout": timeout,
+            "seed": seed,
+        },
     )
+
+
+def _workload_summarise(
+    grid: Grid, results: list[Any]
+) -> tuple[Report, dict[str, Any]]:
+    n = grid.base["n"]
+    mix = grid.base["mix"]
+    queries, clients = grid.base["queries"], grid.base["clients"]
+    machines = grid.axis("machine").values
+    mpls = grid.axis("mpl").values
     report = Report(
         name="workload_mpl",
         title=(
@@ -103,48 +137,44 @@ def workload_mpl_experiment(
         "relations": {"a": n, "bprime": max(1, n // 10)},
         "spec": {
             "queries": queries, "clients": clients, "arrival": "closed",
-            "think_time": think_time, "policy": policy, "timeout": timeout,
-            "seed": seed,
+            "think_time": grid.base["think_time"],
+            "policy": grid.base["policy"],
+            "timeout": grid.base["timeout"], "seed": grid.base["seed"],
         },
         "mpls": list(mpls),
         "points": [],
     }
-    curves: dict[str, list[WorkloadResult]] = {}
-    for machine in machines:
-        results = mpl_sweep(
-            machine_builder(machine, n), lambda: make_mix(mix, n),
-            spec, mpls=mpls,
+    curves: dict[str, list[dict[str, Any]]] = {m: [] for m in machines}
+    for config, point in zip(grid.points(), results):
+        curves[config["machine"]].append(point)
+        report.add_row(
+            config["machine"], point["mpl"],
+            f"{point['completed']}/{point['submitted']}",
+            point["throughput"],
+            point["latency"]["p50"], point["latency"]["p95"],
+            point["queue_wait"]["mean"], point["service"]["mean"],
         )
-        curves[machine] = results
-        for result in results:
-            report.add_row(
-                machine, result.mpl,
-                f"{result.completed}/{result.submitted}",
-                result.throughput,
-                result.latency.p50, result.latency.p95,
-                result.queue_wait.mean, result.service.mean,
-            )
-            profile["points"].append(result.to_dict())
+        profile["points"].append(point)
 
-    for machine, results in curves.items():
-        first, last = results[0], results[-1]
+    for machine, points in curves.items():
+        first, last = points[0], points[-1]
         report.check(
-            f"{machine}: raising MPL {first.mpl}→{last.mpl} raises"
+            f"{machine}: raising MPL {first['mpl']}→{last['mpl']} raises"
             " throughput",
-            last.throughput > first.throughput,
+            last["throughput"] > first["throughput"],
         )
         report.check(
             f"{machine}: queue waits shrink as slots are added",
-            last.queue_wait.mean < first.queue_wait.mean
-            or first.queue_wait.mean == 0.0,
+            last["queue_wait"]["mean"] < first["queue_wait"]["mean"]
+            or first["queue_wait"]["mean"] == 0.0,
         )
         report.check(
             f"{machine}: per-query service stretches under contention",
-            last.service.mean > first.service.mean,
+            last["service"]["mean"] > first["service"]["mean"],
         )
         report.check(
             f"{machine}: every submitted query completed",
-            all(r.failed == 0 for r in results),
+            all(p["failed"] == 0 for p in points),
         )
     report.notes.append(
         "Closed-loop terminals with exponential think times; seeded, so"
@@ -153,10 +183,48 @@ def workload_mpl_experiment(
     return report, profile
 
 
+EXTENSION_E3_SPEC = ExperimentSpec(
+    name="workload_mpl", label="Extension E3", kind="extension",
+    grid=_workload_grid, point=_workload_point,
+    summarise=_workload_summarise,
+)
+
+
+def workload_mpl_experiment(
+    n: int = 1_000,
+    queries: int = 32,
+    clients: int = 16,
+    mix: str = "mixed",
+    mpls: tuple[int, ...] = DEFAULT_MPLS,
+    think_time: float = 0.2,
+    policy: str = "fifo",
+    timeout: Optional[float] = None,
+    seed: int = 1988,
+    machines: tuple[str, ...] = ("gamma", "teradata"),
+    **matrix: Any,
+) -> tuple[Report, dict[str, Any]]:
+    """MPL 1→16 sweep of a closed-loop terminal workload on both machines.
+
+    Returns the shape-checked :class:`Report` plus a JSON-serialisable
+    profile of every sweep point (the raw :class:`~repro.metrics.
+    WorkloadResult` dictionaries, per-query records included).
+    """
+    run = run_experiment(
+        EXTENSION_E3_SPEC, n=n, queries=queries, clients=clients, mix=mix,
+        mpls=mpls, think_time=think_time, policy=policy, timeout=timeout,
+        seed=seed, machines=machines, **matrix,
+    )
+    assert run.profile is not None
+    return run.report, run.profile
+
+
 def save_workload_profile(
     profile: dict[str, Any], directory: Optional[str] = None
 ) -> str:
     """Write the sweep profile JSON next to the markdown report."""
+    import json
+    import os
+
     path = os.path.join(results_dir(directory), "workload_mpl.json")
     with open(path, "w") as fh:
         json.dump(profile, fh, indent=2, sort_keys=False)

@@ -1,0 +1,18 @@
+"""Shared fixtures for the bench-layer tests."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolate_bench_artifacts(tmp_path, monkeypatch):
+    """Redirect bench output away from the committed tree.
+
+    Several experiment point functions write side artifacts (Chrome
+    traces, EXPLAIN ANALYZE profiles) into ``results_dir()`` as they
+    run, and the store defaults to ``benchmarks/results/store``.  The
+    committed copies of both must only change when the real full-scale
+    suite runs — a tier-1 test executing a miniature grid would
+    otherwise silently overwrite them with toy-scale data.
+    """
+    monkeypatch.setenv("GAMMA_BENCH_RESULTS", str(tmp_path / "results"))
+    monkeypatch.setenv("GAMMA_BENCH_STORE", str(tmp_path / "store"))

@@ -1,0 +1,139 @@
+"""Experiment-matrix contract: grid enumeration, resume, force.
+
+A grid must enumerate axis-major (the row order of every committed
+report), derived fields must land in the config (and therefore the
+store key), and re-running an experiment against a warm store must
+execute zero grid points while reproducing the identical report.
+"""
+
+import pytest
+
+from repro.bench import Axis, ExperimentSpec, Grid, run_experiment
+from repro.bench.reporting import Report
+from repro.bench.store import ResultStore
+from repro.errors import BenchmarkError
+
+
+class TestAxisAndGrid:
+    def test_axis_validates(self):
+        with pytest.raises(BenchmarkError):
+            Axis("", (1,))
+        with pytest.raises(BenchmarkError):
+            Axis("n", ())
+
+    def test_points_axis_major(self):
+        grid = Grid(
+            axes=(Axis("a", (1, 2)), Axis("b", ("x", "y"))),
+            base={"k": 0},
+        )
+        assert grid.points() == [
+            {"k": 0, "a": 1, "b": "x"},
+            {"k": 0, "a": 1, "b": "y"},
+            {"k": 0, "a": 2, "b": "x"},
+            {"k": 0, "a": 2, "b": "y"},
+        ]
+
+    def test_derive_fields_join_the_config(self):
+        grid = Grid(
+            axes=(Axis("n", (1, 2, 3)),),
+            derive=lambda c: {**c, "traced": c["n"] == 3},
+        )
+        assert [c["traced"] for c in grid.points()] == [False, False, True]
+
+    def test_duplicate_axes_rejected(self):
+        with pytest.raises(BenchmarkError):
+            Grid(axes=(Axis("n", (1,)), Axis("n", (2,))))
+
+    def test_axes_shadowing_base_rejected(self):
+        with pytest.raises(BenchmarkError):
+            Grid(axes=(Axis("n", (1,)),), base={"n": 0})
+
+    def test_axis_lookup(self):
+        grid = Grid(axes=(Axis("n", (1, 2)),))
+        assert grid.axis("n").values == (1, 2)
+        with pytest.raises(BenchmarkError):
+            grid.axis("missing")
+
+
+_POINT_CALLS: list[dict] = []
+
+
+def _toy_point(config):
+    _POINT_CALLS.append(dict(config))
+    return {"double": config["n"] * 2}
+
+
+def _toy_grid(ns=(1, 2, 3)):
+    return Grid(axes=(Axis("n", tuple(ns)),), base={"tag": "toy"})
+
+
+def _toy_summarise(grid, results):
+    report = Report(name="toy", title="Toy", columns=("n", "double"))
+    for n, result in zip(grid.axis("n").values, results):
+        report.add_row(n, result["double"])
+    report.check("doubling holds", all(
+        r["double"] == 2 * n
+        for n, r in zip(grid.axis("n").values, results)
+    ))
+    return report
+
+
+TOY_SPEC = ExperimentSpec(
+    name="toy_double",
+    label="Toy",
+    kind="table",
+    grid=_toy_grid,
+    point=_toy_point,
+    summarise=_toy_summarise,
+)
+
+
+class TestRunExperiment:
+    def setup_method(self):
+        _POINT_CALLS.clear()
+
+    def test_cold_store_executes_everything(self, tmp_path):
+        run = run_experiment(TOY_SPEC, ResultStore(str(tmp_path)), jobs=1)
+        assert (run.executed, run.cached, run.total) == (3, 0, 3)
+        assert len(_POINT_CALLS) == 3
+        assert run.report.all_checks_pass
+        assert all(r is not None for r in run.records)
+        assert all(r.wall_s is not None for r in run.records)
+
+    def test_warm_store_executes_nothing(self, tmp_path):
+        first = run_experiment(TOY_SPEC, ResultStore(str(tmp_path)), jobs=1)
+        _POINT_CALLS.clear()
+        second = run_experiment(TOY_SPEC, ResultStore(str(tmp_path)), jobs=1)
+        assert (second.executed, second.cached) == (0, 3)
+        assert _POINT_CALLS == []
+        assert second.report.to_markdown() == first.report.to_markdown()
+
+    def test_partial_store_executes_only_missing(self, tmp_path):
+        run_experiment(TOY_SPEC, ResultStore(str(tmp_path)), jobs=1,
+                       ns=(1, 2))
+        _POINT_CALLS.clear()
+        run = run_experiment(TOY_SPEC, ResultStore(str(tmp_path)), jobs=1)
+        assert (run.executed, run.cached) == (1, 2)
+        assert [c["n"] for c in _POINT_CALLS] == [3]
+
+    def test_force_reexecutes_and_replaces(self, tmp_path):
+        run_experiment(TOY_SPEC, ResultStore(str(tmp_path)), jobs=1)
+        _POINT_CALLS.clear()
+        run = run_experiment(TOY_SPEC, ResultStore(str(tmp_path)), jobs=1,
+                             force=True)
+        assert (run.executed, run.cached) == (3, 0)
+        assert len(_POINT_CALLS) == 3
+
+    def test_overrides_key_separately(self, tmp_path):
+        """A toy-scale run must never shadow the committed full-scale
+        records: different configs, different store keys."""
+        store = ResultStore(str(tmp_path))
+        run_experiment(TOY_SPEC, store, jobs=1)
+        run = run_experiment(TOY_SPEC, store, jobs=1, ns=(10,))
+        assert run.executed == 1
+        assert len(store.records("toy_double")) == 4
+
+    def test_no_store_runs_fully_in_memory(self, tmp_path):
+        run = run_experiment(TOY_SPEC, None, jobs=1)
+        assert (run.executed, run.cached) == (3, 0)
+        assert run.report.all_checks_pass

@@ -1,0 +1,75 @@
+"""Perf-record plumbing: run_perf reports land in the store, and the
+trend/diff tables read them back grouped by commit."""
+
+from repro.bench.perf import (
+    format_perf_diff,
+    format_perf_trend,
+    perf_diff,
+    perf_trend,
+    record_perf_report,
+)
+from repro.bench.store import ResultStore
+
+
+def _report(scale, rate):
+    sample = {
+        "wall_s": 1.0, "cpu_s": 1.0, "sim_s": 2.0, "events": rate,
+        "events_per_s": float(rate), "events_per_cpu_s": float(rate),
+    }
+    return {
+        "scale": scale,
+        "repeat": 1,
+        "python": "3",
+        "benchmarks": {"kernel_dispatch": dict(sample),
+                       "file_scan": dict(sample)},
+    }
+
+
+class TestPerfRecords:
+    def test_records_keyed_per_commit(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        record_perf_report(_report(10_000, 100), store, git_sha="sha_one")
+        record_perf_report(_report(10_000, 150), store, git_sha="sha_two")
+        rows = perf_trend(ResultStore(str(tmp_path)))
+        assert [row["git_sha"] for row in rows] == ["sha_one", "sha_two"]
+        assert rows[0]["benchmarks"]["file_scan"]["events_per_cpu_s"] == 100
+
+    def test_rerun_at_same_commit_replaces(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        record_perf_report(_report(10_000, 100), store, git_sha="sha_one")
+        record_perf_report(_report(10_000, 130), store, git_sha="sha_one")
+        rows = perf_trend(ResultStore(str(tmp_path)))
+        assert len(rows) == 1
+        assert rows[0]["benchmarks"]["file_scan"]["events_per_cpu_s"] == 130
+
+    def test_scale_filter_and_formatting(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        record_perf_report(_report(10_000, 100), store, git_sha="sha_one")
+        record_perf_report(_report(100_000, 90), store, git_sha="sha_one")
+        assert len(perf_trend(store)) == 2
+        rows = perf_trend(store, scale=10_000)
+        assert len(rows) == 1
+        text = format_perf_trend(rows)
+        assert "sha_one" in text and "kernel_dispatch" in text
+
+    def test_diff_matches_by_sha_prefix(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        record_perf_report(_report(10_000, 100), store, git_sha="aaa111")
+        record_perf_report(_report(10_000, 150), store, git_sha="bbb222")
+        rows = perf_diff("aaa", "bbb", store)
+        assert {r["benchmark"] for r in rows} == {
+            "kernel_dispatch", "file_scan",
+        }
+        assert all(r["ratio"] == 1.5 for r in rows)
+        text = format_perf_diff("aaa", "bbb", rows)
+        assert "1.50x" in text
+
+    def test_diff_with_no_matches_is_empty(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        assert perf_diff("aaa", "bbb", store) == []
+        assert "no perf records" in format_perf_diff("aaa", "bbb", [])
+
+    def test_empty_trend_message(self, tmp_path):
+        assert "no perf records" in format_perf_trend(
+            perf_trend(ResultStore(str(tmp_path)))
+        )

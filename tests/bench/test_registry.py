@@ -1,0 +1,75 @@
+"""Registry contract: one source of truth, and the drift check that
+keeps ``benchmarks/results/`` and the registry from diverging."""
+
+import importlib.util
+import os
+
+import pytest
+
+from repro.bench.registry import REGISTRY, get, names, ordered
+from repro.errors import BenchmarkError
+
+_REPO = os.path.join(os.path.dirname(__file__), "..", "..")
+_GENERATOR = os.path.join(_REPO, "benchmarks", "generate_experiments_md.py")
+_RESULTS = os.path.join(_REPO, "benchmarks", "results")
+
+
+def _load_generator():
+    spec = importlib.util.spec_from_file_location(
+        "generate_experiments_md", _GENERATOR
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestRegistry:
+    def test_names_unique_and_complete(self):
+        assert len(names()) == len(set(names())) == len(REGISTRY) == 19
+
+    def test_ordered_pairs_names_with_labels(self):
+        assert ordered() == [(e.spec.name, e.spec.label) for e in REGISTRY]
+
+    def test_get_unknown_name_raises(self):
+        with pytest.raises(BenchmarkError, match="table1_selection"):
+            get("no_such_experiment")
+
+    def test_kinds_are_known(self):
+        assert {e.spec.kind for e in REGISTRY} <= {
+            "table", "figure", "ablation", "extension",
+        }
+
+
+class TestRegistryDrift:
+    """``generate_experiments_md.check_registry_drift`` must fail loudly
+    on either direction of drift — and pass on the committed tree."""
+
+    def test_committed_results_all_registered(self):
+        generator = _load_generator()
+        # The real invariant on the real tree: every committed report
+        # has a registry entry and every NOTES key is registered.
+        generator.check_registry_drift(_RESULTS, names())
+
+    def test_notes_name_registered_experiments(self):
+        generator = _load_generator()
+        assert set(generator.NOTES) <= set(names())
+
+    def test_stray_report_fails(self, tmp_path):
+        generator = _load_generator()
+        (tmp_path / "table1_selection.md").write_text("### stale\n")
+        (tmp_path / "not_registered.md").write_text("### stray\n")
+        with pytest.raises(SystemExit, match="not_registered"):
+            generator.check_registry_drift(str(tmp_path), names())
+
+    def test_unregistered_notes_key_fails(self, tmp_path):
+        generator = _load_generator()
+        with pytest.raises(SystemExit, match="renamed_away"):
+            generator.check_registry_drift(
+                str(tmp_path), names(), notes={"renamed_away": ("", "")}
+            )
+
+    def test_clean_directory_passes(self, tmp_path):
+        generator = _load_generator()
+        (tmp_path / "table1_selection.md").write_text("### ok\n")
+        (tmp_path / "fig13_overflow.trace.json").write_text("{}\n")
+        generator.check_registry_drift(str(tmp_path), names())
