@@ -1,0 +1,14 @@
+"""Extension E6 — the latency knee: open-loop Poisson arrivals swept
+over offered rate on both machines, with time-resolved telemetry
+(sliding-window percentiles, admission-queue depth, overload-onset
+timestamps) as evidence.
+
+Writes the markdown table (``telemetry_knee.md``) and the raw sweep
+profile (``telemetry_knee.json``) under ``benchmarks/results/``.
+"""
+
+from repro.bench import bench_experiment
+
+
+def test_extension_telemetry_knee(report_runner):
+    report_runner(bench_experiment, name="telemetry_knee")

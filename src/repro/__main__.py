@@ -39,6 +39,14 @@
     from stored runs, and ``report --perf`` the events/cpu-second
     trend across commits; ``diff SHA1 SHA2`` compares the perf records
     of two commits.
+
+``python -m repro monitor [mix]``
+    Telemetry monitor: an open-loop Poisson workload with the sampler
+    attached — per-interval cluster time series (utilisation, queues,
+    locks, memory), sliding-window latency percentiles, and the
+    overload/convoy/skew detectors — rendered as an ASCII sparkline
+    dashboard.  ``--json`` dumps the full telemetry document;
+    ``--trace`` writes the counter tracks as a Perfetto-loadable trace.
 """
 
 from __future__ import annotations
@@ -187,6 +195,81 @@ def _workload(args: argparse.Namespace) -> int:
             json.dump(payload if len(payload) > 1 else payload[0], fh,
                       indent=2)
         print(f"result written to {args.json}")
+    return 0
+
+
+def _monitor(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+
+    from .bench.workload import machine_builder, make_mix
+    from .metrics import (
+        SlidingWindowTracker,
+        TelemetrySampler,
+        TraceBuffer,
+        detect_all,
+        render_dashboard,
+    )
+    from .workloads import WorkloadSpec
+
+    spec = WorkloadSpec(
+        queries=args.queries, arrival="open", arrival_rate=args.rate,
+        mpl=args.mpl, timeout=args.timeout, seed=args.seed,
+    )
+    machines = (
+        ["gamma", "teradata"] if args.machine == "both" else [args.machine]
+    )
+    payload = []
+    for name in machines:
+        slo = SlidingWindowTracker(window=args.window)
+        sampler = TelemetrySampler(interval=args.interval, cap=args.cap,
+                                   slo=slo)
+        machine = machine_builder(name, args.tuples)()
+        result = machine.run_workload(
+            make_mix(args.mix, args.tuples), spec, telemetry=sampler)
+        alerts = detect_all(sampler)
+        warmup = slo.warmup_end()
+        print(f"== {name}: {args.mix} mix, open-loop {args.rate:g} q/s,"
+              f" mpl={spec.mpl}, {sampler.samples} samples"
+              f" @ {args.interval:g}s ==")
+        print(render_dashboard(sampler, alerts=alerts, width=args.width))
+        final = slo.snapshot(result.elapsed)
+        print(
+            f"{name}: {result.completed}/{result.submitted} ok"
+            f" ({result.failed} failed), {result.throughput:.3f} q/s over"
+            f" {result.elapsed:.2f}s simulated"
+        )
+        print(
+            f"  window[{args.window:g}s] p50={final['p50']:.3f}s"
+            f" p95={final['p95']:.3f}s p99={final['p99']:.3f}s"
+            f" error_rate={final['error_rate']:.3f}"
+        )
+        print("  warm-up ends"
+              + (f" t={warmup:g}s" if warmup is not None else ": n/a"))
+        payload.append({
+            "machine": name,
+            "mix": args.mix,
+            "spec": dataclasses.asdict(spec),
+            "result": {k: v for k, v in result.to_dict().items()
+                       if k != "records"},
+            "telemetry": sampler.to_dict(),
+            "alerts": [alert.as_dict() for alert in alerts],
+            "warmup_end": warmup,
+        })
+        if args.trace is not None:
+            path = args.trace
+            if len(machines) > 1:
+                stem, dot, ext = path.rpartition(".")
+                path = f"{stem}.{name}{dot}{ext}" if dot else f"{path}.{name}"
+            trace = TraceBuffer()
+            sampler.export_counters(trace)
+            trace.write(path)
+            print(f"  counter trace written to {path}")
+    if args.json is not None:
+        with open(args.json, "w") as fh:
+            json.dump(payload if len(payload) > 1 else payload[0], fh,
+                      indent=2, sort_keys=True)
+        print(f"telemetry document written to {args.json}")
     return 0
 
 
@@ -443,6 +526,39 @@ def main(argv: list[str]) -> int:
     mxdiff.add_argument("--scale", type=int, default=None,
                         help="restrict the comparison to one scale")
 
+    mon = sub.add_parser(
+        "monitor", help="telemetry monitor: open-loop workload with sampled"
+        " cluster time series, sliding-window SLOs and overload detectors,"
+        " rendered as a sparkline dashboard",
+    )
+    mon.add_argument("mix", nargs="?", default="mixed",
+                     choices=["selection", "update", "mixed"])
+    mon.add_argument("--machine", choices=["gamma", "teradata", "both"],
+                     default="gamma")
+    mon.add_argument("--tuples", type=int, default=1_000,
+                     help="size of the A relation (Bprime is a tenth)")
+    mon.add_argument("--queries", type=int, default=64,
+                     help="total requests submitted over the run")
+    mon.add_argument("--rate", type=float, default=8.0,
+                     help="open-loop arrival rate (queries/second)")
+    mon.add_argument("--mpl", type=int, default=8,
+                     help="multiprogramming level")
+    mon.add_argument("--timeout", type=float, default=None,
+                     help="admission-queue + lock-wait timeout (seconds)")
+    mon.add_argument("--seed", type=int, default=1988)
+    mon.add_argument("--interval", type=float, default=0.25,
+                     help="sampling cadence (simulated seconds)")
+    mon.add_argument("--window", type=float, default=4.0,
+                     help="SLO sliding-window width (simulated seconds)")
+    mon.add_argument("--cap", type=int, default=None,
+                     help="ring-buffer cap per series (default unbounded)")
+    mon.add_argument("--width", type=int, default=60,
+                     help="sparkline width (columns)")
+    mon.add_argument("--json", metavar="PATH",
+                     help="write the telemetry document as JSON")
+    mon.add_argument("--trace", metavar="PATH",
+                     help="write the counter tracks as a Perfetto trace")
+
     # Bare `python -m repro [n]` keeps its historical meaning.
     raw = argv[1:]
     if not raw or (len(raw) == 1 and raw[0].lstrip("-").isdigit()):
@@ -459,6 +575,8 @@ def main(argv: list[str]) -> int:
         return _scaleup(args)
     if args.command == "matrix":
         return _matrix(args)
+    if args.command == "monitor":
+        return _monitor(args)
     return _demo(args.n_tuples)
 
 

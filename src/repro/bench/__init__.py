@@ -72,6 +72,10 @@ from .store import (
     current_git_sha,
 )
 from .sweep import bench_jobs, run_sweep
+from .telemetry import (
+    save_telemetry_profile,
+    telemetry_knee_experiment,
+)
 from .workload import (
     make_mix,
     machine_builder,
@@ -130,6 +134,7 @@ __all__ = [
     "run_to_host",
     "save_scaleup_profile",
     "save_skew_profile",
+    "save_telemetry_profile",
     "save_workload_profile",
     "scaleup_experiment",
     "skew_join_experiment",
@@ -137,5 +142,6 @@ __all__ = [
     "table1_selection_experiment",
     "table2_join_experiment",
     "table3_update_experiment",
+    "telemetry_knee_experiment",
     "workload_mpl_experiment",
 ]

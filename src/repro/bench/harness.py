@@ -88,7 +88,8 @@ def build_teradata(
 
 
 def run_stored(
-    machine, make_query, trace=None, profile=False, name=None
+    machine, make_query, trace=None, profile=False, telemetry=None,
+    name=None,
 ) -> QueryResult:
     """Run a stored-result query, then drop the result relation.
 
@@ -115,6 +116,8 @@ def run_stored(
         kwargs["trace"] = trace
     if profile:
         kwargs["profile"] = True
+    if telemetry is not None:
+        kwargs["telemetry"] = telemetry
     result = machine.run(make_query(name), **kwargs)
     machine.drop_relation(name)
     return result

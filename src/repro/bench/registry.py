@@ -47,6 +47,7 @@ from .reporting import Report
 from .scaleup import EXTENSION_E5_SPEC, save_scaleup_profile
 from .skew import EXTENSION_E4_SPEC, save_skew_profile
 from .store import ResultStore
+from .telemetry import EXTENSION_E6_SPEC, save_telemetry_profile
 from .workload import EXTENSION_E3_SPEC, save_workload_profile
 
 
@@ -82,6 +83,7 @@ REGISTRY: tuple[RegistryEntry, ...] = (
     RegistryEntry(EXTENSION_E3_SPEC, save_workload_profile),
     RegistryEntry(EXTENSION_E4_SPEC, save_skew_profile),
     RegistryEntry(EXTENSION_E5_SPEC, save_scaleup_profile),
+    RegistryEntry(EXTENSION_E6_SPEC, save_telemetry_profile),
 )
 
 

@@ -70,7 +70,10 @@ class LockManager:
     def __init__(self, sim: Simulation) -> None:
         self.sim = sim
         self._locks: dict[Hashable, _LockState] = {}
-        self._held_by_txn: dict[Hashable, set[Hashable]] = {}
+        # Lock names per txn in acquisition order (dict, not set: release
+        # order feeds _dispatch scheduling, and set iteration over names
+        # containing strings varies with the per-process hash salt).
+        self._held_by_txn: dict[Hashable, dict[Hashable, None]] = {}
         self._waits_for: dict[Hashable, set[Hashable]] = {}
         self.grants = 0
         self.blocks = 0
@@ -138,7 +141,7 @@ class LockManager:
 
     def release_all(self, txn: Hashable) -> None:
         """End of transaction: drop every lock ``txn`` holds (strict 2PL)."""
-        for name in self._held_by_txn.pop(txn, set()):
+        for name in self._held_by_txn.pop(txn, ()):
             state = self._locks.get(name)
             if state is None:
                 continue
@@ -155,7 +158,7 @@ class LockManager:
         self, txn: Hashable, name: Hashable, mode: LockMode, state: _LockState
     ) -> None:
         state.holders[txn] = mode
-        self._held_by_txn.setdefault(txn, set()).add(name)
+        self._held_by_txn.setdefault(txn, {})[name] = None
         self.grants += 1
 
     def _dispatch(self, name: Hashable, state: _LockState) -> None:

@@ -183,20 +183,25 @@ class GammaMachine:
         query: Query,
         trace: Optional["Any"] = None,
         profile: bool = False,
+        telemetry: Optional["Any"] = None,
     ) -> QueryResult:
         """Execute a retrieval query, returning the answer and timings.
 
         Pass a :class:`~repro.metrics.TraceBuffer` as ``trace`` to record
         the execution's service intervals and operator lifetimes for
         Chrome-trace export; set ``profile=True`` to attach an EXPLAIN
-        ANALYZE :class:`~repro.metrics.QueryProfile` to the result.
-        Neither changes the simulated timeline.
+        ANALYZE :class:`~repro.metrics.QueryProfile` to the result; pass
+        a :class:`~repro.metrics.telemetry.TelemetrySampler` as
+        ``telemetry`` to sample cluster time series on a fixed cadence.
+        None of them change the simulated timeline.
         """
         if query.into is not None and query.into in self.catalog:
             raise CatalogError(
                 f"result relation {query.into!r} already exists"
             )
-        ctx = ExecutionContext(self.config, trace=trace, profile=profile)
+        ctx = ExecutionContext(
+            self.config, trace=trace, profile=profile, telemetry=telemetry
+        )
         plan = self._planner().plan(query)
         run = QueryDriver(ctx, self.catalog, plan)
         ctx.sim.spawn(run.host_process(), name="host")
@@ -300,7 +305,9 @@ class GammaMachine:
             results.append(result)
         return results
 
-    def run_workload(self, mix: "Any", spec: "Any") -> "Any":
+    def run_workload(
+        self, mix: "Any", spec: "Any", telemetry: Optional["Any"] = None
+    ) -> "Any":
         """Run a multiuser workload: terminals submitting a query mix
         against one live simulation, behind admission control.
 
@@ -311,11 +318,11 @@ class GammaMachine:
         the :class:`~repro.metrics.WorkloadResult` with per-query
         latency records and percentile/throughput summaries.  The same
         spec and mix on the same machine reproduce the result bit for
-        bit.
+        bit — with or without a ``telemetry`` sampler attached.
         """
         from ..workloads.multiuser import drive_workload
 
-        ctx = ExecutionContext(self.config)
+        ctx = ExecutionContext(self.config, telemetry=telemetry)
         ctx.lock_timeout = spec.timeout
         machine = self
 
@@ -342,16 +349,19 @@ class GammaMachine:
                     )
                 yield from run.host_process()
 
-        return drive_workload(_Session, spec, mix)
+        return drive_workload(_Session, spec, mix, telemetry=telemetry)
 
     def update(
         self,
         request: UpdateRequest,
         trace: Optional["Any"] = None,
         profile: bool = False,
+        telemetry: Optional["Any"] = None,
     ) -> QueryResult:
         """Execute a single-tuple update request (Table 3 operations)."""
-        ctx = ExecutionContext(self.config, trace=trace, profile=profile)
+        ctx = ExecutionContext(
+            self.config, trace=trace, profile=profile, telemetry=telemetry
+        )
         update_ir = self._planner().compile_update(request)
         run = UpdateDriver(ctx, self.catalog, update_ir)
         ctx.sim.spawn(run.host_process(), name="host")

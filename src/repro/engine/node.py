@@ -15,6 +15,7 @@ from typing import Any, Generator, Optional
 from ..errors import ExecutionError
 from ..hardware import DiskDrive, GammaConfig, Interconnect
 from ..metrics import MetricsRegistry, Profiler, TraceBuffer, UtilisationReport
+from ..metrics.telemetry import TelemetrySampler
 from ..sim import Server, Simulation, Use
 from ..storage import BufferPool
 
@@ -164,7 +165,10 @@ class ExecutionContext:
     lifetimes are recorded into it as the simulation runs.  ``profile``
     attaches a :class:`~repro.metrics.Profiler` that attributes every
     service interval to the IR operator whose process consumed it.
-    Tracing, profiling and the always-on
+    ``telemetry`` attaches a
+    :class:`~repro.metrics.telemetry.TelemetrySampler` to the kernel's
+    pull hook and wires the cluster's servers, lock manager and buffer
+    pools into it.  Tracing, profiling, telemetry and the always-on
     :class:`~repro.metrics.MetricsRegistry` are passive — they never
     schedule events, so the simulated timeline is identical whether or
     not they are inspected.
@@ -175,6 +179,7 @@ class ExecutionContext:
         config: GammaConfig,
         trace: Optional[TraceBuffer] = None,
         profile: bool = False,
+        telemetry: Optional["TelemetrySampler"] = None,
     ) -> None:
         self.config = config
         self.metrics = MetricsRegistry()
@@ -223,10 +228,13 @@ class ExecutionContext:
         self._txn_ids = itertools.count(1)
         self._spool_rr = itertools.cycle(range(len(self.disk_nodes)))
         self._temp_ids = itertools.count()
+        self.telemetry = telemetry
         if trace is not None:
             self._wire_trace(trace)
         if self.profiler is not None:
             self._wire_profile(self.profiler)
+        if telemetry is not None:
+            self._wire_telemetry(telemetry)
 
     @property
     def stats(self) -> Counter[str]:
@@ -261,6 +269,53 @@ class ExecutionContext:
         for name, interface in self.net.interfaces.items():
             profiler.wire_server(interface.server, "net", name)
         profiler.wire_server(self.net.ring, "net", "ring")
+
+    def _wire_telemetry(self, sampler: TelemetrySampler) -> None:
+        """Attach the sampler to the kernel and wire cluster gauges.
+
+        Aggregate tracks (mean/max/min/spread utilisation over the CPU,
+        disk and NIC groups, lock-manager counts, buffer pages,
+        hash-table bytes) are always wired; small machines also get
+        per-node lanes so the dashboard can show individual sites.
+        """
+        sampler.attach(self.sim)
+        sampler.watch_group(
+            "cluster", "cpu.util",
+            [(n.name, n.cpu) for n in self.nodes.values()],
+        )
+        sampler.watch_group(
+            "cluster", "disk.util",
+            [
+                (n.name, n.drive.server)
+                for n in self.nodes.values() if n.drive is not None
+            ],
+        )
+        sampler.watch_group(
+            "cluster", "nic.util",
+            [
+                (name, interface.server)
+                for name, interface in self.net.interfaces.items()
+            ],
+        )
+        sampler.watch_server(self.net.ring, "ring", "net")
+        if len(self.disk_nodes) <= sampler.per_node_limit:
+            for node in self.disk_nodes:
+                sampler.watch_server(node.cpu, node.name, "cpu")
+                if node.drive is not None:
+                    sampler.watch_server(node.drive.server, node.name, "disk")
+        sampler.watch_locks(self.locks)
+        nodes = list(self.nodes.values())
+        sampler.add_gauge(
+            "cluster", "mem.buffer_pages", "pages",
+            lambda: float(sum(len(n.buffer) for n in nodes)),
+        )
+        registry_nodes = self.metrics.nodes
+        sampler.add_gauge(
+            "cluster", "mem.hash_table_peak", "bytes",
+            lambda: float(sum(
+                nm.hash_table_peak_bytes for nm in registry_nodes.values()
+            )),
+        )
 
     # ------------------------------------------------------------------
     # placement helpers

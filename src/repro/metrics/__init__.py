@@ -19,16 +19,33 @@ simulated timeline is bit-identical with metrics enabled or disabled):
 * :class:`QueryRecord` / :class:`LatencyStats` / :class:`WorkloadResult`
   — per-query latency records and their percentile/throughput summary
   for multiuser workload runs.
+* :class:`TelemetrySampler` / :class:`SampleSeries` — per-interval time
+  series over every server, the admission controller, the lock manager
+  and memory gauges, pulled by the kernel at a fixed simulated cadence
+  (never scheduled, so the timeline is bit-identical either way).
+* :class:`SlidingWindowTracker` / :class:`Alert` and the ``detect_*``
+  rules — windowed latency percentiles and overload/convoy/skew onset
+  detection with simulated timestamps.
 """
 
 from .profile import OperatorSpan, Profiler, QueryProfile, explain_analyze
 from .registry import MetricsRegistry, NodeMetrics, OperatorMetrics
 from .report import NodeUtilisation, UtilisationReport, peak_utilisation
-from .timeline import PhaseTimeline
+from .slo import (
+    Alert,
+    SlidingWindowTracker,
+    detect_all,
+    detect_convoy,
+    detect_overload,
+    detect_skew,
+)
+from .telemetry import SampleSeries, TelemetrySampler, render_dashboard
+from .timeline import PhaseTimeline, density_strip, sparkline
 from .trace import TraceBuffer
 from .workload import LatencyStats, QueryRecord, WorkloadResult, percentile
 
 __all__ = [
+    "Alert",
     "LatencyStats",
     "MetricsRegistry",
     "NodeMetrics",
@@ -39,10 +56,20 @@ __all__ = [
     "Profiler",
     "QueryProfile",
     "QueryRecord",
+    "SampleSeries",
+    "SlidingWindowTracker",
+    "TelemetrySampler",
     "TraceBuffer",
     "UtilisationReport",
     "WorkloadResult",
+    "density_strip",
+    "detect_all",
+    "detect_convoy",
+    "detect_overload",
+    "detect_skew",
     "explain_analyze",
     "peak_utilisation",
     "percentile",
+    "render_dashboard",
+    "sparkline",
 ]

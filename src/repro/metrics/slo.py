@@ -1,0 +1,283 @@
+"""Sliding-window SLO monitoring and rule-based overload detection.
+
+The paper's multiuser question is *when* the machine saturates, not just
+how it averages out: knee curves of latency percentiles against offered
+load, and the moment queues start growing without bound.  End-of-run
+aggregates (:class:`~repro.metrics.WorkloadResult`) cannot show that;
+this module watches the run as it unfolds — in simulated time, fed by
+the workload runner's per-query completions and the telemetry sampler's
+per-interval gauges.
+
+* :class:`SlidingWindowTracker` — windowed p50/p95/p99, throughput and
+  error rate over the trailing ``window`` seconds, plus deterministic
+  warm-up detection (the first time the windowed median settles near
+  the steady-state median).
+* :class:`Alert` and the ``detect_*`` rules — overload onset (sustained
+  admission-queue growth), lock convoys (sustained lock-wait spikes)
+  and skew hotspots (sustained per-node utilisation spread), each
+  stamped with the simulated time it fired.
+
+Everything here is passive arithmetic over recorded samples; nothing
+touches the simulation.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Optional, Sequence
+
+from ..errors import ReproError
+from .workload import percentile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .telemetry import TelemetrySampler
+
+
+class SlidingWindowTracker:
+    """Latency/throughput/error-rate over a trailing simulated-time window.
+
+    ``record`` is fed each completion (in nondecreasing finish order —
+    the workload runner's natural order); ``snapshot(now)`` summarises
+    the window ``(now - window, now]``.  ``wire(sampler)`` registers a
+    telemetry probe so the windowed percentiles become time series on
+    the normal sample cadence (node ``slo``).
+    """
+
+    def __init__(self, window: float = 2.0) -> None:
+        if window <= 0.0:
+            raise ReproError(f"SLO window must be > 0, got {window}")
+        self.window = window
+        self._times: list[float] = []
+        self._latencies: list[float] = []
+        self._ok: list[bool] = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def record(self, finished: float, latency: float, ok: bool) -> None:
+        if self._times and finished < self._times[-1]:
+            raise ReproError(
+                "completions must arrive in nondecreasing finish order:"
+                f" {finished} after {self._times[-1]}"
+            )
+        self._times.append(finished)
+        self._latencies.append(latency)
+        self._ok.append(ok)
+
+    # ------------------------------------------------------------------
+    def _window_bounds(self, now: float) -> tuple[int, int]:
+        """Index range of completions in ``(now - window, now]``."""
+        lo = bisect_right(self._times, now - self.window)
+        hi = bisect_right(self._times, now)
+        return lo, hi
+
+    def snapshot(self, now: float) -> dict[str, Any]:
+        """Windowed summary at ``now``; all-zero when the window is
+        empty, percentiles over successful completions only."""
+        lo, hi = self._window_bounds(now)
+        count = hi - lo
+        ok_lat = [
+            self._latencies[i] for i in range(lo, hi) if self._ok[i]
+        ]
+        errors = count - len(ok_lat)
+        return {
+            "t": now,
+            "window": self.window,
+            "count": count,
+            "errors": errors,
+            "error_rate": errors / count if count else 0.0,
+            "throughput": len(ok_lat) / self.window,
+            "p50": percentile(ok_lat, 50.0),
+            "p95": percentile(ok_lat, 95.0),
+            "p99": percentile(ok_lat, 99.0),
+        }
+
+    def wire(self, sampler: "TelemetrySampler") -> None:
+        """Publish the windowed summary as telemetry tracks."""
+        p50 = sampler.series_for("slo", "p50", "s")
+        p95 = sampler.series_for("slo", "p95", "s")
+        p99 = sampler.series_for("slo", "p99", "s")
+        rate = sampler.series_for("slo", "throughput", "q/s")
+        err = sampler.series_for("slo", "error_rate", "frac")
+
+        def probe(t: float) -> None:
+            snap = self.snapshot(t)
+            p50.append(t, snap["p50"])
+            p95.append(t, snap["p95"])
+            p99.append(t, snap["p99"])
+            rate.append(t, snap["throughput"])
+            err.append(t, snap["error_rate"])
+
+        sampler.add_probe(probe)
+
+    def warmup_end(self, tolerance: float = 0.25) -> Optional[float]:
+        """The first completion time whose windowed median is within
+        ``tolerance`` of the steady-state median.
+
+        Steady state is the median latency of the second half of
+        successful completions.  Returns ``None`` when there are fewer
+        than four successes or the window never settles — both mean "do
+        not trust a warm-up split on this run".
+        """
+        ok_times = [
+            t for t, ok in zip(self._times, self._ok) if ok
+        ]
+        if len(ok_times) < 4:
+            return None
+        ok_lat = [
+            lat for lat, ok in zip(self._latencies, self._ok) if ok
+        ]
+        steady = percentile(ok_lat[len(ok_lat) // 2:], 50.0)
+        ceiling = steady * (1.0 + tolerance)
+        for t in ok_times:
+            snap = self.snapshot(t)
+            if snap["count"] and snap["p50"] <= ceiling:
+                return t
+        return None
+
+
+# ---------------------------------------------------------------------------
+# rule-based detectors
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One detector firing, stamped with the simulated time it fired."""
+
+    kind: str
+    at: float
+    value: float
+    detail: str
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "at": self.at,
+            "value": self.value,
+            "detail": self.detail,
+        }
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] t={self.at:g}s {self.detail}"
+
+
+def _sustained_above(
+    times: Sequence[float],
+    values: Sequence[float],
+    threshold: float,
+    sustain: int,
+    kind: str,
+    detail: str,
+) -> list[Alert]:
+    """Fire once per excursion: ``sustain`` consecutive samples at or
+    above ``threshold`` raise an alert; re-arming requires one sample
+    below it."""
+    alerts: list[Alert] = []
+    run = 0
+    armed = True
+    for t, v in zip(times, values):
+        if v >= threshold:
+            run += 1
+            if armed and run >= sustain:
+                alerts.append(Alert(
+                    kind, t, v,
+                    f"{detail} >= {threshold:g}"
+                    f" for {sustain} samples (now {v:g})",
+                ))
+                armed = False
+        else:
+            run = 0
+            armed = True
+    return alerts
+
+
+def detect_overload(
+    times: Sequence[float],
+    depths: Sequence[float],
+    sustain: int = 3,
+    min_growth: float = 1.0,
+) -> list[Alert]:
+    """Overload onset: the admission queue grew monotonically over
+    ``sustain`` consecutive intervals by at least ``min_growth``
+    requests.  Fires once per excursion (re-arms when the queue
+    shrinks)."""
+    alerts: list[Alert] = []
+    armed = True
+    for i in range(len(depths)):
+        if i >= 1 and depths[i] < depths[i - 1]:
+            armed = True
+        if i < sustain:
+            continue
+        window = [depths[j] for j in range(i - sustain, i + 1)]
+        grew = all(b >= a for a, b in zip(window, window[1:]))
+        if armed and grew and window[-1] - window[0] >= min_growth:
+            alerts.append(Alert(
+                "overload", times[i], depths[i],
+                f"admission queue grew {window[0]:g} -> {window[-1]:g}"
+                f" over {sustain} intervals",
+            ))
+            armed = False
+    return alerts
+
+
+def detect_convoy(
+    times: Sequence[float],
+    waiting: Sequence[float],
+    threshold: float = 2.0,
+    sustain: int = 2,
+) -> list[Alert]:
+    """Lock convoy: sustained spike in transactions waiting on locks."""
+    return _sustained_above(
+        times, waiting, threshold, sustain,
+        "convoy", "lock waiters",
+    )
+
+
+def detect_skew(
+    times: Sequence[float],
+    spreads: Sequence[float],
+    threshold: float = 0.5,
+    sustain: int = 3,
+) -> list[Alert]:
+    """Skew hotspot: sustained per-node utilisation spread (max - min)."""
+    return _sustained_above(
+        times, spreads, threshold, sustain,
+        "skew", "cpu utilisation spread",
+    )
+
+
+def detect_all(
+    sampler: "TelemetrySampler",
+    overload_sustain: int = 3,
+    convoy_threshold: float = 2.0,
+    skew_threshold: float = 0.5,
+) -> list[Alert]:
+    """Run every detector against the sampler's canonical tracks.
+
+    Missing tracks are skipped, so the same call serves both machines
+    and partial wirings.  Alerts come back in simulated-time order.
+    """
+    alerts: list[Alert] = []
+    series = sampler.series
+    queued = series.get("admission.queued")
+    if queued is not None:
+        alerts.extend(detect_overload(
+            list(queued.times), list(queued.values),
+            sustain=overload_sustain,
+        ))
+    waiting = series.get("locks.waiting")
+    if waiting is not None:
+        alerts.extend(detect_convoy(
+            list(waiting.times), list(waiting.values),
+            threshold=convoy_threshold,
+        ))
+    spread = series.get("cluster.cpu.util.spread")
+    if spread is not None:
+        alerts.extend(detect_skew(
+            list(spread.times), list(spread.values),
+            threshold=skew_threshold,
+        ))
+    alerts.sort(key=lambda a: (a.at, a.kind))
+    return alerts

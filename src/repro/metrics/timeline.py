@@ -22,6 +22,47 @@ Interval = tuple[str, Optional[str], str, str, float, float]
 _RAMP = " .:-=*#%@"
 
 
+def density_strip(values: Sequence[float]) -> str:
+    """Render a 0..1 series as a one-line ASCII density strip.
+
+    The shared renderer behind :meth:`PhaseTimeline.strip` and the
+    telemetry dashboard sparklines — out-of-range values clip.
+    """
+    out = []
+    top = len(_RAMP) - 1
+    for v in values:
+        v = 0.0 if v < 0.0 else (1.0 if v > 1.0 else v)
+        out.append(_RAMP[round(v * top)])
+    return "".join(out)
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """A self-normalised density strip for an arbitrary series.
+
+    Values are scaled to the series' own [min, max] span (a flat series
+    renders idle), and — when ``width`` is given and smaller than the
+    series — adjacent samples are averaged into ``width`` columns so a
+    long telemetry run still fits one terminal line.
+    """
+    vals = [float(v) for v in values]
+    if width is not None and width > 0 and len(vals) > width:
+        folded = []
+        n = len(vals)
+        for i in range(width):
+            lo = i * n // width
+            hi = max(lo + 1, (i + 1) * n // width)
+            chunk = vals[lo:hi]
+            folded.append(sum(chunk) / len(chunk))
+        vals = folded
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    span = hi - lo
+    if span <= 0.0:
+        return " " * len(vals)
+    return density_strip([(v - lo) / span for v in vals])
+
+
 def _spread(
     series: list[float], start: float, dur: float, width: float
 ) -> None:
@@ -101,12 +142,7 @@ class PhaseTimeline:
 
     def strip(self, values: Sequence[float]) -> str:
         """Render a 0..1 series as a one-line ASCII density strip."""
-        out = []
-        top = len(_RAMP) - 1
-        for v in values:
-            v = 0.0 if v < 0.0 else (1.0 if v > 1.0 else v)
-            out.append(_RAMP[round(v * top)])
-        return "".join(out)
+        return density_strip(values)
 
     def phase_strip(self, key: str) -> str:
         """ASCII strip for one op/phase, normalised to its own peak."""

@@ -13,33 +13,62 @@ utilisation arguments.
 
 Recording is append-only Python-list work: no simulation events are ever
 scheduled, so tracing cannot change the timeline.
+
+Long workloads can bound memory with ``TraceBuffer(cap=...)``: data
+events ride a ring buffer (the oldest fall off, ``dropped`` counts
+them and the export surfaces the count under ``otherData``), while the
+process/thread name metadata needed to label tracks is kept separately
+and never evicted.
 """
 
 from __future__ import annotations
 
 import json
+from collections import deque
 from typing import Any, Optional
 
 _US = 1_000_000  # simulated seconds -> trace microseconds
 
 
 class TraceBuffer:
-    """An in-memory stream of Chrome-trace events."""
+    """An in-memory stream of Chrome-trace events.
 
-    def __init__(self) -> None:
-        self.events: list[dict[str, Any]] = []
+    ``cap`` bounds the number of retained *data* events (durations,
+    instants, counters); ``None`` keeps everything.  Metadata events
+    (process/thread names) are always retained — a capped trace still
+    opens in Perfetto with labelled tracks.
+    """
+
+    def __init__(self, cap: Optional[int] = None) -> None:
+        if cap is not None and cap < 1:
+            raise ValueError(f"trace cap must be >= 1, got {cap}")
+        self.cap = cap
+        self._meta: list[dict[str, Any]] = []
+        self._data: deque[dict[str, Any]] = deque(maxlen=cap)
+        self.dropped = 0
         self._pids: dict[str, int] = {}
         self._tids: dict[tuple[str, str], int] = {}
 
+    @property
+    def events(self) -> list[dict[str, Any]]:
+        """Every retained event, metadata first (export order)."""
+        return self._meta + list(self._data)
+
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self._meta) + len(self._data)
+
+    def _record(self, event: dict[str, Any]) -> None:
+        data = self._data
+        if data.maxlen is not None and len(data) == data.maxlen:
+            self.dropped += 1
+        data.append(event)
 
     # -- pid/tid management -----------------------------------------------
     def _pid(self, node: str) -> int:
         pid = self._pids.get(node)
         if pid is None:
             pid = self._pids[node] = len(self._pids) + 1
-            self.events.append({
+            self._meta.append({
                 "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
                 "args": {"name": node},
             })
@@ -52,7 +81,7 @@ class TraceBuffer:
             tid = self._tids[key] = (
                 sum(1 for n, _ in self._tids if n == node) + 1
             )
-            self.events.append({
+            self._meta.append({
                 "name": "thread_name", "ph": "M",
                 "pid": self._pid(node), "tid": tid,
                 "args": {"name": lane},
@@ -78,7 +107,7 @@ class TraceBuffer:
         }
         if args:
             event["args"] = args
-        self.events.append(event)
+        self._record(event)
 
     def instant(
         self,
@@ -97,7 +126,7 @@ class TraceBuffer:
         }
         if args:
             event["args"] = args
-        self.events.append(event)
+        self._record(event)
 
     def counter(
         self,
@@ -105,6 +134,7 @@ class TraceBuffer:
         name: str,
         ts: float,
         values: dict[str, float],
+        unit: Optional[str] = None,
     ) -> None:
         """A counter-track sample (``ph: "C"``).
 
@@ -112,17 +142,31 @@ class TraceBuffer:
         one series per key in ``values`` — used for hash-table bytes,
         port queue depth and overflow chunks so the Figure 13 traces show
         memory pressure over time, not just duration swim-lanes.
+        ``unit`` is appended to the track name (``"depth [pages]"``) so
+        the UI labels the axis.
         """
-        self.events.append({
-            "name": name, "cat": "counter", "ph": "C", "ts": ts * _US,
+        self._record({
+            "name": f"{name} [{unit}]" if unit else name,
+            "cat": "counter", "ph": "C", "ts": ts * _US,
             "pid": self._pid(node), "tid": 0,
             "args": dict(values),
         })
 
     # -- export -----------------------------------------------------------
     def to_chrome(self) -> dict[str, Any]:
-        """The Trace Event Format document (JSON-serialisable dict)."""
-        return {"traceEvents": self.events, "displayTimeUnit": "ms"}
+        """The Trace Event Format document (JSON-serialisable dict).
+
+        Uncapped buffers keep the historical two-key shape; capped ones
+        add ``otherData`` reporting the ring size and evicted events.
+        """
+        doc: dict[str, Any] = {
+            "traceEvents": self.events, "displayTimeUnit": "ms",
+        }
+        if self.cap is not None:
+            doc["otherData"] = {
+                "cap": self.cap, "droppedEvents": self.dropped,
+            }
+        return doc
 
     def to_json(self) -> str:
         return json.dumps(self.to_chrome())

@@ -22,6 +22,13 @@ Hot-path design (the kernel dominates a simulation's wall-clock cost):
   deque.  Ready entries and heap events share the global sequence counter,
   so the execution order is exactly the (time, seq) total order the simple
   heap-only kernel produced: timelines are bit-identical.
+
+Telemetry (:meth:`Simulation.set_sample_hook`) is *pulled*, never
+scheduled: the kernel invokes the hook when the clock is about to cross
+the next sample boundary, instead of the sampler posting wake-up events.
+A sampler therefore consumes no sequence numbers, never appears in the
+heap, and cannot move the final clock — the timeline is bit-identical
+with sampling on or off, by construction rather than by discipline.
 """
 
 from __future__ import annotations
@@ -98,7 +105,7 @@ class Simulation:
 
     __slots__ = (
         "_now", "_seq", "_heap", "_ready", "_active", "_procs",
-        "events_processed", "_current",
+        "events_processed", "_current", "_sample_hook", "_sample_due",
     )
 
     def __init__(self) -> None:
@@ -116,6 +123,12 @@ class Simulation:
         #: steps).  Purely observational: profilers read it to attribute
         #: resource usage; spawn() reads it to record parentage.
         self._current: Optional[Process] = None
+        # Pulled telemetry (see set_sample_hook).  The hook is invoked by
+        # run() when the clock is about to advance to or past _sample_due;
+        # float("inf") disables the check with one dead comparison per
+        # heap pop.
+        self._sample_hook: Optional[Callable[[float], float]] = None
+        self._sample_due = float("inf")
 
     @property
     def now(self) -> float:
@@ -149,6 +162,28 @@ class Simulation:
         """Zero-delay schedule without allocating a closure for ``value``."""
         self._seq += 1
         self._ready.append((self._seq, fn, value))
+
+    # ------------------------------------------------------------------
+    # pulled telemetry
+    # ------------------------------------------------------------------
+    def set_sample_hook(
+        self, hook: Optional[Callable[[float], float]], first_due: float
+    ) -> None:
+        """Install a passive sampling hook (or remove it with ``None``).
+
+        ``hook(limit)`` is called when the clock is about to advance to a
+        heap event at ``time >= first_due``; it must observe whatever
+        state it wants (resources pro-rate their accounting to any
+        timestamp) for every sample boundary ``<= limit`` and return the
+        next due time.  The hook runs *before* the events at ``limit``
+        fire, so a sample at boundary ``t`` sees the state produced by
+        all events strictly before ``t``'s crossing — a deterministic
+        cut.  The kernel never schedules anything on the hook's behalf:
+        no sequence numbers are consumed and the final clock is
+        untouched, so timelines are bit-identical with sampling on/off.
+        """
+        self._sample_hook = hook
+        self._sample_due = float("inf") if hook is None else first_due
 
     # ------------------------------------------------------------------
     # processes
@@ -264,8 +299,10 @@ class Simulation:
         no_cutoff = until is None
         events = 0
         # Local mirror of self._now: only heap pops advance the clock, so
-        # the hot ready-vs-heap comparison can read a local.
+        # the hot ready-vs-heap comparison can read a local.  sample_due
+        # mirrors self._sample_due the same way (inf when no hook).
         now = self._now
+        sample_due = self._sample_due
         try:
             while heap or ready:
                 # Ready entries fire at the current timestamp; heap events
@@ -287,8 +324,14 @@ class Simulation:
                 time = event[0]
                 if not no_cutoff and time > until:
                     heapq.heappush(heap, event)
+                    if until >= sample_due:
+                        self._sample_due = self._sample_hook(until)
                     self._now = until
                     return self._now
+                if time >= sample_due:
+                    # Sample every boundary the clock is about to cross,
+                    # before the events at `time` fire.
+                    sample_due = self._sample_due = self._sample_hook(time)
                 self._now = now = time
                 events += 1
                 arg = event[3]
@@ -301,6 +344,8 @@ class Simulation:
         if self._active > 0:
             raise SimulationError(self._deadlock_message())
         if until is not None and until > self._now:
+            if until >= self._sample_due:
+                self._sample_due = self._sample_hook(until)
             self._now = until
         return self._now
 

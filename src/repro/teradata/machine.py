@@ -37,6 +37,31 @@ def _wire_profiler(profiler, amps, ynet=None) -> None:
         profiler.wire_server(ynet, "net", "ynet")
 
 
+def _wire_telemetry(sampler, sim, amps, ynet=None) -> None:
+    """Attach a telemetry sampler to a DBC/1012 simulation.
+
+    Mirrors :meth:`repro.engine.node.ExecutionContext._wire_telemetry`:
+    cluster-aggregate CPU/disk utilisation tracks, per-AMP lanes on
+    small machines, and the Y-net server — so the same dashboard and
+    detectors read both machines.
+    """
+    sampler.attach(sim)
+    sampler.watch_group(
+        "cluster", "cpu.util", [(amp.name, amp.cpu) for amp in amps]
+    )
+    sampler.watch_group(
+        "cluster", "disk.util",
+        [(amp.name, drive.server) for amp in amps for drive in amp.drives],
+    )
+    if ynet is not None:
+        sampler.watch_server(ynet, "ynet", "net")
+    if len(amps) <= sampler.per_node_limit:
+        for amp in amps:
+            sampler.watch_server(amp.cpu, amp.name, "cpu")
+            for drive in amp.drives:
+                sampler.watch_server(drive.server, amp.name, "disk")
+
+
 def _amp_utilisations(sim, amps, ynet=None) -> dict[str, float]:
     """Per-AMP CPU/disk (and Y-net) busy fractions for one finished run."""
     now = sim.now
@@ -189,7 +214,12 @@ class TeradataMachine:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def run(self, query: Query, profile: bool = False) -> QueryResult:
+    def run(
+        self,
+        query: Query,
+        profile: bool = False,
+        telemetry: Optional["Any"] = None,
+    ) -> QueryResult:
         """Execute a retrieval query (selection / join / aggregate)."""
         if query.into is not None and query.into in self.relations:
             raise CatalogError(f"result relation {query.into!r} exists")
@@ -200,6 +230,8 @@ class TeradataMachine:
         run = TeradataRun(self, sim, amps, ir, profiler=profiler)
         if profiler is not None:
             _wire_profiler(profiler, amps, run.ynet)
+        if telemetry is not None:
+            _wire_telemetry(telemetry, sim, amps, run.ynet)
         sim.spawn(run.coordinator(), name="ifp")
         response_time = sim.run()
         if query.into is not None and run.result_relation is not None:
@@ -217,7 +249,9 @@ class TeradataMachine:
             result.profile = profiler.finish(ir, response_time)
         return result
 
-    def run_workload(self, mix: "Any", spec: "Any") -> "Any":
+    def run_workload(
+        self, mix: "Any", spec: "Any", telemetry: Optional["Any"] = None
+    ) -> "Any":
         """Run a multiuser workload on the DBC/1012: terminals submitting
         a query mix into one live simulation, behind admission control.
 
@@ -236,6 +270,8 @@ class TeradataMachine:
         sim = Simulation()
         amps = [Amp(sim, i, self.config) for i in range(self.config.n_amps)]
         ynet = Server("ynet")
+        if telemetry is not None:
+            _wire_telemetry(telemetry, sim, amps, ynet)
         machine = self
 
         class _Session:
@@ -262,7 +298,7 @@ class TeradataMachine:
                 yield from run.coordinator()
 
         _Session.sim = sim
-        return drive_workload(_Session, spec, mix)
+        return drive_workload(_Session, spec, mix, telemetry=telemetry)
 
     def update(
         self, request: UpdateRequest, profile: bool = False

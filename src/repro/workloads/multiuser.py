@@ -295,8 +295,12 @@ class WorkloadSpec:
 # ---------------------------------------------------------------------------
 
 
-def drive_workload(session: Any, spec: WorkloadSpec, mix: QueryMix
-                   ) -> WorkloadResult:
+def drive_workload(
+    session: Any,
+    spec: WorkloadSpec,
+    mix: QueryMix,
+    telemetry: Optional[Any] = None,
+) -> WorkloadResult:
     """Run one workload against a machine session.
 
     ``session`` adapts a machine to the runner; it must expose
@@ -308,6 +312,12 @@ def drive_workload(session: Any, spec: WorkloadSpec, mix: QueryMix
       request to completion inside the shared simulation, raising on
       per-request failure (deadlock victim, lock timeout, ...).
 
+    ``telemetry`` (an already-attached
+    :class:`~repro.metrics.telemetry.TelemetrySampler`) additionally
+    watches the admission controller and is fed every completion for
+    sliding-window SLO tracking; it is passive, so results are
+    bit-identical with or without it.
+
     Returns the :class:`~repro.metrics.WorkloadResult` with every
     request's :class:`~repro.metrics.QueryRecord`.
     """
@@ -315,6 +325,8 @@ def drive_workload(session: Any, spec: WorkloadSpec, mix: QueryMix
     admission = AdmissionController(
         sim, mpl=spec.resolved_mpl, policy=spec.policy, timeout=spec.timeout,
     )
+    if telemetry is not None:
+        telemetry.watch_admission(admission)
     records: list[QueryRecord] = []
     indexes = itertools.count()
 
@@ -327,11 +339,14 @@ def drive_workload(session: Any, spec: WorkloadSpec, mix: QueryMix
         try:
             yield from admission.admit(token, priority=entry.priority)
         except AdmissionTimeout as exc:
-            records.append(QueryRecord(
+            record = QueryRecord(
                 index, client, entry.kind, submitted,
                 admitted=None, finished=sim.now,
                 error=f"{type(exc).__name__}: {exc}",
-            ))
+            )
+            records.append(record)
+            if telemetry is not None:
+                telemetry.observe_completion(record)
             return
         admitted = sim.now
         error: Optional[str] = None
@@ -341,10 +356,13 @@ def drive_workload(session: Any, spec: WorkloadSpec, mix: QueryMix
             error = f"{type(exc).__name__}: {exc}"
         finally:
             admission.release(token)
-        records.append(QueryRecord(
+        record = QueryRecord(
             index, client, entry.kind, submitted,
             admitted=admitted, finished=sim.now, error=error,
-        ))
+        )
+        records.append(record)
+        if telemetry is not None:
+            telemetry.observe_completion(record)
 
     if spec.arrival == "closed":
         counts = [

@@ -94,3 +94,37 @@ def test_golden_end_times_with_profiling():
         for phase in span.by_phase
     }
     assert "build" in phases and "probe" in phases
+
+
+def test_golden_end_times_with_telemetry():
+    """The telemetry sampler is passive: the kernel pulls it without
+    scheduling events, so clocks stay bit-identical with sampling on."""
+    from repro.metrics import TelemetrySampler
+
+    machine = _machine()
+    scan = run_stored(
+        machine,
+        lambda into: selection_query("golden", N, 0.01, into=into),
+        telemetry=TelemetrySampler(interval=0.25),
+    )
+    join = run_stored(
+        machine,
+        lambda into: join_abprime("golden", "goldenB", key=False, into=into),
+        telemetry=TelemetrySampler(interval=0.1),
+    )
+    agg_sampler = TelemetrySampler(interval=0.25)
+    agg = machine.run(
+        Query.aggregate("golden", op="sum", attr="unique1", group_by="ten"),
+        telemetry=agg_sampler,
+    )
+    upd = machine.update(
+        update_suite("goldenIdx", N)["modify 1 tuple (key attribute)"],
+        telemetry=TelemetrySampler(interval=0.25),
+    )
+    assert scan.response_time == GOLDEN["scan"]
+    assert join.response_time == GOLDEN["join"]
+    assert agg.response_time == GOLDEN["aggregate"]
+    assert upd.response_time == GOLDEN["update"]
+    # The sampler did observe the run it rode along with.
+    assert agg_sampler.samples == int(GOLDEN["aggregate"] / 0.25)
+    assert agg_sampler.series["cluster.cpu.util.mean"].values

@@ -110,6 +110,54 @@ class TestTraceBuffer:
             doc = json.load(fh)
         assert len(doc["traceEvents"]) == len(trace.events)
 
+    def test_counter_unit_suffix(self):
+        trace = TraceBuffer()
+        trace.counter("disk0", "qdepth", 1.0, {"qdepth": 3.0},
+                      unit="requests")
+        counter = next(e for e in trace.events if e["ph"] == "C")
+        assert counter["name"] == "qdepth [requests]"
+
+
+class TestTraceBufferCap:
+    def test_cap_rings_data_events_and_counts_drops(self):
+        trace = TraceBuffer(cap=3)
+        for i in range(8):
+            trace.instant("disk0", "port", f"e{i}", ts=float(i))
+        data = [e for e in trace.events if e["ph"] == "i"]
+        assert [e["name"] for e in data] == ["e5", "e6", "e7"]
+        assert trace.dropped == 5
+
+    def test_metadata_survives_eviction(self):
+        """Process/thread name records are never evicted — an old trace
+        must still label every lane in Perfetto."""
+        trace = TraceBuffer(cap=2)
+        for node in ("disk0", "disk1", "disk2"):
+            trace.duration(node, "cpu", "w", 0.0, 1.0)
+        names = {
+            e["args"]["name"]
+            for e in trace.events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names == {"disk0", "disk1", "disk2"}
+        assert len([e for e in trace.events if e["ph"] == "X"]) == 2
+
+    def test_capped_chrome_doc_reports_drops(self):
+        trace = TraceBuffer(cap=2)
+        for i in range(5):
+            trace.instant("disk0", "port", f"e{i}", ts=float(i))
+        doc = json.loads(trace.to_json())
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert doc["otherData"] == {"cap": 2, "droppedEvents": 3}
+
+    def test_uncapped_doc_shape_unchanged(self):
+        """No cap, no otherData: the historical two-key document shape
+        stays pinned for existing consumers."""
+        trace = TraceBuffer()
+        trace.instant("disk0", "port", "e", ts=0.0)
+        doc = json.loads(trace.to_json())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert trace.dropped == 0
+
 
 def _machine(n_sites=2, n=2_000):
     machine = GammaMachine(

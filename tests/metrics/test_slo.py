@@ -1,0 +1,182 @@
+"""Sliding-window SLO tracking and the rule-based detectors.
+
+The S-curve edge cases are the point here: empty windows, a single
+sample, a window shorter than warm-up, and all-error intervals must all
+produce well-defined numbers (zeros, not NaNs or crashes) because the
+telemetry sampler publishes the snapshot every interval unconditionally.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.metrics import (
+    Alert,
+    SlidingWindowTracker,
+    TelemetrySampler,
+    detect_all,
+    detect_convoy,
+    detect_overload,
+    detect_skew,
+)
+
+
+class TestSlidingWindowEdges:
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ReproError):
+            SlidingWindowTracker(window=0.0)
+
+    def test_empty_window_is_all_zero(self):
+        slo = SlidingWindowTracker(window=2.0)
+        snap = slo.snapshot(10.0)
+        assert snap == {
+            "t": 10.0, "window": 2.0, "count": 0, "errors": 0,
+            "error_rate": 0.0, "throughput": 0.0,
+            "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+
+    def test_single_sample(self):
+        slo = SlidingWindowTracker(window=2.0)
+        slo.record(1.0, 0.4, True)
+        snap = slo.snapshot(1.0)
+        assert snap["count"] == 1
+        assert snap["p50"] == snap["p95"] == snap["p99"] == 0.4
+        assert snap["throughput"] == pytest.approx(0.5)
+        # Outside the trailing window it vanishes again.
+        assert slo.snapshot(3.5)["count"] == 0
+
+    def test_window_is_left_open_right_closed(self):
+        slo = SlidingWindowTracker(window=1.0)
+        slo.record(1.0, 0.1, True)
+        slo.record(2.0, 0.2, True)
+        # (1.0, 2.0]: the completion at exactly now-window is excluded,
+        # the one at now is included.
+        snap = slo.snapshot(2.0)
+        assert snap["count"] == 1
+        assert snap["p50"] == 0.2
+
+    def test_rejects_decreasing_finish_order(self):
+        slo = SlidingWindowTracker(window=2.0)
+        slo.record(2.0, 0.1, True)
+        with pytest.raises(ReproError, match="nondecreasing"):
+            slo.record(1.0, 0.1, True)
+
+    def test_all_error_interval(self):
+        """Every completion failed: error_rate 1, percentiles 0 (they
+        summarise successes only), throughput 0."""
+        slo = SlidingWindowTracker(window=2.0)
+        for t in (0.5, 1.0, 1.5):
+            slo.record(t, 5.0, False)
+        snap = slo.snapshot(1.5)
+        assert snap["count"] == 3
+        assert snap["errors"] == 3
+        assert snap["error_rate"] == 1.0
+        assert snap["throughput"] == 0.0
+        assert snap["p50"] == snap["p99"] == 0.0
+
+    def test_mixed_errors_split_percentiles_from_rate(self):
+        slo = SlidingWindowTracker(window=4.0)
+        slo.record(1.0, 0.2, True)
+        slo.record(2.0, 9.0, False)
+        slo.record(3.0, 0.4, True)
+        snap = slo.snapshot(3.0)
+        assert snap["error_rate"] == pytest.approx(1 / 3)
+        # The failed query's latency does not pollute the percentiles.
+        assert snap["p99"] == 0.4
+
+
+class TestWarmup:
+    def test_too_few_successes_is_none(self):
+        slo = SlidingWindowTracker(window=2.0)
+        for t in (1.0, 2.0, 3.0):
+            slo.record(t, 0.5, True)
+        assert slo.warmup_end() is None
+
+    def test_warmup_detected_after_cold_start(self):
+        """Cold start latencies 4x steady state; the windowed median
+        settles only after the window slides past them."""
+        slo = SlidingWindowTracker(window=2.0)
+        t = 0.0
+        for latency in [2.0, 2.0, 2.0] + [0.5] * 12:
+            t += 0.5
+            slo.record(t, latency, True)
+        warm = slo.warmup_end()
+        assert warm is not None
+        # The first three (cold) completions cannot be the settle point.
+        assert warm > 1.5
+
+    def test_window_shorter_than_warmup(self):
+        """A tiny window forgets the cold start immediately — warm-up
+        resolves to the first completion, never None/negative."""
+        slo = SlidingWindowTracker(window=0.25)
+        t = 0.0
+        for latency in [2.0] * 3 + [0.5] * 9:
+            t += 0.5
+            slo.record(t, latency, True)
+        warm = slo.warmup_end()
+        assert warm is not None
+        assert warm >= 0.5
+
+    def test_steady_run_warms_up_immediately(self):
+        slo = SlidingWindowTracker(window=2.0)
+        for i in range(8):
+            slo.record(0.5 * (i + 1), 0.5, True)
+        assert slo.warmup_end() == 0.5
+
+
+class TestDetectors:
+    def test_overload_fires_once_per_excursion(self):
+        times = [0.5 * (i + 1) for i in range(8)]
+        depths = [0, 1, 2, 4, 4, 2, 3, 4]
+        alerts = detect_overload(times, depths, sustain=3, min_growth=2.0)
+        assert [a.at for a in alerts] == [2.0]
+        assert alerts[0].kind == "overload"
+        assert "0 -> 4" in alerts[0].detail
+
+    def test_overload_rearms_after_shrink(self):
+        times = [float(i) for i in range(10)]
+        depths = [0, 2, 4, 6, 5, 6, 8, 10, 12, 14]
+        alerts = detect_overload(times, depths, sustain=3, min_growth=2.0)
+        assert len(alerts) == 2
+        assert alerts[0].at == 3.0
+        assert alerts[1].at > 4.0
+
+    def test_flat_queue_never_fires(self):
+        times = [float(i) for i in range(10)]
+        assert detect_overload(times, [3.0] * 10) == []
+
+    def test_convoy_threshold_and_sustain(self):
+        times = [float(i) for i in range(6)]
+        waiting = [0, 5, 5, 0, 5, 0]
+        alerts = detect_convoy(times, waiting, threshold=2.0, sustain=2)
+        assert [a.at for a in alerts] == [2.0]
+
+    def test_skew_sustain(self):
+        times = [float(i) for i in range(6)]
+        spreads = [0.6, 0.6, 0.6, 0.1, 0.6, 0.6]
+        alerts = detect_skew(times, spreads, threshold=0.5, sustain=3)
+        assert [a.at for a in alerts] == [2.0]
+
+    def test_detect_all_skips_missing_tracks_and_sorts(self):
+        sampler = TelemetrySampler(interval=0.5)
+        queued = sampler.series_for("admission", "queued", "requests")
+        spread = sampler.series_for("cluster", "cpu.util.spread", "frac")
+        for i, (q, s) in enumerate(
+            [(0, 0.9), (2, 0.9), (4, 0.9), (6, 0.9)]
+        ):
+            t = 0.5 * (i + 1)
+            queued.append(t, float(q))
+            spread.append(t, s)
+        # No locks.waiting series wired: the convoy detector is skipped.
+        alerts = detect_all(sampler)
+        kinds = [a.kind for a in alerts]
+        assert "overload" in kinds and "skew" in kinds
+        assert "convoy" not in kinds
+        assert [a.at for a in alerts] == sorted(a.at for a in alerts)
+
+    def test_alert_round_trip(self):
+        alert = Alert("convoy", 2.5, 6.0, "lock waiters >= 2")
+        assert alert.as_dict() == {
+            "kind": "convoy", "at": 2.5, "value": 6.0,
+            "detail": "lock waiters >= 2",
+        }
+        assert str(alert) == "[convoy] t=2.5s lock waiters >= 2"

@@ -1,0 +1,231 @@
+"""Telemetry plane: pulled sampling, series, dashboard, counter export.
+
+The load-bearing invariant is passivity — the kernel pulls the sampler
+without scheduling events, so a run's event count, sequence numbers and
+final clock are bit-identical with sampling on or off.  The golden
+timeline suites assert that on both full machines; here we pin it on a
+bare kernel, plus the sampler's own mechanics: integer-tick boundaries,
+delta-of-accrual interval math, ring-buffer caps, the JSON schema, and
+the Perfetto counter-track naming.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.metrics import (
+    SampleSeries,
+    TelemetrySampler,
+    TraceBuffer,
+    render_dashboard,
+)
+from repro.sim import Delay, Server, Simulation, Use
+
+
+def _busy_process(sim, server, periods):
+    """A process that alternates Use(duration) / Delay(duration)."""
+
+    def proc():
+        for use, idle in periods:
+            yield Use(server, use)
+            yield Delay(idle)
+
+    sim.spawn(proc(), name="worker")
+
+
+class TestSampleSeries:
+    def test_uncapped_keeps_everything(self):
+        s = SampleSeries("node", "track", "frac")
+        for i in range(100):
+            s.append(i * 0.25, float(i))
+        assert len(s) == 100
+        assert s.dropped == 0
+        assert s.last == 99.0
+        assert s.key == "node.track"
+
+    def test_cap_rings_and_counts_drops(self):
+        s = SampleSeries("node", "track", "frac", cap=4)
+        for i in range(10):
+            s.append(float(i), float(i))
+        assert len(s) == 4
+        assert list(s.values) == [6.0, 7.0, 8.0, 9.0]
+        assert list(s.times) == [6.0, 7.0, 8.0, 9.0]
+        assert s.dropped == 6
+
+    def test_as_dict_shape(self):
+        s = SampleSeries("cpu", "util", "frac", cap=2)
+        s.append(0.25, 0.5)
+        assert s.as_dict() == {
+            "node": "cpu",
+            "track": "util",
+            "unit": "frac",
+            "dropped": 0,
+            "times": [0.25],
+            "values": [0.5],
+        }
+
+
+class TestSamplerMechanics:
+    def test_rejects_bad_interval_and_cap(self):
+        with pytest.raises(ReproError):
+            TelemetrySampler(interval=0.0)
+        with pytest.raises(ReproError):
+            TelemetrySampler(cap=0)
+
+    def test_passive_by_construction(self):
+        """Same workload with and without a sampler: event count, final
+        clock and server accounting all bit-identical."""
+        results = []
+        for attach in (False, True):
+            sim = Simulation()
+            server = Server("cpu")
+            _busy_process(sim, server, [(0.4, 0.1)] * 5)
+            sampler = TelemetrySampler(interval=0.25)
+            if attach:
+                sampler.attach(sim)
+                sampler.watch_server(server, "n0", "cpu")
+            end = sim.run()
+            results.append(
+                (end, sim.events_processed, server.busy_time,
+                 server.requests)
+            )
+        assert results[0] == results[1]
+
+    def test_integer_tick_boundaries(self):
+        """Boundaries are k*interval exactly — no float accumulation."""
+        sim = Simulation()
+        server = Server("cpu")
+        _busy_process(sim, server, [(0.4, 0.1)] * 4)  # runs to t=2.0
+        sampler = TelemetrySampler(interval=0.3)
+        sampler.attach(sim)
+        sampler.watch_server(server, "n0", "cpu")
+        sim.run()
+        times = list(sampler.series["n0.cpu.util"].times)
+        assert times == [0.3 * k for k in range(1, len(times) + 1)]
+
+    def test_interval_utilisation_is_exact_delta(self):
+        """A server busy 0.4s of every 0.5s samples at 0.8 utilisation
+        on a 0.5s cadence (the interval delta, not a point sample)."""
+        sim = Simulation()
+        server = Server("cpu")
+        _busy_process(sim, server, [(0.4, 0.1)] * 4)
+        sampler = TelemetrySampler(interval=0.5)
+        sampler.attach(sim)
+        sampler.watch_server(server, "n0", "cpu")
+        sim.run()
+        utils = list(sampler.series["n0.cpu.util"].values)
+        assert utils == pytest.approx([0.8, 0.8, 0.8, 0.8])
+
+    def test_run_until_samples_the_tail(self):
+        """A cutoff (or drained-queue) run still samples boundaries the
+        clock crosses on its way to ``until``."""
+        sim = Simulation()
+        server = Server("cpu")
+        _busy_process(sim, server, [(0.4, 0.1)])
+        sampler = TelemetrySampler(interval=0.25)
+        sampler.attach(sim)
+        sampler.watch_server(server, "n0", "cpu")
+        sim.run(until=1.0)
+        assert list(sampler.series["n0.cpu.util"].times) == [
+            0.25, 0.5, 0.75, 1.0,
+        ]
+
+    def test_cap_applies_to_every_series(self):
+        sim = Simulation()
+        server = Server("cpu")
+        _busy_process(sim, server, [(0.4, 0.1)] * 10)  # 5s of work
+        sampler = TelemetrySampler(interval=0.25, cap=4)
+        sampler.attach(sim)
+        sampler.watch_server(server, "n0", "cpu")
+        sim.run()
+        series = sampler.series["n0.cpu.util"]
+        assert len(series) == 4
+        assert series.dropped > 0
+        assert sampler.dropped >= series.dropped
+        assert sampler.to_dict()["dropped"] == sampler.dropped
+
+    def test_gauge_and_group(self):
+        sim = Simulation()
+        fast = Server("fast")
+        slow = Server("slow")
+        _busy_process(sim, fast, [(0.5, 0.0)] * 2)
+        _busy_process(sim, slow, [(0.25, 0.25)] * 2)
+        sampler = TelemetrySampler(interval=0.5)
+        sampler.attach(sim)
+        sampler.watch_group(
+            "cluster", "cpu.util", [("fast", fast), ("slow", slow)]
+        )
+        ticks = []
+        sampler.add_gauge("toy", "constant", "count", lambda: 7.0)
+        sampler.add_probe(lambda t: ticks.append(t))
+        sim.run()
+        mean = sampler.series["cluster.cpu.util.mean"]
+        spread = sampler.series["cluster.cpu.util.spread"]
+        assert list(mean.values) == pytest.approx([0.75, 0.75])
+        assert list(spread.values) == pytest.approx([0.5, 0.5])
+        assert list(sampler.series["toy.constant"].values) == [7.0, 7.0]
+        assert ticks == [0.5, 1.0]
+
+
+class TestExports:
+    def _sampled(self):
+        sim = Simulation()
+        server = Server("cpu")
+        _busy_process(sim, server, [(0.4, 0.1)] * 3)
+        sampler = TelemetrySampler(interval=0.5)
+        sampler.attach(sim)
+        sampler.watch_server(server, "n0", "cpu")
+        sim.run()
+        return sampler
+
+    def test_to_dict_schema(self):
+        doc = self._sampled().to_dict()
+        assert set(doc) == {
+            "interval", "samples", "cap", "dropped", "series",
+        }
+        assert doc["interval"] == 0.5
+        assert doc["cap"] is None
+        assert list(doc["series"]) == sorted(doc["series"])
+        entry = doc["series"]["n0.cpu.util"]
+        assert set(entry) == {
+            "node", "track", "unit", "dropped", "times", "values",
+        }
+        assert len(entry["times"]) == len(entry["values"])
+
+    def test_export_counters_pins_unit_suffix(self):
+        """Counter tracks carry their unit in the name — pinned, so
+        Perfetto UIs keep showing '[frac]' etc. after refactors."""
+        sampler = self._sampled()
+        trace = TraceBuffer()
+        emitted = sampler.export_counters(trace)
+        counters = [e for e in trace.events if e["ph"] == "C"]
+        assert emitted == len(counters) > 0
+        names = {e["name"] for e in counters}
+        assert names == {
+            "cpu.util [frac]", "cpu.qdepth [requests]", "cpu.wait [s]",
+        }
+        # Counter events land under the series' node process.
+        doc = trace.to_chrome()
+        process_names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e.get("name") == "process_name"
+        }
+        assert "n0" in process_names
+
+    def test_dashboard_renders_every_track(self):
+        sampler = self._sampled()
+        text = render_dashboard(sampler, width=20)
+        assert "telemetry: " in text.splitlines()[0]
+        for key in sampler.series:
+            assert key in text
+        assert "last=" in text and "peak=" in text
+
+    def test_dashboard_appends_alerts(self):
+        from repro.metrics import Alert
+
+        sampler = self._sampled()
+        text = render_dashboard(
+            sampler, alerts=[Alert("overload", 1.5, 9.0, "queue grew")]
+        )
+        assert "alerts:" in text
+        assert "[overload] t=1.5s queue grew" in text

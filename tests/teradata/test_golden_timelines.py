@@ -108,3 +108,22 @@ def test_golden_end_times_with_profiling():
         == GOLDEN_UPDATES["modify 1 tuple (key attribute)"]
     )
     assert upd.profile is not None and upd.profile.spans
+
+
+def test_golden_end_times_with_telemetry():
+    """The telemetry sampler is passive on the Teradata path too."""
+    from repro.metrics import TelemetrySampler
+
+    m = _machine()
+    sampler = TelemetrySampler(interval=0.5)
+    join = m.run(
+        Query.join(ScanNode("Bprime"), ScanNode("A"),
+                   on=("unique2", "unique2"), into="j1"),
+        telemetry=sampler,
+    )
+    assert join.response_time == GOLDEN_RETRIEVALS["joinABprime-nonkey"]
+    assert sampler.samples == int(
+        GOLDEN_RETRIEVALS["joinABprime-nonkey"] / 0.5
+    )
+    assert sampler.series["cluster.cpu.util.mean"].values
+    assert sampler.series["ynet.net.util"].values
