@@ -1,0 +1,11 @@
+"""Ablation A4 — Hybrid spill policies under optimizer estimate error:
+the static plan trusts the cardinality estimate, ``demote`` reacts to
+actual build bytes, ``dynamic`` starts optimistic and recursively
+re-partitions.  Sweeps estimate error x memory budget x policy x
+bit-filters on the joinABprime memory-pressure sweep."""
+
+from repro.bench import bench_experiment
+
+
+def test_ablation_hybrid_dynamic(report_runner):
+    report_runner(bench_experiment, name="ablation_a4_hybrid_dynamic")

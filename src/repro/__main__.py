@@ -24,6 +24,13 @@
     hot-broadcast), reporting per-strategy speedup and per-node
     utilisation spread; ``--json`` dumps the sweep profile.
 
+``python -m repro hybrid``
+    Hybrid-join spill-policy sweep: joinABprime under optimizer
+    estimate error (the plan sees a build side 4x smaller/larger than
+    reality) at several memory budgets, comparing the static plan
+    against reactive bucket demotion and fully dynamic recursive
+    re-partitioning; ``--json`` dumps the sweep profile.
+
 ``python -m repro scaleup``
     Machine-size sweep: the 1 % selection and joinABprime at 8, 64,
     256 and 1000 disk sites, printing the speedup-vs-sites table
@@ -293,6 +300,25 @@ def _skew(args: argparse.Namespace) -> int:
     return 0 if report.all_checks_pass else 1
 
 
+def _hybrid(args: argparse.Namespace) -> int:
+    import json
+
+    from .bench.ablations import ablation_hybrid_dynamic_experiment
+
+    report, profile = ablation_hybrid_dynamic_experiment(
+        n=args.tuples,
+        errors=tuple(args.errors),
+        memory_ratios=tuple(args.ratios),
+        policies=tuple(args.policies),
+    )
+    print(report.to_markdown())
+    if args.json is not None:
+        with open(args.json, "w") as fh:
+            json.dump(profile, fh, indent=2)
+        print(f"sweep profile written to {args.json}")
+    return 0 if report.all_checks_pass else 1
+
+
 def _scaleup(args: argparse.Namespace) -> int:
     import json
 
@@ -475,6 +501,27 @@ def main(argv: list[str]) -> int:
     sk.add_argument("--json", metavar="PATH",
                     help="write the sweep profile as JSON")
 
+    hy = sub.add_parser(
+        "hybrid", help="hybrid-join spill-policy sweep: estimate error x"
+        " memory budget x policy (static/demote/dynamic)",
+    )
+    hy.add_argument("--tuples", type=int, default=100_000,
+                    help="size of the probe relation (build is a tenth;"
+                    " the shape checks are calibrated at 100,000)")
+    hy.add_argument("--errors", type=float, nargs="+",
+                    default=[0.25, 1.0, 4.0],
+                    help="estimate-error factors to sweep (0.25 = the"
+                    " plan expects a build side 4x smaller than reality)")
+    hy.add_argument("--ratios", type=float, nargs="+",
+                    default=[1.0, 0.45, 0.2],
+                    help="join memory as a fraction of the build side")
+    hy.add_argument("--policies", nargs="+",
+                    default=["static", "demote", "dynamic"],
+                    choices=["static", "demote", "dynamic"],
+                    help="spill policies to compare")
+    hy.add_argument("--json", metavar="PATH",
+                    help="write the sweep profile as JSON")
+
     su = sub.add_parser(
         "scaleup", help="machine-size sweep: selection + joinABprime at"
         " 8→1000 disk sites (speedup-vs-sites table)",
@@ -571,6 +618,8 @@ def main(argv: list[str]) -> int:
         return _workload(args)
     if args.command == "skew":
         return _skew(args)
+    if args.command == "hybrid":
+        return _hybrid(args)
     if args.command == "scaleup":
         return _scaleup(args)
     if args.command == "matrix":

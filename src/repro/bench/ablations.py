@@ -6,6 +6,11 @@
   Conclusions announce the Hybrid replacement; this measures why).
 * **A3** — the Conclusions' recommendation to raise the default page size
   from 4 KB to 8 KB, evaluated over a mixed query set.
+* **A4** — the Hybrid join's spill policies under optimizer estimate
+  error: the static plan trusts the (possibly wrong) cardinality
+  estimate, ``demote`` reacts to actual build bytes, and ``dynamic``
+  starts optimistic and recursively re-partitions.  Sweeps estimate
+  error x memory budget x policy x bit-filters.
 * **E1** — the multiuser experiment the paper defers ("The validity of
   this expectation will be determined in future multiuser benchmarks"):
   does off-loading joins to the diskless processors leave the disk sites
@@ -21,18 +26,22 @@ wrappers.
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import replace
-from typing import Any, Sequence
+from typing import Any, Optional, Sequence
 
 from ..engine import JoinMode, Query
 from ..engine.plan import RangePredicate, ScanNode
 from ..hardware import KB, GammaConfig
+from ..metrics import TraceBuffer
 from ..workloads import selection_range
 from ..workloads.queries import join_abprime, join_aselb, selection_query
+from .experiments import bench_profile_enabled
 from .harness import build_gamma, run_stored
 from .matrix import Axis, ExperimentSpec, Grid, run_experiment
 from .recorded import TABLE1_SELECTIONS
-from .reporting import Report
+from .reporting import Report, results_dir
 
 
 # ---------------------------------------------------------------------------
@@ -293,6 +302,277 @@ def ablation_default_page_size_experiment(
     (in particular, non-clustered indices) is very negative."
     """
     return run_experiment(ABLATION_A3_SPEC, n=n, **matrix).report
+
+
+# ---------------------------------------------------------------------------
+# A4 — Hybrid spill policies under estimate error
+# ---------------------------------------------------------------------------
+
+A4_ERRORS = (0.25, 1.0, 4.0)
+A4_MEMORY_RATIOS = (1.0, 0.45, 0.2)
+A4_POLICIES = ("static", "demote", "dynamic")
+
+
+def _a4_point(config: dict[str, Any]) -> dict[str, Any]:
+    """Grid point: one (error, ratio, policy, filters) cell (picklable).
+
+    ``err`` scales the optimizer's build-cardinality estimate before it
+    reaches the Hybrid join's partition plan: 0.25 means the plan sizes
+    memory for a build side 4x smaller than reality (an underestimate),
+    4.0 for one 4x larger (an overestimate).  The data itself never
+    changes, so every cell must produce the same join answer.
+    """
+    n, err, ratio = config["n"], config["err"], config["ratio"]
+    policy, filters = config["policy"], config["filters"]
+    base = GammaConfig.paper_default()
+    smaller_bytes = (n // 10) * 208 * base.hash_table_overhead
+    machine_config = replace(
+        base.with_join_memory(max(64 * KB, int(ratio * smaller_bytes))),
+        join_algorithm="hybrid",
+        use_bit_filters=filters,
+        hybrid_spill_policy=policy,
+        hybrid_estimate_factor=err,
+    )
+    machine = build_gamma(
+        machine_config,
+        relations=[("A", n, "heap"), ("Bp", n // 10, "heap")],
+    )
+
+    def query(into: str) -> Query:
+        return join_abprime("A", "Bp", key=False, mode=JoinMode.REMOTE,
+                            into=into)
+
+    result = run_stored(machine, query)
+    point = {
+        "response": result.response_time,
+        "count": result.result_count,
+        "overflows": result.max_overflows,
+        "partitions": result.max_partitions,
+        "spool_pages": result.stats.get("spool_pages_written", 0),
+    }
+    if config["profiled"]:
+        # Re-run the most-stressed dynamic cell with the profiler and a
+        # trace attached: the trace carries the hash-table counter track
+        # (bytes / overflow events / partition count as they evolve), the
+        # profile the per-phase demotion and re-partitioning story.
+        # Instrumentation is passive, so the timing must not move.
+        rerun = run_stored(
+            machine, query, trace=(trace := TraceBuffer()), profile=True,
+        )
+        point["profiled_identical"] = (
+            rerun.response_time == result.response_time
+        )
+        trace.write(os.path.join(
+            results_dir(), "ablation_a4_hybrid_dynamic.trace.json"))
+        with open(os.path.join(
+                results_dir(),
+                "ablation_a4_hybrid_dynamic.profile.json"), "w") as fh:
+            fh.write(rerun.profile.to_json())
+    return point
+
+
+def _a4_grid(
+    n: int = 100_000,
+    errors: Sequence[float] = A4_ERRORS,
+    memory_ratios: Sequence[float] = A4_MEMORY_RATIOS,
+    policies: Sequence[str] = A4_POLICIES,
+    profile: Optional[bool] = None,
+) -> Grid:
+    if profile is None:
+        profile = bench_profile_enabled()
+    worst_err, deepest = min(errors), min(memory_ratios)
+
+    def derive(config: dict[str, Any]) -> dict[str, Any]:
+        config["profiled"] = (
+            bool(profile)
+            and config["err"] == worst_err
+            and config["ratio"] == deepest
+            and config["policy"] == "dynamic"
+            and config["filters"] is False
+        )
+        return config
+
+    return Grid(
+        axes=(
+            Axis("err", tuple(errors)),
+            Axis("ratio", tuple(memory_ratios)),
+            Axis("policy", tuple(policies)),
+            Axis("filters", (False, True)),
+        ),
+        base={"n": n}, derive=derive,
+    )
+
+
+def _a4_summarise(
+    grid: Grid, results: list[Any]
+) -> tuple[Report, dict[str, Any]]:
+    n = grid.base["n"]
+    errors = grid.axis("err").values
+    memory_ratios = grid.axis("ratio").values
+    policies = grid.axis("policy").values
+    report = Report(
+        name="ablation_a4_hybrid_dynamic",
+        title=f"Ablation A4 — Hybrid spill policy under estimate error,"
+              f" joinABprime on {n:,}",
+        columns=["est err x", "memory/|Bprime|", "policy", "response (s)",
+                 "+filters (s)", "overflow events", "planned parts"],
+    )
+    profile: dict[str, Any] = {
+        "experiment": "ablation_a4_hybrid_dynamic",
+        "n": n,
+        "errors": list(errors),
+        "memory_ratios": list(memory_ratios),
+        "policies": list(policies),
+        "points": [],
+    }
+    cells: dict[tuple[float, float, str, bool], dict[str, Any]] = {
+        (config["err"], config["ratio"], config["policy"],
+         config["filters"]): point
+        for config, point in zip(grid.points(), results)
+    }
+    counts: set[int] = set()
+    profiled_identical: Optional[bool] = None
+    for err in errors:
+        for ratio in memory_ratios:
+            for policy in policies:
+                plain = cells[(err, ratio, policy, False)]
+                filtered = cells[(err, ratio, policy, True)]
+                counts.update((plain["count"], filtered["count"]))
+                if plain.get("profiled_identical") is not None:
+                    profiled_identical = plain["profiled_identical"]
+                report.add_row(
+                    err, ratio, policy, plain["response"],
+                    filtered["response"], plain["overflows"],
+                    plain["partitions"],
+                )
+                profile["points"].append({
+                    "err": err, "ratio": ratio, "policy": policy,
+                    "response": plain["response"],
+                    "response_filtered": filtered["response"],
+                    "overflows": plain["overflows"],
+                    "partitions": plain["partitions"],
+                    "spool_pages": plain["spool_pages"],
+                })
+
+    def t(err: float, ratio: float, policy: str) -> float:
+        return cells[(err, ratio, policy, False)]["response"]
+
+    worst_err, accurate = min(errors), 1.0
+    over_err = max(errors)
+    deepest, ample = min(memory_ratios), max(memory_ratios)
+    has = set(policies)
+    report.check(
+        f"every (err, ratio, policy, filters) cell returns the same"
+        f" join result ({n // 10:,} tuples)",
+        counts == {n // 10},
+    )
+    if {"static", "demote"} <= has and worst_err < 1.0:
+        report.check(
+            f"a {1 / worst_err:.0f}x underestimate blows up the static"
+            " plan at the deepest shortfall (demotion rescues >= 1.3x)",
+            t(worst_err, deepest, "static")
+            > 1.3 * t(worst_err, deepest, "demote"),
+        )
+    if {"static", "dynamic"} <= has and worst_err < 1.0:
+        report.check(
+            f"dynamic adaptation also beats static planning under the"
+            f" {1 / worst_err:.0f}x underestimate (>= 1.1x at some"
+            " memory shortfall)",
+            any(
+                t(worst_err, ratio, "static")
+                > 1.1 * t(worst_err, ratio, "dynamic")
+                for ratio in memory_ratios
+            ),
+        )
+    if {"static", "dynamic"} <= has and over_err > 1.0:
+        report.check(
+            f"a {over_err:.0f}x overestimate makes the static plan spool"
+            " needlessly with ample memory (dynamic >= 1.5x faster)",
+            t(over_err, ample, "static")
+            > 1.5 * t(over_err, ample, "dynamic"),
+        )
+    if {"static", "demote"} <= has and accurate in errors:
+        report.check(
+            "with an accurate estimate, demotion never fires: static and"
+            " demote are identical at every memory ratio",
+            all(
+                t(accurate, ratio, "static") == t(accurate, ratio, "demote")
+                for ratio in memory_ratios
+            ),
+        )
+    if "dynamic" in has:
+        report.check(
+            "the dynamic policy ignores the estimate entirely: its"
+            " response is bit-identical across every error factor",
+            all(
+                t(err, ratio, "dynamic") == t(errors[0], ratio, "dynamic")
+                for err in errors for ratio in memory_ratios
+            ),
+        )
+    if "static" in has and accurate in errors:
+        report.check(
+            "overflow accounting separates plan from reaction: the"
+            " accurate static plan partitions under pressure yet reports"
+            " zero overflow events",
+            cells[(accurate, deepest, "static", False)]["partitions"] > 1
+            and cells[(accurate, deepest, "static", False)]["overflows"]
+            == 0,
+        )
+    if profiled_identical is not None:
+        report.check(
+            "trace + profile instrumentation does not perturb the"
+            " profiled cell's response time",
+            profiled_identical,
+        )
+    report.notes.append(
+        "'est err x' scales the build-cardinality estimate the partition"
+        " plan sees (0.25 = plan expects 4x fewer bytes than arrive)."
+        "  'overflow events' counts actual reactions — static overflow"
+        " activation, bucket demotions, recursive re-partitionings,"
+        " extra resolve chunks — at the busiest site; 'planned parts'"
+        " is what the estimate sized.  Bit filters ride along to show"
+        " the policies compose with them."
+    )
+    return report, profile
+
+
+ABLATION_A4_SPEC = ExperimentSpec(
+    name="ablation_a4_hybrid_dynamic", label="Ablation A4",
+    kind="ablation", grid=_a4_grid, point=_a4_point,
+    summarise=_a4_summarise,
+)
+
+
+def ablation_hybrid_dynamic_experiment(
+    n: int = 100_000,
+    errors: Sequence[float] = A4_ERRORS,
+    memory_ratios: Sequence[float] = A4_MEMORY_RATIOS,
+    policies: Sequence[str] = A4_POLICIES,
+    **matrix: Any,
+) -> tuple[Report, dict[str, Any]]:
+    """A4: Hybrid spill policies under optimizer estimate error.
+
+    Returns the shape-checked :class:`Report` plus a JSON profile of
+    every cell (written as ``ablation_a4_hybrid_dynamic.json`` by
+    :func:`save_hybrid_profile`).
+    """
+    run = run_experiment(
+        ABLATION_A4_SPEC, n=n, errors=errors,
+        memory_ratios=memory_ratios, policies=policies, **matrix,
+    )
+    assert run.profile is not None
+    return run.report, run.profile
+
+
+def save_hybrid_profile(
+    profile: dict[str, Any], directory: Optional[str] = None
+) -> str:
+    """Write the A4 sweep profile JSON next to the markdown report."""
+    path = os.path.join(
+        results_dir(directory), "ablation_a4_hybrid_dynamic.json")
+    with open(path, "w") as fh:
+        json.dump(profile, fh, indent=2, sort_keys=False)
+    return path
 
 
 # ---------------------------------------------------------------------------

@@ -26,8 +26,10 @@ from .ablations import (
     ABLATION_A1_SPEC,
     ABLATION_A2_SPEC,
     ABLATION_A3_SPEC,
+    ABLATION_A4_SPEC,
     EXTENSION_E1_SPEC,
     EXTENSION_E2_SPEC,
+    save_hybrid_profile,
 )
 from .experiments import (
     AGGREGATE_SPEC,
@@ -78,6 +80,7 @@ REGISTRY: tuple[RegistryEntry, ...] = (
     RegistryEntry(ABLATION_A1_SPEC),
     RegistryEntry(ABLATION_A2_SPEC),
     RegistryEntry(ABLATION_A3_SPEC),
+    RegistryEntry(ABLATION_A4_SPEC, save_hybrid_profile),
     RegistryEntry(EXTENSION_E1_SPEC),
     RegistryEntry(EXTENSION_E2_SPEC),
     RegistryEntry(EXTENSION_E3_SPEC, save_workload_profile),

@@ -25,6 +25,7 @@ from .planner import (
     PhysicalPlan,
     PhysicalScan,
     Planner,
+    SpillConfig,
 )
 from .results import QueryResult
 from .split_table import Destination, SplitTable
@@ -59,6 +60,7 @@ __all__ = [
     "QueryResult",
     "RangePredicate",
     "ScanNode",
+    "SpillConfig",
     "SplitTable",
     "TruePredicate",
 ]

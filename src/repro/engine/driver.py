@@ -136,6 +136,7 @@ class QueryDriver(GammaDriver):
         self.result_fragments: list[StoredFile] = []
         self.result_count = 0
         self.overflows_per_node: list[int] = []
+        self.partitions_per_node: list[int] = []
         self._label_counter = 0
 
     # ------------------------------------------------------------------

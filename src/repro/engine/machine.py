@@ -409,6 +409,7 @@ class GammaMachine:
                 result_count=run.result_count if error is None else 0,
                 stats=dict(ctx.stats),
                 overflows_per_node=run.overflows_per_node,
+                partitions_per_node=run.partitions_per_node,
                 utilisations=utilisation_report.as_dict(),
                 node_metrics=snapshot["nodes"],
                 operator_metrics=snapshot["operators"],

@@ -14,23 +14,57 @@ node-local temporary files on both the build and probe sides.  Afterwards
 the spooled partition pairs are joined one at a time, each tuple written
 and read exactly once: degradation is *linear* in the memory deficit, not
 exponential.
+
+That plan is only as good as the estimate, so the join also watches the
+bytes it actually observes (the design space of "Design Trade-offs for a
+Robust Dynamic Hybrid Hash Join").  Three spill policies, selected by
+:class:`~repro.engine.ir.SpillConfig`:
+
+* ``static`` — trust the plan.  When the resident partition still
+  exceeds capacity, excess build tuples go to an overflow spool and every
+  resident-region probe is routed both to memory and to disk: correct,
+  but the probe side pays for the estimate error.
+* ``demote`` — on overflow, halve the resident key region and evict its
+  buckets to a newly created spooled partition until the table fits.
+  Only the demoted fraction of the probe side is spooled.
+* ``dynamic`` — start optimistically all-in-memory, demote on demand,
+  and recursively re-partition any spooled pair whose build side still
+  exceeds memory during the resolution sweep (bounded depth, falling
+  back to chunk-and-rescan at the bound).
+
+All three are deterministic: demotion walks the insertion-ordered hash
+table, and every cut is a pure function of the key hash.  Under the
+default ``static`` policy, a run whose capacity is never exceeded is
+bit-identical to the purely planned algorithm.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import defaultdict, deque
 from math import ceil
 from typing import Any, Generator, Optional
 
 from ..bitfilter import BitVectorFilter
+from ..ir import SpillConfig
 from ..node import ExecutionContext, Node
 from ..ports import EndOfStream, InputPort, OutputPort
 from .base import SpoolFile, operator_done
 from .join import _h2
 
 #: Cache of sequential per-record charge folds, keyed by
-#: (per-record cost components, record count).
+#: (per-record cost components, record count).  Bounded: long matrix
+#: sweeps in one process would otherwise accumulate one entry per
+#: distinct packet size forever.
 _charge_cache: dict[tuple[tuple[float, ...], int], float] = {}
+_CHARGE_CACHE_MAX = 4096
+
+#: Overflow reactions trigger past ``capacity * OVERFLOW_SLACK``, not the
+#: instant capacity is crossed: the plan sizes partition 0 at 0.95 of
+#: capacity precisely to absorb per-node distribution variance of the
+#: hash split, so single-digit overruns are expected noise.  Genuine
+#: estimate error (the case the spill policies exist for) overshoots by
+#: integer factors and blows far past the slack.
+OVERFLOW_SLACK = 1.10
 
 
 def _repeat_charge(parts: tuple[float, ...], n: int) -> float:
@@ -48,8 +82,88 @@ def _repeat_charge(parts: tuple[float, ...], n: int) -> float:
         for _ in range(n):
             for part in parts:
                 total += part
+        if len(_charge_cache) >= _CHARGE_CACHE_MAX:
+            # Evicting the oldest entry is safe: recomputation is
+            # bit-identical, the cache is purely a wall-clock win.
+            del _charge_cache[next(iter(_charge_cache))]
         _charge_cache[key] = total
     return total
+
+
+class PartitionPlan:
+    """Pure key-space layout of one node's hybrid join.
+
+    The unit interval of ``_h2(key, 0)`` is cut into regions:
+
+    * ``[0, fraction0)`` — memory-resident (partition 0);
+    * ``[static_cut, 1.0)`` — the statically planned spool partitions
+      ``1..n_static-1``, equal slices;
+    * ``[fraction0, static_cut)`` — demoted slices, one per
+      :meth:`demote` call, newest (lowest) last in ``cuts``.
+
+    With no demotions ``fraction0 == static_cut`` and routing is exactly
+    the planned Hybrid layout.  Kept free of simulator state so tests can
+    exercise the routing arithmetic directly.
+    """
+
+    __slots__ = ("n_static", "fraction0", "static_cut", "cuts")
+
+    def __init__(
+        self,
+        expected_bytes: float,
+        capacity_bytes: int,
+        forced_partitions: int = 0,
+        optimistic: bool = False,
+    ) -> None:
+        expected_bytes = max(1.0, expected_bytes)
+        if forced_partitions > 0:
+            n = forced_partitions
+        elif optimistic:
+            # Dynamic policy: assume memory suffices, demote on demand.
+            n = 1
+        else:
+            n = max(1, ceil(expected_bytes * 1.05 / capacity_bytes))
+        if forced_partitions == 1 or (optimistic and forced_partitions <= 0):
+            fraction0 = 1.0
+        else:
+            fraction0 = min(1.0, capacity_bytes * 0.95 / expected_bytes)
+        self.n_static = n
+        self.fraction0 = fraction0
+        self.static_cut = fraction0
+        self.cuts: list[float] = []
+
+    @property
+    def n_partitions(self) -> int:
+        """Planned partitions plus demoted slices."""
+        return self.n_static + len(self.cuts)
+
+    def partition_of(self, key: Any) -> int:
+        """0 = memory-resident; 1..k-1 = spooled partitions."""
+        h = _h2(key, 0)
+        if h < self.fraction0:
+            return 0
+        if h >= self.static_cut and self.n_static > 1:
+            rest = (h - self.static_cut) / max(1e-12, 1.0 - self.static_cut)
+            return 1 + min(self.n_static - 2, int(rest * (self.n_static - 1)))
+        for i, cut in enumerate(self.cuts):
+            if h >= cut:
+                return self.n_static + i
+        return 0
+
+    def demote(self) -> float:
+        """Halve the resident key region; returns the new lower cut.
+
+        The evicted slice ``[cut, old fraction0)`` becomes spooled
+        partition ``n_static + len(cuts) - 1``.  Once the region is
+        vanishingly small the cut snaps to 0.0 (everything spools) so
+        pathological skew cannot demote forever.
+        """
+        cut = self.fraction0 / 2.0
+        if cut < 1e-9:
+            cut = 0.0
+        self.fraction0 = cut
+        self.cuts.append(cut)
+        return cut
 
 
 class HybridJoinState:
@@ -70,6 +184,7 @@ class HybridJoinState:
         build_port: InputPort,
         probe_port: InputPort,
         expected_build_tuples: float,
+        spill: Optional[SpillConfig] = None,
     ) -> None:
         self.ctx = ctx
         self.node = node
@@ -77,6 +192,7 @@ class HybridJoinState:
         self.build_pos = build_pos
         self.probe_pos = probe_pos
         self.capacity_bytes = capacity_bytes
+        self.trigger_bytes = capacity_bytes * OVERFLOW_SLACK
         self.build_record_bytes = build_record_bytes
         self.probe_record_bytes = probe_record_bytes
         self.output = output
@@ -84,36 +200,122 @@ class HybridJoinState:
         self.build_port = build_port
         self.probe_port = probe_port
         self.entry_bytes = build_record_bytes * ctx.config.hash_table_overhead
+        spill = spill or SpillConfig()
+        self.policy = spill.policy
+        self.max_recursion = spill.max_recursion
         expected_bytes = max(
-            self.entry_bytes, expected_build_tuples * self.entry_bytes
+            self.entry_bytes,
+            expected_build_tuples * spill.estimate_factor * self.entry_bytes,
         )
         # Partition plan: partition 0 fills memory; the rest are sized to
         # fit memory one at a time during the resolution sweep.
-        self.n_partitions = max(1, ceil(expected_bytes * 1.05 / capacity_bytes))
-        self.fraction0 = min(1.0, capacity_bytes * 0.95 / expected_bytes)
-        #: True when partition_of() is constant 0 — every key stays in
+        self.plan = PartitionPlan(
+            expected_bytes, capacity_bytes,
+            forced_partitions=spill.partitions,
+            optimistic=spill.policy == "dynamic",
+        )
+        self.planned_partitions = self.plan.n_static
+        #: True while partition_of() is constant 0 — every key stays in
         #: memory, so the consumers can skip the per-record hash entirely.
-        self.all_in_memory = self.n_partitions == 1 or self.fraction0 >= 1.0
+        #: Cleared by the first overflow reaction.
+        self.all_in_memory = (
+            self.plan.n_static == 1 or self.plan.fraction0 >= 1.0
+        )
         self.table: dict[Any, list[tuple]] = defaultdict(list)
         self.bytes_used = 0.0
         self.build_spools = [
             SpoolFile(ctx, node, f"hb{p}", build_record_bytes)
-            for p in range(1, self.n_partitions)
+            for p in range(1, self.plan.n_static)
         ]
         self.probe_spools = [
             SpoolFile(ctx, node, f"hp{p}", probe_record_bytes)
-            for p in range(1, self.n_partitions)
+            for p in range(1, self.plan.n_static)
         ]
+        #: Static-policy overflow pair: build tuples beyond capacity, and
+        #: the resident-region probes that must re-join against them.
+        self.overflow_build: Optional[SpoolFile] = None
+        self.overflow_probe: Optional[SpoolFile] = None
         self.matches = 0
+        #: Actual overflow reactions (static activation, demotions,
+        #: recursive re-partitionings, extra resolve chunks) — what
+        #: ``QueryResult.overflows_per_node`` now reports.
         self.overflow_chunks = 0
 
+    # Kept as a method (delegating to the plan) for the consumers' hot
+    # loops and for backwards compatibility.
     def partition_of(self, key: Any) -> int:
         """0 = memory-resident; 1..k-1 = spooled partitions."""
-        h = _h2(key, 0)
-        if h < self.fraction0 or self.n_partitions == 1:
-            return 0
-        rest = (h - self.fraction0) / max(1e-12, 1.0 - self.fraction0)
-        return 1 + min(self.n_partitions - 2, int(rest * (self.n_partitions - 1)))
+        return self.plan.partition_of(key)
+
+    @property
+    def n_partitions(self) -> int:
+        return self.plan.n_partitions
+
+
+def _emit_table_counter(ctx: ExecutionContext, state: HybridJoinState) -> None:
+    """Passive hash-table telemetry: metrics sample + Perfetto counter."""
+    ctx.metrics.record_hash_table_bytes(state.node.name, state.bytes_used)
+    if ctx.trace is not None:
+        ctx.trace.counter(
+            state.node.name, "hash-table", ctx.sim.now,
+            {"bytes": float(state.bytes_used),
+             "overflows": float(state.overflow_chunks),
+             "partitions": float(state.plan.n_partitions)},
+        )
+
+
+def _handle_build_overflow(
+    ctx: ExecutionContext, state: HybridJoinState
+) -> Generator[Any, Any, None]:
+    """React to the resident build partition exceeding capacity.
+
+    ``static``: open the overflow spool pair once — later resident-region
+    build tuples spool instead of growing the table.  ``demote`` /
+    ``dynamic``: halve the resident key region and evict its buckets into
+    a fresh spooled partition (paying the spool writes) until the table
+    fits.  Eviction walks the insertion-ordered table, so the reaction is
+    deterministic and independent of hash salts.
+    """
+    if state.policy == "static":
+        if state.overflow_build is None:
+            state.overflow_build = SpoolFile(
+                ctx, state.node, "hov.b", state.build_record_bytes
+            )
+            state.overflow_probe = SpoolFile(
+                ctx, state.node, "hov.p", state.probe_record_bytes
+            )
+            state.all_in_memory = False
+            state.overflow_chunks += 1
+            ctx.metrics.record_overflow_chunk(state.node.name)
+            _emit_table_counter(ctx, state)
+        return
+    plan = state.plan
+    table = state.table
+    # Demote back below *capacity*, not just the trigger: the gap is the
+    # hysteresis that keeps one demotion per estimate-error magnitude.
+    while state.bytes_used > state.capacity_bytes and plan.fraction0 > 0.0:
+        cut = plan.demote()
+        doomed = [key for key in table if _h2(key, 0) >= cut]
+        evicted: list[tuple] = []
+        for key in doomed:
+            evicted.extend(table.pop(key))
+        state.bytes_used -= len(evicted) * state.entry_bytes
+        slice_no = len(plan.cuts) - 1
+        build_spool = SpoolFile(
+            ctx, state.node, f"hd{slice_no}.b", state.build_record_bytes
+        )
+        probe_spool = SpoolFile(
+            ctx, state.node, f"hd{slice_no}.p", state.probe_record_bytes
+        )
+        state.build_spools.append(build_spool)
+        state.probe_spools.append(probe_spool)
+        state.all_in_memory = False
+        state.overflow_chunks += 1
+        ctx.metrics.record_overflow_chunk(state.node.name)
+        ctx.metrics.add("hash_demotions")
+        if evicted:
+            yield from build_spool.add_batch(evicted)
+        _emit_table_counter(ctx, state)
 
 
 def hybrid_build_consumer(
@@ -127,8 +329,8 @@ def hybrid_build_consumer(
     bf_add = bf.add if bf is not None else None
     bpos = state.build_pos
     entry_bytes = state.entry_bytes
-    all_mem = state.all_in_memory
-    partition_of = state.partition_of
+    trigger = state.trigger_bytes
+    partition_of = state.plan.partition_of
     table = state.table
     charge = (
         (insert_cost, bitset_cost) if bf is not None else (insert_cost,)
@@ -157,7 +359,10 @@ def hybrid_build_consumer(
         records = message.records
         bytes_used = state.bytes_used
         spill: Optional[dict[int, list[tuple]]] = None
-        if all_mem:
+        overflow_batch: Optional[list[tuple]] = None
+        if state.all_in_memory and (
+            bytes_used + len(records) * entry_bytes <= trigger
+        ):
             # Every key lands in partition 0: skip the partition hash and
             # fold the constant per-record charges through the cache.
             if bf_add is not None:
@@ -176,45 +381,61 @@ def hybrid_build_consumer(
             # resident ones, so the whole batch folds through the cache.
             cpu = _repeat_charge(charge, len(records))
             spill = defaultdict(list)
+            overflow_spool = state.overflow_build
             for record in records:
                 key = record[bpos]
                 if bf_add is not None:
                     bf_add(key)
                 p = partition_of(key)
                 if p == 0:
-                    table[key].append(record)
-                    bytes_used += entry_bytes
+                    if overflow_spool is not None:
+                        if overflow_batch is None:
+                            overflow_batch = []
+                        overflow_batch.append(record)
+                    else:
+                        table[key].append(record)
+                        bytes_used += entry_bytes
                 else:
                     spill[p].append(record)
         state.bytes_used = bytes_used
-        ctx.metrics.record_hash_table_bytes(state.node.name, state.bytes_used)
-        if ctx.trace is not None:
-            ctx.trace.counter(
-                state.node.name, "hash-table", ctx.sim.now,
-                {"bytes": float(state.bytes_used),
-                 "overflows": float(state.overflow_chunks)},
-            )
+        _emit_table_counter(ctx, state)
         eff = state.node.work_effect(cpu)
         if eff is not None:
             yield eff
         if spill:
             for p, batch in spill.items():
                 yield from state.build_spools[p - 1].add_batch(batch)
+        if overflow_batch:
+            assert state.overflow_build is not None
+            yield from state.overflow_build.add_batch(overflow_batch)
+        if bytes_used > trigger:
+            yield from _handle_build_overflow(ctx, state)
     for spool in state.build_spools:
         yield from spool.flush()
+    if state.overflow_build is not None:
+        yield from state.overflow_build.flush()
 
 
 def hybrid_probe_consumer(
     ctx: ExecutionContext, state: HybridJoinState
 ) -> Generator[Any, Any, None]:
-    """Phase two: probe partition 0, spool probes for partitions 1..k-1."""
+    """Phase two: probe partition 0, spool probes for partitions 1..k-1.
+
+    Under an active static-policy overflow, resident-region probes are
+    *dual-routed*: probed against the memory-resident table now, and
+    spooled for the resolution sweep against the overflowed build tuples
+    — each build tuple lives in exactly one place, so no duplicates.
+    """
     costs = ctx.config.costs
     probe_cost = costs.hash_table_probe
     result_cost = costs.join_result_tuple
     ppos = state.probe_pos
+    # The build phase has completed (scheduler barrier), so the layout —
+    # and therefore the fast-path choice — is frozen.
     all_mem = state.all_in_memory
-    partition_of = state.partition_of
+    partition_of = state.plan.partition_of
     table_get = state.table.get
+    overflow_spool = state.overflow_probe
     work_effect = state.node.work_effect
     port = state.probe_port
     flat = ctx.profiler is None and ctx.trace is None
@@ -240,6 +461,7 @@ def hybrid_probe_consumer(
         # multiply over integer-valued constants is exact.
         cpu = probe_cost * len(records)
         spill: Optional[dict[int, list[tuple]]] = None
+        overflow_batch: Optional[list[tuple]] = None
         results: list[tuple] = []
         res_append = results.append
         if all_mem:
@@ -257,6 +479,10 @@ def hybrid_probe_consumer(
                 if p != 0:
                     spill[p].append(record)
                     continue
+                if overflow_spool is not None:
+                    if overflow_batch is None:
+                        overflow_batch = []
+                    overflow_batch.append(record)
                 bucket = table_get(key)
                 if bucket:
                     cpu += result_cost * len(bucket)
@@ -271,8 +497,69 @@ def hybrid_probe_consumer(
         if spill:
             for p, batch in spill.items():
                 yield from state.probe_spools[p - 1].add_batch(batch)
+        if overflow_batch:
+            assert overflow_spool is not None
+            yield from overflow_spool.add_batch(overflow_batch)
     for spool in state.probe_spools:
         yield from spool.flush()
+    if state.overflow_probe is not None:
+        yield from state.overflow_probe.flush()
+
+
+def _repartition_pair(
+    ctx: ExecutionContext,
+    state: HybridJoinState,
+    build_spool: SpoolFile,
+    probe_spool: SpoolFile,
+    depth: int,
+    pairs: deque,
+) -> Generator[Any, Any, None]:
+    """Recursively split an oversized spooled pair (``dynamic`` policy).
+
+    Both spools are read once and re-spooled into ``k`` sub-pairs under a
+    depth-specific hash seed (the parent partition is a *slice* of seed
+    0's unit interval, so re-cutting it needs an independent hash).  The
+    sub-pairs go to the front of the worklist: depth-first keeps at most
+    one lineage of sub-spools alive.
+    """
+    k = min(
+        64,
+        max(2, ceil(
+            len(build_spool.records) * state.entry_bytes * 1.05
+            / state.capacity_bytes
+        )),
+    )
+    seed = depth + 1
+    node = state.node
+    sub_build = [
+        SpoolFile(ctx, node, f"hr{depth}.{i}.b", state.build_record_bytes)
+        for i in range(k)
+    ]
+    sub_probe = [
+        SpoolFile(ctx, node, f"hr{depth}.{i}.p", state.probe_record_bytes)
+        for i in range(k)
+    ]
+    for spool, subs, pos in (
+        (build_spool, sub_build, state.build_pos),
+        (probe_spool, sub_probe, state.probe_pos),
+    ):
+        for page_no, records in spool.read_pages():
+            yield from spool.read_page_io(page_no)
+            batches: list[list[tuple]] = [[] for _ in range(k)]
+            for record in records:
+                h = _h2(record[pos], seed)
+                batches[min(k - 1, int(h * k))].append(record)
+            for sub, batch in zip(subs, batches):
+                if batch:
+                    yield from sub.add_batch(batch)
+        for sub in subs:
+            yield from sub.flush()
+    state.overflow_chunks += 1
+    ctx.metrics.record_overflow_chunk(node.name)
+    ctx.metrics.add("hybrid_repartitions")
+    pairs.extendleft(
+        reversed([(b, p, depth + 1) for b, p in zip(sub_build, sub_probe)])
+    )
 
 
 def hybrid_resolve(
@@ -282,16 +569,33 @@ def hybrid_resolve(
 
     A partition whose build side unexpectedly exceeds memory (estimate
     error) is processed in memory-sized chunks, re-scanning its probe
-    spool per chunk — still bounded, never recursive.
+    spool per chunk — bounded, never recursive — unless the ``dynamic``
+    policy is active, which re-partitions the pair recursively (bounded
+    by ``max_recursion``) so each side is read and written once per
+    level instead of re-scanning the probe spool per chunk.
     """
     costs = ctx.config.costs
-    for build_spool, probe_spool in zip(
-        state.build_spools, state.probe_spools
-    ):
+    pairs: deque = deque(
+        (b, p, 0) for b, p in zip(state.build_spools, state.probe_spools)
+    )
+    if state.overflow_build is not None:
+        pairs.append((state.overflow_build, state.overflow_probe, 0))
+    while pairs:
+        build_spool, probe_spool, depth = pairs.popleft()
         build_pages = list(build_spool.read_pages())
         if not build_pages:
             # No build tuples landed in this partition: its probe spool
             # can produce no matches and is skipped entirely.
+            continue
+        if (
+            state.policy == "dynamic"
+            and depth < state.max_recursion
+            and len(build_spool.records) * state.entry_bytes
+            > state.trigger_bytes
+        ):
+            yield from _repartition_pair(
+                ctx, state, build_spool, probe_spool, depth, pairs
+            )
             continue
         start = 0
         while start < len(build_pages):
@@ -320,15 +624,7 @@ def hybrid_resolve(
             if start > 0 or consumed < len(build_pages) - start:
                 state.overflow_chunks += 1
                 ctx.metrics.node(state.node.name).overflow_chunks += 1
-            ctx.metrics.record_hash_table_bytes(
-                state.node.name, state.bytes_used
-            )
-            if ctx.trace is not None:
-                ctx.trace.counter(
-                    state.node.name, "hash-table", ctx.sim.now,
-                    {"bytes": float(state.bytes_used),
-                     "overflows": float(state.overflow_chunks)},
-                )
+            _emit_table_counter(ctx, state)
             start += consumed
             results: list[tuple] = []
             cpu = 0.0
@@ -374,6 +670,7 @@ class HybridHashJoinDriver:
         build_pos = join.build.schema.position(join.build_attr)
         probe_pos = join.probe.schema.position(join.probe_attr)
         est = join.build_input.estimated_rows
+        spill = getattr(join, "spill", None) or SpillConfig.from_config(config)
         states: list[HybridJoinState] = []
         build_ports: list[Destination] = []
         probe_ports: list[Destination] = []
@@ -395,6 +692,7 @@ class HybridHashJoinDriver:
                     join.probe.schema.tuple_bytes,
                     output, bit_filter, build_port, probe_port,
                     expected_build_tuples=est / len(nodes),
+                    spill=spill,
                 )
             )
 
@@ -449,6 +747,7 @@ class HybridHashJoinDriver:
             for s in states
         ]
         yield WaitAll(closers)
-        sched.overflows_per_node = [
-            max(0, s.n_partitions - 1) for s in states
-        ]
+        # Actual overflow reactions — not the planned partition count,
+        # which is reported separately.
+        sched.overflows_per_node = [s.overflow_chunks for s in states]
+        sched.partitions_per_node = [s.planned_partitions for s in states]

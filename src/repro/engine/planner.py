@@ -39,6 +39,7 @@ from .ir import (
     ProjectOp,
     ScanOp,
     SortOp,
+    SpillConfig,
     StoreOp,
     UpdateIR,
 )
@@ -248,6 +249,11 @@ class Planner(PlanCompiler):
             joined.build_input.exchange, joined.exchange = exchanges
         return joined
 
+    def join_spill(self) -> Optional[SpillConfig]:
+        """The spill strategy the machine config's ``hybrid_*`` knobs
+        select, stamped on every compiled join."""
+        return SpillConfig.from_config(self.config)
+
     def _join_fragments(self, mode: JoinMode) -> int:
         """How many fragments a join of this mode runs on (mirrors
         ``ExecutionContext.join_nodes``)."""
@@ -406,6 +412,7 @@ __all__ = [
     "ProjectOp",
     "ScanOp",
     "SortOp",
+    "SpillConfig",
     "StoreOp",
     "UpdateIR",
 ]

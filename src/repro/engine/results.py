@@ -17,8 +17,15 @@ class QueryResult:
         result_relation: Name of the stored result relation, if any.
         result_count: Number of result tuples produced.
         stats: Raw counters (packets, pages, overflows, messages, ...).
-        overflows_per_node: Hash-table overflows seen at each joining node
-            (Figure 13's x-axis is this value at one of eight sites).
+        overflows_per_node: Actual hash-table overflow reactions at each
+            joining node (Figure 13's x-axis is this value at one of
+            eight sites).  For the Hybrid join this counts real events —
+            static overflow activation, demotions, recursive
+            re-partitionings, extra resolve chunks — not the planned
+            partition count, which ``partitions_per_node`` reports.
+        partitions_per_node: Spool partitions each joining node *planned*
+            from the optimizer estimate (Hybrid hash join only; empty for
+            the Simple join, whose partitioning is reactive).
         utilisations: End-of-run busy fractions of CPUs/disks/interfaces.
         node_metrics: Typed per-node counters (tuples, packets, spool I/O,
             hash-table bytes, overflow chunks) from the metrics registry.
@@ -45,6 +52,7 @@ class QueryResult:
     result_count: int = 0
     stats: dict[str, int] = field(default_factory=dict)
     overflows_per_node: list[int] = field(default_factory=list)
+    partitions_per_node: list[int] = field(default_factory=list)
     utilisations: dict[str, float] = field(default_factory=dict)
     node_metrics: dict[str, dict] = field(default_factory=dict)
     operator_metrics: dict[str, dict] = field(default_factory=dict)
@@ -62,6 +70,12 @@ class QueryResult:
     def max_overflows(self) -> int:
         """Overflows at the most-loaded joining site (paper's label)."""
         return max(self.overflows_per_node, default=0)
+
+    @property
+    def max_partitions(self) -> int:
+        """Planned spool partitions at the most-partitioned joining site
+        (1 = the whole build side was expected to fit in memory)."""
+        return max(self.partitions_per_node, default=0)
 
     def __repr__(self) -> str:  # pragma: no cover - diagnostics only
         if self.error is not None:

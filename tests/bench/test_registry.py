@@ -25,7 +25,7 @@ def _load_generator():
 
 class TestRegistry:
     def test_names_unique_and_complete(self):
-        assert len(names()) == len(set(names())) == len(REGISTRY) == 20
+        assert len(names()) == len(set(names())) == len(REGISTRY) == 21
 
     def test_ordered_pairs_names_with_labels(self):
         assert ordered() == [(e.spec.name, e.spec.label) for e in REGISTRY]

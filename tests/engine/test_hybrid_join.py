@@ -6,6 +6,8 @@ import pytest
 
 from repro import GammaConfig, GammaMachine
 from repro.engine import JoinMode, Query, RangePredicate, ScanNode
+from repro.engine.operators import hybrid_join
+from repro.engine.operators.hybrid_join import PartitionPlan, _h2
 from repro.workloads import generate_tuples
 
 
@@ -51,7 +53,11 @@ class TestHybridCorrectness:
             list(generate_tuples(2000, seed=21)), 1, 1,
         )
         assert sorted(m.catalog.lookup("o").records()) == expected
-        assert r.max_overflows > 0  # reported as partitions beyond memory
+        # Planned partitions and actual overflow reactions are separate
+        # reports: a well-estimated spilling join plans several
+        # partitions but never actually overflows.
+        assert r.max_partitions > 1
+        assert r.max_overflows == 0
 
     def test_deep_memory_pressure_still_correct(self):
         m = hybrid_machine(join_memory=12_000)
@@ -123,3 +129,193 @@ class TestHybridVsSimple:
 
         with pytest.raises(ConfigError):
             GammaConfig(join_algorithm="sort-merge")
+
+
+class TestPartitionPlan:
+    """The pure key-space routing arithmetic, exercised directly."""
+
+    KEYS = range(5_000)
+
+    def test_accurate_plan_layout(self):
+        plan = PartitionPlan(expected_bytes=4_000_000, capacity_bytes=1_000_000)
+        assert plan.n_static == 5  # ceil(4 * 1.05)
+        assert plan.fraction0 == pytest.approx(0.95 / 4)
+        assert plan.static_cut == plan.fraction0
+        assert plan.n_partitions == 5
+
+    def test_routing_covers_exactly_the_planned_range(self):
+        plan = PartitionPlan(4_000_000, 1_000_000)
+        parts = {plan.partition_of(k) for k in self.KEYS}
+        assert parts == set(range(plan.n_static))
+
+    def test_two_partitions_rest_region_is_single_slice(self):
+        # n_static == 2 exercises the min(n_static - 2, ...) clamp: the
+        # whole rest region is one spool partition, even for hash values
+        # at the very top of the unit interval.
+        plan = PartitionPlan(1_000_000, 1_000_000, forced_partitions=2)
+        assert {plan.partition_of(k) for k in self.KEYS} <= {0, 1}
+        top = max(self.KEYS, key=lambda k: _h2(k, 0))
+        assert _h2(top, 0) > 0.999  # effectively the 1.0 boundary
+        assert plan.partition_of(top) == 1
+
+    def test_forced_single_partition_keeps_everything_resident(self):
+        plan = PartitionPlan(9_999_999, 1_000, forced_partitions=1)
+        assert plan.fraction0 == 1.0
+        assert all(plan.partition_of(k) == 0 for k in self.KEYS)
+
+    def test_optimistic_plan_ignores_the_estimate(self):
+        plan = PartitionPlan(9_999_999, 1_000, optimistic=True)
+        assert plan.n_static == 1 and plan.fraction0 == 1.0
+        assert all(plan.partition_of(k) == 0 for k in self.KEYS)
+
+    def test_demote_halves_resident_region(self):
+        plan = PartitionPlan(2_000_000, 1_000_000)
+        before = plan.fraction0
+        resident_before = {k for k in self.KEYS if plan.partition_of(k) == 0}
+        cut = plan.demote()
+        assert cut == pytest.approx(before / 2)
+        assert plan.n_partitions == plan.n_static + 1
+        resident_after = {k for k in self.KEYS if plan.partition_of(k) == 0}
+        assert resident_after < resident_before
+        # Every evicted key routes to the new demoted slice, and the
+        # static spool partitions are untouched.
+        for k in resident_before - resident_after:
+            assert plan.partition_of(k) == plan.n_static
+
+    def test_demote_bottoms_out_at_zero(self):
+        plan = PartitionPlan(2_000_000, 1_000_000)
+        for _ in range(60):
+            plan.demote()
+        assert plan.fraction0 == 0.0
+        assert all(plan.partition_of(k) != 0 for k in self.KEYS)
+
+    def test_routing_is_stable_across_demotions(self):
+        # A key that routes to a static spool partition keeps that
+        # partition no matter how many demotions happen later.
+        plan = PartitionPlan(4_000_000, 1_000_000)
+        spooled = {
+            k: plan.partition_of(k) for k in self.KEYS
+            if plan.partition_of(k) > 0
+        }
+        plan.demote()
+        plan.demote()
+        for k, part in spooled.items():
+            assert plan.partition_of(k) == part
+
+
+class TestSpillPolicies:
+    def _oracle(self):
+        return nested_loop_join(
+            list(generate_tuples(500, seed=23)),
+            list(generate_tuples(2000, seed=21)), 1, 1,
+        )
+
+    @pytest.mark.parametrize("policy", ["static", "demote", "dynamic"])
+    @pytest.mark.parametrize("factor", [0.1, 1.0, 10.0])
+    def test_estimate_error_never_changes_answers(self, policy, factor):
+        # 10x under- and overestimates change the plan, never the join.
+        m = hybrid_machine(join_memory=30_000,
+                           hybrid_spill_policy=policy,
+                           hybrid_estimate_factor=factor)
+        m.run(Query.join(ScanNode("Bprime"), ScanNode("A"),
+                         on=("unique2", "unique2"), into="o"))
+        assert sorted(m.catalog.lookup("o").records()) == self._oracle()
+
+    def test_resolve_chunking_matches_in_memory_answer(self):
+        # The chunk-and-rescan resolve path (static policy, memory far
+        # too small for even one spooled partition) must produce the
+        # same relation as the all-in-memory join.
+        m = hybrid_machine(join_memory=8_000)
+        m.run(Query.join(ScanNode("Bprime"), ScanNode("A"),
+                         on=("unique2", "unique2"), into="o"))
+        assert sorted(m.catalog.lookup("o").records()) == self._oracle()
+
+    def test_dynamic_recursion_matches_oracle(self):
+        m = hybrid_machine(join_memory=8_000,
+                           hybrid_spill_policy="dynamic")
+        r = m.run(Query.join(ScanNode("Bprime"), ScanNode("A"),
+                             on=("unique2", "unique2"), into="o"))
+        assert sorted(m.catalog.lookup("o").records()) == self._oracle()
+        assert r.max_overflows > 0  # it really did adapt
+
+    def test_dynamic_response_independent_of_estimate(self):
+        def run(factor):
+            m = hybrid_machine(join_memory=20_000,
+                               hybrid_spill_policy="dynamic",
+                               hybrid_estimate_factor=factor)
+            return m.run(Query.join(ScanNode("Bprime"), ScanNode("A"),
+                                    on=("unique2", "unique2"), into="o"))
+
+        times = {run(f).response_time for f in (0.1, 1.0, 10.0)}
+        assert len(times) == 1
+
+    def test_static_and_demote_identical_without_overflow(self):
+        def run(policy):
+            m = hybrid_machine(join_memory=100_000,
+                               hybrid_spill_policy=policy)
+            return m.run(Query.join(ScanNode("Bprime"), ScanNode("A"),
+                                    on=("unique2", "unique2"), into="o"))
+
+        assert (run("static").response_time
+                == run("demote").response_time)
+
+    def test_forced_partitions_knob(self):
+        m = hybrid_machine(join_memory=10_000_000, hybrid_partitions=4)
+        r = m.run(Query.join(ScanNode("Bprime"), ScanNode("A"),
+                             on=("unique2", "unique2"), into="o"))
+        assert r.result_count == 500
+        assert r.max_partitions == 4
+
+    def test_recursion_depth_zero_falls_back_to_chunking(self):
+        m = hybrid_machine(join_memory=8_000,
+                           hybrid_spill_policy="dynamic",
+                           hybrid_max_recursion=0)
+        m.run(Query.join(ScanNode("Bprime"), ScanNode("A"),
+                         on=("unique2", "unique2"), into="o"))
+        assert sorted(m.catalog.lookup("o").records()) == self._oracle()
+
+
+class TestHybridConfigKnobs:
+    def test_invalid_policy_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            GammaConfig(hybrid_spill_policy="panic")
+
+    def test_negative_partitions_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            GammaConfig(hybrid_partitions=-1)
+
+    def test_nonpositive_estimate_factor_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            GammaConfig(hybrid_estimate_factor=0.0)
+
+    def test_with_hybrid_helper(self):
+        config = GammaConfig().with_hybrid(
+            spill_policy="dynamic", estimate_factor=0.5)
+        assert config.join_algorithm == "hybrid"
+        assert config.hybrid_spill_policy == "dynamic"
+        assert config.hybrid_estimate_factor == 0.5
+        # Unset knobs keep their defaults.
+        assert config.hybrid_partitions == 0
+        assert config.hybrid_max_recursion == 3
+
+
+class TestChargeCache:
+    def test_cache_is_bounded(self):
+        hybrid_join._charge_cache.clear()
+        for n in range(2 * hybrid_join._CHARGE_CACHE_MAX):
+            hybrid_join._repeat_charge((0.001, 0.002), n)
+        assert (len(hybrid_join._charge_cache)
+                <= hybrid_join._CHARGE_CACHE_MAX)
+
+    def test_eviction_keeps_values_correct(self):
+        hybrid_join._charge_cache.clear()
+        direct = hybrid_join._repeat_charge((0.003, 0.007), 10)
+        for n in range(hybrid_join._CHARGE_CACHE_MAX + 10):
+            hybrid_join._repeat_charge((0.001,), n)
+        assert hybrid_join._repeat_charge((0.003, 0.007), 10) == direct
